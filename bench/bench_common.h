@@ -1,0 +1,68 @@
+// Shared setup for the figure/table reproduction binaries.
+//
+// Every bench accepts:
+//   --scale=S   (or LDPIDS_SCALE=S)  multiply N and T by S in (0, 1]
+//   --reps=R    repetitions per cell (default 3 synthetic / 2 real-like)
+//   --fo=NAME   frequency oracle (default GRR, as in the paper)
+//   --csv=PATH  also dump the series as CSV
+//
+// At scale 1 the datasets match the paper exactly: LNS/Sin/Log with
+// N = 200,000, T = 800; Taxi/Foursquare/Taobao with the shapes of §7.1.2.
+#ifndef LDPIDS_BENCH_BENCH_COMMON_H_
+#define LDPIDS_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/realworld_sim.h"
+#include "datagen/synthetic.h"
+#include "stream/dataset.h"
+#include "util/flags.h"
+
+namespace ldpids::bench {
+
+inline uint64_t ScaledUsers(double scale, uint64_t n = 200000) {
+  return std::max<uint64_t>(200, static_cast<uint64_t>(n * scale));
+}
+
+inline std::size_t ScaledLength(double scale, std::size_t t = 800) {
+  return std::max<std::size_t>(60, static_cast<std::size_t>(t * scale));
+}
+
+// The paper's three synthetic datasets at the given scale.
+inline std::vector<std::shared_ptr<StreamDataset>> MakeSyntheticDatasets(
+    double scale) {
+  const uint64_t n = ScaledUsers(scale);
+  const std::size_t t = ScaledLength(scale);
+  return {MakeLnsDataset(n, t), MakeSinDataset(n, t), MakeLogDataset(n, t)};
+}
+
+// The three real-world-like datasets at the given scale.
+inline std::vector<std::shared_ptr<StreamDataset>> MakeRealWorldDatasets(
+    double scale) {
+  RealWorldSimOptions o;
+  o.scale = scale;
+  return {MakeTaxiLikeDataset(o), MakeFoursquareLikeDataset(o),
+          MakeTaobaoLikeDataset(o)};
+}
+
+// All six evaluation datasets in the paper's order.
+inline std::vector<std::shared_ptr<StreamDataset>> MakeAllDatasets(
+    double scale) {
+  auto datasets = MakeSyntheticDatasets(scale);
+  for (auto& d : MakeRealWorldDatasets(scale)) datasets.push_back(d);
+  return datasets;
+}
+
+inline void PrintHeader(const std::string& title, double scale) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("(scale=%.3g; pass --scale=0.1 for a quick run)\n\n", scale);
+}
+
+}  // namespace ldpids::bench
+
+#endif  // LDPIDS_BENCH_BENCH_COMMON_H_

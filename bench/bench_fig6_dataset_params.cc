@@ -1,0 +1,100 @@
+// Reproduces Fig. 6 (a)-(d): impact of dataset parameters on MRE at
+// eps = 1, w = 30.
+//   (a) varying population N on LNS      (b) varying population N on Sin
+//   (c) varying fluctuation sqrt(Q), LNS (d) varying period parameter b, Sin
+//
+// Paper shape to verify: MRE falls with N for every method; MRE grows with
+// sqrt(Q) and with b; LSP is best at tiny fluctuation but is overtaken by
+// LPD/LPA as fluctuation grows; budget division stays far above population
+// division throughout.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/runner.h"
+#include "bench_common.h"
+#include "core/factory.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace ldpids;
+
+MechanismConfig Fig6Config() {
+  MechanismConfig c;
+  c.epsilon = 1.0;
+  c.window = 30;
+  return c;
+}
+
+void RunPanel(const std::string& title,
+              const std::vector<std::string>& column_labels,
+              const std::vector<std::shared_ptr<StreamDataset>>& datasets,
+              int reps) {
+  std::printf("%s\n", title.c_str());
+  std::vector<std::string> header = {"method"};
+  for (const auto& label : column_labels) header.push_back(label);
+  TablePrinter table(header);
+  for (const std::string& method : AllMechanismNames()) {
+    std::vector<double> row;
+    for (const auto& data : datasets) {
+      row.push_back(EvaluateMechanism(*data, method, Fig6Config(),
+                                      static_cast<std::size_t>(reps))
+                        .mre);
+    }
+    table.AddRow(method, row);
+  }
+  table.Print(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.3);
+  const int reps = static_cast<int>(flags.GetInt("reps", 2));
+  bench::PrintHeader("Fig. 6 — impact of dataset parameters (eps=1, w=30)",
+                     scale);
+  const std::size_t t = bench::ScaledLength(scale);
+
+  // (a)/(b): population sweep 10,20,40,80 x 10^4 (scaled).
+  {
+    const std::vector<uint64_t> populations = {100000, 200000, 400000, 800000};
+    std::vector<std::string> labels;
+    std::vector<std::shared_ptr<StreamDataset>> lns, sin;
+    for (uint64_t n : populations) {
+      const uint64_t sn = bench::ScaledUsers(scale, n);
+      labels.push_back("N=" + std::to_string(sn));
+      // Same probability sequence across N (paper: frequency kept fixed).
+      lns.push_back(MakeLnsDataset(sn, t));
+      sin.push_back(MakeSinDataset(sn, t));
+    }
+    RunPanel("(a) varying population N on LNS", labels, lns, reps);
+    RunPanel("(b) varying population N on Sin", labels, sin, reps);
+  }
+
+  // (c): fluctuation sweep on LNS.
+  {
+    const std::vector<double> sqrt_qs = {0.001, 0.002, 0.004, 0.008};
+    std::vector<std::string> labels;
+    std::vector<std::shared_ptr<StreamDataset>> datasets;
+    for (double q : sqrt_qs) {
+      labels.push_back("sqrtQ=" + FormatDouble(q, 3));
+      datasets.push_back(MakeLnsDataset(bench::ScaledUsers(scale), t, q));
+    }
+    RunPanel("(c) varying fluctuation sqrt(Q) on LNS", labels, datasets, reps);
+  }
+
+  // (d): period parameter sweep on Sin.
+  {
+    const std::vector<double> bs = {1.0 / 200, 1.0 / 100, 1.0 / 50, 1.0 / 25};
+    std::vector<std::string> labels;
+    std::vector<std::shared_ptr<StreamDataset>> datasets;
+    for (double b : bs) {
+      labels.push_back("b=" + FormatDouble(b, 3));
+      datasets.push_back(MakeSinDataset(bench::ScaledUsers(scale), t, b));
+    }
+    RunPanel("(d) varying period parameter b on Sin", labels, datasets, reps);
+  }
+  return 0;
+}

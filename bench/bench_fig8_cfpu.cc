@@ -1,0 +1,119 @@
+// Reproduces Fig. 8 (a)-(d): communication frequency per user (CFPU) on the
+// LNS dataset with respect to (a) population N, (b) fluctuation Q,
+// (c) privacy budget eps, (d) window size w.
+//
+// Paper shape to verify: budget division sits at >= 1 (LBU exactly 1,
+// LBD ~1.27, LBA ~1.17); population division sits near 1/w, with LPD/LPA
+// strictly below LSP/LPU; CFPU of the adaptive methods grows with Q and
+// with eps, and falls with w.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/runner.h"
+#include "bench_common.h"
+#include "core/factory.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace ldpids;
+
+void RunPanel(const std::string& title,
+              const std::vector<std::string>& labels,
+              const std::vector<std::shared_ptr<StreamDataset>>& datasets,
+              const std::vector<MechanismConfig>& configs, int reps) {
+  std::printf("%s\n", title.c_str());
+  std::vector<std::string> header = {"method"};
+  for (const auto& label : labels) header.push_back(label);
+  TablePrinter table(header);
+  for (const std::string& method : AllMechanismNames()) {
+    std::vector<double> row;
+    for (std::size_t i = 0; i < datasets.size(); ++i) {
+      row.push_back(EvaluateMechanism(*datasets[i], method, configs[i],
+                                      static_cast<std::size_t>(reps))
+                        .cfpu);
+    }
+    table.AddRow(method, row);
+  }
+  table.Print(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.3);
+  const int reps = static_cast<int>(flags.GetInt("reps", 2));
+  bench::PrintHeader("Fig. 8 — communication frequency per user (LNS)",
+                     scale);
+  const std::size_t t = bench::ScaledLength(scale);
+
+  MechanismConfig base;
+  base.epsilon = 1.0;
+  base.window = 20;
+
+  // (a) CFPU vs N.
+  {
+    std::vector<std::string> labels;
+    std::vector<std::shared_ptr<StreamDataset>> datasets;
+    std::vector<MechanismConfig> configs;
+    for (uint64_t n : {50000ull, 100000ull, 150000ull, 200000ull}) {
+      const uint64_t sn = bench::ScaledUsers(scale, n);
+      labels.push_back("N=" + std::to_string(sn));
+      datasets.push_back(MakeLnsDataset(sn, t));
+      configs.push_back(base);
+    }
+    RunPanel("(a) CFPU vs population N (eps=1, w=20)", labels, datasets,
+             configs, reps);
+  }
+
+  // (b) CFPU vs fluctuation Q.
+  {
+    std::vector<std::string> labels;
+    std::vector<std::shared_ptr<StreamDataset>> datasets;
+    std::vector<MechanismConfig> configs;
+    for (double q : {0.01, 0.02, 0.04, 0.08}) {
+      labels.push_back("sqrtQ=" + FormatDouble(q, 2));
+      datasets.push_back(MakeLnsDataset(bench::ScaledUsers(scale), t, q));
+      configs.push_back(base);
+    }
+    RunPanel("(b) CFPU vs fluctuation sqrt(Q) (eps=1, w=20)", labels,
+             datasets, configs, reps);
+  }
+
+  // (c) CFPU vs eps.
+  {
+    const auto data = MakeLnsDataset(bench::ScaledUsers(scale), t);
+    std::vector<std::string> labels;
+    std::vector<std::shared_ptr<StreamDataset>> datasets;
+    std::vector<MechanismConfig> configs;
+    for (double eps : {0.5, 1.0, 1.5, 2.0}) {
+      labels.push_back("eps=" + FormatDouble(eps, 1));
+      datasets.push_back(data);
+      MechanismConfig c = base;
+      c.epsilon = eps;
+      configs.push_back(c);
+    }
+    RunPanel("(c) CFPU vs privacy budget eps (w=20)", labels, datasets,
+             configs, reps);
+  }
+
+  // (d) CFPU vs w.
+  {
+    const auto data = MakeLnsDataset(bench::ScaledUsers(scale), t);
+    std::vector<std::string> labels;
+    std::vector<std::shared_ptr<StreamDataset>> datasets;
+    std::vector<MechanismConfig> configs;
+    for (std::size_t w : {10u, 20u, 30u, 40u}) {
+      labels.push_back("w=" + std::to_string(w));
+      datasets.push_back(data);
+      MechanismConfig c = base;
+      c.window = w;
+      configs.push_back(c);
+    }
+    RunPanel("(d) CFPU vs window size w (eps=1)", labels, datasets, configs,
+             reps);
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Google-benchmark microbenchmarks: throughput of the substrate pieces
+// (frequency-oracle perturbation/aggregation, subset sampling, mechanism
+// steps) so regressions in the hot paths are visible.
+#include <benchmark/benchmark.h>
+
+#include "core/factory.h"
+#include "datagen/synthetic.h"
+#include "fo/client.h"
+#include "fo/frequency_oracle.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+#include "util/sampling.h"
+
+namespace {
+
+using namespace ldpids;
+
+void BM_RngNextU64(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.NextU64());
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_SampleBinomial(benchmark::State& state) {
+  Rng rng(2);
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(SampleBinomial(rng, n, 0.3));
+}
+BENCHMARK(BM_SampleBinomial)->Arg(100)->Arg(10000)->Arg(1000000);
+
+void BM_GrrClientPerturb(benchmark::State& state) {
+  GrrClient client(3);
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  uint32_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Perturb(v, 1.0, d));
+    v = (v + 1) % d;
+  }
+}
+BENCHMARK(BM_GrrClientPerturb)->Arg(2)->Arg(32)->Arg(1024);
+
+void BM_FoCohortRound(benchmark::State& state) {
+  // One full collection round in cohort mode: the per-timestamp cost of a
+  // budget-division mechanism.
+  const std::string name = state.range(0) == 0   ? "GRR"
+                           : state.range(0) == 1 ? "OUE"
+                                                 : "OLH";
+  const std::size_t d = static_cast<std::size_t>(state.range(1));
+  const auto& fo = GetFrequencyOracle(name);
+  Rng rng(4);
+  Counts cohort(d, 200000 / d);
+  for (auto _ : state) {
+    auto sketch = fo.CreateSketch({1.0, d});
+    sketch->AddCohort(cohort, rng);
+    benchmark::DoNotOptimize(sketch->Estimate());
+  }
+  state.SetLabel(name + "/d=" + std::to_string(d));
+}
+BENCHMARK(BM_FoCohortRound)
+    ->Args({0, 2})
+    ->Args({0, 117})
+    ->Args({1, 117})
+    ->Args({2, 117});
+
+void BM_FoPerUserRound(benchmark::State& state) {
+  // The same round with exact per-user simulation, for comparison.
+  const auto& fo = GetFrequencyOracle("GRR");
+  Rng rng(5);
+  const std::size_t d = 16;
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto sketch = fo.CreateSketch({1.0, d});
+    for (uint64_t u = 0; u < n; ++u) {
+      sketch->AddUser(static_cast<uint32_t>(u % d), rng);
+    }
+    benchmark::DoNotOptimize(sketch->Estimate());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FoPerUserRound)->Arg(1000)->Arg(100000);
+
+void BM_PoolSampling(benchmark::State& state) {
+  Rng rng(6);
+  const std::size_t n = 1000000;
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  std::vector<uint32_t> pool;
+  for (auto _ : state) {
+    state.PauseTiming();
+    pool.resize(n);
+    for (std::size_t i = 0; i < n; ++i) pool[i] = static_cast<uint32_t>(i);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(SampleFromPool(rng, &pool, m));
+  }
+}
+BENCHMARK(BM_PoolSampling)->Arg(1000)->Arg(25000);
+
+void BM_MechanismStep(benchmark::State& state) {
+  // Steady-state per-timestamp cost of each mechanism at paper scale
+  // (N = 200k binary LNS, w = 20).
+  static const std::vector<std::string> kNames = AllMechanismNames();
+  const std::string name = kNames[static_cast<std::size_t>(state.range(0))];
+  const auto data = MakeLnsDataset(200000, 400);
+  MechanismConfig config;
+  config.epsilon = 1.0;
+  config.window = 20;
+  // Warm the histogram cache so we measure the mechanism, not the dataset.
+  for (std::size_t t = 0; t < data->length(); ++t) data->TrueCounts(t);
+  auto mechanism = CreateMechanism(name, config, data->num_users());
+  std::size_t t = 0;
+  for (auto _ : state) {
+    if (t >= data->length()) {
+      state.PauseTiming();
+      mechanism = CreateMechanism(name, config, data->num_users());
+      t = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(mechanism->Step(*data, t++));
+  }
+  state.SetLabel(name);
+}
+BENCHMARK(BM_MechanismStep)->DenseRange(0, 6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Location-density monitoring — the paper's motivating IoT scenario.
+//
+// A city is divided into d = 5 regions; a taxi fleet continuously reports
+// which region each vehicle is in. The server maintains a live density map
+// under w-event LDP with the LPA mechanism and raises an alert whenever the
+// (privately estimated) peak density crosses a congestion threshold.
+//
+// Demonstrates: categorical domains, real-world-like workloads, event
+// monitoring on releases, and detection-quality reporting (hits/misses
+// against the unobservable ground truth).
+#include <cstdio>
+
+#include "analysis/event_monitor.h"
+#include "analysis/roc.h"
+#include "analysis/runner.h"
+#include "core/factory.h"
+#include "datagen/realworld_sim.h"
+
+int main() {
+  using namespace ldpids;
+
+  // Simulated fleet with the T-Drive shape (N=10,357 taxis, 10-minute
+  // slots, 5 regions), at 30% length for a quick demo.
+  RealWorldSimOptions options;
+  options.scale = 0.3;
+  options.spike_probability = 0.03;  // occasional traffic events
+  const auto city = MakeTaxiLikeDataset(options);
+
+  MechanismConfig config;
+  config.epsilon = 1.0;
+  config.window = 30;  // 5 hours of protection at 10-minute slots
+  config.fo = "GRR";
+  auto mechanism = CreateMechanism("LPA", config, city->num_users());
+
+  // Stream and monitor.
+  std::vector<Histogram> releases;
+  for (std::size_t t = 0; t < city->length(); ++t) {
+    releases.push_back(mechanism->Step(*city, t).release);
+  }
+
+  const auto truth = city->TrueStream();
+  const auto true_stat = MonitoredStatistic(truth);      // peak density
+  const auto released_stat = MonitoredStatistic(releases);
+  const double delta = EventThreshold(true_stat);        // 0.75 quantile rule
+
+  std::printf("congestion threshold delta = %.4f (peak region share)\n\n",
+              delta);
+  int hits = 0, misses = 0, false_alarms = 0;
+  for (std::size_t t = 0; t < truth.size(); ++t) {
+    const bool real_event = true_stat[t] > delta;
+    const bool alarm = released_stat[t] > delta;
+    if (real_event && alarm) ++hits;
+    if (real_event && !alarm) ++misses;
+    if (!real_event && alarm) ++false_alarms;
+    if (real_event || alarm) {
+      std::printf("t=%4zu  true peak %.4f  est peak %.4f  %s\n", t,
+                  true_stat[t], released_stat[t],
+                  real_event ? (alarm ? "DETECTED" : "missed")
+                             : "false alarm");
+    }
+  }
+  std::printf("\nhits=%d  misses=%d  false alarms=%d\n", hits, misses,
+              false_alarms);
+
+  std::vector<double> scores;
+  std::vector<bool> labels;
+  if (PrepareEventDetection(truth, releases, &scores, &labels)) {
+    std::printf("event-detection AUC = %.4f\n", RocAuc(scores, labels));
+  }
+  return 0;
+}

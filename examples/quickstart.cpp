@@ -1,0 +1,53 @@
+// Quickstart: collect a private stream with LPA in ~40 lines.
+//
+// A fleet of 50,000 simulated devices reports a binary signal (say, "is my
+// meter drawing power right now") every timestamp. The server runs the LPA
+// mechanism — the paper's best adaptive population-division method — and
+// gets a fresh or approximated histogram each timestamp while every device
+// enjoys w-event epsilon-LDP.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "analysis/metrics.h"
+#include "core/factory.h"
+#include "datagen/synthetic.h"
+
+int main() {
+  using namespace ldpids;
+
+  // 1. Ground truth: an LNS (Gaussian random walk) binary stream.
+  const auto data = MakeLnsDataset(/*num_users=*/50000, /*length=*/200);
+
+  // 2. Configure the mechanism: eps = 1 over any window of w = 20
+  //    timestamps, GRR as the frequency oracle.
+  MechanismConfig config;
+  config.epsilon = 1.0;
+  config.window = 20;
+  config.fo = "GRR";
+
+  auto mechanism = CreateMechanism("LPA", config, data->num_users());
+
+  // 3. Stream: one Step per timestamp. (Run() does the same loop.)
+  std::vector<Histogram> releases;
+  uint64_t messages = 0;
+  for (std::size_t t = 0; t < data->length(); ++t) {
+    StepResult step = mechanism->Step(*data, t);
+    messages += step.messages;
+    if (t < 5 || step.published) {
+      std::printf("t=%3zu  %s  release[1]=%.4f  true[1]=%.4f\n", t,
+                  step.published ? "PUBLISH" : "approx ",
+                  step.release[1], data->TrueFrequencies(t)[1]);
+    }
+    releases.push_back(std::move(step.release));
+  }
+
+  // 4. Utility and communication summary.
+  const auto truth = data->TrueStream();
+  std::printf("\nMRE  = %.4f\n", MeanRelativeError(truth, releases));
+  std::printf("CFPU = %.4f (reports per user per timestamp)\n",
+              static_cast<double>(messages) /
+                  (static_cast<double>(data->num_users()) *
+                   static_cast<double>(data->length())));
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "analysis/event_monitor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ldpids {
+
+std::vector<double> MonitoredStatistic(const std::vector<Histogram>& stream) {
+  if (stream.empty()) throw std::invalid_argument("empty stream");
+  std::vector<double> stat;
+  stat.reserve(stream.size());
+  const bool binary = stream.front().size() == 2;
+  for (const Histogram& h : stream) {
+    if (binary) {
+      stat.push_back(h[1]);
+    } else {
+      stat.push_back(*std::max_element(h.begin(), h.end()));
+    }
+  }
+  return stat;
+}
+
+double EventThreshold(const std::vector<double>& statistic, double q) {
+  if (statistic.empty()) throw std::invalid_argument("empty statistic");
+  const auto [lo, hi] =
+      std::minmax_element(statistic.begin(), statistic.end());
+  return q * (*hi - *lo) + *lo;
+}
+
+std::vector<bool> EventLabels(const std::vector<double>& statistic,
+                              double delta) {
+  std::vector<bool> labels;
+  labels.reserve(statistic.size());
+  for (double s : statistic) labels.push_back(s > delta);
+  return labels;
+}
+
+bool PrepareEventDetection(const std::vector<Histogram>& truth,
+                           const std::vector<Histogram>& released,
+                           std::vector<double>* scores,
+                           std::vector<bool>* labels, double q) {
+  if (truth.size() != released.size() || truth.empty()) {
+    throw std::invalid_argument("streams must be non-empty and aligned");
+  }
+  const std::vector<double> true_stat = MonitoredStatistic(truth);
+  const double delta = EventThreshold(true_stat, q);
+  std::vector<bool> true_labels = EventLabels(true_stat, delta);
+  std::size_t positives = 0;
+  for (bool b : true_labels) positives += b ? 1 : 0;
+  if (positives == 0 || positives == true_labels.size()) {
+    scores->clear();
+    labels->clear();
+    return false;
+  }
+  *scores = MonitoredStatistic(released);
+  *labels = std::move(true_labels);
+  return true;
+}
+
+}  // namespace ldpids

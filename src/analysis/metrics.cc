@@ -1,0 +1,67 @@
+#include "analysis/metrics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ldpids {
+
+namespace {
+void CheckAligned(const std::vector<Histogram>& truth,
+                  const std::vector<Histogram>& released) {
+  if (truth.size() != released.size() || truth.empty()) {
+    throw std::invalid_argument("streams must be non-empty and equal-length");
+  }
+  for (std::size_t t = 0; t < truth.size(); ++t) {
+    if (truth[t].size() != released[t].size()) {
+      throw std::invalid_argument("histogram domain mismatch");
+    }
+  }
+}
+}  // namespace
+
+double MeanRelativeError(const std::vector<Histogram>& truth,
+                         const std::vector<Histogram>& released,
+                         double floor) {
+  CheckAligned(truth, released);
+  double total = 0.0;
+  std::size_t cells = 0;
+  for (std::size_t t = 0; t < truth.size(); ++t) {
+    for (std::size_t k = 0; k < truth[t].size(); ++k) {
+      const double denom = std::max(truth[t][k], floor);
+      total += std::fabs(released[t][k] - truth[t][k]) / denom;
+      ++cells;
+    }
+  }
+  return total / static_cast<double>(cells);
+}
+
+double MeanAbsoluteError(const std::vector<Histogram>& truth,
+                         const std::vector<Histogram>& released) {
+  CheckAligned(truth, released);
+  double total = 0.0;
+  std::size_t cells = 0;
+  for (std::size_t t = 0; t < truth.size(); ++t) {
+    for (std::size_t k = 0; k < truth[t].size(); ++k) {
+      total += std::fabs(released[t][k] - truth[t][k]);
+      ++cells;
+    }
+  }
+  return total / static_cast<double>(cells);
+}
+
+double MeanSquaredError(const std::vector<Histogram>& truth,
+                        const std::vector<Histogram>& released) {
+  CheckAligned(truth, released);
+  double total = 0.0;
+  std::size_t cells = 0;
+  for (std::size_t t = 0; t < truth.size(); ++t) {
+    for (std::size_t k = 0; k < truth[t].size(); ++k) {
+      const double diff = released[t][k] - truth[t][k];
+      total += diff * diff;
+      ++cells;
+    }
+  }
+  return total / static_cast<double>(cells);
+}
+
+}  // namespace ldpids

@@ -1,0 +1,38 @@
+// Utility metrics between the true stream (c_1..c_T) and a released stream
+// (r_1..r_T), matching Section 7.1.4.
+//
+// The paper reports MRE (mean relative error) without giving a formula; we
+// use the standard per-bin relative error with a floored denominator,
+//
+//   MRE = (1 / (T d)) sum_{t,k} |r_t[k] - c_t[k]| / max(c_t[k], floor),
+//
+// which reproduces the paper's magnitudes (e.g. LBU ~0.5 at eps=1 on LNS)
+// and, more importantly, its orderings. MAE and MSE are also provided; MSE
+// is the quantity the utility analysis in Sections 5.4.2/6.3.2 bounds.
+#ifndef LDPIDS_ANALYSIS_METRICS_H_
+#define LDPIDS_ANALYSIS_METRICS_H_
+
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace ldpids {
+
+inline constexpr double kDefaultMreFloor = 0.01;
+
+// Mean relative error; `floor` guards near-empty bins.
+double MeanRelativeError(const std::vector<Histogram>& truth,
+                         const std::vector<Histogram>& released,
+                         double floor = kDefaultMreFloor);
+
+// Mean absolute error per bin: (1/(T d)) sum |r - c|.
+double MeanAbsoluteError(const std::vector<Histogram>& truth,
+                         const std::vector<Histogram>& released);
+
+// Mean squared error per bin: (1/(T d)) sum (r - c)^2.
+double MeanSquaredError(const std::vector<Histogram>& truth,
+                        const std::vector<Histogram>& released);
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_ANALYSIS_METRICS_H_

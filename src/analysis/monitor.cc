@@ -1,0 +1,49 @@
+#include "analysis/monitor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ldpids {
+
+ThresholdMonitor::ThresholdMonitor(double threshold, double hysteresis)
+    : threshold_(threshold), hysteresis_(hysteresis) {
+  if (hysteresis < 0.0) {
+    throw std::invalid_argument("hysteresis must be >= 0");
+  }
+}
+
+std::vector<MonitorEvent> ThresholdMonitor::Update(double value) {
+  std::vector<MonitorEvent> events;
+  if (!active_ && value > threshold_) {
+    active_ = true;
+    events.push_back({t_, true, value});
+  } else if (active_ && value < threshold_ - hysteresis_) {
+    active_ = false;
+    events.push_back({t_, false, value});
+  }
+  ++t_;
+  return events;
+}
+
+CusumDetector::CusumDetector(double reference, double drift, double threshold)
+    : reference_(reference), drift_(drift), threshold_(threshold) {
+  if (drift < 0.0) throw std::invalid_argument("drift must be >= 0");
+  if (threshold <= 0.0) {
+    throw std::invalid_argument("threshold must be > 0");
+  }
+}
+
+bool CusumDetector::Update(double value) {
+  const double deviation = value - reference_;
+  s_pos_ = std::max(0.0, s_pos_ + deviation - drift_);
+  s_neg_ = std::max(0.0, s_neg_ - deviation - drift_);
+  if (s_pos_ > threshold_ || s_neg_ > threshold_) {
+    s_pos_ = 0.0;
+    s_neg_ = 0.0;
+    reference_ = value;  // re-centre after detection
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ldpids

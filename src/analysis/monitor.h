@@ -1,0 +1,71 @@
+// Online monitors over released streams.
+//
+// `ThresholdMonitor` is the deployment-shaped version of the evaluation in
+// Section 7.4: it consumes the released statistic one timestamp at a time
+// and emits enter/exit events against a threshold, with optional hysteresis
+// so LDP noise near the boundary does not flap alerts.
+//
+// `CusumDetector` detects sustained changes of the statistic's level (the
+// classic two-sided CUSUM) — useful on population-division releases, whose
+// per-timestamp noise is small enough for sequential change detection to
+// work, unlike budget-division releases (see bench_fig7_event_roc).
+#ifndef LDPIDS_ANALYSIS_MONITOR_H_
+#define LDPIDS_ANALYSIS_MONITOR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ldpids {
+
+struct MonitorEvent {
+  std::size_t timestamp = 0;
+  bool entered = false;  // true = went above threshold, false = came back
+  double value = 0.0;
+};
+
+class ThresholdMonitor {
+ public:
+  // Alerts when the statistic exceeds `threshold`; the alert clears only
+  // when it falls below `threshold - hysteresis` (hysteresis >= 0).
+  ThresholdMonitor(double threshold, double hysteresis = 0.0);
+
+  // Feeds the statistic for the next timestamp; returns the emitted events
+  // (empty, or one enter/exit).
+  std::vector<MonitorEvent> Update(double value);
+
+  bool active() const { return active_; }
+  std::size_t timestamps() const { return t_; }
+
+ private:
+  double threshold_;
+  double hysteresis_;
+  bool active_ = false;
+  std::size_t t_ = 0;
+};
+
+class CusumDetector {
+ public:
+  // Two-sided CUSUM around `reference` with slack `drift` (per-step
+  // allowance) and decision threshold `threshold`. After a detection the
+  // statistic resets and the reference re-centres on the current value.
+  CusumDetector(double reference, double drift, double threshold);
+
+  // Returns true if a change (in either direction) is declared at this
+  // step.
+  bool Update(double value);
+
+  double positive_statistic() const { return s_pos_; }
+  double negative_statistic() const { return s_neg_; }
+  double reference() const { return reference_; }
+
+ private:
+  double reference_;
+  double drift_;
+  double threshold_;
+  double s_pos_ = 0.0;
+  double s_neg_ = 0.0;
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_ANALYSIS_MONITOR_H_

@@ -1,0 +1,78 @@
+#include "analysis/roc.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace ldpids {
+
+std::vector<RocPoint> ComputeRoc(const std::vector<double>& scores,
+                                 const std::vector<bool>& labels) {
+  if (scores.size() != labels.size() || scores.empty()) {
+    throw std::invalid_argument("scores/labels must be non-empty and aligned");
+  }
+  std::size_t positives = 0;
+  for (bool b : labels) positives += b ? 1 : 0;
+  const std::size_t negatives = labels.size() - positives;
+  if (positives == 0 || negatives == 0) {
+    throw std::invalid_argument(
+        "ROC needs at least one positive and one negative label");
+  }
+
+  // Sort indices by decreasing score; walk thresholds from +inf downwards.
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::vector<RocPoint> curve;
+  curve.push_back({0.0, 0.0, std::numeric_limits<double>::infinity()});
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  for (std::size_t i = 0; i < order.size();) {
+    // Consume all samples tied at this score before emitting a point.
+    const double score = scores[order[i]];
+    while (i < order.size() && scores[order[i]] == score) {
+      if (labels[order[i]]) ++tp;
+      else ++fp;
+      ++i;
+    }
+    curve.push_back({static_cast<double>(fp) / static_cast<double>(negatives),
+                     static_cast<double>(tp) / static_cast<double>(positives),
+                     score});
+  }
+  return curve;
+}
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<bool>& labels) {
+  const std::vector<RocPoint> curve = ComputeRoc(scores, labels);
+  double auc = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double dx =
+        curve[i].false_positive_rate - curve[i - 1].false_positive_rate;
+    const double avg_y =
+        (curve[i].true_positive_rate + curve[i - 1].true_positive_rate) / 2.0;
+    auc += dx * avg_y;
+  }
+  return auc;
+}
+
+double TprAtFpr(const std::vector<RocPoint>& curve, double fpr) {
+  if (curve.empty()) throw std::invalid_argument("empty ROC curve");
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    if (curve[i].false_positive_rate >= fpr) {
+      const double x0 = curve[i - 1].false_positive_rate;
+      const double x1 = curve[i].false_positive_rate;
+      const double y0 = curve[i - 1].true_positive_rate;
+      const double y1 = curve[i].true_positive_rate;
+      if (x1 == x0) return std::max(y0, y1);
+      const double alpha = (fpr - x0) / (x1 - x0);
+      return y0 + alpha * (y1 - y0);
+    }
+  }
+  return curve.back().true_positive_rate;
+}
+
+}  // namespace ldpids

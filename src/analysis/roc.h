@@ -1,0 +1,38 @@
+// ROC curves for binary detection from real-valued scores.
+//
+// Used by the event-monitoring evaluation (paper Section 7.4, Fig. 7): the
+// ground-truth labels mark timestamps whose true statistic exceeds the event
+// threshold delta; the scores are the released (noisy) statistics. Sweeping
+// the decision threshold over the scores traces the ROC curve.
+#ifndef LDPIDS_ANALYSIS_ROC_H_
+#define LDPIDS_ANALYSIS_ROC_H_
+
+#include <vector>
+
+namespace ldpids {
+
+struct RocPoint {
+  double false_positive_rate = 0.0;
+  double true_positive_rate = 0.0;
+  double threshold = 0.0;  // classify positive when score >= threshold
+};
+
+// Full ROC curve (one point per distinct score, plus the (0,0) and (1,1)
+// endpoints), ordered by increasing FPR. Requires at least one positive and
+// one negative label; throws std::invalid_argument otherwise.
+std::vector<RocPoint> ComputeRoc(const std::vector<double>& scores,
+                                 const std::vector<bool>& labels);
+
+// Area under the ROC curve by trapezoidal integration. Equivalently the
+// Mann-Whitney probability that a random positive outscores a random
+// negative.
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<bool>& labels);
+
+// TPR at (approximately) the requested FPR, linearly interpolated along the
+// curve — handy for tabular "detection rate at 1% false alarms" reporting.
+double TprAtFpr(const std::vector<RocPoint>& curve, double fpr);
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_ANALYSIS_ROC_H_

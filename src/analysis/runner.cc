@@ -1,0 +1,71 @@
+#include "analysis/runner.h"
+
+#include <cmath>
+#include <limits>
+
+#include "analysis/event_monitor.h"
+#include "analysis/metrics.h"
+#include "analysis/roc.h"
+#include "util/rng.h"
+
+namespace ldpids {
+
+RunResult RunMechanism(const StreamDataset& data,
+                       const std::string& mechanism_name,
+                       MechanismConfig config, uint64_t repetition) {
+  // Derive an independent per-repetition seed; HashCounter keeps runs
+  // reproducible from (config.seed, repetition) alone.
+  config.seed = HashCounter(config.seed, repetition, 0xEC0);
+  std::unique_ptr<StreamMechanism> mechanism =
+      CreateMechanism(mechanism_name, config, data.num_users());
+  return mechanism->Run(data);
+}
+
+RunMetrics EvaluateMechanism(const StreamDataset& data,
+                             const std::string& mechanism_name,
+                             const MechanismConfig& config,
+                             std::size_t repetitions) {
+  const std::vector<Histogram> truth = data.TrueStream();
+  RunMetrics metrics;
+  metrics.repetitions = repetitions;
+  double auc_total = 0.0;
+  std::size_t auc_count = 0;
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    const RunResult run = RunMechanism(data, mechanism_name, config, rep);
+    metrics.mre += MeanRelativeError(truth, run.releases);
+    metrics.mae += MeanAbsoluteError(truth, run.releases);
+    metrics.mse += MeanSquaredError(truth, run.releases);
+    metrics.cfpu += run.Cfpu();
+    metrics.publication_rate += static_cast<double>(run.num_publications) /
+                                static_cast<double>(run.timestamps);
+    std::vector<double> scores;
+    std::vector<bool> labels;
+    if (PrepareEventDetection(truth, run.releases, &scores, &labels)) {
+      auc_total += RocAuc(scores, labels);
+      ++auc_count;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(repetitions);
+  metrics.mre *= inv;
+  metrics.mae *= inv;
+  metrics.mse *= inv;
+  metrics.cfpu *= inv;
+  metrics.publication_rate *= inv;
+  metrics.auc = auc_count > 0
+                    ? auc_total / static_cast<double>(auc_count)
+                    : std::numeric_limits<double>::quiet_NaN();
+  return metrics;
+}
+
+std::vector<RunMetrics> SweepMechanism(
+    const StreamDataset& data, const std::string& mechanism_name,
+    const std::vector<MechanismConfig>& configs, std::size_t repetitions) {
+  std::vector<RunMetrics> out;
+  out.reserve(configs.size());
+  for (const MechanismConfig& config : configs) {
+    out.push_back(EvaluateMechanism(data, mechanism_name, config, repetitions));
+  }
+  return out;
+}
+
+}  // namespace ldpids

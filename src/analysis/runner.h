@@ -1,0 +1,52 @@
+// Experiment orchestration: runs mechanisms over datasets with repetitions
+// and aggregates the metrics the paper reports. The bench binaries are thin
+// wrappers around these helpers.
+#ifndef LDPIDS_ANALYSIS_RUNNER_H_
+#define LDPIDS_ANALYSIS_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "core/mechanism.h"
+#include "stream/dataset.h"
+
+namespace ldpids {
+
+// Aggregated metrics of one (mechanism, dataset, config) cell, averaged
+// over repetitions with distinct mechanism seeds.
+struct RunMetrics {
+  double mre = 0.0;
+  double mae = 0.0;
+  double mse = 0.0;
+  double cfpu = 0.0;
+  double publication_rate = 0.0;  // publications / timestamps
+  double auc = 0.0;               // event-detection AUC; NaN if undefined
+  std::size_t repetitions = 0;
+};
+
+// Runs `mechanism_name` on `data` once with the given config (the config's
+// seed is combined with `repetition` so repeated calls are independent).
+RunResult RunMechanism(const StreamDataset& data,
+                       const std::string& mechanism_name,
+                       MechanismConfig config, uint64_t repetition = 0);
+
+// Runs `repetitions` independent runs and averages MRE/MAE/MSE/CFPU/AUC.
+// The true stream is computed once and shared across repetitions.
+RunMetrics EvaluateMechanism(const StreamDataset& data,
+                             const std::string& mechanism_name,
+                             const MechanismConfig& config,
+                             std::size_t repetitions = 3);
+
+// Sweeps one mechanism over several configs (e.g. varying epsilon) and
+// returns the metric per config; a convenience for figure series.
+std::vector<RunMetrics> SweepMechanism(const StreamDataset& data,
+                                       const std::string& mechanism_name,
+                                       const std::vector<MechanismConfig>&
+                                           configs,
+                                       std::size_t repetitions = 3);
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_ANALYSIS_RUNNER_H_

@@ -1,0 +1,74 @@
+#include "analysis/smoother.h"
+
+#include <stdexcept>
+
+namespace ldpids {
+
+StreamSmoother::StreamSmoother(std::size_t domain, double process_variance)
+    : q_(process_variance), p_(0.0), state_(domain, 0.0) {
+  if (domain == 0) throw std::invalid_argument("domain must be non-empty");
+  if (process_variance < 0.0) {
+    throw std::invalid_argument("process variance must be >= 0");
+  }
+}
+
+Histogram StreamSmoother::Update(const Histogram& release, bool published,
+                                 double measurement_variance) {
+  if (release.size() != state_.size()) {
+    throw std::invalid_argument("smoother domain mismatch");
+  }
+  if (!initialized_) {
+    // First measurement initializes the state exactly.
+    if (published) {
+      state_ = release;
+      p_ = measurement_variance;
+      initialized_ = true;
+    }
+    return state_;
+  }
+  // Predict.
+  p_ += q_;
+  // Correct on fresh measurements only; approximations repeat old
+  // information the filter already has.
+  if (published) {
+    if (measurement_variance < 0.0) {
+      throw std::invalid_argument("measurement variance must be >= 0");
+    }
+    const double gain = p_ / (p_ + measurement_variance);
+    for (std::size_t k = 0; k < state_.size(); ++k) {
+      state_[k] += gain * (release[k] - state_[k]);
+    }
+    p_ *= (1.0 - gain);
+  }
+  return state_;
+}
+
+std::vector<Histogram> SmoothRun(const RunResult& run,
+                                 double process_variance,
+                                 double measurement_variance) {
+  if (run.releases.empty()) return {};
+  StreamSmoother smoother(run.releases.front().size(), process_variance);
+  std::vector<Histogram> out;
+  out.reserve(run.releases.size());
+  for (std::size_t t = 0; t < run.releases.size(); ++t) {
+    out.push_back(smoother.Update(run.releases[t], run.published[t],
+                                  measurement_variance));
+  }
+  return out;
+}
+
+double EstimateProcessVariance(const std::vector<Histogram>& stream) {
+  if (stream.size() < 2) return 0.0;
+  double total = 0.0;
+  std::size_t cells = 0;
+  for (std::size_t t = 1; t < stream.size(); ++t) {
+    for (std::size_t k = 0; k < stream[t].size(); ++k) {
+      const double step = stream[t][k] - stream[t - 1][k];
+      total += step * step;
+      ++cells;
+    }
+  }
+  return total / static_cast<double>(cells);
+}
+
+}  // namespace ldpids

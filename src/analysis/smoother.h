@@ -1,0 +1,63 @@
+// FAST-style Kalman smoothing of released streams (paper Remark 3: the
+// population-division framework composes with filtering methods such as
+// FAST (Fan & Xiong, TKDE 2014); this module provides the filtering half).
+//
+// Each histogram bin is tracked by an independent scalar Kalman filter with
+// a random-walk state model:
+//
+//   predict:  x <- x,          P <- P + Q          (every timestamp)
+//   correct:  K = P / (P + R), x <- x + K (z - x), P <- (1 - K) P
+//                                                  (publication timestamps)
+//
+// Q is the per-step process variance (how fast the true stream moves) and R
+// the measurement variance of the publication — exactly the FO's V(eps, n),
+// which the mechanisms know analytically. Smoothing is pure post-processing
+// of the release sequence, so it is privacy-free.
+#ifndef LDPIDS_ANALYSIS_SMOOTHER_H_
+#define LDPIDS_ANALYSIS_SMOOTHER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/mechanism.h"
+#include "util/histogram.h"
+
+namespace ldpids {
+
+class StreamSmoother {
+ public:
+  // `domain` bins, `process_variance` = Q.
+  StreamSmoother(std::size_t domain, double process_variance);
+
+  // Advances one timestamp. If `published` is true, `release` is treated as
+  // a fresh measurement with variance `measurement_variance`; otherwise the
+  // filter only predicts (the release carries no new information). Returns
+  // the filtered histogram.
+  Histogram Update(const Histogram& release, bool published,
+                   double measurement_variance);
+
+  // Current posterior variance of one bin (same for all bins by symmetry).
+  double posterior_variance() const { return p_; }
+
+ private:
+  double q_;
+  double p_;
+  bool initialized_ = false;
+  Histogram state_;
+};
+
+// Applies a StreamSmoother across a whole run: measurement variance is
+// `measurement_variance` at every published timestamp. Returns the smoothed
+// release sequence (same length as run.releases).
+std::vector<Histogram> SmoothRun(const RunResult& run,
+                                 double process_variance,
+                                 double measurement_variance);
+
+// Estimates a reasonable process variance from the true stream (mean
+// per-bin squared step); handy for benches and tests. In deployment this is
+// a tuning knob, as in FAST.
+double EstimateProcessVariance(const std::vector<Histogram>& stream);
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_ANALYSIS_SMOOTHER_H_

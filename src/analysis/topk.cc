@@ -1,0 +1,80 @@
+#include "analysis/topk.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ldpids {
+
+std::vector<std::size_t> TopKIndices(const Histogram& h, std::size_t k) {
+  k = std::min(k, h.size());
+  std::vector<std::size_t> idx(h.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(), [&](std::size_t a, std::size_t b) {
+                      if (h[a] != h[b]) return h[a] > h[b];
+                      return a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+double TopKPrecision(const Histogram& truth, const Histogram& released,
+                     std::size_t k) {
+  if (truth.size() != released.size() || truth.empty()) {
+    throw std::invalid_argument("histogram domain mismatch");
+  }
+  k = std::min(k, truth.size());
+  if (k == 0) throw std::invalid_argument("k must be >= 1");
+  const auto true_top = TopKIndices(truth, k);
+  const auto released_top = TopKIndices(released, k);
+  std::size_t hits = 0;
+  for (std::size_t a : released_top) {
+    for (std::size_t b : true_top) {
+      if (a == b) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double StreamTopKPrecision(const std::vector<Histogram>& truth,
+                           const std::vector<Histogram>& released,
+                           std::size_t k) {
+  if (truth.size() != released.size() || truth.empty()) {
+    throw std::invalid_argument("streams must be non-empty and aligned");
+  }
+  double total = 0.0;
+  for (std::size_t t = 0; t < truth.size(); ++t) {
+    total += TopKPrecision(truth[t], released[t], k);
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+double TopKNcr(const Histogram& truth, const Histogram& released,
+               std::size_t k) {
+  if (truth.size() != released.size() || truth.empty()) {
+    throw std::invalid_argument("histogram domain mismatch");
+  }
+  k = std::min(k, truth.size());
+  if (k == 0) throw std::invalid_argument("k must be >= 1");
+  const auto true_top = TopKIndices(truth, k);
+  // Rank weight of the i-th true heavy hitter is k - i.
+  std::unordered_map<std::size_t, double> weight;
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    weight[true_top[i]] = static_cast<double>(k - i);
+    total_weight += static_cast<double>(k - i);
+  }
+  double recovered = 0.0;
+  for (std::size_t v : TopKIndices(released, k)) {
+    const auto it = weight.find(v);
+    if (it != weight.end()) recovered += it->second;
+  }
+  return recovered / total_weight;
+}
+
+}  // namespace ldpids

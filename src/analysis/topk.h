@@ -1,0 +1,37 @@
+// Top-k utilities over released histograms — heavy-hitter tracking, the
+// companion query to frequency release in the LDP literature (Qin et al.
+// CCS'16, Wang et al. TDSC'19). The server often cares less about the full
+// histogram than about *which* values currently dominate; these helpers
+// score how faithfully a released stream preserves that.
+#ifndef LDPIDS_ANALYSIS_TOPK_H_
+#define LDPIDS_ANALYSIS_TOPK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace ldpids {
+
+// Indices of the k largest bins, in decreasing-frequency order. Ties break
+// towards the smaller index for determinism. k is clamped to d.
+std::vector<std::size_t> TopKIndices(const Histogram& h, std::size_t k);
+
+// |TopK(truth) intersect TopK(released)| / k — the standard top-k accuracy.
+double TopKPrecision(const Histogram& truth, const Histogram& released,
+                     std::size_t k);
+
+// Mean top-k precision across a whole stream.
+double StreamTopKPrecision(const std::vector<Histogram>& truth,
+                           const std::vector<Histogram>& released,
+                           std::size_t k);
+
+// Normalized Cumulative Rank (NCR): weights the i-th true heavy hitter by
+// (k - i) and scores how much of the total weight the released top-k
+// recovers — 1.0 is a perfect ranked match (Wang et al., TDSC'19).
+double TopKNcr(const Histogram& truth, const Histogram& released,
+               std::size_t k);
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_ANALYSIS_TOPK_H_

@@ -1,0 +1,186 @@
+#include "cdp/baselines.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+#include "cdp/laplace.h"
+#include "core/dissimilarity.h"
+
+namespace ldpids {
+
+std::vector<Histogram> CdpStreamMechanism::Run(
+    const std::vector<Histogram>& stream) {
+  std::vector<Histogram> releases;
+  releases.reserve(stream.size());
+  for (const Histogram& c : stream) releases.push_back(Step(c));
+  return releases;
+}
+
+namespace {
+
+// Shared state/helpers for the four CDP methods.
+class CdpBase : public CdpStreamMechanism {
+ public:
+  explicit CdpBase(const CdpConfig& config)
+      : config_(config),
+        rng_(config.seed),
+        ledger_(config.epsilon, config.window) {
+    if (config.window == 0) throw std::invalid_argument("window must be >= 1");
+    if (config.num_users == 0) {
+      throw std::invalid_argument("population must be positive");
+    }
+  }
+
+ protected:
+  Histogram Publish(const Histogram& c, double epsilon) {
+    return LaplacePerturbHistogram(c, epsilon, config_.num_users,
+                                   config_.sensitivity, rng_);
+  }
+  double Variance(double epsilon) const {
+    return LaplaceVariance(epsilon, config_.num_users, config_.sensitivity);
+  }
+  void EnsureInit(const Histogram& c) {
+    if (last_release_.empty()) last_release_.assign(c.size(), 0.0);
+    if (last_release_.size() != c.size()) {
+      throw std::invalid_argument("stream domain changed mid-run");
+    }
+  }
+
+  CdpConfig config_;
+  Rng rng_;
+  BudgetLedger ledger_;
+  Histogram last_release_;
+  std::size_t t_ = 0;
+};
+
+class CdpUniform final : public CdpBase {
+ public:
+  using CdpBase::CdpBase;
+  std::string name() const override { return "CDP-Uniform"; }
+  Histogram Step(const Histogram& c) override {
+    EnsureInit(c);
+    const double eps =
+        config_.epsilon / static_cast<double>(config_.window);
+    last_release_ = Publish(c, eps);
+    ledger_.Record(0.0, eps);
+    ++t_;
+    return last_release_;
+  }
+};
+
+class CdpSampling final : public CdpBase {
+ public:
+  using CdpBase::CdpBase;
+  std::string name() const override { return "CDP-Sampling"; }
+  Histogram Step(const Histogram& c) override {
+    EnsureInit(c);
+    if (t_ % config_.window == 0) {
+      last_release_ = Publish(c, config_.epsilon);
+      ledger_.Record(0.0, config_.epsilon);
+    } else {
+      ledger_.Record(0.0, 0.0);
+    }
+    ++t_;
+    return last_release_;
+  }
+};
+
+class CdpBudgetDistribution final : public CdpBase {
+ public:
+  using CdpBase::CdpBase;
+  std::string name() const override { return "CDP-BD"; }
+  Histogram Step(const Histogram& c) override {
+    EnsureInit(c);
+    const double eps_dis =
+        config_.epsilon / (2.0 * static_cast<double>(config_.window));
+    const Histogram noisy = Publish(c, eps_dis);
+    const double dis =
+        EstimateDissimilarity(noisy, last_release_, Variance(eps_dis));
+
+    const double remaining = config_.epsilon / 2.0 -
+                             ledger_.PublicationSpentInActiveWindow();
+    const double eps_pub = std::max(0.0, remaining / 2.0);
+    double spent = 0.0;
+    if (eps_pub > 0.0 && dis > Variance(eps_pub)) {
+      last_release_ = Publish(c, eps_pub);
+      spent = eps_pub;
+    }
+    ledger_.Record(eps_dis, spent);
+    ++t_;
+    return last_release_;
+  }
+};
+
+class CdpBudgetAbsorption final : public CdpBase {
+ public:
+  using CdpBase::CdpBase;
+  std::string name() const override { return "CDP-BA"; }
+  Histogram Step(const Histogram& c) override {
+    EnsureInit(c);
+    const double unit =
+        config_.epsilon / (2.0 * static_cast<double>(config_.window));
+    const Histogram noisy = Publish(c, unit);
+    const double dis =
+        EstimateDissimilarity(noisy, last_release_, Variance(unit));
+
+    const std::int64_t t_nullified =
+        static_cast<std::int64_t>(std::llround(last_pub_epsilon_ / unit)) - 1;
+    const std::int64_t since_last =
+        static_cast<std::int64_t>(t_) - last_pub_;
+    double spent = 0.0;
+    if (since_last > t_nullified) {
+      const std::int64_t t_absorb =
+          static_cast<std::int64_t>(t_) - (last_pub_ + t_nullified);
+      const double eps_pub =
+          unit *
+          static_cast<double>(std::min<std::int64_t>(
+              t_absorb, static_cast<std::int64_t>(config_.window)));
+      if (dis > Variance(eps_pub)) {
+        last_release_ = Publish(c, eps_pub);
+        spent = eps_pub;
+        last_pub_ = static_cast<std::int64_t>(t_);
+        last_pub_epsilon_ = eps_pub;
+      }
+    }
+    ledger_.Record(unit, spent);
+    ++t_;
+    return last_release_;
+  }
+
+ private:
+  std::int64_t last_pub_ = -1;
+  double last_pub_epsilon_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<CdpStreamMechanism> MakeCdpUniform(const CdpConfig& config) {
+  return std::make_unique<CdpUniform>(config);
+}
+std::unique_ptr<CdpStreamMechanism> MakeCdpSampling(const CdpConfig& config) {
+  return std::make_unique<CdpSampling>(config);
+}
+std::unique_ptr<CdpStreamMechanism> MakeCdpBudgetDistribution(
+    const CdpConfig& config) {
+  return std::make_unique<CdpBudgetDistribution>(config);
+}
+std::unique_ptr<CdpStreamMechanism> MakeCdpBudgetAbsorption(
+    const CdpConfig& config) {
+  return std::make_unique<CdpBudgetAbsorption>(config);
+}
+
+std::unique_ptr<CdpStreamMechanism> CreateCdpMechanism(
+    const std::string& name, const CdpConfig& config) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "UNIFORM") return MakeCdpUniform(config);
+  if (upper == "SAMPLING") return MakeCdpSampling(config);
+  if (upper == "BD") return MakeCdpBudgetDistribution(config);
+  if (upper == "BA") return MakeCdpBudgetAbsorption(config);
+  throw std::invalid_argument("unknown CDP mechanism: " + name);
+}
+
+}  // namespace ldpids

@@ -1,0 +1,26 @@
+#include "cdp/laplace.h"
+
+#include <stdexcept>
+
+#include "util/distributions.h"
+
+namespace ldpids {
+
+Histogram LaplacePerturbHistogram(const Histogram& frequencies, double epsilon,
+                                  uint64_t n, double sensitivity, Rng& rng) {
+  if (!(epsilon > 0.0)) throw std::invalid_argument("epsilon must be > 0");
+  if (n == 0) throw std::invalid_argument("population must be positive");
+  const double scale = sensitivity / (static_cast<double>(n) * epsilon);
+  Histogram out(frequencies.size());
+  for (std::size_t k = 0; k < frequencies.size(); ++k) {
+    out[k] = frequencies[k] + SampleLaplace(rng, scale);
+  }
+  return out;
+}
+
+double LaplaceVariance(double epsilon, uint64_t n, double sensitivity) {
+  const double scale = sensitivity / (static_cast<double>(n) * epsilon);
+  return 2.0 * scale * scale;
+}
+
+}  // namespace ldpids

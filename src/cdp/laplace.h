@@ -1,0 +1,30 @@
+// Centralized-DP Laplace histogram release — the substrate of the paper's
+// CDP reference methods (Kellaris et al., VLDB 2014), reimplemented so the
+// ablation benches can quantify the CDP->LDP utility gap that motivates
+// LDP-IDS (Sections 1-2).
+//
+// The trusted aggregator sees the true frequency histogram c_t over N users
+// and releases c_t + Lap(s / (N * eps)) per bin, where `s` is the L1
+// sensitivity in count space (one user changing their value moves two bins
+// by 1, so s = 2 for full histograms; s = 1 for per-bin counting queries).
+#ifndef LDPIDS_CDP_LAPLACE_H_
+#define LDPIDS_CDP_LAPLACE_H_
+
+#include <cstdint>
+
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace ldpids {
+
+// Frequency-space Laplace mechanism: adds i.i.d. Lap(sensitivity/(n*eps))
+// noise to each bin of `frequencies`.
+Histogram LaplacePerturbHistogram(const Histogram& frequencies, double epsilon,
+                                  uint64_t n, double sensitivity, Rng& rng);
+
+// Per-bin variance of the above: 2 * (sensitivity / (n * eps))^2.
+double LaplaceVariance(double epsilon, uint64_t n, double sensitivity);
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_CDP_LAPLACE_H_

@@ -1,0 +1,37 @@
+#include "core/budget_ledger.h"
+
+#include <stdexcept>
+
+namespace ldpids {
+
+namespace {
+// Floating-point slack for the invariant check: budget arithmetic chains w
+// additions, so allow a relative 1e-9 margin.
+constexpr double kTolerance = 1e-9;
+}  // namespace
+
+BudgetLedger::BudgetLedger(double total_epsilon, std::size_t w)
+    : total_epsilon_(total_epsilon), dis_(w), pub_(w) {
+  if (!(total_epsilon > 0.0)) {
+    throw std::invalid_argument("total epsilon must be positive");
+  }
+}
+
+double BudgetLedger::PublicationSpentInActiveWindow() const {
+  return pub_.SumLastWMinus1();
+}
+
+void BudgetLedger::Record(double dissimilarity_epsilon,
+                          double publication_epsilon) {
+  if (dissimilarity_epsilon < 0.0 || publication_epsilon < 0.0) {
+    throw std::logic_error("negative privacy budget recorded");
+  }
+  dis_.Push(dissimilarity_epsilon);
+  pub_.Push(publication_epsilon);
+  if (WindowSpent() > total_epsilon_ * (1.0 + kTolerance)) {
+    throw std::logic_error(
+        "w-event budget invariant violated: window spend exceeds epsilon");
+  }
+}
+
+}  // namespace ldpids

@@ -1,0 +1,47 @@
+// Runtime privacy accounting for budget-division mechanisms.
+//
+// Theorem 5.1 reduces w-event LDP to: for every user and every timestamp i,
+// sum_{tau = i-w+1}^{i} eps_tau <= eps. Budget-division mechanisms make all
+// users report identically, so one ledger covers everyone. The ledger
+// records the (dissimilarity, publication) budget spent at each timestamp
+// and *throws* if any window ever exceeds the total — turning the privacy
+// proof (Theorem 5.3) into an executable assertion.
+#ifndef LDPIDS_CORE_BUDGET_LEDGER_H_
+#define LDPIDS_CORE_BUDGET_LEDGER_H_
+
+#include <cstddef>
+
+#include "stream/window.h"
+
+namespace ldpids {
+
+class BudgetLedger {
+ public:
+  // `total_epsilon` is the w-event budget; `w` the window size.
+  BudgetLedger(double total_epsilon, std::size_t w);
+
+  // Publication budget spent in the last w-1 recorded timestamps — the
+  // quantity Alg. 1 line 7 subtracts when computing the remaining budget at
+  // the *next* timestamp.
+  double PublicationSpentInActiveWindow() const;
+
+  // Records the budgets consumed at the current timestamp and checks the
+  // w-event invariant; throws std::logic_error on violation.
+  void Record(double dissimilarity_epsilon, double publication_epsilon);
+
+  double total_epsilon() const { return total_epsilon_; }
+  std::size_t timestamps() const { return pub_.pushes(); }
+
+  // Window sums over the last min(w, t) recorded timestamps.
+  double WindowSpent() const { return dis_.Sum() + pub_.Sum(); }
+  double WindowPublicationSpent() const { return pub_.Sum(); }
+
+ private:
+  double total_epsilon_;
+  SlidingWindowSum dis_;
+  SlidingWindowSum pub_;
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_CORE_BUDGET_LEDGER_H_

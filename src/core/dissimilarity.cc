@@ -1,0 +1,17 @@
+#include "core/dissimilarity.h"
+
+namespace ldpids {
+
+double EstimateDissimilarity(const Histogram& private_estimate,
+                             const Histogram& last_release,
+                             double estimate_mean_variance) {
+  return MeanSquaredDistance(private_estimate, last_release) -
+         estimate_mean_variance;
+}
+
+double TrueDissimilarity(const Histogram& true_histogram,
+                         const Histogram& last_release) {
+  return MeanSquaredDistance(true_histogram, last_release);
+}
+
+}  // namespace ldpids

@@ -1,0 +1,45 @@
+#include "core/factory.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "core/lba.h"
+#include "core/lbd.h"
+#include "core/lbu.h"
+#include "core/lpa.h"
+#include "core/lpd.h"
+#include "core/lpu.h"
+#include "core/lsp.h"
+
+namespace ldpids {
+
+std::unique_ptr<StreamMechanism> CreateMechanism(const std::string& name,
+                                                 const MechanismConfig& config,
+                                                 uint64_t num_users) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "LBU") return std::make_unique<LbuMechanism>(config, num_users);
+  if (upper == "LSP") return std::make_unique<LspMechanism>(config, num_users);
+  if (upper == "LBD") return std::make_unique<LbdMechanism>(config, num_users);
+  if (upper == "LBA") return std::make_unique<LbaMechanism>(config, num_users);
+  if (upper == "LPU") return std::make_unique<LpuMechanism>(config, num_users);
+  if (upper == "LPD") return std::make_unique<LpdMechanism>(config, num_users);
+  if (upper == "LPA") return std::make_unique<LpaMechanism>(config, num_users);
+  throw std::invalid_argument("unknown mechanism: " + name);
+}
+
+std::vector<std::string> AllMechanismNames() {
+  return {"LBU", "LSP", "LBD", "LBA", "LPU", "LPD", "LPA"};
+}
+
+std::vector<std::string> BudgetDivisionMechanismNames() {
+  return {"LBU", "LSP", "LBD", "LBA"};
+}
+
+std::vector<std::string> PopulationDivisionMechanismNames() {
+  return {"LPU", "LPD", "LPA"};
+}
+
+}  // namespace ldpids

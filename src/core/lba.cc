@@ -1,0 +1,67 @@
+#include "core/lba.h"
+
+#include <cmath>
+
+#include "core/dissimilarity.h"
+
+namespace ldpids {
+
+LbaMechanism::LbaMechanism(MechanismConfig config, uint64_t num_users)
+    : StreamMechanism(std::move(config), num_users),
+      ledger_(config_.epsilon, config_.window) {}
+
+StepResult LbaMechanism::DoStep(const StreamDataset& data, std::size_t t) {
+  const double w = static_cast<double>(config_.window);
+  const double unit = config_.epsilon / (2.0 * w);  // per-timestamp allocation
+  StepResult result;
+
+  // --- Sub-mechanism M_{t,1}: identical to LBD (Alg. 2 line 3) ---
+  const double eps_dis = unit;
+  uint64_t n_dis = 0;
+  const Histogram c_t1 = CollectViaFo(data, t, eps_dis, nullptr, &n_dis);
+  const double dis = EstimateDissimilarity(c_t1, last_release_,
+                                           MeanVariance(eps_dis, n_dis));
+  result.messages += n_dis;
+
+  // --- Sub-mechanism M_{t,2}: absorption schedule ---
+  // Timestamps nullified by the last publication (line 4).
+  const std::int64_t t_nullified =
+      static_cast<std::int64_t>(std::llround(last_publication_epsilon_ /
+                                             unit)) -
+      1;
+  const std::int64_t since_last =
+      static_cast<std::int64_t>(t) - last_publication_;
+  double eps_pub_spent = 0.0;
+  if (since_last <= t_nullified) {
+    // Nullified: pay back the absorbed budget with a forced approximation
+    // (lines 5-6).
+    result.release = last_release_;
+  } else {
+    // Absorbable allocations since the nullification ended (line 8), capped
+    // at w (line 9).
+    const std::int64_t t_absorb =
+        static_cast<std::int64_t>(t) - (last_publication_ + t_nullified);
+    const double eps_pub =
+        unit * static_cast<double>(
+                   std::min<std::int64_t>(t_absorb,
+                                          static_cast<std::int64_t>(w)));
+    const double err = MeanVariance(eps_pub, num_users_);  // line 10
+    if (dis > err) {
+      // Publication strategy (lines 12-14).
+      uint64_t n_pub = 0;
+      result.release = CollectViaFo(data, t, eps_pub, nullptr, &n_pub);
+      result.published = true;
+      result.messages += n_pub;
+      eps_pub_spent = eps_pub;
+      last_publication_ = static_cast<std::int64_t>(t);
+      last_publication_epsilon_ = eps_pub;
+    } else {
+      // Approximation strategy (line 16).
+      result.release = last_release_;
+    }
+  }
+  ledger_.Record(eps_dis, eps_pub_spent);
+  return result;
+}
+
+}  // namespace ldpids

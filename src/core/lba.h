@@ -1,0 +1,40 @@
+// LBA — LDP Budget Absorption (paper Algorithm 2).
+//
+// Adaptive budget division with uniform-then-absorb allocation. The
+// publication half of the budget is nominally eps/(2w) per timestamp; a
+// publication at timestamp l may *absorb* the unused allocations of the
+// preceding skipped timestamps (up to w of them), and must then *nullify*
+// the following t_N = eps_{l,2} / (eps/(2w)) - 1 allocations to pay the
+// loan back, during which the release is forced to approximate.
+//
+// Compared with LBD's exponential decay, absorption keeps the budget of the
+// m-th publication at Theta(eps (w+m) / (w m)) instead of eps / 2^{m+1}
+// (Section 5.4.2), so the error grows much more mildly with the number of
+// publications.
+#ifndef LDPIDS_CORE_LBA_H_
+#define LDPIDS_CORE_LBA_H_
+
+#include "core/budget_ledger.h"
+#include "core/mechanism.h"
+
+namespace ldpids {
+
+class LbaMechanism final : public StreamMechanism {
+ public:
+  LbaMechanism(MechanismConfig config, uint64_t num_users);
+
+  std::string name() const override { return "LBA"; }
+
+ protected:
+  StepResult DoStep(const StreamDataset& data, std::size_t t) override;
+
+ private:
+  BudgetLedger ledger_;
+  // Timestamp of the last publication; -1 before the first one.
+  std::int64_t last_publication_ = -1;
+  double last_publication_epsilon_ = 0.0;
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_CORE_LBA_H_

@@ -1,0 +1,49 @@
+#include "core/lbd.h"
+
+#include "core/dissimilarity.h"
+
+namespace ldpids {
+
+LbdMechanism::LbdMechanism(MechanismConfig config, uint64_t num_users)
+    : StreamMechanism(std::move(config), num_users),
+      ledger_(config_.epsilon, config_.window) {}
+
+StepResult LbdMechanism::DoStep(const StreamDataset& data, std::size_t t) {
+  const double w = static_cast<double>(config_.window);
+  StepResult result;
+
+  // --- Sub-mechanism M_{t,1}: private dissimilarity estimation ---
+  const double eps_dis = config_.epsilon / (2.0 * w);  // Alg. 1 line 3
+  uint64_t n_dis = 0;
+  const Histogram c_t1 = CollectViaFo(data, t, eps_dis, nullptr, &n_dis);
+  const double dis = EstimateDissimilarity(c_t1, last_release_,
+                                           MeanVariance(eps_dis, n_dis));
+  result.messages += n_dis;
+
+  // --- Sub-mechanism M_{t,2}: strategy determination & publication ---
+  // Remaining publication budget in the active window (line 7), then half of
+  // it provisionally assigned (line 8).
+  const double eps_remaining =
+      config_.epsilon / 2.0 - ledger_.PublicationSpentInActiveWindow();
+  const double eps_pub = std::max(0.0, eps_remaining / 2.0);
+  double eps_pub_spent = 0.0;
+  if (eps_pub > 0.0) {
+    const double err = MeanVariance(eps_pub, num_users_);  // line 9
+    if (dis > err) {
+      // Publication strategy (lines 11-13).
+      uint64_t n_pub = 0;
+      result.release = CollectViaFo(data, t, eps_pub, nullptr, &n_pub);
+      result.published = true;
+      result.messages += n_pub;
+      eps_pub_spent = eps_pub;
+    }
+  }
+  if (!result.published) {
+    // Approximation strategy (line 15): r_t = r_{t-1}, eps_{t,2} = 0.
+    result.release = last_release_;
+  }
+  ledger_.Record(eps_dis, eps_pub_spent);
+  return result;
+}
+
+}  // namespace ldpids

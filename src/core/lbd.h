@@ -1,0 +1,41 @@
+// LBD — LDP Budget Distribution (paper Algorithm 1).
+//
+// Adaptive budget division. The window budget is split eps/2 for
+// dissimilarity estimation and eps/2 for publications. At each timestamp:
+//
+//   M_{t,1}: all users report with eps/(2w); the server forms the unbiased
+//            dissimilarity estimate dis (Theorem 5.2) against r_{t-1}.
+//   M_{t,2}: half of the *remaining* publication budget in the active window
+//            is provisionally assigned (exponential decay across
+//            publications: eps/4, eps/8, ...). If dis > err — the potential
+//            publication error V(eps_{t,2}, N) — all users report again and
+//            a fresh estimate is released; otherwise the last release is
+//            republished and the provisional budget is returned.
+//
+// Budget spent at timestamps that have slid out of the window is implicitly
+// recycled, because the "remaining" computation only subtracts the last
+// w-1 timestamps.
+#ifndef LDPIDS_CORE_LBD_H_
+#define LDPIDS_CORE_LBD_H_
+
+#include "core/budget_ledger.h"
+#include "core/mechanism.h"
+
+namespace ldpids {
+
+class LbdMechanism final : public StreamMechanism {
+ public:
+  LbdMechanism(MechanismConfig config, uint64_t num_users);
+
+  std::string name() const override { return "LBD"; }
+
+ protected:
+  StepResult DoStep(const StreamDataset& data, std::size_t t) override;
+
+ private:
+  BudgetLedger ledger_;
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_CORE_LBD_H_

@@ -1,0 +1,22 @@
+#include "core/lbu.h"
+
+namespace ldpids {
+
+LbuMechanism::LbuMechanism(MechanismConfig config, uint64_t num_users)
+    : StreamMechanism(std::move(config), num_users),
+      ledger_(config_.epsilon, config_.window) {}
+
+StepResult LbuMechanism::DoStep(const StreamDataset& data, std::size_t t) {
+  const double step_epsilon =
+      config_.epsilon / static_cast<double>(config_.window);
+  StepResult result;
+  uint64_t n = 0;
+  result.release = CollectViaFo(data, t, step_epsilon, nullptr, &n);
+  result.published = true;
+  result.messages = n;
+  // All budget is "publication" budget here; LBU has no dissimilarity phase.
+  ledger_.Record(0.0, step_epsilon);
+  return result;
+}
+
+}  // namespace ldpids

@@ -1,0 +1,31 @@
+// LBU — LDP Budget Uniform method (paper Section 5.2.1).
+//
+// The naive budget-division baseline: the window budget eps is split evenly
+// over the w timestamps, and at every timestamp every user reports through
+// the FO with budget eps/w. The release is always a fresh estimate, so
+// MSE_LBU = V(eps/w, N), which blows up quickly with w because LDP variance
+// is O((e^eps - 1)^{-2}) in the per-timestamp budget.
+#ifndef LDPIDS_CORE_LBU_H_
+#define LDPIDS_CORE_LBU_H_
+
+#include "core/budget_ledger.h"
+#include "core/mechanism.h"
+
+namespace ldpids {
+
+class LbuMechanism final : public StreamMechanism {
+ public:
+  LbuMechanism(MechanismConfig config, uint64_t num_users);
+
+  std::string name() const override { return "LBU"; }
+
+ protected:
+  StepResult DoStep(const StreamDataset& data, std::size_t t) override;
+
+ private:
+  BudgetLedger ledger_;
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_CORE_LBU_H_

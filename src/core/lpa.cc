@@ -1,0 +1,70 @@
+#include "core/lpa.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/dissimilarity.h"
+
+namespace ldpids {
+
+LpaMechanism::LpaMechanism(MechanismConfig config, uint64_t num_users)
+    : StreamMechanism(std::move(config), num_users),
+      population_(num_users, config_.window) {
+  if (num_users_ < 2 * config_.window) {
+    throw std::invalid_argument("LPA needs at least 2*w users");
+  }
+}
+
+StepResult LpaMechanism::DoStep(const StreamDataset& data, std::size_t t) {
+  StepResult result;
+  const uint64_t unit =
+      num_users_ / (2 * static_cast<uint64_t>(config_.window));
+
+  // --- Sub-mechanism M_{t,1}: identical to LPD (Alg. 4 line 3) ---
+  const std::vector<uint32_t> dis_users =
+      population_.Sample(static_cast<std::size_t>(unit), rng_);
+  uint64_t n_dis = 0;
+  const Histogram c_t1 =
+      CollectViaFo(data, t, config_.epsilon, &dis_users, &n_dis);
+  const double dis = EstimateDissimilarity(
+      c_t1, last_release_, MeanVariance(config_.epsilon, n_dis));
+  result.messages += n_dis;
+
+  // --- Sub-mechanism M_{t,2}: absorption schedule over users ---
+  // Timestamps nullified by the last publication (line 4).
+  const std::int64_t t_nullified =
+      static_cast<std::int64_t>(last_publication_users_ / unit) - 1;
+  const std::int64_t since_last =
+      static_cast<std::int64_t>(t) - last_publication_;
+  if (since_last <= t_nullified) {
+    // Nullified: forced approximation (lines 5-6).
+    result.release = last_release_;
+  } else {
+    // Absorbable allocations (line 8), capped at w (line 9).
+    const std::int64_t t_absorb =
+        static_cast<std::int64_t>(t) - (last_publication_ + t_nullified);
+    const uint64_t n_pp =
+        unit * static_cast<uint64_t>(std::min<std::int64_t>(
+                   t_absorb, static_cast<std::int64_t>(config_.window)));
+    const double err = MeanVariance(config_.epsilon, n_pp);  // line 10
+    if (dis > err && n_pp > 0) {
+      // Publication strategy (lines 12-15).
+      const std::vector<uint32_t> pub_users =
+          population_.Sample(static_cast<std::size_t>(n_pp), rng_);
+      uint64_t n_pub = 0;
+      result.release =
+          CollectViaFo(data, t, config_.epsilon, &pub_users, &n_pub);
+      result.published = true;
+      result.messages += n_pub;
+      last_publication_ = static_cast<std::int64_t>(t);
+      last_publication_users_ = n_pub;
+    } else {
+      // Approximation strategy (line 17).
+      result.release = last_release_;
+    }
+  }
+  population_.EndTimestamp();
+  return result;
+}
+
+}  // namespace ldpids

@@ -1,0 +1,40 @@
+// LPA — LDP Population Absorption (paper Algorithm 4).
+//
+// The population-division analogue of LBA: publication users are nominally
+// allocated uniformly, N/(2w) per timestamp. A publication absorbs the
+// allocations of the timestamps skipped since the last publication (capped
+// at w), and then nullifies the following t_N = |U_{l,2}| / (N/(2w)) - 1
+// allocations, during which the release is forced to approximate. Because
+// every reporting user spends the full budget eps and only cohort sizes
+// vary, the error of the m-th publication scales as V(eps, (w+m)N/(4wm)) —
+// strictly better than LBA's V((w+m)eps/(4wm), N) (Section 6.3.2), and the
+// best adaptive method in the paper's evaluation.
+#ifndef LDPIDS_CORE_LPA_H_
+#define LDPIDS_CORE_LPA_H_
+
+#include <cstdint>
+
+#include "core/mechanism.h"
+#include "core/population_manager.h"
+
+namespace ldpids {
+
+class LpaMechanism final : public StreamMechanism {
+ public:
+  // Requires num_users >= 2 * window.
+  LpaMechanism(MechanismConfig config, uint64_t num_users);
+
+  std::string name() const override { return "LPA"; }
+
+ protected:
+  StepResult DoStep(const StreamDataset& data, std::size_t t) override;
+
+ private:
+  PopulationManager population_;
+  std::int64_t last_publication_ = -1;
+  uint64_t last_publication_users_ = 0;
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_CORE_LPA_H_

@@ -1,0 +1,67 @@
+#include "core/lpd.h"
+
+#include <stdexcept>
+
+#include "core/dissimilarity.h"
+
+namespace ldpids {
+
+LpdMechanism::LpdMechanism(MechanismConfig config, uint64_t num_users)
+    : StreamMechanism(std::move(config), num_users),
+      population_(num_users, config_.window),
+      publication_users_(config_.window) {
+  if (num_users_ < 2 * config_.window) {
+    throw std::invalid_argument("LPD needs at least 2*w users");
+  }
+}
+
+StepResult LpdMechanism::DoStep(const StreamDataset& data, std::size_t t) {
+  StepResult result;
+
+  // --- Sub-mechanism M_{t,1}: dissimilarity users (Alg. 3 lines 3-6) ---
+  const std::size_t dis_group_size =
+      static_cast<std::size_t>(num_users_ / (2 * config_.window));
+  const std::vector<uint32_t> dis_users =
+      population_.Sample(dis_group_size, rng_);
+  uint64_t n_dis = 0;
+  const Histogram c_t1 =
+      CollectViaFo(data, t, config_.epsilon, &dis_users, &n_dis);
+  const double dis = EstimateDissimilarity(
+      c_t1, last_release_, MeanVariance(config_.epsilon, n_dis));
+  result.messages += n_dis;
+
+  // --- Sub-mechanism M_{t,2}: publication-user allocation (lines 7-17) ---
+  // Publication users still available in the active window (line 7), half of
+  // them provisionally assigned (line 8).
+  const double remaining = static_cast<double>(num_users_) / 2.0 -
+                           publication_users_.SumLastWMinus1();
+  const uint64_t n_pp =
+      remaining > 0.0 ? static_cast<uint64_t>(remaining / 2.0) : 0;
+  uint64_t pub_users_spent = 0;
+  if (n_pp >= config_.min_publication_users && n_pp > 0) {
+    const double err = MeanVariance(config_.epsilon, n_pp);  // line 9
+    if (dis > err) {
+      // Publication strategy (lines 11-14).
+      const std::vector<uint32_t> pub_users =
+          population_.Sample(static_cast<std::size_t>(n_pp), rng_);
+      if (!pub_users.empty()) {
+        uint64_t n_pub = 0;
+        result.release =
+            CollectViaFo(data, t, config_.epsilon, &pub_users, &n_pub);
+        result.published = true;
+        result.messages += n_pub;
+        pub_users_spent = n_pub;
+      }
+    }
+  }
+  if (!result.published) {
+    // Approximation strategy (line 16).
+    result.release = last_release_;
+  }
+  publication_users_.Push(static_cast<double>(pub_users_spent));
+  // Recycling users that fall out of the next window (lines 18-20).
+  population_.EndTimestamp();
+  return result;
+}
+
+}  // namespace ldpids

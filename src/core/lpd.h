@@ -1,0 +1,46 @@
+// LPD — LDP Population Distribution (paper Algorithm 3).
+//
+// The population-division analogue of LBD: the population is split into
+// N/2 dissimilarity users (spread uniformly, N/(2w) per timestamp, each
+// reporting once per window with the full budget eps) and N/2 publication
+// users, which are assigned to publication timestamps in an exponentially
+// decreasing fashion — each publication takes half of the publication users
+// still available in the active window.
+//
+// The strategy choice compares the unbiased dissimilarity estimate dis with
+// the potential publication error err = V(eps, N_pp); because the budget
+// stays fixed at eps and only the cohort size shrinks, err grows only as
+// O(1/N_pp) where LBD's grows as O((e^{eps_t2} - 1)^{-2}) — the core insight
+// of the paper (Section 6.1). A publication is suppressed when fewer than
+// `min_publication_users` would participate (Alg. 3 line 10's u_min guard).
+//
+// Used users are recycled once their timestamp leaves the sliding window,
+// so the mechanism runs on truly infinite streams.
+#ifndef LDPIDS_CORE_LPD_H_
+#define LDPIDS_CORE_LPD_H_
+
+#include "core/mechanism.h"
+#include "core/population_manager.h"
+#include "stream/window.h"
+
+namespace ldpids {
+
+class LpdMechanism final : public StreamMechanism {
+ public:
+  // Requires num_users >= 2 * window so each timestamp gets at least one
+  // dissimilarity user.
+  LpdMechanism(MechanismConfig config, uint64_t num_users);
+
+  std::string name() const override { return "LPD"; }
+
+ protected:
+  StepResult DoStep(const StreamDataset& data, std::size_t t) override;
+
+ private:
+  PopulationManager population_;
+  SlidingWindowSum publication_users_;  // |U_{i,2}| over the window
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_CORE_LPD_H_

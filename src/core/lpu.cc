@@ -1,0 +1,29 @@
+#include "core/lpu.h"
+
+#include <stdexcept>
+
+namespace ldpids {
+
+LpuMechanism::LpuMechanism(MechanismConfig config, uint64_t num_users)
+    : StreamMechanism(std::move(config), num_users),
+      population_(num_users, config_.window) {
+  if (num_users_ < config_.window) {
+    throw std::invalid_argument("LPU needs at least w users");
+  }
+}
+
+StepResult LpuMechanism::DoStep(const StreamDataset& data, std::size_t t) {
+  const std::size_t group_size =
+      static_cast<std::size_t>(num_users_ / config_.window);
+  const std::vector<uint32_t> group = population_.Sample(group_size, rng_);
+
+  StepResult result;
+  uint64_t n = 0;
+  result.release = CollectViaFo(data, t, config_.epsilon, &group, &n);
+  result.published = true;
+  result.messages = n;
+  population_.EndTimestamp();
+  return result;
+}
+
+}  // namespace ldpids

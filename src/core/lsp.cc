@@ -1,0 +1,28 @@
+#include "core/lsp.h"
+
+namespace ldpids {
+
+LspMechanism::LspMechanism(MechanismConfig config, uint64_t num_users)
+    : StreamMechanism(std::move(config), num_users),
+      ledger_(config_.epsilon, config_.window) {}
+
+StepResult LspMechanism::DoStep(const StreamDataset& data, std::size_t t) {
+  StepResult result;
+  if (t % config_.window == 0) {
+    // Sampling timestamp: everyone reports with the full budget.
+    uint64_t n = 0;
+    result.release = CollectViaFo(data, t, config_.epsilon, nullptr, &n);
+    result.published = true;
+    result.messages = n;
+    ledger_.Record(0.0, config_.epsilon);
+  } else {
+    // Approximation: re-release r_{t-1}; nobody reports.
+    result.release = last_release_;
+    result.published = false;
+    result.messages = 0;
+    ledger_.Record(0.0, 0.0);
+  }
+  return result;
+}
+
+}  // namespace ldpids

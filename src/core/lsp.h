@@ -1,0 +1,35 @@
+// LSP — LDP Sampling method (paper Sections 5.2.2 and 6.1).
+//
+// Each user invests the entire budget eps at a single sampling timestamp per
+// window (every w-th timestamp); the other w-1 releases approximate the last
+// publication. Equivalently — the population-division reading the paper
+// gives in Section 6.1 — one group holds the whole population and reports
+// once per window. MSE is V(eps, N) at sampling timestamps plus the
+// data-dependent drift (c_t - c_l)^2 at the skipped ones: excellent on
+// near-static streams, poor on fluctuating ones, and consistently bad for
+// real-time event detection (Fig. 7) because changes between sampling
+// points are invisible.
+#ifndef LDPIDS_CORE_LSP_H_
+#define LDPIDS_CORE_LSP_H_
+
+#include "core/budget_ledger.h"
+#include "core/mechanism.h"
+
+namespace ldpids {
+
+class LspMechanism final : public StreamMechanism {
+ public:
+  LspMechanism(MechanismConfig config, uint64_t num_users);
+
+  std::string name() const override { return "LSP"; }
+
+ protected:
+  StepResult DoStep(const StreamDataset& data, std::size_t t) override;
+
+ private:
+  BudgetLedger ledger_;
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_CORE_LSP_H_

@@ -1,0 +1,96 @@
+#include "core/mechanism.h"
+
+#include <stdexcept>
+
+namespace ldpids {
+
+double RunResult::Cfpu() const {
+  if (num_users == 0 || timestamps == 0) return 0.0;
+  return static_cast<double>(total_messages) /
+         (static_cast<double>(num_users) * static_cast<double>(timestamps));
+}
+
+StreamMechanism::StreamMechanism(MechanismConfig config, uint64_t num_users)
+    : config_(std::move(config)),
+      fo_(GetFrequencyOracle(config_.fo)),
+      num_users_(num_users),
+      rng_(config_.seed) {
+  if (!(config_.epsilon > 0.0)) {
+    throw std::invalid_argument("epsilon must be positive");
+  }
+  if (config_.window == 0) {
+    throw std::invalid_argument("window size w must be >= 1");
+  }
+  if (num_users_ == 0) {
+    throw std::invalid_argument("population must be non-empty");
+  }
+}
+
+StepResult StreamMechanism::Step(const StreamDataset& data, std::size_t t) {
+  if (t != next_t_) {
+    throw std::logic_error("mechanism timestamps must be sequential");
+  }
+  if (data.num_users() != num_users_) {
+    throw std::invalid_argument("dataset population mismatch");
+  }
+  if (domain_ == 0) {
+    domain_ = data.domain();
+    last_release_.assign(domain_, 0.0);  // r_0 = <0, ..., 0> (Alg. 1 line 1)
+  } else if (domain_ != data.domain()) {
+    throw std::invalid_argument("dataset domain changed mid-stream");
+  }
+  StepResult result = DoStep(data, t);
+  if (config_.post_process != PostProcess::kNone && result.published) {
+    result.release = ApplyPostProcess(result.release, config_.post_process);
+  }
+  last_release_ = result.release;
+  ++next_t_;
+  return result;
+}
+
+RunResult StreamMechanism::Run(const StreamDataset& data,
+                               std::size_t max_timestamps) {
+  const std::size_t steps = std::min(data.length(), max_timestamps);
+  RunResult run;
+  run.num_users = data.num_users();
+  run.timestamps = steps;
+  run.releases.reserve(steps);
+  run.published.reserve(steps);
+  for (std::size_t t = 0; t < steps; ++t) {
+    StepResult step = Step(data, t);
+    run.total_messages += step.messages;
+    run.num_publications += step.published ? 1 : 0;
+    run.published.push_back(step.published);
+    run.releases.push_back(std::move(step.release));
+  }
+  return run;
+}
+
+Histogram StreamMechanism::CollectViaFo(const StreamDataset& data,
+                                        std::size_t t, double epsilon,
+                                        const std::vector<uint32_t>* subset,
+                                        uint64_t* n_out) {
+  FoParams params{epsilon, domain_};
+  std::unique_ptr<FoSketch> sketch = fo_.CreateSketch(params);
+  if (config_.per_user_simulation) {
+    if (subset == nullptr) {
+      for (uint64_t u = 0; u < num_users_; ++u) {
+        sketch->AddUser(data.value(u, t), rng_);
+      }
+    } else {
+      for (uint32_t u : *subset) sketch->AddUser(data.value(u, t), rng_);
+    }
+  } else {
+    const Counts counts =
+        subset == nullptr ? data.TrueCounts(t) : data.SubsetCounts(*subset, t);
+    sketch->AddCohort(counts, rng_);
+  }
+  if (n_out != nullptr) *n_out = sketch->num_users();
+  return sketch->Estimate();
+}
+
+double StreamMechanism::MeanVariance(double epsilon, uint64_t n) const {
+  return fo_.MeanVariance(epsilon, n, domain_);
+}
+
+}  // namespace ldpids

@@ -1,0 +1,129 @@
+// Stream-mechanism interface for w-event LDP release (paper Sections 4-6).
+//
+// A `StreamMechanism` processes one timestamp at a time: given the ground
+// truth at time t (through a `StreamDataset`, which stands in for the
+// distributed users), it simulates the users' LDP reports and produces the
+// server-side release r_t. Every mechanism guarantees w-event epsilon-LDP:
+//
+//   * budget-division mechanisms (LBU, LSP, LBD, LBA) make each user report
+//     at every timestamp but with per-timestamp budgets summing to <= eps in
+//     any window of w timestamps (Theorem 5.1);
+//   * population-division mechanisms (LPU, LPD, LPA) let each user report at
+//     most once per window, with the full budget eps (Theorem 6.2).
+//
+// Both invariants are enforced at runtime by `BudgetLedger` and
+// `PopulationManager` respectively — a buggy mechanism throws instead of
+// silently over-spending privacy.
+#ifndef LDPIDS_CORE_MECHANISM_H_
+#define LDPIDS_CORE_MECHANISM_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/postprocess.h"
+#include "fo/frequency_oracle.h"
+#include "stream/dataset.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace ldpids {
+
+// Configuration shared by all mechanisms.
+struct MechanismConfig {
+  double epsilon = 1.0;    // total w-event LDP budget
+  std::size_t window = 20;  // w
+  std::string fo = "GRR";  // frequency oracle name (GRR | OUE | OLH)
+  uint64_t seed = 7;       // mechanism RNG seed
+
+  // LPD's minimal publication-cohort size u_min (Alg. 3 line 10). With the
+  // exponential population decay, N_pp can shrink below any useful size;
+  // publications are suppressed once it does.
+  uint64_t min_publication_users = 1;
+
+  // When true, users are simulated individually through the full client
+  // protocol (FoSketch::AddUser). When false (default), the server-side
+  // aggregate is drawn from its exact per-bin distribution in O(d) per round
+  // (FoSketch::AddCohort) — see DESIGN.md §3.
+  bool per_user_simulation = false;
+
+  // Consistency post-processing applied to every release (privacy-free by
+  // the post-processing theorem); see analysis/postprocess.h. The processed
+  // release is also what the adaptive mechanisms compare against in the
+  // next dissimilarity estimate.
+  PostProcess post_process = PostProcess::kNone;
+};
+
+// Output of one timestamp.
+struct StepResult {
+  Histogram release;        // r_t
+  bool published = false;   // fresh publication (vs approximation)
+  uint64_t messages = 0;    // user->server reports sent at this timestamp
+};
+
+// Output of a whole run.
+struct RunResult {
+  std::vector<Histogram> releases;
+  std::vector<bool> published;
+  uint64_t total_messages = 0;
+  uint64_t num_publications = 0;
+  uint64_t num_users = 0;
+  std::size_t timestamps = 0;
+
+  // Communication frequency per user per timestamp (paper Section 5.4.3):
+  // average number of reports each user sends per timestamp.
+  double Cfpu() const;
+};
+
+class StreamMechanism {
+ public:
+  virtual ~StreamMechanism() = default;
+
+  virtual std::string name() const = 0;
+
+  // Processes the next timestamp. Must be called with t = 0, 1, 2, ... in
+  // order (throws std::logic_error otherwise). `data.num_users()` must match
+  // the population the mechanism was created for.
+  StepResult Step(const StreamDataset& data, std::size_t t);
+
+  // Runs over `data` from t = 0 to min(length, max_timestamps) - 1.
+  RunResult Run(const StreamDataset& data,
+                std::size_t max_timestamps =
+                    std::numeric_limits<std::size_t>::max());
+
+  const MechanismConfig& config() const { return config_; }
+  uint64_t num_users() const { return num_users_; }
+  const Histogram& last_release() const { return last_release_; }
+
+ protected:
+  StreamMechanism(MechanismConfig config, uint64_t num_users);
+
+  // Mechanism-specific logic for one timestamp.
+  virtual StepResult DoStep(const StreamDataset& data, std::size_t t) = 0;
+
+  // Runs one FO collection round with budget `epsilon` at timestamp `t`.
+  // If `subset` is null the whole population reports (budget division);
+  // otherwise only the listed users do (population division). Returns the
+  // unbiased estimate and stores the number of reporters in `n_out`.
+  Histogram CollectViaFo(const StreamDataset& data, std::size_t t,
+                         double epsilon, const std::vector<uint32_t>* subset,
+                         uint64_t* n_out);
+
+  // The paper's V(eps, n): FO mean per-bin variance for the configured
+  // domain size. `domain_` is latched on the first Step.
+  double MeanVariance(double epsilon, uint64_t n) const;
+
+  const MechanismConfig config_;
+  const FrequencyOracle& fo_;
+  const uint64_t num_users_;
+  Rng rng_;
+  Histogram last_release_;   // r_{t-1}; zeros before the first release
+  std::size_t next_t_ = 0;
+  std::size_t domain_ = 0;   // latched from the dataset on first Step
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_CORE_MECHANISM_H_

@@ -1,0 +1,48 @@
+#include "core/population_manager.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/sampling.h"
+
+namespace ldpids {
+
+PopulationManager::PopulationManager(uint64_t num_users, std::size_t w)
+    : num_users_(num_users), window_(w) {
+  if (num_users == 0) throw std::invalid_argument("empty population");
+  if (w == 0) throw std::invalid_argument("window size must be >= 1");
+  pool_.resize(num_users);
+  std::iota(pool_.begin(), pool_.end(), 0u);
+  used_.emplace_front();  // bucket for timestamp 0
+  last_participation_.assign(num_users, -1);
+}
+
+std::vector<uint32_t> PopulationManager::Sample(std::size_t count, Rng& rng) {
+  std::vector<uint32_t> picked = SampleFromPool(rng, &pool_, count);
+  for (uint32_t u : picked) {
+    const int64_t last = last_participation_[u];
+    if (last >= 0 &&
+        static_cast<int64_t>(t_) - last < static_cast<int64_t>(window_)) {
+      throw std::logic_error(
+          "w-event participation invariant violated: user sampled twice "
+          "within a window");
+    }
+    last_participation_[u] = static_cast<int64_t>(t_);
+    used_.front().push_back(u);
+  }
+  return picked;
+}
+
+void PopulationManager::EndTimestamp() {
+  // Users taken at timestamp t - w + 1 fall outside the *next* active
+  // window [t - w + 2, t + 1], so they become available again.
+  if (used_.size() >= window_) {
+    std::vector<uint32_t> recycled = std::move(used_.back());
+    used_.pop_back();
+    pool_.insert(pool_.end(), recycled.begin(), recycled.end());
+  }
+  used_.emplace_front();
+  ++t_;
+}
+
+}  // namespace ldpids

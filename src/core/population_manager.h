@@ -1,0 +1,59 @@
+// User-pool management for population-division mechanisms (Algs. 3 and 4).
+//
+// Responsibilities:
+//   * keep the available user set U_A as an index pool with O(m) uniform
+//     subset sampling (partial Fisher-Yates);
+//   * remember which users were taken at each timestamp so they can be
+//     recycled once that timestamp falls out of the sliding window
+//     ("Recycling Users", Alg. 3 lines 18-20);
+//   * enforce the w-event LDP invariant of Theorem 6.2 — no user
+//     participates twice within any window of w timestamps — by tracking
+//     each user's last participation time and throwing on violation.
+#ifndef LDPIDS_CORE_POPULATION_MANAGER_H_
+#define LDPIDS_CORE_POPULATION_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ldpids {
+
+class PopulationManager {
+ public:
+  // `num_users` users indexed 0..N-1, window size `w`. The manager uses the
+  // caller's RNG so mechanism runs stay reproducible from one seed.
+  PopulationManager(uint64_t num_users, std::size_t w);
+
+  // Draws `count` users uniformly without replacement from the available
+  // pool (clamped to the pool size) and marks them used at the current
+  // timestamp. May be called several times per timestamp (dissimilarity
+  // users, then publication users).
+  std::vector<uint32_t> Sample(std::size_t count, Rng& rng);
+
+  // Closes the current timestamp: users sampled w timestamps ago return to
+  // the pool. Must be called exactly once per timestamp, after all Sample()
+  // calls for that timestamp.
+  void EndTimestamp();
+
+  uint64_t num_users() const { return num_users_; }
+  std::size_t window() const { return window_; }
+  std::size_t available() const { return pool_.size(); }
+  std::size_t current_timestamp() const { return t_; }
+
+ private:
+  uint64_t num_users_;
+  std::size_t window_;
+  std::size_t t_ = 0;
+  std::vector<uint32_t> pool_;
+  // used_[age] holds the users taken at timestamp t_ - age... front is the
+  // current timestamp; once the deque grows past w the back is recycled.
+  std::deque<std::vector<uint32_t>> used_;
+  // Last timestamp each user reported at (-1 if never); the privacy ledger.
+  std::vector<int64_t> last_participation_;
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_CORE_POPULATION_MANAGER_H_

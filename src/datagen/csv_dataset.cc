@@ -1,0 +1,66 @@
+#include "datagen/csv_dataset.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ldpids {
+
+InMemoryDataset::InMemoryDataset(std::string name,
+                                 std::vector<std::vector<uint16_t>> values,
+                                 std::size_t domain)
+    : name_(std::move(name)), values_(std::move(values)), domain_(domain) {
+  if (values_.empty()) throw std::invalid_argument("dataset has no users");
+  length_ = values_.front().size();
+  if (length_ == 0) throw std::invalid_argument("dataset has no timestamps");
+  if (domain_ < 2) throw std::invalid_argument("domain must have >= 2 values");
+  for (const auto& row : values_) {
+    if (row.size() != length_) {
+      throw std::invalid_argument("ragged dataset rows");
+    }
+    for (uint16_t v : row) {
+      if (v >= domain_) throw std::invalid_argument("value outside domain");
+    }
+  }
+}
+
+uint32_t InMemoryDataset::value(uint64_t user, std::size_t t) const {
+  return values_[user][t];
+}
+
+std::shared_ptr<InMemoryDataset> LoadCsvDataset(const std::string& path,
+                                                std::size_t domain,
+                                                std::string name) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open dataset file: " + path);
+  std::vector<std::vector<uint16_t>> values;
+  std::string line;
+  uint16_t max_value = 0;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<uint16_t> row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      try {
+        const long v = std::stol(cell);
+        if (v < 0 || v > 65535) throw std::out_of_range("range");
+        row.push_back(static_cast<uint16_t>(v));
+        max_value = std::max(max_value, row.back());
+      } catch (const std::exception&) {
+        std::ostringstream msg;
+        msg << path << ":" << line_no << ": bad cell '" << cell << "'";
+        throw std::runtime_error(msg.str());
+      }
+    }
+    values.push_back(std::move(row));
+  }
+  if (domain == 0) domain = static_cast<std::size_t>(max_value) + 1;
+  return std::make_shared<InMemoryDataset>(std::move(name), std::move(values),
+                                           std::max<std::size_t>(domain, 2));
+}
+
+}  // namespace ldpids

@@ -1,0 +1,53 @@
+// Loader for externally supplied stream datasets.
+//
+// When you have the genuine Taxi / Foursquare / Taobao data (or any other
+// user-value stream), export it as a dense CSV where row u holds the T
+// comma-separated integer values of user u:
+//
+//     3,3,2,0,...,1
+//     0,1,1,1,...,4
+//
+// and load it with `LoadCsvDataset`. The whole matrix is held in memory
+// (uint16 per cell), so this is intended for datasets up to a few hundred
+// million cells.
+#ifndef LDPIDS_DATAGEN_CSV_DATASET_H_
+#define LDPIDS_DATAGEN_CSV_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/dataset.h"
+
+namespace ldpids {
+
+// In-memory dense dataset; also handy for crafting exact fixtures in tests.
+class InMemoryDataset final : public StreamDataset {
+ public:
+  // `values[u]` is user u's stream; all rows must have equal length, and
+  // every value must be < `domain`.
+  InMemoryDataset(std::string name, std::vector<std::vector<uint16_t>> values,
+                  std::size_t domain);
+
+  std::string name() const override { return name_; }
+  uint64_t num_users() const override { return values_.size(); }
+  std::size_t length() const override { return length_; }
+  std::size_t domain() const override { return domain_; }
+  uint32_t value(uint64_t user, std::size_t t) const override;
+
+ private:
+  std::string name_;
+  std::vector<std::vector<uint16_t>> values_;
+  std::size_t length_;
+  std::size_t domain_;
+};
+
+// Parses the CSV format described above. `domain` of 0 means "infer as
+// max value + 1". Throws std::runtime_error on I/O or format errors.
+std::shared_ptr<InMemoryDataset> LoadCsvDataset(const std::string& path,
+                                                std::size_t domain = 0,
+                                                std::string name = "csv");
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_DATAGEN_CSV_DATASET_H_

@@ -1,0 +1,86 @@
+#include "datagen/probability_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace ldpids {
+
+double ReflectIntoUnit(double p) {
+  // Mirror at both boundaries until inside; at most a few iterations for any
+  // realistic input.
+  while (p < kMinProb || p > kMaxProb) {
+    if (p < kMinProb) p = 2.0 * kMinProb - p;
+    if (p > kMaxProb) p = 2.0 * kMaxProb - p;
+  }
+  return p;
+}
+
+std::vector<double> GenerateLnsSequence(std::size_t length, double p0,
+                                        double sqrt_q, uint64_t seed) {
+  if (sqrt_q < 0.0) throw std::invalid_argument("sqrt_q must be >= 0");
+  Rng rng(seed);
+  std::vector<double> seq(length);
+  double p = ReflectIntoUnit(p0);
+  for (std::size_t t = 0; t < length; ++t) {
+    p = ReflectIntoUnit(p + SampleGaussian(rng, 0.0, sqrt_q));
+    seq[t] = p;
+  }
+  return seq;
+}
+
+std::vector<double> GenerateSinSequence(std::size_t length, double amplitude,
+                                        double b, double offset) {
+  std::vector<double> seq(length);
+  for (std::size_t t = 0; t < length; ++t) {
+    seq[t] = ReflectIntoUnit(
+        amplitude * std::sin(b * static_cast<double>(t)) + offset);
+  }
+  return seq;
+}
+
+std::vector<double> GenerateLogSequence(std::size_t length, double amplitude,
+                                        double b) {
+  std::vector<double> seq(length);
+  for (std::size_t t = 0; t < length; ++t) {
+    seq[t] = ReflectIntoUnit(amplitude /
+                             (1.0 + std::exp(-b * static_cast<double>(t))));
+  }
+  return seq;
+}
+
+std::vector<double> GenerateStepSequence(std::size_t length, double low,
+                                         double high, std::size_t segment) {
+  if (segment == 0) throw std::invalid_argument("segment must be >= 1");
+  std::vector<double> seq(length);
+  for (std::size_t t = 0; t < length; ++t) {
+    seq[t] = ReflectIntoUnit((t / segment) % 2 == 0 ? low : high);
+  }
+  return seq;
+}
+
+std::vector<double> GenerateSpikeSequence(std::size_t length, double base,
+                                          double peak,
+                                          std::size_t burst_length,
+                                          double burst_rate, uint64_t seed) {
+  if (burst_length == 0) {
+    throw std::invalid_argument("burst length must be >= 1");
+  }
+  Rng rng(seed);
+  std::vector<double> seq(length, ReflectIntoUnit(base));
+  std::size_t remaining_burst = 0;
+  for (std::size_t t = 0; t < length; ++t) {
+    if (remaining_burst == 0 && rng.Bernoulli(burst_rate)) {
+      remaining_burst = burst_length;
+    }
+    if (remaining_burst > 0) {
+      seq[t] = ReflectIntoUnit(peak);
+      --remaining_burst;
+    }
+  }
+  return seq;
+}
+
+}  // namespace ldpids

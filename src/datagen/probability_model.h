@@ -1,0 +1,76 @@
+// Probability-process models for synthetic streams (paper Section 7.1.1).
+//
+// A binary synthetic dataset is driven by a probability sequence
+// (p_1, ..., p_T): at timestamp t a fraction p_t of users hold value 1.
+// The paper uses three generators:
+//
+//   * LNS — linear noisy series p_t = p_{t-1} + N(0, Q), p_0 = 0.05,
+//     sqrt(Q) = 0.0025 (a Gaussian random walk; Q controls fluctuation);
+//   * Sin — p_t = A sin(b t) + h with A = 0.05, b = 0.01, h = 0.075;
+//   * Log — p_t = A / (1 + e^{-b t}) with A = 0.25, b = 0.01.
+//
+// All sequences are reflected into [kMinProb, kMaxProb] so the walk cannot
+// leave the valid probability range on long horizons.
+#ifndef LDPIDS_DATAGEN_PROBABILITY_MODEL_H_
+#define LDPIDS_DATAGEN_PROBABILITY_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ldpids {
+
+inline constexpr double kMinProb = 0.001;
+inline constexpr double kMaxProb = 0.999;
+
+// Reflects `p` into [kMinProb, kMaxProb] (mirror boundaries).
+double ReflectIntoUnit(double p);
+
+// Gaussian random walk, the paper's LNS model. `sqrt_q` is the per-step
+// standard deviation (paper default 0.0025).
+std::vector<double> GenerateLnsSequence(std::size_t length, double p0,
+                                        double sqrt_q, uint64_t seed);
+
+// Sine series p_t = amplitude * sin(b * t) + offset (paper's Sin model).
+// Larger `b` means faster oscillation, i.e. larger fluctuation.
+std::vector<double> GenerateSinSequence(std::size_t length, double amplitude,
+                                        double b, double offset);
+
+// Logistic series p_t = amplitude / (1 + e^{-b t}) (paper's Log model) —
+// a smooth, nearly-monotone ramp; the "few changes" regime.
+std::vector<double> GenerateLogSequence(std::size_t length, double amplitude,
+                                        double b);
+
+// Piecewise-constant series alternating between `low` and `high` every
+// `segment` timestamps — the worst case for sampling-based methods (LSP)
+// and the workload where adaptivity pays most.
+std::vector<double> GenerateStepSequence(std::size_t length, double low,
+                                         double high, std::size_t segment);
+
+// Baseline `base` with short bursts to `peak`: each timestamp starts a
+// burst of `burst_length` steps with probability `burst_rate`. This is the
+// event-monitoring workload (Fig. 7's regime, where stale releases miss
+// events).
+std::vector<double> GenerateSpikeSequence(std::size_t length, double base,
+                                          double peak,
+                                          std::size_t burst_length,
+                                          double burst_rate, uint64_t seed);
+
+// Paper defaults, exposed for the bench harness.
+struct LnsDefaults {
+  static constexpr double kP0 = 0.05;
+  static constexpr double kSqrtQ = 0.0025;
+};
+struct SinDefaults {
+  static constexpr double kAmplitude = 0.05;
+  static constexpr double kB = 0.01;
+  static constexpr double kOffset = 0.075;
+};
+struct LogDefaults {
+  static constexpr double kAmplitude = 0.25;
+  static constexpr double kB = 0.01;
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_DATAGEN_PROBABILITY_MODEL_H_

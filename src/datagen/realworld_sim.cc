@@ -1,0 +1,126 @@
+#include "datagen/realworld_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace ldpids {
+
+namespace {
+
+uint64_t ScaleCount(uint64_t value, double scale) {
+  const double scaled = static_cast<double>(value) * std::min(scale, 1.0);
+  return std::max<uint64_t>(1, static_cast<uint64_t>(scaled));
+}
+
+std::size_t ScaleLength(std::size_t value, double scale) {
+  const double scaled = static_cast<double>(value) * std::min(scale, 1.0);
+  return std::max<std::size_t>(4, static_cast<std::size_t>(scaled));
+}
+
+}  // namespace
+
+std::shared_ptr<DistributionSequenceDataset> MakeDriftingZipfDataset(
+    std::string name, uint64_t num_users, std::size_t length,
+    std::size_t domain, std::size_t timestamps_per_day,
+    const RealWorldSimOptions& options) {
+  Rng rng(options.seed ^ Mix64(domain * 1315423911ULL + length));
+
+  // Base log-weights from a Zipf marginal, randomly permuted so the heavy
+  // values are not always the low indices.
+  std::vector<double> base_logit(domain);
+  {
+    const std::vector<double> zipf = ZipfWeights(domain, options.zipf_exponent);
+    std::vector<std::size_t> perm(domain);
+    for (std::size_t k = 0; k < domain; ++k) perm[k] = k;
+    for (std::size_t k = domain; k > 1; --k) {
+      std::swap(perm[k - 1], perm[rng.UniformInt(k)]);
+    }
+    for (std::size_t k = 0; k < domain; ++k) {
+      base_logit[k] = std::log(zipf[perm[k]]);
+    }
+  }
+
+  // Per-value phase for the diurnal cycle.
+  std::vector<double> phase(domain);
+  for (double& ph : phase) ph = rng.NextDouble() * 2.0 * M_PI;
+
+  std::vector<double> walk(domain, 0.0);        // slow random-walk drift
+  std::vector<double> spike(domain, 0.0);       // decaying burst boosts
+  std::vector<Histogram> distributions;
+  distributions.reserve(length);
+
+  const double two_pi = 2.0 * M_PI;
+  for (std::size_t t = 0; t < length; ++t) {
+    // Advance drift and decay running spikes.
+    for (std::size_t k = 0; k < domain; ++k) {
+      walk[k] += SampleGaussian(rng, 0.0, options.drift_stddev);
+      // Keep the walk bounded so no value drifts away forever
+      // (Ornstein-Uhlenbeck style pull towards 0).
+      walk[k] *= 0.995;
+      spike[k] *= 0.9;
+    }
+    // Occasionally a random value bursts (news event, traffic jam, flash
+    // sale). Bursts decay geometrically over ~20 timestamps.
+    if (rng.Bernoulli(options.spike_probability)) {
+      spike[rng.UniformInt(domain)] += options.spike_magnitude;
+    }
+
+    Histogram pi(domain);
+    double total = 0.0;
+    const double day_pos =
+        timestamps_per_day > 0
+            ? two_pi * static_cast<double>(t % timestamps_per_day) /
+                  static_cast<double>(timestamps_per_day)
+            : 0.0;
+    for (std::size_t k = 0; k < domain; ++k) {
+      double logit = base_logit[k] + walk[k] + spike[k];
+      if (timestamps_per_day > 0) {
+        logit += options.daily_amplitude * std::sin(day_pos + phase[k]);
+      }
+      pi[k] = std::exp(logit);
+      total += pi[k];
+    }
+    for (double& p : pi) p /= total;
+    distributions.push_back(std::move(pi));
+  }
+
+  return std::make_shared<DistributionSequenceDataset>(
+      std::move(name), num_users, std::move(distributions),
+      options.seed * 0x9E3779B97F4A7C15ULL + 7);
+}
+
+std::shared_ptr<DistributionSequenceDataset> MakeTaxiLikeDataset(
+    const RealWorldSimOptions& options) {
+  RealWorldSimOptions o = options;
+  o.zipf_exponent = 0.8;  // 5 regions, moderately skewed
+  return MakeDriftingZipfDataset(
+      "Taxi", ScaleCount(10357, options.scale),
+      ScaleLength(886, options.scale), /*domain=*/5,
+      /*timestamps_per_day=*/144, o);
+}
+
+std::shared_ptr<DistributionSequenceDataset> MakeFoursquareLikeDataset(
+    const RealWorldSimOptions& options) {
+  RealWorldSimOptions o = options;
+  o.zipf_exponent = 1.2;  // country check-ins are heavily skewed
+  return MakeDriftingZipfDataset(
+      "Foursquare", ScaleCount(265149, options.scale),
+      ScaleLength(447, options.scale), /*domain=*/77,
+      /*timestamps_per_day=*/0, o);
+}
+
+std::shared_ptr<DistributionSequenceDataset> MakeTaobaoLikeDataset(
+    const RealWorldSimOptions& options) {
+  RealWorldSimOptions o = options;
+  o.zipf_exponent = 1.1;
+  return MakeDriftingZipfDataset(
+      "Taobao", ScaleCount(1023154, options.scale),
+      ScaleLength(432, options.scale), /*domain=*/117,
+      /*timestamps_per_day=*/144, o);
+}
+
+}  // namespace ldpids

@@ -1,0 +1,119 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "datagen/probability_model.h"
+#include "util/rng.h"
+
+namespace ldpids {
+
+BinarySyntheticDataset::BinarySyntheticDataset(
+    std::string name, uint64_t num_users, std::vector<double> probabilities,
+    uint64_t seed)
+    : name_(std::move(name)),
+      num_users_(num_users),
+      probabilities_(std::move(probabilities)),
+      seed_(seed) {
+  if (num_users_ == 0) throw std::invalid_argument("need at least one user");
+  if (probabilities_.empty()) {
+    throw std::invalid_argument("probability sequence must be non-empty");
+  }
+  for (double p : probabilities_) {
+    if (p < 0.0 || p > 1.0) {
+      throw std::invalid_argument("probabilities must lie in [0, 1]");
+    }
+  }
+}
+
+uint32_t BinarySyntheticDataset::value(uint64_t user, std::size_t t) const {
+  // Uniform [0,1) deterministic in (seed, user, t).
+  const double u = static_cast<double>(HashCounter(seed_, user, t) >> 11) *
+                   0x1.0p-53;
+  return u < probabilities_[t] ? 1u : 0u;
+}
+
+DistributionSequenceDataset::DistributionSequenceDataset(
+    std::string name, uint64_t num_users,
+    std::vector<Histogram> distributions, uint64_t seed)
+    : name_(std::move(name)), num_users_(num_users), seed_(seed) {
+  if (num_users_ == 0) throw std::invalid_argument("need at least one user");
+  if (distributions.empty()) {
+    throw std::invalid_argument("need at least one timestamp");
+  }
+  domain_ = distributions.front().size();
+  if (domain_ < 2) throw std::invalid_argument("domain must have >= 2 values");
+  cdfs_.reserve(distributions.size());
+  for (const Histogram& pi : distributions) {
+    if (pi.size() != domain_) {
+      throw std::invalid_argument("inconsistent domain across timestamps");
+    }
+    double total = 0.0;
+    for (double p : pi) {
+      if (p < 0.0) throw std::invalid_argument("negative probability");
+      total += p;
+    }
+    if (total <= 0.0) throw std::invalid_argument("all-zero distribution");
+    std::vector<double> cdf(domain_);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < domain_; ++k) {
+      acc += pi[k] / total;
+      cdf[k] = acc;
+    }
+    cdf.back() = 1.0;  // guard against rounding
+    cdfs_.push_back(std::move(cdf));
+  }
+}
+
+uint32_t DistributionSequenceDataset::value(uint64_t user,
+                                            std::size_t t) const {
+  const double u = static_cast<double>(HashCounter(seed_, user, t) >> 11) *
+                   0x1.0p-53;
+  const auto& cdf = cdfs_[t];
+  const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<uint32_t>(std::min<std::ptrdiff_t>(
+      it - cdf.begin(), static_cast<std::ptrdiff_t>(domain_ - 1)));
+}
+
+Histogram DistributionSequenceDataset::DistributionAt(std::size_t t) const {
+  const auto& cdf = cdfs_.at(t);
+  Histogram pi(domain_);
+  double prev = 0.0;
+  for (std::size_t k = 0; k < domain_; ++k) {
+    pi[k] = cdf[k] - prev;
+    prev = cdf[k];
+  }
+  return pi;
+}
+
+std::shared_ptr<BinarySyntheticDataset> MakeLnsDataset(uint64_t num_users,
+                                                       std::size_t length,
+                                                       double sqrt_q,
+                                                       uint64_t seed) {
+  return std::make_shared<BinarySyntheticDataset>(
+      "LNS", num_users,
+      GenerateLnsSequence(length, LnsDefaults::kP0, sqrt_q, seed ^ 0xB0B),
+      seed);
+}
+
+std::shared_ptr<BinarySyntheticDataset> MakeSinDataset(uint64_t num_users,
+                                                       std::size_t length,
+                                                       double b,
+                                                       uint64_t seed) {
+  return std::make_shared<BinarySyntheticDataset>(
+      "Sin", num_users,
+      GenerateSinSequence(length, SinDefaults::kAmplitude, b,
+                          SinDefaults::kOffset),
+      seed);
+}
+
+std::shared_ptr<BinarySyntheticDataset> MakeLogDataset(uint64_t num_users,
+                                                       std::size_t length,
+                                                       uint64_t seed) {
+  return std::make_shared<BinarySyntheticDataset>(
+      "Log", num_users,
+      GenerateLogSequence(length, LogDefaults::kAmplitude, LogDefaults::kB),
+      seed);
+}
+
+}  // namespace ldpids

@@ -1,0 +1,88 @@
+// Synthetic stream datasets (paper Section 7.1.1).
+//
+// `BinarySyntheticDataset` realizes a probability sequence (p_1, ..., p_T)
+// as a binary stream over N users: value(u, t) ~ Bernoulli(p_t),
+// independently per user, materialized lazily via counter-based hashing
+// (value(u, t) is a pure function of (seed, u, t)). For large N the realized
+// fraction of ones concentrates on p_t — statistically equivalent to the
+// paper's "choose a p_t portion of users" construction.
+//
+// `DistributionSequenceDataset` generalizes this to arbitrary categorical
+// distributions per timestamp: value(u, t) is drawn from distribution pi_t
+// by inverse-CDF over the hash. The real-world-like simulators in
+// realworld_sim.h are built on it.
+#ifndef LDPIDS_DATAGEN_SYNTHETIC_H_
+#define LDPIDS_DATAGEN_SYNTHETIC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/dataset.h"
+#include "util/histogram.h"
+
+namespace ldpids {
+
+// Binary stream (d = 2): value 1 with probability p_t, else 0.
+class BinarySyntheticDataset final : public StreamDataset {
+ public:
+  BinarySyntheticDataset(std::string name, uint64_t num_users,
+                         std::vector<double> probabilities, uint64_t seed);
+
+  std::string name() const override { return name_; }
+  uint64_t num_users() const override { return num_users_; }
+  std::size_t length() const override { return probabilities_.size(); }
+  std::size_t domain() const override { return 2; }
+  uint32_t value(uint64_t user, std::size_t t) const override;
+
+  const std::vector<double>& probabilities() const { return probabilities_; }
+
+ private:
+  std::string name_;
+  uint64_t num_users_;
+  std::vector<double> probabilities_;
+  uint64_t seed_;
+};
+
+// Categorical stream: at timestamp t users draw i.i.d. from distribution
+// pi_t (a d-entry probability vector). CDFs are precomputed per timestamp;
+// value lookup is a hash plus a binary search.
+class DistributionSequenceDataset final : public StreamDataset {
+ public:
+  // `distributions` is a T x d matrix of probability vectors; each row must
+  // be non-negative (rows are normalized internally).
+  DistributionSequenceDataset(std::string name, uint64_t num_users,
+                              std::vector<Histogram> distributions,
+                              uint64_t seed);
+
+  std::string name() const override { return name_; }
+  uint64_t num_users() const override { return num_users_; }
+  std::size_t length() const override { return cdfs_.size(); }
+  std::size_t domain() const override { return domain_; }
+  uint32_t value(uint64_t user, std::size_t t) const override;
+
+  // The (normalized) generating distribution at timestamp t.
+  Histogram DistributionAt(std::size_t t) const;
+
+ private:
+  std::string name_;
+  uint64_t num_users_;
+  std::size_t domain_;
+  std::vector<std::vector<double>> cdfs_;  // per-t inclusive-prefix CDF
+  uint64_t seed_;
+};
+
+// Convenience factories matching the paper's default synthetic datasets
+// (N = 200,000 users, T = 800 timestamps unless overridden).
+std::shared_ptr<BinarySyntheticDataset> MakeLnsDataset(
+    uint64_t num_users = 200000, std::size_t length = 800,
+    double sqrt_q = 0.0025, uint64_t seed = 1);
+std::shared_ptr<BinarySyntheticDataset> MakeSinDataset(
+    uint64_t num_users = 200000, std::size_t length = 800, double b = 0.01,
+    uint64_t seed = 2);
+std::shared_ptr<BinarySyntheticDataset> MakeLogDataset(
+    uint64_t num_users = 200000, std::size_t length = 800, uint64_t seed = 3);
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_DATAGEN_SYNTHETIC_H_

@@ -1,0 +1,44 @@
+#include "fo/client.h"
+
+#include <stdexcept>
+
+#include "fo/grr.h"
+
+namespace ldpids {
+
+GrrClient::GrrClient(uint64_t seed) : rng_(seed) {}
+
+uint32_t GrrClient::Perturb(uint32_t true_value, double epsilon,
+                            std::size_t d) {
+  if (true_value >= d) throw std::out_of_range("value outside domain");
+  const double p = GrrOracle::KeepProbability(epsilon, d);
+  if (rng_.Bernoulli(p)) return true_value;
+  const uint32_t r = static_cast<uint32_t>(rng_.UniformInt(d - 1));
+  return (r >= true_value) ? r + 1 : r;
+}
+
+GrrAggregator::GrrAggregator(double epsilon, std::size_t d)
+    : d_(d),
+      p_(GrrOracle::KeepProbability(epsilon, d)),
+      q_(GrrOracle::LieProbability(epsilon, d)),
+      counts_(d, 0) {
+  if (d < 2) throw std::invalid_argument("domain must have >= 2 values");
+}
+
+void GrrAggregator::Consume(uint32_t report) {
+  if (report >= d_) throw std::out_of_range("report outside domain");
+  ++counts_[report];
+  ++n_;
+}
+
+Histogram GrrAggregator::Estimate() const {
+  if (n_ == 0) throw std::logic_error("no reports to aggregate");
+  Histogram est(d_);
+  const double inv_n = 1.0 / static_cast<double>(n_);
+  for (std::size_t k = 0; k < d_; ++k) {
+    est[k] = (static_cast<double>(counts_[k]) * inv_n - q_) / (p_ - q_);
+  }
+  return est;
+}
+
+}  // namespace ldpids

@@ -1,0 +1,61 @@
+// Explicit client/server protocol objects for GRR.
+//
+// The `FoSketch` interface fuses perturbation and aggregation because that is
+// what the simulation needs; this header instead exposes the two halves of
+// the deployment protocol separately, so the examples (and downstream users
+// embedding the library in a real client) can see exactly which messages
+// cross the network:
+//
+//   client:  GrrClient c(user_seed);
+//            uint32_t wire = c.Perturb(true_value, eps, d);   // -> server
+//   server:  GrrAggregator agg(eps, d);
+//            agg.Consume(wire);  ...
+//            Histogram estimate = agg.Estimate();
+#ifndef LDPIDS_FO_CLIENT_H_
+#define LDPIDS_FO_CLIENT_H_
+
+#include <cstdint>
+
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace ldpids {
+
+// User-side GRR perturbation. One instance per (simulated) device.
+class GrrClient {
+ public:
+  explicit GrrClient(uint64_t seed);
+
+  // Applies eps-LDP GRR over a domain of size `d` to `true_value` and
+  // returns the single value that would be sent on the wire.
+  uint32_t Perturb(uint32_t true_value, double epsilon, std::size_t d);
+
+ private:
+  Rng rng_;
+};
+
+// Server-side GRR aggregation for one collection round at fixed (eps, d).
+class GrrAggregator {
+ public:
+  GrrAggregator(double epsilon, std::size_t d);
+
+  // Ingests one wire report.
+  void Consume(uint32_t report);
+
+  // Unbiased frequency estimates from all reports so far. Requires at least
+  // one report.
+  Histogram Estimate() const;
+
+  uint64_t num_reports() const { return n_; }
+
+ private:
+  std::size_t d_;
+  double p_;
+  double q_;
+  Counts counts_;
+  uint64_t n_ = 0;
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_FO_CLIENT_H_

@@ -1,0 +1,45 @@
+#include "fo/frequency_oracle.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "fo/grr.h"
+#include "fo/hr.h"
+#include "fo/olh.h"
+#include "fo/oue.h"
+#include "fo/sue.h"
+
+namespace ldpids {
+
+void ValidateFoParams(const FoParams& params) {
+  if (params.domain < 2) {
+    throw std::invalid_argument("FO domain must have at least 2 values");
+  }
+  if (!(params.epsilon > 0.0)) {
+    throw std::invalid_argument("FO epsilon must be positive");
+  }
+}
+
+const FrequencyOracle& GetFrequencyOracle(const std::string& name) {
+  static const GrrOracle grr;
+  static const OueOracle oue;
+  static const OlhOracle olh;
+  static const SueOracle sue;
+  static const HrOracle hr;
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "GRR") return grr;
+  if (upper == "OUE") return oue;
+  if (upper == "OLH") return olh;
+  if (upper == "SUE") return sue;
+  if (upper == "HR") return hr;
+  throw std::invalid_argument("unknown frequency oracle: " + name);
+}
+
+std::vector<std::string> AllFrequencyOracleNames() {
+  return {"GRR", "OUE", "OLH", "SUE", "HR"};
+}
+
+}  // namespace ldpids

@@ -1,0 +1,109 @@
+// LDP frequency oracles (FO) — the building block of every LDP-IDS
+// mechanism (paper Section 3.4).
+//
+// An FO protocol lets an untrusted server estimate the frequency of every
+// value in a categorical domain Omega (|Omega| = d) from users' locally
+// perturbed reports, under epsilon-LDP. The library ships three oracles:
+//
+//   * GRR — Generalized Randomized Response (the paper's running example),
+//   * OUE — Optimized Unary Encoding (Wang et al., USENIX Security 2017),
+//   * OLH — Optimized Local Hashing (ibid.),
+//
+// all behind one interface so the stream mechanisms are FO-agnostic, exactly
+// like the paper's abstract V(eps, n) variance notation.
+//
+// Two simulation paths (see DESIGN.md §3):
+//   * `FoSketch::AddUser(v, rng)` performs the exact client-side protocol for
+//     one user — what a real deployment would run on-device.
+//   * `FoSketch::AddCohort(counts, rng)` draws the server-side aggregate
+//     directly from its sampling distribution given the cohort's true-value
+//     counts (binomial/multinomial composition). This is distribution-
+//     equivalent per bin and O(d)-O(d^2) instead of O(n).
+#ifndef LDPIDS_FO_FREQUENCY_ORACLE_H_
+#define LDPIDS_FO_FREQUENCY_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace ldpids {
+
+// Perturbation/aggregation parameters of one FO collection round.
+struct FoParams {
+  double epsilon = 1.0;    // LDP budget of each participating user
+  std::size_t domain = 2;  // |Omega|
+};
+
+// Server-side aggregation state for one collection round. Create one sketch
+// per round, feed it users (or cohorts), then call Estimate().
+class FoSketch {
+ public:
+  virtual ~FoSketch() = default;
+
+  // Simulates one user running the client-side protocol with true value
+  // `v` (in [0, domain)) and folds the report into the sketch.
+  virtual void AddUser(uint32_t true_value, Rng& rng) = 0;
+
+  // Folds an entire cohort described by its per-value true counts. Drawn
+  // from the same per-bin distribution AddUser would induce, in O(d)-O(d^2).
+  virtual void AddCohort(const Counts& true_counts, Rng& rng) = 0;
+
+  // Unbiased frequency estimates for all d values. Requires at least one
+  // user; throws std::logic_error otherwise.
+  virtual Histogram Estimate() const = 0;
+
+  uint64_t num_users() const { return num_users_; }
+
+ protected:
+  uint64_t num_users_ = 0;
+};
+
+// Stateless factory + analytic formulas for one FO protocol. Instances are
+// process-lifetime singletons obtained via GetFrequencyOracle().
+class FrequencyOracle {
+ public:
+  virtual ~FrequencyOracle() = default;
+
+  virtual std::string name() const = 0;
+
+  // New aggregation sketch for one round. `params.domain` >= 2 and
+  // `params.epsilon` > 0 are required.
+  virtual std::unique_ptr<FoSketch> CreateSketch(
+      const FoParams& params) const = 0;
+
+  // Exact estimation variance of one bin whose true frequency is `f`, from
+  // `n` users with budget `epsilon` over a domain of size `domain`.
+  // For GRR this expands to the paper's Eq. (2).
+  virtual double Variance(double epsilon, uint64_t n, std::size_t domain,
+                          double f) const = 0;
+
+  // The paper's V(eps, n): mean per-bin variance (1/d) sum_k Var(c[k]) under
+  // sum_k f_k = 1. Since Variance() is affine in f for all shipped oracles,
+  // this equals Variance at f = 1/d exactly. It is the quantity the adaptive
+  // mechanisms use as the potential publication error `err` (Eq. 6), which
+  // is deliberately independent of the unknown data.
+  virtual double MeanVariance(double epsilon, uint64_t n,
+                              std::size_t domain) const = 0;
+
+  // Size of one perturbed report on the wire, for communication accounting.
+  virtual std::size_t BytesPerReport(std::size_t domain) const = 0;
+};
+
+// Returns the singleton oracle with the given name ("GRR", "OUE", "OLH";
+// case-insensitive). Throws std::invalid_argument for unknown names.
+const FrequencyOracle& GetFrequencyOracle(const std::string& name);
+
+// Names of all registered oracles, for parameterized tests and sweeps.
+std::vector<std::string> AllFrequencyOracleNames();
+
+// Validates FoParams; throws std::invalid_argument on bad input. Shared by
+// the concrete oracles.
+void ValidateFoParams(const FoParams& params);
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_FO_FREQUENCY_ORACLE_H_

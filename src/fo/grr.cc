@@ -1,0 +1,122 @@
+#include "fo/grr.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/distributions.h"
+
+namespace ldpids {
+
+namespace {
+
+class GrrSketch final : public FoSketch {
+ public:
+  explicit GrrSketch(const FoParams& params)
+      : d_(params.domain),
+        p_(GrrOracle::KeepProbability(params.epsilon, params.domain)),
+        q_(GrrOracle::LieProbability(params.epsilon, params.domain)),
+        report_counts_(params.domain, 0) {}
+
+  void AddUser(uint32_t true_value, Rng& rng) override {
+    if (true_value >= d_) throw std::out_of_range("GRR value out of domain");
+    uint32_t report = true_value;
+    if (!rng.Bernoulli(p_)) {
+      // Uniform over the d-1 other values: draw in [0, d-1) and skip self.
+      const uint32_t r = static_cast<uint32_t>(rng.UniformInt(d_ - 1));
+      report = (r >= true_value) ? r + 1 : r;
+    }
+    ++report_counts_[report];
+    ++num_users_;
+  }
+
+  void AddCohort(const Counts& true_counts, Rng& rng) override {
+    if (true_counts.size() != d_) {
+      throw std::invalid_argument("GRR cohort domain mismatch");
+    }
+    // For the m_k users holding value k: kept ~ Binomial(m_k, p); the lies
+    // spread uniformly (multinomially) over the other d-1 values. This is
+    // exactly the distribution of the per-user protocol.
+    const std::vector<double> uniform_other(d_ - 1, 1.0);
+    for (std::size_t k = 0; k < d_; ++k) {
+      const uint64_t m = true_counts[k];
+      if (m == 0) continue;
+      const uint64_t kept = SampleBinomial(rng, m, p_);
+      report_counts_[k] += kept;
+      const uint64_t lies = m - kept;
+      if (lies > 0) {
+        const std::vector<uint64_t> spread =
+            SampleMultinomial(rng, lies, uniform_other);
+        for (std::size_t j = 0; j < d_ - 1; ++j) {
+          const std::size_t target = (j >= k) ? j + 1 : j;
+          report_counts_[target] += spread[j];
+        }
+      }
+      num_users_ += m;
+    }
+  }
+
+  Histogram Estimate() const override {
+    if (num_users_ == 0) throw std::logic_error("GRR sketch has no users");
+    Histogram est(d_);
+    const double inv_n = 1.0 / static_cast<double>(num_users_);
+    const double denom = p_ - q_;
+    for (std::size_t k = 0; k < d_; ++k) {
+      const double reported = static_cast<double>(report_counts_[k]) * inv_n;
+      est[k] = (reported - q_) / denom;
+    }
+    return est;
+  }
+
+ private:
+  std::size_t d_;
+  double p_;
+  double q_;
+  Counts report_counts_;
+};
+
+}  // namespace
+
+double GrrOracle::KeepProbability(double epsilon, std::size_t domain) {
+  const double e = std::exp(epsilon);
+  return e / (e + static_cast<double>(domain) - 1.0);
+}
+
+double GrrOracle::LieProbability(double epsilon, std::size_t domain) {
+  const double e = std::exp(epsilon);
+  return 1.0 / (e + static_cast<double>(domain) - 1.0);
+}
+
+std::unique_ptr<FoSketch> GrrOracle::CreateSketch(
+    const FoParams& params) const {
+  ValidateFoParams(params);
+  return std::make_unique<GrrSketch>(params);
+}
+
+double GrrOracle::Variance(double epsilon, uint64_t n, std::size_t domain,
+                           double f) const {
+  // Fixed-composition cohort: the f*n users holding value k each report k
+  // with probability p, the rest with probability q, so
+  //   Var(c'[k]) = n [f p(1-p) + (1-f) q(1-q)],
+  // and the estimator divides by (p - q). This expands exactly to the
+  // paper's Eq. (2): (d-2+e^eps)/(n(e^eps-1)^2) + f(d-2)/(n(e^eps-1)).
+  const double p = KeepProbability(epsilon, domain);
+  const double q = LieProbability(epsilon, domain);
+  const double numer = f * p * (1.0 - p) + (1.0 - f) * q * (1.0 - q);
+  return numer / (static_cast<double>(n) * (p - q) * (p - q));
+}
+
+double GrrOracle::MeanVariance(double epsilon, uint64_t n,
+                               std::size_t domain) const {
+  // (1/d) sum_k Var is exactly Variance at the mean frequency f = 1/d,
+  // because Var is affine in f.
+  return Variance(epsilon, n, domain, 1.0 / static_cast<double>(domain));
+}
+
+std::size_t GrrOracle::BytesPerReport(std::size_t domain) const {
+  // One value index; 1, 2 or 4 bytes depending on domain size.
+  if (domain <= 256) return 1;
+  if (domain <= 65536) return 2;
+  return 4;
+}
+
+}  // namespace ldpids

@@ -1,0 +1,38 @@
+// Generalized Randomized Response (GRR), the paper's reference FO (Eq. 1).
+//
+// Client: report the true value with probability p = e^eps / (e^eps + d - 1),
+// otherwise a uniformly random *other* value (each with probability
+// q = 1 / (e^eps + d - 1)).
+//
+// Server: unbiased estimate c_hat[k] = (c'[k]/n - q) / (p - q) where c'[k]
+// is the fraction of reports equal to k.
+//
+// Per-bin variance (exact, equal to the paper's Eq. (2)):
+//   Var(c_hat[k]) = [f_k p(1-p) + (1-f_k) q(1-q)] / (n (p - q)^2)
+//                 = (d-2+e^eps)/(n(e^eps-1)^2) + f_k (d-2)/(n(e^eps-1)).
+#ifndef LDPIDS_FO_GRR_H_
+#define LDPIDS_FO_GRR_H_
+
+#include "fo/frequency_oracle.h"
+
+namespace ldpids {
+
+class GrrOracle final : public FrequencyOracle {
+ public:
+  std::string name() const override { return "GRR"; }
+  std::unique_ptr<FoSketch> CreateSketch(const FoParams& params) const override;
+  double Variance(double epsilon, uint64_t n, std::size_t domain,
+                  double f) const override;
+  double MeanVariance(double epsilon, uint64_t n,
+                      std::size_t domain) const override;
+  std::size_t BytesPerReport(std::size_t domain) const override;
+
+  // Keep-probability p and lie-probability q for the given parameters;
+  // exposed for tests of the LDP guarantee (p/q <= e^eps).
+  static double KeepProbability(double epsilon, std::size_t domain);
+  static double LieProbability(double epsilon, std::size_t domain);
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_FO_GRR_H_

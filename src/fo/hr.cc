@@ -1,0 +1,118 @@
+#include "fo/hr.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/distributions.h"
+
+namespace ldpids {
+
+namespace {
+
+// H[row][col] = +1 iff popcount(row & col) is even.
+inline bool HadamardPositive(uint64_t row, uint64_t col) {
+  return (std::popcount(row & col) & 1) == 0;
+}
+
+class HrSketch final : public FoSketch {
+ public:
+  explicit HrSketch(const FoParams& params)
+      : d_(params.domain),
+        k_(HrOracle::HadamardSize(params.domain)),
+        p_(HrOracle::KeepProbability(params.epsilon)),
+        support_counts_(params.domain, 0) {}
+
+  void AddUser(uint32_t true_value, Rng& rng) override {
+    if (true_value >= d_) throw std::out_of_range("HR value out of domain");
+    const uint64_t row = static_cast<uint64_t>(true_value) + 1;
+    const bool want_positive = rng.Bernoulli(p_);
+    // Rejection-sample a uniform column of the wanted sign; each Hadamard
+    // row (other than row 0) has exactly K/2 columns of each sign, so the
+    // expected number of draws is 2.
+    uint64_t y;
+    do {
+      y = rng.UniformInt(k_);
+    } while (HadamardPositive(row, y) != want_positive);
+    // Server side: tally all domain values whose row is positive at y.
+    for (uint32_t v = 0; v < d_; ++v) {
+      if (HadamardPositive(static_cast<uint64_t>(v) + 1, y)) {
+        ++support_counts_[v];
+      }
+    }
+    ++num_users_;
+  }
+
+  void AddCohort(const Counts& true_counts, Rng& rng) override {
+    if (true_counts.size() != d_) {
+      throw std::invalid_argument("HR cohort domain mismatch");
+    }
+    uint64_t n = 0;
+    for (uint64_t m : true_counts) n += m;
+    // Per-bin marginals: own users support with probability p, all other
+    // users with probability exactly 1/2.
+    for (std::size_t v = 0; v < d_; ++v) {
+      support_counts_[v] += SampleBinomial(rng, true_counts[v], p_) +
+                            SampleBinomial(rng, n - true_counts[v], 0.5);
+    }
+    num_users_ += n;
+  }
+
+  Histogram Estimate() const override {
+    if (num_users_ == 0) throw std::logic_error("HR sketch has no users");
+    Histogram est(d_);
+    const double inv_n = 1.0 / static_cast<double>(num_users_);
+    const double denom = p_ - 0.5;
+    for (std::size_t v = 0; v < d_; ++v) {
+      est[v] =
+          (static_cast<double>(support_counts_[v]) * inv_n - 0.5) / denom;
+    }
+    return est;
+  }
+
+ private:
+  std::size_t d_;
+  uint64_t k_;
+  double p_;
+  Counts support_counts_;
+};
+
+}  // namespace
+
+uint64_t HrOracle::HadamardSize(std::size_t domain) {
+  uint64_t k = 2;
+  while (k <= domain) k <<= 1;
+  return k;
+}
+
+double HrOracle::KeepProbability(double epsilon) {
+  const double e = std::exp(epsilon);
+  return e / (e + 1.0);
+}
+
+std::unique_ptr<FoSketch> HrOracle::CreateSketch(
+    const FoParams& params) const {
+  ValidateFoParams(params);
+  return std::make_unique<HrSketch>(params);
+}
+
+double HrOracle::Variance(double epsilon, uint64_t n, std::size_t domain,
+                          double f) const {
+  (void)domain;
+  const double p = KeepProbability(epsilon);
+  const double numer = f * p * (1.0 - p) + (1.0 - f) * 0.25;
+  return numer / (static_cast<double>(n) * (p - 0.5) * (p - 0.5));
+}
+
+double HrOracle::MeanVariance(double epsilon, uint64_t n,
+                              std::size_t domain) const {
+  return Variance(epsilon, n, domain, 1.0 / static_cast<double>(domain));
+}
+
+std::size_t HrOracle::BytesPerReport(std::size_t domain) const {
+  // One column index of the K x K Hadamard matrix: log2(K) bits.
+  const uint64_t k = HadamardSize(domain);
+  return (static_cast<std::size_t>(std::bit_width(k - 1)) + 7) / 8;
+}
+
+}  // namespace ldpids

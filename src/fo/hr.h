@@ -1,0 +1,43 @@
+// Hadamard Response (HR) frequency oracle
+// (Acharya, Sun, Zhang — "Hadamard Response: Estimating Distributions
+// Privately, Efficiently, and with Little Communication", AISTATS 2019;
+// binary-output variant).
+//
+// Let K be the smallest power of two with K > d, and H the K x K Hadamard
+// matrix H[a][b] = (-1)^{popcount(a & b)}. A user holding value v is
+// associated with row v+1 (row 0 is all-ones and carries no signal). The
+// client samples a column index y in [K]:
+//   with probability p = e^eps / (e^eps + 1), y is uniform over the K/2
+//   columns where H[v+1][y] = +1; otherwise uniform over the -1 columns.
+// Only log2(K) bits cross the wire.
+//
+// Server: a report y "supports" value v iff H[v+1][y] = +1. For the true
+// row the support probability is p; for any other nonzero row exactly 1/2
+// (distinct nonzero rows agree on exactly half the columns), giving the
+// unbiased estimator f_hat = (S_v/n - 1/2) / (p - 1/2).
+#ifndef LDPIDS_FO_HR_H_
+#define LDPIDS_FO_HR_H_
+
+#include "fo/frequency_oracle.h"
+
+namespace ldpids {
+
+class HrOracle final : public FrequencyOracle {
+ public:
+  std::string name() const override { return "HR"; }
+  std::unique_ptr<FoSketch> CreateSketch(const FoParams& params) const override;
+  double Variance(double epsilon, uint64_t n, std::size_t domain,
+                  double f) const override;
+  double MeanVariance(double epsilon, uint64_t n,
+                      std::size_t domain) const override;
+  std::size_t BytesPerReport(std::size_t domain) const override;
+
+  // Smallest power of two strictly greater than `domain`.
+  static uint64_t HadamardSize(std::size_t domain);
+  // p = e^eps / (e^eps + 1).
+  static double KeepProbability(double epsilon);
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_FO_HR_H_

@@ -1,0 +1,113 @@
+#include "fo/olh.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/distributions.h"
+
+namespace ldpids {
+
+namespace {
+
+// Pairwise-uniform hash of value `v` under seed `s` into [0, g).
+inline uint64_t HashToBucket(uint64_t seed, uint32_t v, uint64_t g) {
+  return HashCounter(seed, v, 0x01F) % g;
+}
+
+class OlhSketch final : public FoSketch {
+ public:
+  explicit OlhSketch(const FoParams& params)
+      : d_(params.domain),
+        g_(OlhOracle::BucketCount(params.epsilon)),
+        p_(OlhOracle::KeepProbability(params.epsilon)),
+        support_counts_(params.domain, 0) {}
+
+  void AddUser(uint32_t true_value, Rng& rng) override {
+    if (true_value >= d_) throw std::out_of_range("OLH value out of domain");
+    const uint64_t seed = rng.NextU64();
+    const uint64_t own_bucket = HashToBucket(seed, true_value, g_);
+    uint64_t report = own_bucket;
+    if (!rng.Bernoulli(p_)) {
+      const uint64_t r = rng.UniformInt(g_ - 1);
+      report = (r >= own_bucket) ? r + 1 : r;
+    }
+    // Server side: tally every domain value whose hash equals the report.
+    for (uint32_t k = 0; k < d_; ++k) {
+      if (HashToBucket(seed, k, g_) == report) ++support_counts_[k];
+    }
+    ++num_users_;
+  }
+
+  void AddCohort(const Counts& true_counts, Rng& rng) override {
+    if (true_counts.size() != d_) {
+      throw std::invalid_argument("OLH cohort domain mismatch");
+    }
+    uint64_t n = 0;
+    for (uint64_t m : true_counts) n += m;
+    const double q = 1.0 / static_cast<double>(g_);
+    for (std::size_t k = 0; k < d_; ++k) {
+      support_counts_[k] += SampleBinomial(rng, true_counts[k], p_) +
+                            SampleBinomial(rng, n - true_counts[k], q);
+    }
+    num_users_ += n;
+  }
+
+  Histogram Estimate() const override {
+    if (num_users_ == 0) throw std::logic_error("OLH sketch has no users");
+    Histogram est(d_);
+    const double inv_n = 1.0 / static_cast<double>(num_users_);
+    const double q = 1.0 / static_cast<double>(g_);
+    const double denom = p_ - q;
+    for (std::size_t k = 0; k < d_; ++k) {
+      est[k] = (static_cast<double>(support_counts_[k]) * inv_n - q) / denom;
+    }
+    return est;
+  }
+
+ private:
+  std::size_t d_;
+  uint64_t g_;
+  double p_;
+  Counts support_counts_;
+};
+
+}  // namespace
+
+uint64_t OlhOracle::BucketCount(double epsilon) {
+  const uint64_t g =
+      static_cast<uint64_t>(std::llround(std::exp(epsilon))) + 1;
+  return g < 2 ? 2 : g;
+}
+
+double OlhOracle::KeepProbability(double epsilon) {
+  const double e = std::exp(epsilon);
+  const double g = static_cast<double>(BucketCount(epsilon));
+  return e / (e + g - 1.0);
+}
+
+std::unique_ptr<FoSketch> OlhOracle::CreateSketch(
+    const FoParams& params) const {
+  ValidateFoParams(params);
+  return std::make_unique<OlhSketch>(params);
+}
+
+double OlhOracle::Variance(double epsilon, uint64_t n, std::size_t domain,
+                           double f) const {
+  (void)domain;
+  const double p = KeepProbability(epsilon);
+  const double q = 1.0 / static_cast<double>(BucketCount(epsilon));
+  const double numer = f * p * (1.0 - p) + (1.0 - f) * q * (1.0 - q);
+  return numer / (static_cast<double>(n) * (p - q) * (p - q));
+}
+
+double OlhOracle::MeanVariance(double epsilon, uint64_t n,
+                               std::size_t domain) const {
+  return Variance(epsilon, n, domain, 1.0 / static_cast<double>(domain));
+}
+
+std::size_t OlhOracle::BytesPerReport(std::size_t domain) const {
+  (void)domain;
+  return 8 + 4;  // 64-bit hash seed + bucket index
+}
+
+}  // namespace ldpids

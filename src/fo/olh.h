@@ -1,0 +1,39 @@
+// Optimized Local Hashing (OLH) frequency oracle
+// (Wang, Blocki, Li, Jha — USENIX Security 2017).
+//
+// Client: pick a random hash seed s, hash the true value into g buckets
+// (g = round(e^eps) + 1, the variance-optimal choice), and report
+// (s, GRR_g(h_s(v))). Server: a report (s, y) "supports" value k iff
+// h_s(k) == y; estimate (support[k]/n - 1/g) / (p - 1/g) with
+// p = e^eps / (e^eps + g - 1).
+//
+// The cohort path draws per-bin support counts from their exact marginal
+// distribution Binomial(m_k, p) + Binomial(n - m_k, 1/g) (cross-bin
+// correlations, which no estimator here uses, are not reproduced — see
+// DESIGN.md §3).
+#ifndef LDPIDS_FO_OLH_H_
+#define LDPIDS_FO_OLH_H_
+
+#include "fo/frequency_oracle.h"
+
+namespace ldpids {
+
+class OlhOracle final : public FrequencyOracle {
+ public:
+  std::string name() const override { return "OLH"; }
+  std::unique_ptr<FoSketch> CreateSketch(const FoParams& params) const override;
+  double Variance(double epsilon, uint64_t n, std::size_t domain,
+                  double f) const override;
+  double MeanVariance(double epsilon, uint64_t n,
+                      std::size_t domain) const override;
+  std::size_t BytesPerReport(std::size_t domain) const override;
+
+  // Variance-optimal bucket count g = round(e^eps) + 1 (>= 2).
+  static uint64_t BucketCount(double epsilon);
+  // GRR keep-probability inside the g-bucket domain.
+  static double KeepProbability(double epsilon);
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_FO_OLH_H_

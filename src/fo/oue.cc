@@ -1,0 +1,91 @@
+#include "fo/oue.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/distributions.h"
+
+namespace ldpids {
+
+namespace {
+
+class OueSketch final : public FoSketch {
+ public:
+  explicit OueSketch(const FoParams& params)
+      : d_(params.domain),
+        q_(OueOracle::ZeroFlipProbability(params.epsilon)),
+        one_counts_(params.domain, 0) {}
+
+  void AddUser(uint32_t true_value, Rng& rng) override {
+    if (true_value >= d_) throw std::out_of_range("OUE value out of domain");
+    for (std::size_t k = 0; k < d_; ++k) {
+      const double pr = (k == true_value) ? 0.5 : q_;
+      if (rng.Bernoulli(pr)) ++one_counts_[k];
+    }
+    ++num_users_;
+  }
+
+  void AddCohort(const Counts& true_counts, Rng& rng) override {
+    if (true_counts.size() != d_) {
+      throw std::invalid_argument("OUE cohort domain mismatch");
+    }
+    uint64_t n = 0;
+    for (uint64_t m : true_counts) n += m;
+    // OUE bits are independent across positions, so the per-bin aggregate is
+    // exactly Binomial(m_k, 1/2) + Binomial(n - m_k, q).
+    for (std::size_t k = 0; k < d_; ++k) {
+      one_counts_[k] += SampleBinomial(rng, true_counts[k], 0.5) +
+                        SampleBinomial(rng, n - true_counts[k], q_);
+    }
+    num_users_ += n;
+  }
+
+  Histogram Estimate() const override {
+    if (num_users_ == 0) throw std::logic_error("OUE sketch has no users");
+    Histogram est(d_);
+    const double inv_n = 1.0 / static_cast<double>(num_users_);
+    const double denom = 0.5 - q_;
+    for (std::size_t k = 0; k < d_; ++k) {
+      est[k] = (static_cast<double>(one_counts_[k]) * inv_n - q_) / denom;
+    }
+    return est;
+  }
+
+ private:
+  std::size_t d_;
+  double q_;
+  Counts one_counts_;
+};
+
+}  // namespace
+
+double OueOracle::ZeroFlipProbability(double epsilon) {
+  return 1.0 / (std::exp(epsilon) + 1.0);
+}
+
+std::unique_ptr<FoSketch> OueOracle::CreateSketch(
+    const FoParams& params) const {
+  ValidateFoParams(params);
+  return std::make_unique<OueSketch>(params);
+}
+
+double OueOracle::Variance(double epsilon, uint64_t n, std::size_t domain,
+                           double f) const {
+  (void)domain;  // OUE variance does not depend on d
+  const double p = 0.5;
+  const double q = ZeroFlipProbability(epsilon);
+  const double numer = f * p * (1.0 - p) + (1.0 - f) * q * (1.0 - q);
+  return numer / (static_cast<double>(n) * (p - q) * (p - q));
+}
+
+double OueOracle::MeanVariance(double epsilon, uint64_t n,
+                               std::size_t domain) const {
+  // Mean over bins with sum f_k = 1: mean f = 1/d.
+  return Variance(epsilon, n, domain, 1.0 / static_cast<double>(domain));
+}
+
+std::size_t OueOracle::BytesPerReport(std::size_t domain) const {
+  return (domain + 7) / 8;  // d-bit vector
+}
+
+}  // namespace ldpids

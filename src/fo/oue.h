@@ -1,0 +1,35 @@
+// Optimized Unary Encoding (OUE) frequency oracle
+// (Wang, Blocki, Li, Jha — USENIX Security 2017).
+//
+// Client: encode the value as a d-bit one-hot vector, then send each bit
+// independently perturbed — the '1' bit is transmitted as 1 with probability
+// p = 1/2 and the '0' bits as 1 with probability q = 1 / (e^eps + 1). The
+// asymmetric (p, q) choice minimizes estimation variance at
+// Var = 4 e^eps / (n (e^eps - 1)^2) while keeping
+// (p (1-q)) / (q (1-p)) = e^eps, i.e. eps-LDP.
+//
+// Server: per-bit counting; unbiased estimate (ones[k]/n - q) / (p - q).
+#ifndef LDPIDS_FO_OUE_H_
+#define LDPIDS_FO_OUE_H_
+
+#include "fo/frequency_oracle.h"
+
+namespace ldpids {
+
+class OueOracle final : public FrequencyOracle {
+ public:
+  std::string name() const override { return "OUE"; }
+  std::unique_ptr<FoSketch> CreateSketch(const FoParams& params) const override;
+  double Variance(double epsilon, uint64_t n, std::size_t domain,
+                  double f) const override;
+  double MeanVariance(double epsilon, uint64_t n,
+                      std::size_t domain) const override;
+  std::size_t BytesPerReport(std::size_t domain) const override;
+
+  static double OneProbability() { return 0.5; }
+  static double ZeroFlipProbability(double epsilon);
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_FO_OUE_H_

@@ -1,0 +1,36 @@
+// Symmetric Unary Encoding (SUE) — the one-time ("basic") RAPPOR of
+// Erlingsson et al. (CCS 2014), in the taxonomy of Wang et al. (USENIX
+// Security 2017).
+//
+// Client: one-hot encode the value; transmit each bit flipped with the
+// symmetric probabilities p = e^{eps/2} / (e^{eps/2} + 1) for keeping and
+// q = 1 - p; the per-bit ratio (p/q)^2 = e^eps over the two differing bits
+// of neighbouring one-hot vectors gives eps-LDP.
+//
+// SUE is dominated by OUE in variance (that is OUE's raison d'etre) but is
+// historically important and included as a reference point; the ablation
+// bench quantifies the gap.
+#ifndef LDPIDS_FO_SUE_H_
+#define LDPIDS_FO_SUE_H_
+
+#include "fo/frequency_oracle.h"
+
+namespace ldpids {
+
+class SueOracle final : public FrequencyOracle {
+ public:
+  std::string name() const override { return "SUE"; }
+  std::unique_ptr<FoSketch> CreateSketch(const FoParams& params) const override;
+  double Variance(double epsilon, uint64_t n, std::size_t domain,
+                  double f) const override;
+  double MeanVariance(double epsilon, uint64_t n,
+                      std::size_t domain) const override;
+  std::size_t BytesPerReport(std::size_t domain) const override;
+
+  // P[bit transmitted as its true value] = e^{eps/2} / (e^{eps/2} + 1).
+  static double KeepProbability(double epsilon);
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_FO_SUE_H_

@@ -1,0 +1,202 @@
+#include "fo/wire.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace ldpids {
+
+namespace {
+
+constexpr uint8_t kMagic = 0xAD;
+constexpr uint8_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 11;
+constexpr std::size_t kChecksumSize = 4;
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+std::size_t GrrValueBytes(std::size_t domain) {
+  if (domain <= 256) return 1;
+  if (domain <= 65536) return 2;
+  return 4;
+}
+
+std::vector<uint8_t> BuildEnvelope(OracleId oracle, uint32_t timestamp,
+                                   const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  out.reserve(kHeaderSize + payload.size() + kChecksumSize);
+  out.push_back(kMagic);
+  out.push_back(kVersion);
+  out.push_back(static_cast<uint8_t>(oracle));
+  PutU32(&out, timestamp);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  PutU32(&out, WireChecksum(out.data(), out.size()));
+  return out;
+}
+
+}  // namespace
+
+uint32_t WireChecksum(const uint8_t* data, std::size_t size) {
+  // Mix the bytes through SplitMix64 word-wise; take the low 32 bits.
+  uint64_t acc = 0x5DEECE66DULL ^ size;
+  for (std::size_t i = 0; i < size; ++i) {
+    acc = Mix64(acc ^ (static_cast<uint64_t>(data[i]) + i * 0x9E37ULL));
+  }
+  return static_cast<uint32_t>(acc);
+}
+
+std::vector<uint8_t> EncodeGrrReport(uint32_t value, std::size_t domain,
+                                     uint32_t timestamp) {
+  if (value >= domain) throw std::invalid_argument("value outside domain");
+  std::vector<uint8_t> payload;
+  const std::size_t bytes = GrrValueBytes(domain);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    payload.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+  return BuildEnvelope(OracleId::kGrr, timestamp, payload);
+}
+
+std::vector<uint8_t> EncodeBitVectorReport(const std::vector<bool>& bits,
+                                           OracleId oracle,
+                                           uint32_t timestamp) {
+  if (oracle != OracleId::kOue && oracle != OracleId::kSue) {
+    throw std::invalid_argument("bit-vector payloads are OUE/SUE only");
+  }
+  std::vector<uint8_t> payload((bits.size() + 7) / 8, 0);
+  for (std::size_t k = 0; k < bits.size(); ++k) {
+    if (bits[k]) payload[k / 8] |= static_cast<uint8_t>(1u << (k % 8));
+  }
+  return BuildEnvelope(oracle, timestamp, payload);
+}
+
+std::vector<uint8_t> EncodeOlhReport(uint64_t seed, uint32_t bucket,
+                                     uint32_t timestamp) {
+  std::vector<uint8_t> payload;
+  PutU64(&payload, seed);
+  PutU32(&payload, bucket);
+  return BuildEnvelope(OracleId::kOlh, timestamp, payload);
+}
+
+std::vector<uint8_t> EncodeHrReport(uint32_t column, uint32_t timestamp) {
+  std::vector<uint8_t> payload;
+  PutU32(&payload, column);
+  return BuildEnvelope(OracleId::kHr, timestamp, payload);
+}
+
+WireEnvelope DecodeEnvelope(const std::vector<uint8_t>& packet) {
+  if (packet.size() < kHeaderSize + kChecksumSize) {
+    throw std::runtime_error("wire: packet too short");
+  }
+  if (packet[0] != kMagic) throw std::runtime_error("wire: bad magic");
+  if (packet[1] != kVersion) throw std::runtime_error("wire: bad version");
+  const uint8_t oracle_raw = packet[2];
+  if (oracle_raw < 1 || oracle_raw > 5) {
+    throw std::runtime_error("wire: unknown oracle id");
+  }
+  const uint32_t payload_len = GetU32(packet.data() + 7);
+  if (packet.size() != kHeaderSize + payload_len + kChecksumSize) {
+    throw std::runtime_error("wire: length mismatch");
+  }
+  const uint32_t stored =
+      GetU32(packet.data() + packet.size() - kChecksumSize);
+  const uint32_t computed =
+      WireChecksum(packet.data(), packet.size() - kChecksumSize);
+  if (stored != computed) throw std::runtime_error("wire: checksum mismatch");
+
+  WireEnvelope env;
+  env.oracle = static_cast<OracleId>(oracle_raw);
+  env.timestamp = GetU32(packet.data() + 3);
+  env.payload.assign(packet.begin() + kHeaderSize,
+                     packet.end() - kChecksumSize);
+  return env;
+}
+
+GrrWireReport DecodeGrrPayload(const WireEnvelope& envelope,
+                               std::size_t domain) {
+  if (envelope.oracle != OracleId::kGrr) {
+    throw std::runtime_error("wire: not a GRR payload");
+  }
+  const std::size_t bytes = GrrValueBytes(domain);
+  if (envelope.payload.size() != bytes) {
+    throw std::runtime_error("wire: GRR payload size mismatch");
+  }
+  uint32_t value = 0;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    value |= static_cast<uint32_t>(envelope.payload[i]) << (8 * i);
+  }
+  if (value >= domain) throw std::runtime_error("wire: GRR value overflow");
+  return {value};
+}
+
+BitVectorWireReport DecodeBitVectorPayload(const WireEnvelope& envelope,
+                                           std::size_t domain) {
+  if (envelope.oracle != OracleId::kOue &&
+      envelope.oracle != OracleId::kSue) {
+    throw std::runtime_error("wire: not a bit-vector payload");
+  }
+  if (envelope.payload.size() != (domain + 7) / 8) {
+    throw std::runtime_error("wire: bit-vector size mismatch");
+  }
+  BitVectorWireReport out;
+  out.bits.resize(domain);
+  for (std::size_t k = 0; k < domain; ++k) {
+    out.bits[k] = (envelope.payload[k / 8] >> (k % 8)) & 1u;
+  }
+  return out;
+}
+
+OlhWireReport DecodeOlhPayload(const WireEnvelope& envelope) {
+  if (envelope.oracle != OracleId::kOlh) {
+    throw std::runtime_error("wire: not an OLH payload");
+  }
+  if (envelope.payload.size() != 12) {
+    throw std::runtime_error("wire: OLH payload size mismatch");
+  }
+  return {GetU64(envelope.payload.data()), GetU32(envelope.payload.data() + 8)};
+}
+
+HrWireReport DecodeHrPayload(const WireEnvelope& envelope) {
+  if (envelope.oracle != OracleId::kHr) {
+    throw std::runtime_error("wire: not an HR payload");
+  }
+  if (envelope.payload.size() != 4) {
+    throw std::runtime_error("wire: HR payload size mismatch");
+  }
+  return {GetU32(envelope.payload.data())};
+}
+
+std::size_t EncodedReportSize(OracleId oracle, std::size_t domain) {
+  std::size_t payload = 0;
+  switch (oracle) {
+    case OracleId::kGrr: payload = GrrValueBytes(domain); break;
+    case OracleId::kOue:
+    case OracleId::kSue: payload = (domain + 7) / 8; break;
+    case OracleId::kOlh: payload = 12; break;
+    case OracleId::kHr: payload = 4; break;
+  }
+  return kHeaderSize + payload + kChecksumSize;
+}
+
+}  // namespace ldpids

@@ -1,0 +1,95 @@
+// Wire format for LDP reports.
+//
+// The simulation-facing API exchanges in-memory values, but a deployment
+// sends bytes. This header defines a compact, versioned envelope for every
+// report a client can emit:
+//
+//   byte 0      magic (0xLD -> 0xAD)
+//   byte 1      version (1)
+//   byte 2      oracle id (see OracleId)
+//   bytes 3-6   timestamp (uint32, little-endian)
+//   bytes 7-10  payload length (uint32, little-endian)
+//   bytes 11..  payload (oracle-specific, below)
+//   last 4      CRC32C-style checksum of everything before it
+//
+// Payloads:
+//   GRR  — the reported value index (1/2/4 bytes by domain, LE);
+//   OUE / SUE — the perturbed bit vector, packed LSB-first, ceil(d/8) bytes;
+//   OLH  — 8-byte hash seed + 4-byte bucket index;
+//   HR   — Hadamard column index (4 bytes).
+//
+// Decoding validates the magic, version, length and checksum and throws
+// std::runtime_error with a precise reason on any corruption — a server
+// must never crash on a malformed client packet.
+#ifndef LDPIDS_FO_WIRE_H_
+#define LDPIDS_FO_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ldpids {
+
+enum class OracleId : uint8_t {
+  kGrr = 1,
+  kOue = 2,
+  kOlh = 3,
+  kSue = 4,
+  kHr = 5,
+};
+
+// Oracle-specific report payloads, in decoded form.
+struct GrrWireReport {
+  uint32_t value = 0;
+};
+struct BitVectorWireReport {  // OUE and SUE
+  std::vector<bool> bits;
+};
+struct OlhWireReport {
+  uint64_t seed = 0;
+  uint32_t bucket = 0;
+};
+struct HrWireReport {
+  uint32_t column = 0;
+};
+
+// A decoded envelope: which oracle, which timestamp, raw payload bytes.
+struct WireEnvelope {
+  OracleId oracle = OracleId::kGrr;
+  uint32_t timestamp = 0;
+  std::vector<uint8_t> payload;
+};
+
+// Checksum used by the envelope (simple but robust 32-bit mix; stable
+// across platforms).
+uint32_t WireChecksum(const uint8_t* data, std::size_t size);
+
+// --- encoding ---
+std::vector<uint8_t> EncodeGrrReport(uint32_t value, std::size_t domain,
+                                     uint32_t timestamp);
+std::vector<uint8_t> EncodeBitVectorReport(const std::vector<bool>& bits,
+                                           OracleId oracle,
+                                           uint32_t timestamp);
+std::vector<uint8_t> EncodeOlhReport(uint64_t seed, uint32_t bucket,
+                                     uint32_t timestamp);
+std::vector<uint8_t> EncodeHrReport(uint32_t column, uint32_t timestamp);
+
+// --- decoding ---
+// Parses and validates the envelope; throws std::runtime_error on
+// corruption (bad magic/version/length/checksum).
+WireEnvelope DecodeEnvelope(const std::vector<uint8_t>& packet);
+
+// Payload decoders; `domain` is needed to size GRR values and bit vectors.
+GrrWireReport DecodeGrrPayload(const WireEnvelope& envelope,
+                               std::size_t domain);
+BitVectorWireReport DecodeBitVectorPayload(const WireEnvelope& envelope,
+                                           std::size_t domain);
+OlhWireReport DecodeOlhPayload(const WireEnvelope& envelope);
+HrWireReport DecodeHrPayload(const WireEnvelope& envelope);
+
+// Size in bytes of an encoded report for capacity planning.
+std::size_t EncodedReportSize(OracleId oracle, std::size_t domain);
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_FO_WIRE_H_

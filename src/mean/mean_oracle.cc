@@ -1,0 +1,38 @@
+#include "mean/mean_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ldpids {
+
+MeanOracle::MeanOracle(double epsilon) : epsilon_(epsilon) {
+  if (!(epsilon > 0.0)) {
+    throw std::invalid_argument("mean oracle epsilon must be positive");
+  }
+  const double e = std::exp(epsilon);
+  c_ = (e + 1.0) / (e - 1.0);
+}
+
+double MeanOracle::Perturb(double value, Rng& rng) const {
+  const double x = std::clamp(value, -1.0, 1.0);
+  const double p_plus = 0.5 + x / (2.0 * c_);
+  return rng.Bernoulli(p_plus) ? c_ : -c_;
+}
+
+double MeanOracle::MeanVariance(uint64_t n) const {
+  if (n == 0) throw std::invalid_argument("population must be positive");
+  return c_ * c_ / static_cast<double>(n);
+}
+
+void MeanAccumulator::Consume(double report) {
+  sum_ += report;
+  ++n_;
+}
+
+double MeanAccumulator::Estimate() const {
+  if (n_ == 0) throw std::logic_error("no reports to average");
+  return sum_ / static_cast<double>(n_);
+}
+
+}  // namespace ldpids

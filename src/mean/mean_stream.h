@@ -1,0 +1,124 @@
+// w-event LDP mean release over infinite numeric streams — the paper's
+// framework (Sections 5-6) instantiated for mean estimation instead of
+// histograms, demonstrating footnote 2's "query type is orthogonal" claim.
+//
+// Provided mechanisms (numeric analogues of the histogram family):
+//   * MeanLbu — budget division, eps/w per timestamp, everyone reports;
+//   * MeanLpu — population division, one fresh 1/w group per timestamp with
+//     the full budget;
+//   * MeanLpa — adaptive population absorption: a dissimilarity cohort
+//     estimates dis = (m_hat - last_release)^2 - Var (the scalar Theorem
+//     5.2) and a publication cohort is spent only when dis exceeds the
+//     potential publication error, with LPA's absorb/nullify schedule.
+//
+// Privacy: identical accounting to the histogram mechanisms — MeanLbu
+// splits the window budget; MeanLpu/MeanLpa let each user report at most
+// once per window (enforced by PopulationManager) with full budget.
+#ifndef LDPIDS_MEAN_MEAN_STREAM_H_
+#define LDPIDS_MEAN_MEAN_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/population_manager.h"
+#include "mean/mean_oracle.h"
+#include "util/rng.h"
+
+namespace ldpids {
+
+// Ground truth for a numeric stream: each of N users holds a value in
+// [-1, 1] at every timestamp.
+class NumericStreamDataset {
+ public:
+  virtual ~NumericStreamDataset() = default;
+  virtual std::string name() const = 0;
+  virtual uint64_t num_users() const = 0;
+  virtual std::size_t length() const = 0;
+  virtual double value(uint64_t user, std::size_t t) const = 0;
+
+  // Population mean at t (cached on first use).
+  double TrueMean(std::size_t t) const;
+
+ private:
+  mutable std::vector<double> mean_cache_;
+  mutable std::vector<bool> cached_;
+};
+
+// Synthetic numeric stream: per-user value = clamp(base_t + personal noise)
+// where base_t follows a sine plus random walk. Lazy/counter-based like the
+// categorical datasets.
+class SyntheticNumericDataset final : public NumericStreamDataset {
+ public:
+  SyntheticNumericDataset(std::string name, uint64_t num_users,
+                          std::vector<double> base_series, double user_spread,
+                          uint64_t seed);
+
+  std::string name() const override { return name_; }
+  uint64_t num_users() const override { return num_users_; }
+  std::size_t length() const override { return base_.size(); }
+  double value(uint64_t user, std::size_t t) const override;
+
+ private:
+  std::string name_;
+  uint64_t num_users_;
+  std::vector<double> base_;
+  double user_spread_;
+  uint64_t seed_;
+};
+
+// Drifting sine base series in [-0.8, 0.8]; the default workload.
+std::shared_ptr<SyntheticNumericDataset> MakeNumericSineDataset(
+    uint64_t num_users = 50000, std::size_t length = 200,
+    double period_b = 0.05, double user_spread = 0.3, uint64_t seed = 17);
+
+struct MeanStepResult {
+  double release = 0.0;
+  bool published = false;
+  uint64_t messages = 0;
+};
+
+struct MeanRunResult {
+  std::vector<double> releases;
+  std::vector<bool> published;
+  uint64_t total_messages = 0;
+  uint64_t num_publications = 0;
+  uint64_t num_users = 0;
+  std::size_t timestamps = 0;
+  double Cfpu() const;
+};
+
+class MeanStreamMechanism {
+ public:
+  virtual ~MeanStreamMechanism() = default;
+  virtual std::string name() const = 0;
+
+  // Sequential per-timestamp processing, as in StreamMechanism.
+  MeanStepResult Step(const NumericStreamDataset& data, std::size_t t);
+  MeanRunResult Run(const NumericStreamDataset& data);
+
+ protected:
+  MeanStreamMechanism(double epsilon, std::size_t window, uint64_t num_users,
+                      uint64_t seed);
+  virtual MeanStepResult DoStep(const NumericStreamDataset& data,
+                                std::size_t t) = 0;
+
+  const double epsilon_;
+  const std::size_t window_;
+  const uint64_t num_users_;
+  Rng rng_;
+  double last_release_ = 0.0;
+  std::size_t next_t_ = 0;
+};
+
+// Factory: "MeanLBU" | "MeanLPU" | "MeanLPA" (case-insensitive).
+std::unique_ptr<MeanStreamMechanism> CreateMeanMechanism(
+    const std::string& name, double epsilon, std::size_t window,
+    uint64_t num_users, uint64_t seed = 7);
+
+std::vector<std::string> AllMeanMechanismNames();
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_MEAN_MEAN_STREAM_H_

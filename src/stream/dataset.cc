@@ -1,0 +1,47 @@
+#include "stream/dataset.h"
+
+#include <stdexcept>
+
+namespace ldpids {
+
+const Counts& StreamDataset::TrueCounts(std::size_t t) const {
+  if (t >= length()) throw std::out_of_range("timestamp beyond stream");
+  if (count_cache_.size() < length()) {
+    count_cache_.resize(length());
+    cached_.resize(length(), false);
+  }
+  if (!cached_[t]) {
+    Counts counts(domain(), 0);
+    const uint64_t n = num_users();
+    for (uint64_t u = 0; u < n; ++u) {
+      const uint32_t v = value(u, t);
+      if (v >= domain()) throw std::logic_error("dataset value out of domain");
+      ++counts[v];
+    }
+    count_cache_[t] = std::move(counts);
+    cached_[t] = true;
+  }
+  return count_cache_[t];
+}
+
+Histogram StreamDataset::TrueFrequencies(std::size_t t) const {
+  return CountsToFrequencies(TrueCounts(t), num_users());
+}
+
+Counts StreamDataset::SubsetCounts(const std::vector<uint32_t>& users,
+                                   std::size_t t) const {
+  Counts counts(domain(), 0);
+  for (uint32_t u : users) ++counts[value(u, t)];
+  return counts;
+}
+
+std::vector<Histogram> StreamDataset::TrueStream() const {
+  std::vector<Histogram> stream;
+  stream.reserve(length());
+  for (std::size_t t = 0; t < length(); ++t) {
+    stream.push_back(TrueFrequencies(t));
+  }
+  return stream;
+}
+
+}  // namespace ldpids

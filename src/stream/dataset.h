@@ -1,0 +1,62 @@
+// Stream data model (paper Section 4, Fig. 1).
+//
+// A `StreamDataset` describes the ground truth of the distributed system:
+// `num_users()` users, each holding one categorical value from a domain of
+// size `domain()` at every timestamp `t < length()`. LDP-IDS treats streams
+// as conceptually infinite; a dataset exposes a finite prefix long enough
+// for the experiments (mechanisms never look ahead).
+//
+// Implementations are *lazy*: `value(user, t)` is a pure function (typically
+// counter-based hashing of (seed, user, t)), so population-division
+// mechanisms can materialize only the users they sample instead of an
+// N x T matrix. True per-timestamp histograms — which require a full pass
+// over the population — are computed once on first access and cached.
+#ifndef LDPIDS_STREAM_DATASET_H_
+#define LDPIDS_STREAM_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace ldpids {
+
+class StreamDataset {
+ public:
+  virtual ~StreamDataset() = default;
+
+  virtual std::string name() const = 0;
+  virtual uint64_t num_users() const = 0;
+  virtual std::size_t length() const = 0;  // number of timestamps T
+  virtual std::size_t domain() const = 0;  // |Omega| = d
+
+  // True value of `user` at timestamp `t`; pure and deterministic.
+  virtual uint32_t value(uint64_t user, std::size_t t) const = 0;
+
+  // True per-value counts at timestamp `t` (cached after first call).
+  const Counts& TrueCounts(std::size_t t) const;
+
+  // True frequency histogram c_t (counts / N).
+  Histogram TrueFrequencies(std::size_t t) const;
+
+  // Counts over an arbitrary subset of users at timestamp `t`; O(subset).
+  Counts SubsetCounts(const std::vector<uint32_t>& users,
+                      std::size_t t) const;
+
+  // The full sequence (c_1, ..., c_T) of true frequency histograms.
+  std::vector<Histogram> TrueStream() const;
+
+ protected:
+  StreamDataset() = default;
+
+ private:
+  // Cache of per-timestamp counts, grown on demand. Mutable because caching
+  // is not observable behaviour.
+  mutable std::vector<Counts> count_cache_;
+  mutable std::vector<bool> cached_;
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_STREAM_DATASET_H_

@@ -1,0 +1,56 @@
+#include "util/csv_writer.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ldpids {
+
+std::string CsvEscape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("cannot open CSV output: " + path);
+  EmitRow(header);
+}
+
+void CsvWriter::EmitRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << CsvEscape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) {
+    throw std::invalid_argument("CSV row width mismatch");
+  }
+  EmitRow(cells);
+}
+
+void CsvWriter::WriteRow(const std::string& label,
+                         const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) {
+    std::ostringstream oss;
+    oss << v;
+    cells.push_back(oss.str());
+  }
+  WriteRow(cells);
+}
+
+}  // namespace ldpids

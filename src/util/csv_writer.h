@@ -1,0 +1,36 @@
+// Minimal CSV emission so benchmark results can be consumed by plotting
+// scripts. Values containing commas, quotes or newlines are quoted per
+// RFC 4180.
+#ifndef LDPIDS_UTIL_CSV_WRITER_H_
+#define LDPIDS_UTIL_CSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ldpids {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits `header` as the first row.
+  // Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void WriteRow(const std::vector<std::string>& cells);
+
+  // Convenience for a label followed by numeric columns.
+  void WriteRow(const std::string& label, const std::vector<double>& values);
+
+ private:
+  void EmitRow(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+// Escapes one CSV field (quotes it when required).
+std::string CsvEscape(const std::string& field);
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_UTIL_CSV_WRITER_H_

@@ -1,0 +1,81 @@
+#include "util/flags.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace ldpids {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+namespace {
+std::string EnvName(const std::string& name) {
+  std::string env = "LDPIDS_";
+  for (char c : name) {
+    env += (c == '-') ? '_' : static_cast<char>(std::toupper(c));
+  }
+  return env;
+}
+}  // namespace
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& def) const {
+  const auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  if (const char* env = std::getenv(EnvName(name).c_str())) return env;
+  return def;
+}
+
+double Flags::GetDouble(const std::string& name, double def) const {
+  const std::string s = GetString(name, "");
+  if (s.empty()) return def;
+  return std::stod(s);
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t def) const {
+  const std::string s = GetString(name, "");
+  if (s.empty()) return def;
+  return std::stoll(s);
+}
+
+bool Flags::GetBool(const std::string& name, bool def) const {
+  std::string s = GetString(name, "");
+  if (s.empty()) return def;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+const std::string& Flags::positional(std::size_t i) const {
+  if (i >= positional_.size()) {
+    throw std::out_of_range("positional flag index");
+  }
+  return positional_[i];
+}
+
+double BenchScale(const Flags& flags) {
+  double scale = flags.GetDouble("scale", 1.0);
+  if (scale <= 0.0) scale = 1.0;
+  return std::min(scale, 1.0);
+}
+
+}  // namespace ldpids

@@ -1,0 +1,47 @@
+// Tiny flag/environment parser for the bench and example binaries.
+//
+// Supports `--name=value` and `--name value` command-line forms, falling
+// back to an environment variable (upper-cased, prefixed LDPIDS_) and then
+// to the compiled default. Benches use this for `--scale` so the full
+// paper-sized sweeps can be trimmed on small machines:
+//
+//   ./bench_fig4_utility_vs_eps --scale=0.1
+//   LDPIDS_SCALE=0.1 ./bench_fig4_utility_vs_eps
+#ifndef LDPIDS_UTIL_FLAGS_H_
+#define LDPIDS_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ldpids {
+
+class Flags {
+ public:
+  // Parses argv; unknown arguments are ignored (and kept retrievable via
+  // `positional()`), so binaries remain tolerant of harness-injected args.
+  Flags(int argc, char** argv);
+
+  // Look-up helpers; each checks, in order: command line, environment
+  // variable LDPIDS_<NAME>, then `def`.
+  std::string GetString(const std::string& name, const std::string& def) const;
+  double GetDouble(const std::string& name, double def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  const std::string& positional(std::size_t i) const;
+  std::size_t num_positional() const { return positional_.size(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+// Global experiment scale in (0, 1]: multiplies population sizes and stream
+// lengths in the bench harness. Reads flag --scale / env LDPIDS_SCALE.
+double BenchScale(const Flags& flags);
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_UTIL_FLAGS_H_

@@ -1,0 +1,72 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ldpids {
+
+Histogram CountsToFrequencies(const Counts& counts, uint64_t n) {
+  if (n == 0) throw std::invalid_argument("population must be positive");
+  Histogram h(counts.size());
+  const double inv = 1.0 / static_cast<double>(n);
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    h[k] = static_cast<double>(counts[k]) * inv;
+  }
+  return h;
+}
+
+Counts CountValues(const std::vector<uint32_t>& values, std::size_t d) {
+  Counts counts(d, 0);
+  for (uint32_t v : values) {
+    assert(v < d);
+    ++counts[v];
+  }
+  return counts;
+}
+
+double MeanSquaredDistance(const Histogram& a, const Histogram& b) {
+  assert(a.size() == b.size());
+  double total = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const double diff = a[k] - b[k];
+    total += diff * diff;
+  }
+  return a.empty() ? 0.0 : total / static_cast<double>(a.size());
+}
+
+double L1Distance(const Histogram& a, const Histogram& b) {
+  assert(a.size() == b.size());
+  double total = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) total += std::fabs(a[k] - b[k]);
+  return total;
+}
+
+double Sum(const Histogram& h) {
+  double total = 0.0;
+  for (double x : h) total += x;
+  return total;
+}
+
+double Mean(const Histogram& h) {
+  return h.empty() ? 0.0 : Sum(h) / static_cast<double>(h.size());
+}
+
+Histogram ClampToUnit(const Histogram& h) {
+  Histogram out(h.size());
+  for (std::size_t k = 0; k < h.size(); ++k) {
+    out[k] = std::clamp(h[k], 0.0, 1.0);
+  }
+  return out;
+}
+
+Histogram Normalize(const Histogram& h) {
+  const double total = Sum(h);
+  if (total <= 0.0) return h;
+  Histogram out(h.size());
+  for (std::size_t k = 0; k < h.size(); ++k) out[k] = h[k] / total;
+  return out;
+}
+
+}  // namespace ldpids

@@ -1,0 +1,48 @@
+// Dense frequency histograms over a categorical domain Omega of size d.
+//
+// Throughout the library a "histogram" is a vector of per-value frequencies
+// (fractions of the population), matching the paper's c_t / r_t notation.
+// Raw counts are kept as std::vector<uint64_t> and converted with
+// `CountsToFrequencies`.
+#ifndef LDPIDS_UTIL_HISTOGRAM_H_
+#define LDPIDS_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ldpids {
+
+using Histogram = std::vector<double>;
+using Counts = std::vector<uint64_t>;
+
+// Converts raw per-value counts into frequencies by dividing by `n`.
+// `n` must be positive.
+Histogram CountsToFrequencies(const Counts& counts, uint64_t n);
+
+// Builds per-value counts from a list of values in [0, d).
+Counts CountValues(const std::vector<uint32_t>& values, std::size_t d);
+
+// (1/d) * sum_k (a[k] - b[k])^2 — the average per-bin squared L2 distance.
+// This is the paper's distance used in dis* (Eq. 3) and err (Eq. 5).
+double MeanSquaredDistance(const Histogram& a, const Histogram& b);
+
+// sum_k |a[k] - b[k]| — the L1 distance between two histograms.
+double L1Distance(const Histogram& a, const Histogram& b);
+
+// sum_k a[k].
+double Sum(const Histogram& h);
+
+// mean_k a[k].
+double Mean(const Histogram& h);
+
+// Clamps each entry to [0, 1]. LDP estimators are unbiased but can leave the
+// simplex; release post-processing may clamp (a standard DP post-processing
+// step, privacy-free). Returns the clamped copy.
+Histogram ClampToUnit(const Histogram& h);
+
+// Normalizes a non-negative vector to sum to 1 (no-op on an all-zero input).
+Histogram Normalize(const Histogram& h);
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_UTIL_HISTOGRAM_H_

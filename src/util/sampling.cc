@@ -1,0 +1,33 @@
+#include "util/sampling.h"
+
+#include <numeric>
+
+namespace ldpids {
+
+std::vector<uint32_t> SampleFromPool(Rng& rng, std::vector<uint32_t>* pool,
+                                     std::size_t count) {
+  std::vector<uint32_t> picked;
+  if (count >= pool->size()) {
+    picked = std::move(*pool);
+    pool->clear();
+    return picked;
+  }
+  picked.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = static_cast<std::size_t>(
+        rng.UniformInt(static_cast<uint64_t>(pool->size())));
+    picked.push_back((*pool)[j]);
+    (*pool)[j] = pool->back();
+    pool->pop_back();
+  }
+  return picked;
+}
+
+std::vector<uint32_t> SampleSubset(Rng& rng, std::size_t n,
+                                   std::size_t count) {
+  std::vector<uint32_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0u);
+  return SampleFromPool(rng, &pool, count);
+}
+
+}  // namespace ldpids

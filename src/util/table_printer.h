@@ -1,0 +1,43 @@
+// Fixed-width console table output used by the benchmark harness to print
+// the paper's tables and figure series in a readable form.
+#ifndef LDPIDS_UTIL_TABLE_PRINTER_H_
+#define LDPIDS_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ldpids {
+
+// Collects rows of string cells and prints them with aligned columns.
+//
+//   TablePrinter t({"method", "eps=0.5", "eps=1.0"});
+//   t.AddRow({"LBU", "0.512", "0.273"});
+//   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Appends a data row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with `precision` significant decimals.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 4);
+
+  // Renders the table (header, separator, rows) to `os`.
+  void Print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given number of decimals (fixed notation).
+std::string FormatDouble(double value, int precision = 4);
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_UTIL_TABLE_PRINTER_H_

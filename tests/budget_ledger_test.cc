@@ -1,0 +1,72 @@
+#include "core/budget_ledger.h"
+
+#include <gtest/gtest.h>
+
+namespace ldpids {
+namespace {
+
+TEST(BudgetLedgerTest, RejectsNonPositiveEpsilon) {
+  EXPECT_THROW(BudgetLedger(0.0, 5), std::invalid_argument);
+  EXPECT_THROW(BudgetLedger(-1.0, 5), std::invalid_argument);
+}
+
+TEST(BudgetLedgerTest, AccumulatesWithinWindow) {
+  BudgetLedger ledger(1.0, 3);
+  ledger.Record(0.1, 0.2);
+  EXPECT_DOUBLE_EQ(ledger.WindowSpent(), 0.3);
+  ledger.Record(0.1, 0.0);
+  EXPECT_DOUBLE_EQ(ledger.WindowSpent(), 0.4);
+  EXPECT_DOUBLE_EQ(ledger.WindowPublicationSpent(), 0.2);
+}
+
+TEST(BudgetLedgerTest, OldTimestampsExpire) {
+  BudgetLedger ledger(1.0, 2);
+  ledger.Record(0.0, 0.5);
+  ledger.Record(0.0, 0.4);
+  EXPECT_DOUBLE_EQ(ledger.WindowPublicationSpent(), 0.9);
+  ledger.Record(0.0, 0.5);  // the first 0.5 slid out
+  EXPECT_DOUBLE_EQ(ledger.WindowPublicationSpent(), 0.9);
+}
+
+TEST(BudgetLedgerTest, PublicationSpentInActiveWindowExcludesOldest) {
+  BudgetLedger ledger(10.0, 3);
+  ledger.Record(0.0, 1.0);
+  ledger.Record(0.0, 2.0);
+  // Window not full: everything is still active.
+  EXPECT_DOUBLE_EQ(ledger.PublicationSpentInActiveWindow(), 3.0);
+  ledger.Record(0.0, 4.0);
+  // Full window {1,2,4}: at the next timestamp, the 1.0 is out.
+  EXPECT_DOUBLE_EQ(ledger.PublicationSpentInActiveWindow(), 6.0);
+}
+
+TEST(BudgetLedgerTest, ThrowsWhenWindowExceedsEpsilon) {
+  BudgetLedger ledger(1.0, 4);
+  ledger.Record(0.25, 0.25);
+  ledger.Record(0.25, 0.25);
+  EXPECT_THROW(ledger.Record(0.25, 0.3), std::logic_error);
+}
+
+TEST(BudgetLedgerTest, ExactBudgetIsAllowed) {
+  BudgetLedger ledger(1.0, 4);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_NO_THROW(ledger.Record(0.125, 0.125)) << "step " << i;
+  }
+  EXPECT_NEAR(ledger.WindowSpent(), 1.0, 1e-12);
+}
+
+TEST(BudgetLedgerTest, RejectsNegativeBudgets) {
+  BudgetLedger ledger(1.0, 2);
+  EXPECT_THROW(ledger.Record(-0.1, 0.0), std::logic_error);
+  EXPECT_THROW(ledger.Record(0.0, -0.1), std::logic_error);
+}
+
+TEST(BudgetLedgerTest, RecoveryAfterExpiryAllowsFreshSpending) {
+  BudgetLedger ledger(1.0, 2);
+  ledger.Record(0.0, 1.0);
+  ledger.Record(0.0, 0.0);
+  // The full-eps record from two steps ago is out of the window now.
+  ASSERT_NO_THROW(ledger.Record(0.0, 1.0));
+}
+
+}  // namespace
+}  // namespace ldpids

@@ -1,0 +1,109 @@
+#include "cdp/baselines.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.h"
+#include "analysis/runner.h"
+#include "cdp/laplace.h"
+#include "datagen/synthetic.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ldpids {
+namespace {
+
+TEST(LaplaceMechanismTest, PerturbationIsUnbiasedWithKnownVariance) {
+  Rng rng(1);
+  const Histogram c = {0.3, 0.7};
+  const double eps = 0.5;
+  const uint64_t n = 1000;
+  std::vector<double> bin0;
+  for (int rep = 0; rep < 50000; ++rep) {
+    bin0.push_back(LaplacePerturbHistogram(c, eps, n, 2.0, rng)[0]);
+  }
+  EXPECT_TRUE(testing::MeanWithin(bin0, 0.3));
+  EXPECT_NEAR(testing::SampleVariance(bin0), LaplaceVariance(eps, n, 2.0),
+              LaplaceVariance(eps, n, 2.0) * 0.1);
+}
+
+TEST(LaplaceMechanismTest, InputValidation) {
+  Rng rng(2);
+  EXPECT_THROW(LaplacePerturbHistogram({0.5}, 0.0, 10, 1.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(LaplacePerturbHistogram({0.5}, 1.0, 0, 1.0, rng),
+               std::invalid_argument);
+}
+
+CdpConfig SmallCdpConfig() {
+  CdpConfig c;
+  c.epsilon = 1.0;
+  c.window = 10;
+  c.num_users = 20000;
+  c.seed = 3;
+  return c;
+}
+
+std::vector<Histogram> SmallTrueStream(std::size_t length = 80) {
+  const auto data = MakeLnsDataset(20000, length, 0.0025, 17);
+  return data->TrueStream();
+}
+
+TEST(CdpFactoryTest, CreatesAllMethods) {
+  for (const std::string& name : {"Uniform", "Sampling", "BD", "BA"}) {
+    EXPECT_NO_THROW(CreateCdpMechanism(name, SmallCdpConfig())) << name;
+  }
+  EXPECT_THROW(CreateCdpMechanism("nope", SmallCdpConfig()),
+               std::invalid_argument);
+}
+
+TEST(CdpMechanismTest, RunReleasesMatchStreamShape) {
+  const auto stream = SmallTrueStream();
+  for (const std::string& name : {"Uniform", "Sampling", "BD", "BA"}) {
+    auto m = CreateCdpMechanism(name, SmallCdpConfig());
+    const auto releases = m->Run(stream);
+    ASSERT_EQ(releases.size(), stream.size()) << name;
+    for (const auto& r : releases) ASSERT_EQ(r.size(), 2u) << name;
+    // CDP at n=20k is accurate: MAE well under 5%.
+    EXPECT_LT(MeanAbsoluteError(stream, releases), 0.05) << name;
+  }
+}
+
+TEST(CdpMechanismTest, AdaptiveBeatsUniformOnQuietStreams) {
+  // On a static stream BD/BA approximate almost always and beat Uniform.
+  const std::vector<Histogram> stream(100, Histogram{0.8, 0.2});
+  auto uniform = CreateCdpMechanism("Uniform", SmallCdpConfig());
+  auto ba = CreateCdpMechanism("BA", SmallCdpConfig());
+  const double mse_uniform = MeanSquaredError(stream, uniform->Run(stream));
+  const double mse_ba = MeanSquaredError(stream, ba->Run(stream));
+  EXPECT_LT(mse_ba, mse_uniform);
+}
+
+TEST(CdpMechanismTest, DomainChangeMidStreamThrows) {
+  auto m = CreateCdpMechanism("Uniform", SmallCdpConfig());
+  m->Step({0.5, 0.5});
+  EXPECT_THROW(m->Step({0.3, 0.3, 0.4}), std::invalid_argument);
+}
+
+// The motivating gap (paper Sections 1-2): with the same eps and w, CDP
+// budget division hugely outperforms LDP budget division — this is why
+// population division is needed at all.
+TEST(CdpLdpGapTest, CdpUniformBeatsLdpUniform) {
+  const auto data = MakeLnsDataset(20000, 80, 0.0025, 17);
+  const auto truth = data->TrueStream();
+
+  CdpConfig cdp = SmallCdpConfig();
+  auto cdp_uniform = CreateCdpMechanism("Uniform", cdp);
+  const double mse_cdp = MeanSquaredError(truth, cdp_uniform->Run(truth));
+
+  MechanismConfig ldp;
+  ldp.epsilon = 1.0;
+  ldp.window = 10;
+  ldp.fo = "GRR";
+  const auto lbu = EvaluateMechanism(*data, "LBU", ldp, 2);
+  EXPECT_LT(mse_cdp, lbu.mse / 10.0);
+}
+
+}  // namespace
+}  // namespace ldpids

@@ -1,0 +1,81 @@
+#include "fo/client.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fo/grr.h"
+#include "test_util.h"
+
+namespace ldpids {
+namespace {
+
+TEST(GrrClientTest, ReportsStayInDomain) {
+  GrrClient client(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(client.Perturb(3, 1.0, 5), 5u);
+  }
+  EXPECT_THROW(client.Perturb(5, 1.0, 5), std::out_of_range);
+}
+
+TEST(GrrClientTest, KeepRateMatchesP) {
+  GrrClient client(2);
+  const double eps = 1.0;
+  const std::size_t d = 4;
+  constexpr int kReports = 200000;
+  int kept = 0;
+  for (int i = 0; i < kReports; ++i) kept += (client.Perturb(1, eps, d) == 1);
+  const double p = GrrOracle::KeepProbability(eps, d);
+  EXPECT_NEAR(kept, p * kReports, 5.0 * std::sqrt(kReports * p * (1 - p)));
+}
+
+TEST(GrrClientTest, EmpiricalLdpGuarantee) {
+  // For every output o, P[o | v=0] / P[o | v=1] must lie within e^{+-eps}.
+  const double eps = 0.7;
+  const std::size_t d = 3;
+  constexpr int kReports = 300000;
+  GrrClient c0(3), c1(4);
+  std::vector<int> count0(d, 0), count1(d, 0);
+  for (int i = 0; i < kReports; ++i) {
+    ++count0[c0.Perturb(0, eps, d)];
+    ++count1[c1.Perturb(1, eps, d)];
+  }
+  for (std::size_t o = 0; o < d; ++o) {
+    const double ratio = static_cast<double>(count0[o]) /
+                         static_cast<double>(count1[o]);
+    // 3 sigma slack on the empirical ratio.
+    EXPECT_LT(ratio, std::exp(eps) * 1.05) << "output " << o;
+    EXPECT_GT(ratio, std::exp(-eps) / 1.05) << "output " << o;
+  }
+}
+
+TEST(GrrAggregatorTest, RoundTripIsUnbiased) {
+  const double eps = 1.0;
+  const std::size_t d = 4;
+  // 30% value 0, 70% value 3.
+  std::vector<double> est0;
+  for (int rep = 0; rep < 60; ++rep) {
+    GrrClient client(100 + rep);
+    GrrAggregator agg(eps, d);
+    for (int i = 0; i < 5000; ++i) {
+      agg.Consume(client.Perturb(i % 10 < 3 ? 0 : 3, eps, d));
+    }
+    est0.push_back(agg.Estimate()[0]);
+  }
+  EXPECT_TRUE(testing::MeanWithin(est0, 0.3, 5.5))
+      << testing::SampleMean(est0);
+}
+
+TEST(GrrAggregatorTest, InputValidation) {
+  GrrAggregator agg(1.0, 3);
+  EXPECT_THROW(agg.Estimate(), std::logic_error);
+  EXPECT_THROW(agg.Consume(3), std::out_of_range);
+  EXPECT_THROW(GrrAggregator(1.0, 1), std::invalid_argument);
+  agg.Consume(0);
+  EXPECT_EQ(agg.num_reports(), 1u);
+  EXPECT_EQ(agg.Estimate().size(), 3u);
+}
+
+}  // namespace
+}  // namespace ldpids

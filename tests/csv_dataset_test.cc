@@ -1,0 +1,75 @@
+#include "datagen/csv_dataset.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace ldpids {
+namespace {
+
+std::string WriteTemp(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+TEST(LoadCsvDatasetTest, ParsesDenseMatrix) {
+  const std::string path =
+      WriteTemp("ds_basic.csv", "0,1,2\n2,2,2\n1,0,1\n");
+  const auto data = LoadCsvDataset(path, 3, "mini");
+  EXPECT_EQ(data->num_users(), 3u);
+  EXPECT_EQ(data->length(), 3u);
+  EXPECT_EQ(data->domain(), 3u);
+  EXPECT_EQ(data->name(), "mini");
+  EXPECT_EQ(data->value(0, 2), 2u);
+  EXPECT_EQ(data->value(2, 1), 0u);
+  EXPECT_EQ(data->TrueCounts(1), (Counts{1, 1, 1}));
+  std::remove(path.c_str());
+}
+
+TEST(LoadCsvDatasetTest, InfersDomainFromMaxValue) {
+  const std::string path = WriteTemp("ds_infer.csv", "0,4\n1,2\n");
+  const auto data = LoadCsvDataset(path);
+  EXPECT_EQ(data->domain(), 5u);
+  std::remove(path.c_str());
+}
+
+TEST(LoadCsvDatasetTest, SkipsBlankLines) {
+  const std::string path = WriteTemp("ds_blank.csv", "0,1\n\n1,1\n");
+  const auto data = LoadCsvDataset(path, 2);
+  EXPECT_EQ(data->num_users(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(LoadCsvDatasetTest, ReportsBadCellsWithLocation) {
+  const std::string path = WriteTemp("ds_bad.csv", "0,1\n0,oops\n");
+  try {
+    LoadCsvDataset(path, 2);
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("oops"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LoadCsvDatasetTest, MissingFileThrows) {
+  EXPECT_THROW(LoadCsvDataset("/no/such/file.csv"), std::runtime_error);
+}
+
+TEST(LoadCsvDatasetTest, RaggedRowsThrow) {
+  const std::string path = WriteTemp("ds_ragged.csv", "0,1,1\n0,1\n");
+  EXPECT_THROW(LoadCsvDataset(path, 2), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(LoadCsvDatasetTest, ValueOutsideDeclaredDomainThrows) {
+  const std::string path = WriteTemp("ds_dom.csv", "0,5\n");
+  EXPECT_THROW(LoadCsvDataset(path, 3), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ldpids

@@ -1,0 +1,59 @@
+#include "util/csv_writer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace ldpids {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(CsvEscapeTest, PlainFieldsPassThrough) {
+  EXPECT_EQ(CsvEscape("abc"), "abc");
+  EXPECT_EQ(CsvEscape("1.5"), "1.5");
+}
+
+TEST(CsvEscapeTest, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  const std::string path = TempPath("csv_writer_basic.csv");
+  {
+    CsvWriter w(path, {"method", "eps", "mre"});
+    w.WriteRow({"LBU", "1.0", "0.5"});
+    w.WriteRow("LPA", {2.0, 0.05});
+  }
+  const std::string content = ReadAll(path);
+  EXPECT_EQ(content, "method,eps,mre\nLBU,1.0,0.5\nLPA,2,0.05\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, RejectsWidthMismatch) {
+  const std::string path = TempPath("csv_writer_width.csv");
+  CsvWriter w(path, {"a", "b"});
+  EXPECT_THROW(w.WriteRow({"only-one"}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ldpids

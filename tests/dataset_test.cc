@@ -1,0 +1,70 @@
+#include "stream/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/csv_dataset.h"
+
+namespace ldpids {
+namespace {
+
+InMemoryDataset MakeFixture() {
+  // 4 users, 3 timestamps, domain 3.
+  return InMemoryDataset("fixture",
+                         {{0, 1, 2},
+                          {0, 1, 2},
+                          {1, 2, 0},
+                          {2, 2, 2}},
+                         3);
+}
+
+TEST(StreamDatasetTest, TrueCountsMatchHandCount) {
+  const auto data = MakeFixture();
+  EXPECT_EQ(data.TrueCounts(0), (Counts{2, 1, 1}));
+  EXPECT_EQ(data.TrueCounts(1), (Counts{0, 2, 2}));
+  EXPECT_EQ(data.TrueCounts(2), (Counts{1, 0, 3}));
+}
+
+TEST(StreamDatasetTest, TrueCountsAreCachedAndStable) {
+  const auto data = MakeFixture();
+  const Counts& first = data.TrueCounts(1);
+  const Counts& second = data.TrueCounts(1);
+  EXPECT_EQ(&first, &second);  // same cached object
+}
+
+TEST(StreamDatasetTest, TrueFrequenciesNormalize) {
+  const auto data = MakeFixture();
+  const Histogram h = data.TrueFrequencies(0);
+  EXPECT_DOUBLE_EQ(h[0], 0.5);
+  EXPECT_DOUBLE_EQ(h[1], 0.25);
+  EXPECT_DOUBLE_EQ(h[2], 0.25);
+}
+
+TEST(StreamDatasetTest, SubsetCountsConsistentWithValues) {
+  const auto data = MakeFixture();
+  const Counts sub = data.SubsetCounts({0, 3}, 2);
+  EXPECT_EQ(sub, (Counts{0, 0, 2}));
+  const Counts all = data.SubsetCounts({0, 1, 2, 3}, 0);
+  EXPECT_EQ(all, data.TrueCounts(0));
+}
+
+TEST(StreamDatasetTest, TrueStreamCoversAllTimestamps) {
+  const auto data = MakeFixture();
+  const auto stream = data.TrueStream();
+  ASSERT_EQ(stream.size(), 3u);
+  EXPECT_EQ(stream[2][2], 0.75);
+}
+
+TEST(StreamDatasetTest, OutOfRangeTimestampThrows) {
+  const auto data = MakeFixture();
+  EXPECT_THROW(data.TrueCounts(3), std::out_of_range);
+}
+
+TEST(InMemoryDatasetTest, ValidatesInput) {
+  EXPECT_THROW(InMemoryDataset("x", {}, 2), std::invalid_argument);
+  EXPECT_THROW(InMemoryDataset("x", {{0, 1}, {0}}, 2), std::invalid_argument);
+  EXPECT_THROW(InMemoryDataset("x", {{0, 2}}, 2), std::invalid_argument);
+  EXPECT_THROW(InMemoryDataset("x", {{0, 1}}, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ldpids

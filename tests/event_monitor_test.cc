@@ -1,0 +1,77 @@
+#include "analysis/event_monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace ldpids {
+namespace {
+
+TEST(MonitoredStatisticTest, BinaryStreamsUseOnesFrequency) {
+  const std::vector<Histogram> stream = {{0.9, 0.1}, {0.4, 0.6}};
+  const auto stat = MonitoredStatistic(stream);
+  EXPECT_DOUBLE_EQ(stat[0], 0.1);
+  EXPECT_DOUBLE_EQ(stat[1], 0.6);
+}
+
+TEST(MonitoredStatisticTest, CategoricalStreamsUsePeakBin) {
+  const std::vector<Histogram> stream = {{0.2, 0.5, 0.3}, {0.7, 0.2, 0.1}};
+  const auto stat = MonitoredStatistic(stream);
+  EXPECT_DOUBLE_EQ(stat[0], 0.5);
+  EXPECT_DOUBLE_EQ(stat[1], 0.7);
+}
+
+TEST(MonitoredStatisticTest, EmptyStreamThrows) {
+  EXPECT_THROW(MonitoredStatistic({}), std::invalid_argument);
+}
+
+TEST(EventThresholdTest, MatchesPaperFormula) {
+  const std::vector<double> stat = {0.0, 1.0, 0.5};
+  // 0.75 * (1 - 0) + 0 = 0.75.
+  EXPECT_DOUBLE_EQ(EventThreshold(stat), 0.75);
+  // Custom quantile.
+  EXPECT_DOUBLE_EQ(EventThreshold(stat, 0.5), 0.5);
+  // Offset range.
+  EXPECT_DOUBLE_EQ(EventThreshold({0.2, 0.6}, 0.75), 0.75 * 0.4 + 0.2);
+}
+
+TEST(EventLabelsTest, StrictlyAbove) {
+  const auto labels = EventLabels({0.1, 0.75, 0.8}, 0.75);
+  EXPECT_FALSE(labels[0]);
+  EXPECT_FALSE(labels[1]);  // equal is not above
+  EXPECT_TRUE(labels[2]);
+}
+
+TEST(PrepareEventDetectionTest, ProducesAlignedScoresAndLabels) {
+  const std::vector<Histogram> truth = {
+      {0.9, 0.1}, {0.9, 0.1}, {0.9, 0.1}, {0.2, 0.8}};
+  const std::vector<Histogram> released = {
+      {0.85, 0.15}, {0.88, 0.12}, {0.9, 0.1}, {0.3, 0.7}};
+  std::vector<double> scores;
+  std::vector<bool> labels;
+  ASSERT_TRUE(PrepareEventDetection(truth, released, &scores, &labels));
+  ASSERT_EQ(scores.size(), 4u);
+  ASSERT_EQ(labels.size(), 4u);
+  EXPECT_TRUE(labels[3]);
+  EXPECT_FALSE(labels[0]);
+  EXPECT_DOUBLE_EQ(scores[3], 0.7);
+}
+
+TEST(PrepareEventDetectionTest, DegenerateTruthReturnsFalse) {
+  // Constant truth: no event exceeds the threshold (or all would).
+  const std::vector<Histogram> flat(5, Histogram{0.5, 0.5});
+  std::vector<double> scores;
+  std::vector<bool> labels;
+  EXPECT_FALSE(PrepareEventDetection(flat, flat, &scores, &labels));
+  EXPECT_TRUE(scores.empty());
+  EXPECT_TRUE(labels.empty());
+}
+
+TEST(PrepareEventDetectionTest, MisalignedThrows) {
+  const std::vector<Histogram> truth = {{0.5, 0.5}};
+  std::vector<double> scores;
+  std::vector<bool> labels;
+  EXPECT_THROW(PrepareEventDetection(truth, {}, &scores, &labels),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ldpids

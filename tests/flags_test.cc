@@ -1,0 +1,81 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ldpids {
+namespace {
+
+Flags MakeFlags(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;  // keep pointers alive
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& s : storage) argv.push_back(s.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, ParsesEqualsForm) {
+  const Flags f = MakeFlags({"--scale=0.25", "--fo=OUE"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("scale", 1.0), 0.25);
+  EXPECT_EQ(f.GetString("fo", "GRR"), "OUE");
+}
+
+TEST(FlagsTest, ParsesSpaceForm) {
+  const Flags f = MakeFlags({"--reps", "5"});
+  EXPECT_EQ(f.GetInt("reps", 1), 5);
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  const Flags f = MakeFlags({"--verbose"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_FALSE(f.GetBool("quiet", false));
+}
+
+TEST(FlagsTest, BoolParsesCommonSpellings) {
+  EXPECT_TRUE(MakeFlags({"--x=YES"}).GetBool("x", false));
+  EXPECT_TRUE(MakeFlags({"--x=1"}).GetBool("x", false));
+  EXPECT_TRUE(MakeFlags({"--x=on"}).GetBool("x", false));
+  EXPECT_FALSE(MakeFlags({"--x=no"}).GetBool("x", true));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const Flags f = MakeFlags({});
+  EXPECT_EQ(f.GetString("missing", "fallback"), "fallback");
+  EXPECT_EQ(f.GetInt("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(f.GetDouble("missing", 2.5), 2.5);
+}
+
+TEST(FlagsTest, EnvironmentFallback) {
+  ::setenv("LDPIDS_FROM_ENV", "7", 1);
+  const Flags f = MakeFlags({});
+  EXPECT_EQ(f.GetInt("from-env", 0), 7);
+  ::unsetenv("LDPIDS_FROM_ENV");
+}
+
+TEST(FlagsTest, CommandLineBeatsEnvironment) {
+  ::setenv("LDPIDS_SCALE", "0.9", 1);
+  const Flags f = MakeFlags({"--scale=0.1"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("scale", 1.0), 0.1);
+  ::unsetenv("LDPIDS_SCALE");
+}
+
+TEST(FlagsTest, PositionalArgumentsAreKept) {
+  const Flags f = MakeFlags({"first", "--k=v", "second"});
+  ASSERT_EQ(f.num_positional(), 2u);
+  EXPECT_EQ(f.positional(0), "first");
+  EXPECT_EQ(f.positional(1), "second");
+  EXPECT_THROW(f.positional(2), std::out_of_range);
+}
+
+TEST(BenchScaleTest, ClampsToUnitInterval) {
+  EXPECT_DOUBLE_EQ(BenchScale(MakeFlags({"--scale=0.5"})), 0.5);
+  EXPECT_DOUBLE_EQ(BenchScale(MakeFlags({"--scale=3.0"})), 1.0);
+  EXPECT_DOUBLE_EQ(BenchScale(MakeFlags({"--scale=-1"})), 1.0);
+  EXPECT_DOUBLE_EQ(BenchScale(MakeFlags({})), 1.0);
+}
+
+}  // namespace
+}  // namespace ldpids

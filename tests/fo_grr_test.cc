@@ -1,0 +1,130 @@
+#include "fo/grr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ldpids {
+namespace {
+
+TEST(GrrOracleTest, ProbabilitiesMatchEq1) {
+  // p = e^eps / (e^eps + d - 1), q = 1 / (e^eps + d - 1).
+  const double eps = 1.0;
+  const std::size_t d = 5;
+  const double e = std::exp(eps);
+  EXPECT_DOUBLE_EQ(GrrOracle::KeepProbability(eps, d), e / (e + 4.0));
+  EXPECT_DOUBLE_EQ(GrrOracle::LieProbability(eps, d), 1.0 / (e + 4.0));
+}
+
+TEST(GrrOracleTest, ProbabilityRatioIsExactlyExpEps) {
+  // The LDP guarantee: P[report=v | true=v] / P[report=v | true=u] = e^eps.
+  for (double eps : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    for (std::size_t d : {2u, 10u, 117u}) {
+      const double ratio = GrrOracle::KeepProbability(eps, d) /
+                           GrrOracle::LieProbability(eps, d);
+      EXPECT_NEAR(ratio, std::exp(eps), 1e-9 * std::exp(eps));
+    }
+  }
+}
+
+TEST(GrrOracleTest, ReportDistributionMatchesProtocol) {
+  // Empirically verify the per-user channel: a user with value 2 out of
+  // d = 4 reports 2 with prob p and each other value with prob (1-p)/3 = q.
+  const double eps = 1.0;
+  const std::size_t d = 4;
+  const GrrOracle oracle;
+  Rng rng(1);
+  constexpr int kUsers = 300000;
+  auto sketch = oracle.CreateSketch({eps, d});
+  for (int i = 0; i < kUsers; ++i) sketch->AddUser(2, rng);
+  // The unbiased estimate of a point-mass-at-2 distribution is e_2.
+  const Histogram est = sketch->Estimate();
+  EXPECT_NEAR(est[2], 1.0, 0.02);
+  EXPECT_NEAR(est[0], 0.0, 0.02);
+  EXPECT_NEAR(est[1], 0.0, 0.02);
+  EXPECT_NEAR(est[3], 0.0, 0.02);
+}
+
+TEST(GrrOracleTest, VarianceMatchesPaperEq2AtZeroFrequency) {
+  // Eq. (2) with f = 0: (d - 2 + e^eps) / (n (e^eps - 1)^2).
+  const GrrOracle oracle;
+  for (double eps : {0.5, 1.0, 2.0}) {
+    for (std::size_t d : {2u, 5u, 77u}) {
+      const double e = std::exp(eps);
+      const double expected = (d - 2.0 + e) / (10000.0 * (e - 1.0) * (e - 1.0));
+      EXPECT_NEAR(oracle.Variance(eps, 10000, d, 0.0), expected,
+                  1e-12 + expected * 1e-9)
+          << "eps=" << eps << " d=" << d;
+    }
+  }
+}
+
+TEST(GrrOracleTest, EstimateIsUnbiasedOnSkewedInput) {
+  const GrrOracle oracle;
+  const std::size_t d = 6;
+  const double eps = 0.8;
+  Rng rng(2);
+  // 100 repetitions of a 20k-user cohort with known composition.
+  const Counts cohort = {8000, 6000, 3000, 2000, 900, 100};
+  std::vector<double> est0, est5;
+  for (int rep = 0; rep < 100; ++rep) {
+    auto sketch = oracle.CreateSketch({eps, d});
+    sketch->AddCohort(cohort, rng);
+    const Histogram est = sketch->Estimate();
+    est0.push_back(est[0]);
+    est5.push_back(est[5]);
+  }
+  EXPECT_TRUE(testing::MeanWithin(est0, 0.4)) << testing::SampleMean(est0);
+  EXPECT_TRUE(testing::MeanWithin(est5, 0.005)) << testing::SampleMean(est5);
+}
+
+TEST(GrrOracleTest, CohortAndPerUserPathsAgreeInMoments) {
+  const GrrOracle oracle;
+  const std::size_t d = 3;
+  const double eps = 1.0;
+  const Counts cohort = {500, 300, 200};
+  Rng rng_a(3), rng_b(4);
+  std::vector<double> exact, fast;
+  for (int rep = 0; rep < 400; ++rep) {
+    auto sa = oracle.CreateSketch({eps, d});
+    for (std::size_t k = 0; k < d; ++k) {
+      for (uint64_t i = 0; i < cohort[k]; ++i) {
+        sa->AddUser(static_cast<uint32_t>(k), rng_a);
+      }
+    }
+    exact.push_back(sa->Estimate()[0]);
+    auto sb = oracle.CreateSketch({eps, d});
+    sb->AddCohort(cohort, rng_b);
+    fast.push_back(sb->Estimate()[0]);
+  }
+  // Same mean (0.5) and, per the distribution-equivalence claim, same
+  // variance up to sampling error.
+  EXPECT_TRUE(testing::MeanWithin(exact, 0.5));
+  EXPECT_TRUE(testing::MeanWithin(fast, 0.5));
+  const double var_exact = testing::SampleVariance(exact);
+  const double var_fast = testing::SampleVariance(fast);
+  EXPECT_NEAR(var_exact, var_fast, 0.35 * std::max(var_exact, var_fast));
+}
+
+TEST(GrrOracleTest, SketchRejectsBadInput) {
+  const GrrOracle oracle;
+  auto sketch = oracle.CreateSketch({1.0, 4});
+  Rng rng(5);
+  EXPECT_THROW(sketch->AddUser(4, rng), std::out_of_range);
+  EXPECT_THROW(sketch->AddCohort({1, 2, 3}, rng), std::invalid_argument);
+  EXPECT_THROW(sketch->Estimate(), std::logic_error);
+}
+
+TEST(GrrOracleTest, BytesPerReportScalesWithDomain) {
+  const GrrOracle oracle;
+  EXPECT_EQ(oracle.BytesPerReport(2), 1u);
+  EXPECT_EQ(oracle.BytesPerReport(256), 1u);
+  EXPECT_EQ(oracle.BytesPerReport(257), 2u);
+  EXPECT_EQ(oracle.BytesPerReport(100000), 4u);
+}
+
+}  // namespace
+}  // namespace ldpids

@@ -1,0 +1,179 @@
+// Parameterized property suite run against every frequency oracle: the
+// stream mechanisms are FO-agnostic, so all FOs must satisfy the same
+// contract (unbiasedness, analytic variance, cohort/per-user distributional
+// equivalence, V(eps, n) monotonicity).
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fo/frequency_oracle.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ldpids {
+namespace {
+
+using FoCase = std::tuple<std::string, double, std::size_t>;  // name, eps, d
+
+class FoPropertyTest : public ::testing::TestWithParam<FoCase> {
+ protected:
+  const FrequencyOracle& oracle() const {
+    return GetFrequencyOracle(std::get<0>(GetParam()));
+  }
+  double eps() const { return std::get<1>(GetParam()); }
+  std::size_t d() const { return std::get<2>(GetParam()); }
+
+  // A fixed skewed cohort over the domain (Zipf-ish).
+  Counts MakeCohort(uint64_t n) const {
+    Counts cohort(d(), 0);
+    uint64_t left = n;
+    for (std::size_t k = 0; k + 1 < d(); ++k) {
+      cohort[k] = left / 2;
+      left -= cohort[k];
+    }
+    cohort[d() - 1] = left;
+    return cohort;
+  }
+};
+
+TEST_P(FoPropertyTest, EstimateIsUnbiased) {
+  Rng rng(100);
+  const uint64_t n = 20000;
+  const Counts cohort = MakeCohort(n);
+  std::vector<double> first_bin, last_bin;
+  for (int rep = 0; rep < 120; ++rep) {
+    auto sketch = oracle().CreateSketch({eps(), d()});
+    sketch->AddCohort(cohort, rng);
+    const Histogram est = sketch->Estimate();
+    ASSERT_EQ(est.size(), d());
+    first_bin.push_back(est[0]);
+    last_bin.push_back(est[d() - 1]);
+  }
+  const double f0 = static_cast<double>(cohort[0]) / n;
+  const double fl = static_cast<double>(cohort[d() - 1]) / n;
+  EXPECT_TRUE(testing::MeanWithin(first_bin, f0, 5.5))
+      << testing::SampleMean(first_bin) << " vs " << f0;
+  EXPECT_TRUE(testing::MeanWithin(last_bin, fl, 5.5))
+      << testing::SampleMean(last_bin) << " vs " << fl;
+}
+
+TEST_P(FoPropertyTest, AnalyticVarianceMatchesEmpirical) {
+  Rng rng(200);
+  const uint64_t n = 20000;
+  const Counts cohort = MakeCohort(n);
+  const double f0 = static_cast<double>(cohort[0]) / n;
+  std::vector<double> first_bin;
+  constexpr int kReps = 600;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto sketch = oracle().CreateSketch({eps(), d()});
+    sketch->AddCohort(cohort, rng);
+    first_bin.push_back(sketch->Estimate()[0]);
+  }
+  const double analytic = oracle().Variance(eps(), n, d(), f0);
+  const double empirical = testing::SampleVariance(first_bin);
+  // Sample variance of kReps draws has relative sd ~ sqrt(2/kReps) ~ 5.8%;
+  // allow 5 sigma.
+  EXPECT_NEAR(empirical, analytic, 0.3 * analytic)
+      << "analytic=" << analytic << " empirical=" << empirical;
+}
+
+TEST_P(FoPropertyTest, PerUserAndCohortMomentsAgree) {
+  Rng rng_a(300), rng_b(301);
+  const uint64_t n = 600;
+  const Counts cohort = MakeCohort(n);
+  std::vector<double> exact, fast;
+  for (int rep = 0; rep < 300; ++rep) {
+    auto sa = oracle().CreateSketch({eps(), d()});
+    for (std::size_t k = 0; k < d(); ++k) {
+      for (uint64_t i = 0; i < cohort[k]; ++i) {
+        sa->AddUser(static_cast<uint32_t>(k), rng_a);
+      }
+    }
+    exact.push_back(sa->Estimate()[0]);
+    auto sb = oracle().CreateSketch({eps(), d()});
+    sb->AddCohort(cohort, rng_b);
+    fast.push_back(sb->Estimate()[0]);
+  }
+  const double f0 = static_cast<double>(cohort[0]) / n;
+  EXPECT_TRUE(testing::MeanWithin(exact, f0, 5.5));
+  EXPECT_TRUE(testing::MeanWithin(fast, f0, 5.5));
+  const double ve = testing::SampleVariance(exact);
+  const double vf = testing::SampleVariance(fast);
+  EXPECT_NEAR(ve, vf, 0.4 * std::max(ve, vf));
+}
+
+TEST_P(FoPropertyTest, NumUsersTracksAdds) {
+  Rng rng(400);
+  auto sketch = oracle().CreateSketch({eps(), d()});
+  EXPECT_EQ(sketch->num_users(), 0u);
+  sketch->AddUser(0, rng);
+  sketch->AddUser(1, rng);
+  EXPECT_EQ(sketch->num_users(), 2u);
+  Counts cohort(d(), 0);
+  cohort[0] = 10;
+  sketch->AddCohort(cohort, rng);
+  EXPECT_EQ(sketch->num_users(), 12u);
+}
+
+TEST_P(FoPropertyTest, MeanVarianceDecreasesWithEpsilonAndUsers) {
+  const auto& fo = oracle();
+  EXPECT_GT(fo.MeanVariance(eps(), 1000, d()),
+            fo.MeanVariance(eps() + 0.5, 1000, d()));
+  EXPECT_GT(fo.MeanVariance(eps(), 1000, d()),
+            fo.MeanVariance(eps(), 2000, d()));
+  // And variance halves exactly when the population doubles (1/n scaling).
+  EXPECT_NEAR(fo.MeanVariance(eps(), 1000, d()),
+              2.0 * fo.MeanVariance(eps(), 2000, d()),
+              1e-12 + fo.MeanVariance(eps(), 1000, d()) * 1e-9);
+}
+
+TEST_P(FoPropertyTest, BytesPerReportPositive) {
+  EXPECT_GT(oracle().BytesPerReport(d()), 0u);
+}
+
+TEST_P(FoPropertyTest, RejectsInvalidParams) {
+  EXPECT_THROW(oracle().CreateSketch({0.0, d()}), std::invalid_argument);
+  EXPECT_THROW(oracle().CreateSketch({-1.0, d()}), std::invalid_argument);
+  EXPECT_THROW(oracle().CreateSketch({eps(), 1}), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOracles, FoPropertyTest,
+    ::testing::Combine(::testing::Values("GRR", "OUE", "OLH", "SUE", "HR"),
+                       ::testing::Values(0.5, 1.0, 2.0),
+                       ::testing::Values(std::size_t{2}, std::size_t{5},
+                                         std::size_t{16})),
+    [](const ::testing::TestParamInfo<FoCase>& info) {
+      return std::get<0>(info.param) + "_eps" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 10)) +
+             "_d" + std::to_string(std::get<2>(info.param));
+    });
+
+TEST(FoRegistryTest, LooksUpByNameCaseInsensitive) {
+  EXPECT_EQ(GetFrequencyOracle("grr").name(), "GRR");
+  EXPECT_EQ(GetFrequencyOracle("Oue").name(), "OUE");
+  EXPECT_EQ(GetFrequencyOracle("OLH").name(), "OLH");
+  EXPECT_THROW(GetFrequencyOracle("nope"), std::invalid_argument);
+}
+
+TEST(FoRegistryTest, AllNamesResolve) {
+  for (const std::string& name : AllFrequencyOracleNames()) {
+    EXPECT_EQ(GetFrequencyOracle(name).name(), name);
+  }
+}
+
+// Wang et al.'s headline result, which the paper's population-division
+// methods exploit: for moderate eps, OUE/OLH beat GRR once the domain is
+// large, while GRR wins for small domains.
+TEST(FoComparisonTest, OueBeatsGrrOnLargeDomains) {
+  const auto& grr = GetFrequencyOracle("GRR");
+  const auto& oue = GetFrequencyOracle("OUE");
+  EXPECT_LT(oue.MeanVariance(1.0, 10000, 128),
+            grr.MeanVariance(1.0, 10000, 128));
+  EXPECT_LT(grr.MeanVariance(1.0, 10000, 2), oue.MeanVariance(1.0, 10000, 2));
+}
+
+}  // namespace
+}  // namespace ldpids

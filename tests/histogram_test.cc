@@ -1,0 +1,62 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace ldpids {
+namespace {
+
+TEST(HistogramTest, CountsToFrequencies) {
+  const Histogram h = CountsToFrequencies({2, 3, 5}, 10);
+  EXPECT_DOUBLE_EQ(h[0], 0.2);
+  EXPECT_DOUBLE_EQ(h[1], 0.3);
+  EXPECT_DOUBLE_EQ(h[2], 0.5);
+}
+
+TEST(HistogramTest, CountsToFrequenciesRejectsZeroPopulation) {
+  EXPECT_THROW(CountsToFrequencies({1}, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, CountValues) {
+  const Counts c = CountValues({0, 1, 1, 2, 2, 2}, 4);
+  EXPECT_EQ(c, (Counts{1, 2, 3, 0}));
+}
+
+TEST(HistogramTest, MeanSquaredDistance) {
+  const Histogram a = {0.0, 1.0};
+  const Histogram b = {1.0, 1.0};
+  // ((0-1)^2 + 0) / 2 = 0.5
+  EXPECT_DOUBLE_EQ(MeanSquaredDistance(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(MeanSquaredDistance(a, a), 0.0);
+}
+
+TEST(HistogramTest, L1Distance) {
+  EXPECT_DOUBLE_EQ(L1Distance({0.1, 0.9}, {0.3, 0.7}), 0.4);
+  EXPECT_DOUBLE_EQ(L1Distance({1.0}, {1.0}), 0.0);
+}
+
+TEST(HistogramTest, SumAndMean) {
+  const Histogram h = {0.25, 0.25, 0.5};
+  EXPECT_DOUBLE_EQ(Sum(h), 1.0);
+  EXPECT_NEAR(Mean(h), 1.0 / 3.0, 1e-15);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(HistogramTest, ClampToUnit) {
+  const Histogram h = ClampToUnit({-0.2, 0.5, 1.7});
+  EXPECT_DOUBLE_EQ(h[0], 0.0);
+  EXPECT_DOUBLE_EQ(h[1], 0.5);
+  EXPECT_DOUBLE_EQ(h[2], 1.0);
+}
+
+TEST(HistogramTest, Normalize) {
+  const Histogram h = Normalize({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(h[0], 0.25);
+  EXPECT_DOUBLE_EQ(h[1], 0.75);
+  // All-zero input is returned unchanged.
+  const Histogram z = Normalize({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(z[0], 0.0);
+  EXPECT_DOUBLE_EQ(z[1], 0.0);
+}
+
+}  // namespace
+}  // namespace ldpids

@@ -1,0 +1,126 @@
+// Edge-of-parameter-space behaviour: degenerate windows, extreme budgets,
+// minimal populations, and cross-feature interactions (post-processing on
+// adaptive mechanisms, FO switching mid-family).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.h"
+#include "analysis/runner.h"
+#include "core/factory.h"
+#include "datagen/probability_model.h"
+#include "datagen/synthetic.h"
+
+namespace ldpids {
+namespace {
+
+MechanismConfig Config(double eps, std::size_t w) {
+  MechanismConfig c;
+  c.epsilon = eps;
+  c.window = w;
+  c.seed = 5;
+  return c;
+}
+
+TEST(MechanismEdgeTest, WindowOfOneBehavesLikeRepeatedOneShot) {
+  // w = 1: every mechanism may spend everything at every timestamp; no
+  // mechanism should throw and LBU == LPU in structure (all users, full
+  // budget each step for LBU; one group = everyone for LPU).
+  const auto data = MakeSinDataset(3000, 20, 0.05, 1);
+  for (const std::string& name : AllMechanismNames()) {
+    const RunResult run = RunMechanism(*data, name, Config(1.0, 1));
+    EXPECT_EQ(run.releases.size(), 20u) << name;
+  }
+  const RunResult lpu = RunMechanism(*data, "LPU", Config(1.0, 1));
+  EXPECT_DOUBLE_EQ(lpu.Cfpu(), 1.0);  // group size N/1 = everyone
+}
+
+TEST(MechanismEdgeTest, HugeEpsilonGivesNearExactReleases) {
+  const auto data = MakeSinDataset(20000, 30, 0.05, 2);
+  const auto truth = data->TrueStream();
+  for (const std::string& name : {"LBU", "LPU"}) {
+    const RunResult run = RunMechanism(*data, name, Config(50.0, 5));
+    EXPECT_LT(MeanAbsoluteError(truth, run.releases), 0.02) << name;
+  }
+}
+
+TEST(MechanismEdgeTest, TinyEpsilonStillSatisfiesAccountingAndRuns) {
+  const auto data = MakeSinDataset(5000, 40, 0.05, 3);
+  for (const std::string& name : AllMechanismNames()) {
+    EXPECT_NO_THROW(RunMechanism(*data, name, Config(0.01, 10))) << name;
+  }
+}
+
+TEST(MechanismEdgeTest, MinimalPopulationForPopulationDivision) {
+  // Exactly 2*w users: LPD/LPA get one dissimilarity user per timestamp.
+  const auto data = MakeSinDataset(20, 25, 0.05, 4);
+  for (const std::string& name : {"LPD", "LPA"}) {
+    const RunResult run = RunMechanism(*data, name, Config(1.0, 10));
+    EXPECT_EQ(run.releases.size(), 25u) << name;
+  }
+}
+
+TEST(MechanismEdgeTest, PostProcessingComposesWithAdaptiveMechanisms) {
+  // The processed release feeds the next dissimilarity comparison; the
+  // pipeline must stay stable and at least as accurate in MRE terms.
+  const auto data = MakeLnsDataset(20000, 80, 0.0025, 5);
+  const auto truth = data->TrueStream();
+  for (const std::string& name : {"LBA", "LPA"}) {
+    MechanismConfig raw = Config(1.0, 10);
+    MechanismConfig pp = raw;
+    pp.post_process = PostProcess::kNormSub;
+    const double mre_raw =
+        MeanRelativeError(truth, RunMechanism(*data, name, raw).releases);
+    const double mre_pp =
+        MeanRelativeError(truth, RunMechanism(*data, name, pp).releases);
+    EXPECT_LT(mre_pp, mre_raw * 1.3) << name;  // never much worse
+  }
+}
+
+TEST(MechanismEdgeTest, StepStreamPunishesLsp) {
+  // The step workload flips levels every half-window; LSP's fixed sampling
+  // misses every other level while LPA chases it.
+  const auto probs = GenerateStepSequence(120, 0.1, 0.5, 7);
+  const auto data =
+      std::make_shared<BinarySyntheticDataset>("step", 40000, probs, 6);
+  const auto truth = data->TrueStream();
+  const double mse_lsp = MeanSquaredError(
+      truth, RunMechanism(*data, "LSP", Config(1.0, 20)).releases);
+  const double mse_lpa = MeanSquaredError(
+      truth, RunMechanism(*data, "LPA", Config(1.0, 20)).releases);
+  EXPECT_LT(mse_lpa, mse_lsp);
+}
+
+TEST(MechanismEdgeTest, AllFosDriveAdaptiveMechanisms) {
+  const auto data = MakeSinDataset(8000, 24, 0.05, 7);
+  for (const std::string& fo : AllFrequencyOracleNames()) {
+    MechanismConfig c = Config(1.0, 8);
+    c.fo = fo;
+    for (const std::string& name : {"LBA", "LPA"}) {
+      EXPECT_NO_THROW(RunMechanism(*data, name, c)) << name << "+" << fo;
+    }
+  }
+}
+
+TEST(MechanismEdgeTest, StreamShorterThanWindow) {
+  // T < w: a single (partial) window; everything must still account
+  // correctly.
+  const auto data = MakeSinDataset(4000, 5, 0.05, 8);
+  for (const std::string& name : AllMechanismNames()) {
+    const RunResult run = RunMechanism(*data, name, Config(1.0, 20));
+    EXPECT_EQ(run.releases.size(), 5u) << name;
+  }
+}
+
+TEST(MechanismEdgeTest, ZeroedFirstReleaseNeverLeaksNan) {
+  const auto data = MakeLogDataset(4000, 15, 9);
+  for (const std::string& name : AllMechanismNames()) {
+    const RunResult run = RunMechanism(*data, name, Config(0.5, 10));
+    for (const Histogram& r : run.releases) {
+      for (double x : r) EXPECT_TRUE(std::isfinite(x)) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldpids

@@ -1,0 +1,119 @@
+// Cross-cutting property suite: every (mechanism x frequency oracle)
+// combination must uphold the same contract — valid releases, bounded
+// communication, deterministic replay, privacy-invariant accounting, and
+// tolerable error on a known stream.
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.h"
+#include "analysis/runner.h"
+#include "core/factory.h"
+#include "datagen/synthetic.h"
+
+namespace ldpids {
+namespace {
+
+using MechFoCase = std::tuple<std::string, std::string>;
+
+class MechanismPropertyTest : public ::testing::TestWithParam<MechFoCase> {
+ protected:
+  std::string mechanism() const { return std::get<0>(GetParam()); }
+  std::string fo() const { return std::get<1>(GetParam()); }
+
+  MechanismConfig Config() const {
+    MechanismConfig c;
+    c.epsilon = 1.0;
+    c.window = 8;
+    c.fo = fo();
+    c.seed = 1234;
+    return c;
+  }
+};
+
+TEST_P(MechanismPropertyTest, RunProducesWellFormedOutput) {
+  const auto data = MakeSinDataset(8000, 50, 0.05, 2);
+  const RunResult run = RunMechanism(*data, mechanism(), Config());
+  ASSERT_EQ(run.releases.size(), 50u);
+  ASSERT_EQ(run.published.size(), 50u);
+  EXPECT_EQ(run.timestamps, 50u);
+  EXPECT_EQ(run.num_users, 8000u);
+  for (const Histogram& r : run.releases) {
+    ASSERT_EQ(r.size(), 2u);
+    for (double x : r) {
+      EXPECT_TRUE(std::isfinite(x));
+      // Unbiased LDP estimates can exceed [0,1] — badly so for LBD whose
+      // late-window publications carry eps/2^m — but never absurdly.
+      EXPECT_GT(x, -25.0);
+      EXPECT_LT(x, 25.0);
+    }
+  }
+}
+
+TEST_P(MechanismPropertyTest, MessagesNeverExceedTwoPerUserPerStep) {
+  const auto data = MakeSinDataset(8000, 40, 0.05, 3);
+  auto m = CreateMechanism(mechanism(), Config(), data->num_users());
+  for (std::size_t t = 0; t < data->length(); ++t) {
+    const StepResult step = m->Step(*data, t);
+    EXPECT_LE(step.messages, 2 * data->num_users()) << "t=" << t;
+  }
+}
+
+TEST_P(MechanismPropertyTest, DeterministicReplay) {
+  const auto data = MakeLogDataset(6000, 30, 4);
+  const RunResult a = RunMechanism(*data, mechanism(), Config());
+  const RunResult b = RunMechanism(*data, mechanism(), Config());
+  EXPECT_EQ(a.releases, b.releases);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+}
+
+TEST_P(MechanismPropertyTest, SurvivesManyWindowsWithoutInvariantViolation) {
+  // The budget ledger / population manager throw on any w-event violation;
+  // a long run passing is the executable form of Theorems 5.3 and 6.2.
+  const auto data = MakeLnsDataset(4000, 240, 0.003, 5);
+  EXPECT_NO_THROW(RunMechanism(*data, mechanism(), Config()));
+}
+
+TEST_P(MechanismPropertyTest, TracksTheStreamBetterThanTrivialZero) {
+  // Every mechanism must beat the trivial "always release zeros" baseline
+  // on MAE over a drifting stream.
+  const auto data = MakeLogDataset(20000, 60, 6);
+  const auto truth = data->TrueStream();
+  const RunResult run = RunMechanism(*data, mechanism(), Config());
+  std::vector<Histogram> zeros(truth.size(), Histogram(2, 0.0));
+  EXPECT_LT(MeanAbsoluteError(truth, run.releases),
+            MeanAbsoluteError(truth, zeros));
+}
+
+TEST_P(MechanismPropertyTest, PerUserSimulationAgreesInShape) {
+  // The exact per-user client path must produce the same kind of output
+  // (and similar error) as the cohort path; this also exercises
+  // FoSketch::AddUser inside every mechanism.
+  const auto data = MakeSinDataset(2000, 24, 0.05, 7);
+  MechanismConfig c = Config();
+  c.per_user_simulation = true;
+  const RunResult exact = RunMechanism(*data, mechanism(), c);
+  c.per_user_simulation = false;
+  const RunResult fast = RunMechanism(*data, mechanism(), c);
+  ASSERT_EQ(exact.releases.size(), fast.releases.size());
+  const auto truth = data->TrueStream();
+  const double mae_exact = MeanAbsoluteError(truth, exact.releases);
+  const double mae_fast = MeanAbsoluteError(truth, fast.releases);
+  // Same order of magnitude (both are the same mechanism).
+  EXPECT_LT(mae_exact, 10.0 * mae_fast + 0.1);
+  EXPECT_LT(mae_fast, 10.0 * mae_exact + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, MechanismPropertyTest,
+    ::testing::Combine(::testing::Values("LBU", "LSP", "LBD", "LBA", "LPU",
+                                         "LPD", "LPA"),
+                       ::testing::Values("GRR", "OUE", "OLH")),
+    [](const ::testing::TestParamInfo<MechFoCase>& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+}  // namespace
+}  // namespace ldpids

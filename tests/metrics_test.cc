@@ -1,0 +1,57 @@
+#include "analysis/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ldpids {
+namespace {
+
+std::vector<Histogram> Truth() {
+  return {{0.5, 0.5}, {0.2, 0.8}};
+}
+
+TEST(MetricsTest, PerfectReleaseScoresZero) {
+  EXPECT_DOUBLE_EQ(MeanRelativeError(Truth(), Truth()), 0.0);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(Truth(), Truth()), 0.0);
+  EXPECT_DOUBLE_EQ(MeanSquaredError(Truth(), Truth()), 0.0);
+}
+
+TEST(MetricsTest, MaeMatchesHandComputation) {
+  const std::vector<Histogram> released = {{0.6, 0.4}, {0.2, 0.8}};
+  // Errors: 0.1, 0.1, 0, 0 over 4 cells -> 0.05.
+  EXPECT_NEAR(MeanAbsoluteError(Truth(), released), 0.05, 1e-12);
+}
+
+TEST(MetricsTest, MseMatchesHandComputation) {
+  const std::vector<Histogram> released = {{0.6, 0.4}, {0.2, 0.8}};
+  // (0.01 + 0.01) / 4 = 0.005.
+  EXPECT_NEAR(MeanSquaredError(Truth(), released), 0.005, 1e-12);
+}
+
+TEST(MetricsTest, MreDividesByTrueFrequency) {
+  const std::vector<Histogram> truth = {{0.5, 0.5}};
+  const std::vector<Histogram> released = {{0.6, 0.4}};
+  // |0.1|/0.5 twice, averaged -> 0.2.
+  EXPECT_NEAR(MeanRelativeError(truth, released), 0.2, 1e-12);
+}
+
+TEST(MetricsTest, MreFloorGuardsEmptyBins) {
+  const std::vector<Histogram> truth = {{0.0, 1.0}};
+  const std::vector<Histogram> released = {{0.05, 1.0}};
+  // Bin 0: |0.05| / max(0, 0.01) = 5; bin 1: 0 -> mean 2.5.
+  EXPECT_NEAR(MeanRelativeError(truth, released, 0.01), 2.5, 1e-12);
+  // With a larger floor the error shrinks.
+  EXPECT_NEAR(MeanRelativeError(truth, released, 0.1), 0.25, 1e-12);
+}
+
+TEST(MetricsTest, RejectsMisalignedStreams) {
+  const std::vector<Histogram> short_release = {{0.5, 0.5}};
+  EXPECT_THROW(MeanAbsoluteError(Truth(), short_release),
+               std::invalid_argument);
+  const std::vector<Histogram> wrong_domain = {{0.5, 0.4, 0.1}, {0.2, 0.8}};
+  EXPECT_THROW(MeanAbsoluteError(Truth(), wrong_domain),
+               std::invalid_argument);
+  EXPECT_THROW(MeanAbsoluteError({}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ldpids

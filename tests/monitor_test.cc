@@ -1,0 +1,91 @@
+#include "analysis/monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace ldpids {
+namespace {
+
+TEST(ThresholdMonitorTest, EmitsEnterAndExit) {
+  ThresholdMonitor m(0.5);
+  EXPECT_TRUE(m.Update(0.3).empty());
+  const auto enter = m.Update(0.6);
+  ASSERT_EQ(enter.size(), 1u);
+  EXPECT_TRUE(enter[0].entered);
+  EXPECT_EQ(enter[0].timestamp, 1u);
+  EXPECT_DOUBLE_EQ(enter[0].value, 0.6);
+  EXPECT_TRUE(m.active());
+  EXPECT_TRUE(m.Update(0.9).empty());  // still above: no duplicate event
+  const auto exit = m.Update(0.2);
+  ASSERT_EQ(exit.size(), 1u);
+  EXPECT_FALSE(exit[0].entered);
+  EXPECT_FALSE(m.active());
+}
+
+TEST(ThresholdMonitorTest, HysteresisSuppressesFlapping) {
+  ThresholdMonitor m(0.5, 0.1);
+  m.Update(0.6);  // enter
+  // Dips just below the threshold but above threshold - hysteresis: no exit.
+  EXPECT_TRUE(m.Update(0.45).empty());
+  EXPECT_TRUE(m.active());
+  // Falls below 0.4: exit.
+  EXPECT_EQ(m.Update(0.39).size(), 1u);
+  EXPECT_FALSE(m.active());
+}
+
+TEST(ThresholdMonitorTest, ExactThresholdIsNotAbove) {
+  ThresholdMonitor m(0.5);
+  EXPECT_TRUE(m.Update(0.5).empty());
+  EXPECT_FALSE(m.active());
+}
+
+TEST(ThresholdMonitorTest, NegativeHysteresisRejected) {
+  EXPECT_THROW(ThresholdMonitor(0.5, -0.1), std::invalid_argument);
+}
+
+TEST(ThresholdMonitorTest, CountsTimestamps) {
+  ThresholdMonitor m(1.0);
+  for (int i = 0; i < 5; ++i) m.Update(0.0);
+  EXPECT_EQ(m.timestamps(), 5u);
+}
+
+TEST(CusumDetectorTest, ParameterValidation) {
+  EXPECT_THROW(CusumDetector(0.0, -0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(CusumDetector(0.0, 0.1, 0.0), std::invalid_argument);
+}
+
+TEST(CusumDetectorTest, NoDetectionOnStationaryNoise) {
+  CusumDetector d(0.5, 0.05, 0.5);
+  // Small oscillation around the reference stays within drift allowance.
+  const double values[] = {0.52, 0.48, 0.51, 0.49, 0.5, 0.53, 0.47};
+  for (double v : values) EXPECT_FALSE(d.Update(v));
+}
+
+TEST(CusumDetectorTest, DetectsUpwardLevelShift) {
+  CusumDetector d(0.2, 0.02, 0.3);
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(d.Update(0.2));
+  bool detected = false;
+  for (int i = 0; i < 10 && !detected; ++i) detected = d.Update(0.45);
+  EXPECT_TRUE(detected);
+  // After detection the reference re-centres: the new level is normal.
+  EXPECT_DOUBLE_EQ(d.reference(), 0.45);
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(d.Update(0.45));
+}
+
+TEST(CusumDetectorTest, DetectsDownwardLevelShift) {
+  CusumDetector d(0.6, 0.02, 0.3);
+  bool detected = false;
+  for (int i = 0; i < 10 && !detected; ++i) detected = d.Update(0.3);
+  EXPECT_TRUE(detected);
+}
+
+TEST(CusumDetectorTest, StatisticsResetAfterDetection) {
+  CusumDetector d(0.0, 0.0, 0.5);
+  d.Update(0.3);
+  EXPECT_GT(d.positive_statistic(), 0.0);
+  EXPECT_TRUE(d.Update(0.4));  // 0.3 + 0.4 > 0.5 -> detect
+  EXPECT_DOUBLE_EQ(d.positive_statistic(), 0.0);
+  EXPECT_DOUBLE_EQ(d.negative_statistic(), 0.0);
+}
+
+}  // namespace
+}  // namespace ldpids

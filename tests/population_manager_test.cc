@@ -1,0 +1,108 @@
+#include "core/population_manager.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ldpids {
+namespace {
+
+TEST(PopulationManagerTest, ConstructionValidation) {
+  EXPECT_THROW(PopulationManager(0, 5), std::invalid_argument);
+  EXPECT_THROW(PopulationManager(10, 0), std::invalid_argument);
+}
+
+TEST(PopulationManagerTest, SamplingShrinksPool) {
+  Rng rng(1);
+  PopulationManager pm(100, 4);
+  EXPECT_EQ(pm.available(), 100u);
+  const auto a = pm.Sample(30, rng);
+  EXPECT_EQ(a.size(), 30u);
+  EXPECT_EQ(pm.available(), 70u);
+  const auto b = pm.Sample(10, rng);
+  EXPECT_EQ(pm.available(), 60u);
+  // Same timestamp: a and b must be disjoint.
+  std::set<uint32_t> seen(a.begin(), a.end());
+  for (uint32_t u : b) EXPECT_FALSE(seen.count(u)) << "user " << u;
+}
+
+TEST(PopulationManagerTest, RecyclingAfterWTimestamps) {
+  Rng rng(2);
+  PopulationManager pm(10, 3);
+  pm.Sample(4, rng);  // t = 0
+  pm.EndTimestamp();
+  pm.Sample(3, rng);  // t = 1
+  pm.EndTimestamp();
+  EXPECT_EQ(pm.available(), 3u);
+  pm.Sample(3, rng);  // t = 2
+  pm.EndTimestamp();  // t=0's users recycle: 0 + 4
+  EXPECT_EQ(pm.available(), 4u);
+  pm.EndTimestamp();  // t=1's users recycle
+  EXPECT_EQ(pm.available(), 7u);
+  pm.EndTimestamp();  // t=2's users recycle
+  EXPECT_EQ(pm.available(), 10u);
+}
+
+TEST(PopulationManagerTest, RecycledUsersCanReportAgain) {
+  Rng rng(3);
+  PopulationManager pm(5, 2);
+  const auto first = pm.Sample(5, rng);  // everyone reports at t = 0
+  EXPECT_EQ(first.size(), 5u);
+  pm.EndTimestamp();
+  EXPECT_EQ(pm.available(), 0u);
+  pm.EndTimestamp();  // t = 1 passes with nobody
+  EXPECT_EQ(pm.available(), 5u);
+  // t = 2: distance from t = 0 is exactly w = 2 — allowed.
+  const auto second = pm.Sample(5, rng);
+  EXPECT_EQ(second.size(), 5u);
+}
+
+TEST(PopulationManagerTest, SamplingMoreThanAvailableClamps) {
+  Rng rng(4);
+  PopulationManager pm(6, 3);
+  const auto got = pm.Sample(100, rng);
+  EXPECT_EQ(got.size(), 6u);
+  EXPECT_EQ(pm.available(), 0u);
+  EXPECT_TRUE(pm.Sample(1, rng).empty());
+}
+
+TEST(PopulationManagerTest, LongRunNeverViolatesParticipationInvariant) {
+  // Simulate an LPD-like schedule for many windows; the internal ledger
+  // throws if any user is sampled twice within w timestamps.
+  Rng rng(5);
+  constexpr uint64_t kUsers = 500;
+  constexpr std::size_t kW = 7;
+  PopulationManager pm(kUsers, kW);
+  for (std::size_t t = 0; t < 300; ++t) {
+    ASSERT_NO_THROW(pm.Sample(kUsers / (2 * kW), rng)) << "t=" << t;
+    if (t % 3 == 0) {
+      ASSERT_NO_THROW(pm.Sample(pm.available() / 2, rng)) << "t=" << t;
+    }
+    pm.EndTimestamp();
+  }
+}
+
+TEST(PopulationManagerTest, WindowOfOneRecyclesImmediately) {
+  Rng rng(6);
+  PopulationManager pm(4, 1);
+  for (int t = 0; t < 10; ++t) {
+    const auto got = pm.Sample(4, rng);
+    ASSERT_EQ(got.size(), 4u);
+    pm.EndTimestamp();
+  }
+}
+
+TEST(PopulationManagerTest, TimestampCounterAdvances) {
+  Rng rng(7);
+  PopulationManager pm(10, 2);
+  EXPECT_EQ(pm.current_timestamp(), 0u);
+  pm.EndTimestamp();
+  pm.EndTimestamp();
+  EXPECT_EQ(pm.current_timestamp(), 2u);
+}
+
+}  // namespace
+}  // namespace ldpids

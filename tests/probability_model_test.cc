@@ -1,0 +1,128 @@
+#include "datagen/probability_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ldpids {
+namespace {
+
+TEST(ReflectIntoUnitTest, InRangeUnchanged) {
+  EXPECT_DOUBLE_EQ(ReflectIntoUnit(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(ReflectIntoUnit(kMinProb), kMinProb);
+  EXPECT_DOUBLE_EQ(ReflectIntoUnit(kMaxProb), kMaxProb);
+}
+
+TEST(ReflectIntoUnitTest, ReflectsBelowAndAbove) {
+  EXPECT_NEAR(ReflectIntoUnit(kMinProb - 0.01), kMinProb + 0.01, 1e-12);
+  EXPECT_NEAR(ReflectIntoUnit(kMaxProb + 0.02), kMaxProb - 0.02, 1e-12);
+  // Far excursions still land in range.
+  EXPECT_GE(ReflectIntoUnit(-3.7), kMinProb);
+  EXPECT_LE(ReflectIntoUnit(-3.7), kMaxProb);
+  EXPECT_GE(ReflectIntoUnit(12.3), kMinProb);
+  EXPECT_LE(ReflectIntoUnit(12.3), kMaxProb);
+}
+
+TEST(LnsSequenceTest, StartsNearP0AndStaysInRange) {
+  const auto seq = GenerateLnsSequence(800, 0.05, 0.0025, 1);
+  ASSERT_EQ(seq.size(), 800u);
+  EXPECT_NEAR(seq[0], 0.05, 0.01);
+  for (double p : seq) {
+    EXPECT_GE(p, kMinProb);
+    EXPECT_LE(p, kMaxProb);
+  }
+}
+
+TEST(LnsSequenceTest, IsDeterministicPerSeed) {
+  EXPECT_EQ(GenerateLnsSequence(100, 0.05, 0.0025, 7),
+            GenerateLnsSequence(100, 0.05, 0.0025, 7));
+  EXPECT_NE(GenerateLnsSequence(100, 0.05, 0.0025, 7),
+            GenerateLnsSequence(100, 0.05, 0.0025, 8));
+}
+
+TEST(LnsSequenceTest, FluctuationGrowsWithQ) {
+  // Total step-to-step movement must grow with sqrt(Q).
+  auto total_move = [](const std::vector<double>& seq) {
+    double total = 0.0;
+    for (std::size_t t = 1; t < seq.size(); ++t) {
+      total += std::fabs(seq[t] - seq[t - 1]);
+    }
+    return total;
+  };
+  const double small = total_move(GenerateLnsSequence(500, 0.3, 0.001, 3));
+  const double large = total_move(GenerateLnsSequence(500, 0.3, 0.008, 3));
+  EXPECT_GT(large, 3.0 * small);
+}
+
+TEST(LnsSequenceTest, ZeroNoiseIsConstant) {
+  const auto seq = GenerateLnsSequence(50, 0.1, 0.0, 1);
+  for (double p : seq) EXPECT_DOUBLE_EQ(p, 0.1);
+  EXPECT_THROW(GenerateLnsSequence(10, 0.1, -0.1, 1), std::invalid_argument);
+}
+
+TEST(SinSequenceTest, MatchesClosedForm) {
+  const auto seq = GenerateSinSequence(100, 0.05, 0.01, 0.075);
+  for (std::size_t t = 0; t < seq.size(); ++t) {
+    EXPECT_NEAR(seq[t], 0.05 * std::sin(0.01 * t) + 0.075, 1e-12);
+  }
+}
+
+TEST(SinSequenceTest, RangeRespectsAmplitude) {
+  const auto seq =
+      GenerateSinSequence(2000, SinDefaults::kAmplitude, SinDefaults::kB,
+                          SinDefaults::kOffset);
+  for (double p : seq) {
+    EXPECT_GE(p, SinDefaults::kOffset - SinDefaults::kAmplitude - 1e-12);
+    EXPECT_LE(p, SinDefaults::kOffset + SinDefaults::kAmplitude + 1e-12);
+  }
+}
+
+TEST(StepSequenceTest, AlternatesEverySegment) {
+  const auto seq = GenerateStepSequence(10, 0.1, 0.6, 3);
+  const std::vector<double> expected = {0.1, 0.1, 0.1, 0.6, 0.6,
+                                        0.6, 0.1, 0.1, 0.1, 0.6};
+  ASSERT_EQ(seq.size(), expected.size());
+  for (std::size_t t = 0; t < seq.size(); ++t) {
+    EXPECT_DOUBLE_EQ(seq[t], expected[t]) << "t=" << t;
+  }
+  EXPECT_THROW(GenerateStepSequence(10, 0.1, 0.6, 0), std::invalid_argument);
+}
+
+TEST(SpikeSequenceTest, BurstsHavePeakLevelAndRequestedLength) {
+  const auto seq = GenerateSpikeSequence(500, 0.1, 0.5, 4, 0.05, 3);
+  std::size_t burst_steps = 0;
+  for (double p : seq) {
+    EXPECT_TRUE(p == 0.1 || p == 0.5);
+    burst_steps += (p == 0.5);
+  }
+  // Expect roughly rate * length * burst_length peak steps; loose bound.
+  EXPECT_GT(burst_steps, 20u);
+  EXPECT_LT(burst_steps, 250u);
+  // Bursts come in runs of (at least) burst_length (runs can merge).
+  for (std::size_t t = 1; t + 3 < seq.size(); ++t) {
+    if (seq[t] == 0.5 && seq[t - 1] == 0.1) {
+      EXPECT_EQ(seq[t + 1], 0.5) << "burst too short at " << t;
+      EXPECT_EQ(seq[t + 2], 0.5) << "burst too short at " << t;
+      EXPECT_EQ(seq[t + 3], 0.5) << "burst too short at " << t;
+    }
+  }
+  EXPECT_THROW(GenerateSpikeSequence(10, 0.1, 0.5, 0, 0.1, 1),
+               std::invalid_argument);
+}
+
+TEST(SpikeSequenceTest, ZeroRateIsFlat) {
+  const auto seq = GenerateSpikeSequence(100, 0.2, 0.8, 3, 0.0, 1);
+  for (double p : seq) EXPECT_DOUBLE_EQ(p, 0.2);
+}
+
+TEST(LogSequenceTest, IsMonotoneNondecreasingTowardsAmplitude) {
+  const auto seq = GenerateLogSequence(3000, 0.25, 0.01);
+  for (std::size_t t = 1; t < seq.size(); ++t) {
+    EXPECT_GE(seq[t], seq[t - 1] - 1e-12);
+  }
+  EXPECT_NEAR(seq[0], 0.125, 1e-12);          // A / 2 at t = 0
+  EXPECT_NEAR(seq.back(), 0.25, 1e-3);        // saturates at A
+}
+
+}  // namespace
+}  // namespace ldpids

@@ -1,0 +1,120 @@
+#include "datagen/realworld_sim.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.h"
+
+namespace ldpids {
+namespace {
+
+TEST(RealWorldSimTest, PaperShapesAtFullScale) {
+  RealWorldSimOptions o;
+  const auto taxi = MakeTaxiLikeDataset(o);
+  EXPECT_EQ(taxi->name(), "Taxi");
+  EXPECT_EQ(taxi->num_users(), 10357u);
+  EXPECT_EQ(taxi->length(), 886u);
+  EXPECT_EQ(taxi->domain(), 5u);
+
+  const auto foursquare = MakeFoursquareLikeDataset(o);
+  EXPECT_EQ(foursquare->num_users(), 265149u);
+  EXPECT_EQ(foursquare->length(), 447u);
+  EXPECT_EQ(foursquare->domain(), 77u);
+
+  const auto taobao = MakeTaobaoLikeDataset(o);
+  EXPECT_EQ(taobao->num_users(), 1023154u);
+  EXPECT_EQ(taobao->length(), 432u);
+  EXPECT_EQ(taobao->domain(), 117u);
+}
+
+TEST(RealWorldSimTest, ScaleShrinksUsersAndLength) {
+  RealWorldSimOptions o;
+  o.scale = 0.1;
+  const auto taxi = MakeTaxiLikeDataset(o);
+  EXPECT_EQ(taxi->num_users(), 1035u);
+  EXPECT_EQ(taxi->length(), 88u);
+  EXPECT_EQ(taxi->domain(), 5u);  // domain never scales
+}
+
+TEST(RealWorldSimTest, DistributionsAreSkewed) {
+  RealWorldSimOptions o;
+  o.scale = 0.05;
+  const auto data = MakeFoursquareLikeDataset(o);
+  // Max bin clearly above uniform at every timestamp.
+  for (std::size_t t = 0; t < data->length(); t += 5) {
+    const Histogram pi = data->DistributionAt(t);
+    const double top = *std::max_element(pi.begin(), pi.end());
+    EXPECT_GT(top, 3.0 / static_cast<double>(pi.size())) << "t=" << t;
+  }
+}
+
+TEST(RealWorldSimTest, ConsecutiveDistributionsAreClose) {
+  // Temporal smoothness: streams must be autocorrelated, otherwise the
+  // adaptive mechanisms have nothing to exploit.
+  RealWorldSimOptions o;
+  o.scale = 0.05;
+  const auto data = MakeTaobaoLikeDataset(o);
+  double total_l1 = 0.0;
+  std::size_t steps = 0;
+  for (std::size_t t = 1; t < data->length(); ++t) {
+    total_l1 += L1Distance(data->DistributionAt(t - 1),
+                           data->DistributionAt(t));
+    ++steps;
+  }
+  EXPECT_LT(total_l1 / static_cast<double>(steps), 0.25);
+}
+
+TEST(RealWorldSimTest, DeterministicPerSeed) {
+  RealWorldSimOptions a;
+  a.scale = 0.02;
+  RealWorldSimOptions b = a;
+  const auto d1 = MakeTaxiLikeDataset(a);
+  const auto d2 = MakeTaxiLikeDataset(b);
+  for (std::size_t t = 0; t < d1->length(); ++t) {
+    EXPECT_EQ(d1->DistributionAt(t), d2->DistributionAt(t));
+  }
+  b.seed = 999;
+  const auto d3 = MakeTaxiLikeDataset(b);
+  EXPECT_NE(d1->DistributionAt(0), d3->DistributionAt(0));
+}
+
+TEST(RealWorldSimTest, GenericBuilderRespectsArguments) {
+  RealWorldSimOptions o;
+  const auto data =
+      MakeDriftingZipfDataset("custom", 500, 40, 9, /*per_day=*/8, o);
+  EXPECT_EQ(data->name(), "custom");
+  EXPECT_EQ(data->num_users(), 500u);
+  EXPECT_EQ(data->length(), 40u);
+  EXPECT_EQ(data->domain(), 9u);
+}
+
+TEST(RealWorldSimTest, SpikesCreateBursts) {
+  // With aggressive spike settings, the max-bin series must show clearly
+  // more dynamic range than with spikes disabled.
+  RealWorldSimOptions calm;
+  calm.scale = 0.05;
+  calm.spike_probability = 0.0;
+  calm.drift_stddev = 0.0;
+  calm.daily_amplitude = 0.0;
+  RealWorldSimOptions bursty = calm;
+  bursty.spike_probability = 0.2;
+  bursty.spike_magnitude = 2.0;
+
+  auto range = [](const DistributionSequenceDataset& d) {
+    double lo = 1.0, hi = 0.0;
+    for (std::size_t t = 0; t < d.length(); ++t) {
+      const Histogram pi = d.DistributionAt(t);
+      const double top = *std::max_element(pi.begin(), pi.end());
+      lo = std::min(lo, top);
+      hi = std::max(hi, top);
+    }
+    return hi - lo;
+  };
+  const auto d_calm = MakeTaobaoLikeDataset(calm);
+  const auto d_bursty = MakeTaobaoLikeDataset(bursty);
+  EXPECT_GT(range(*d_bursty), range(*d_calm) + 0.01);
+}
+
+}  // namespace
+}  // namespace ldpids

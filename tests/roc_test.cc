@@ -1,0 +1,82 @@
+#include "analysis/roc.h"
+
+#include <gtest/gtest.h>
+
+namespace ldpids {
+namespace {
+
+TEST(RocTest, PerfectClassifierHasAucOne) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<bool> labels = {true, true, false, false};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 1.0);
+}
+
+TEST(RocTest, InvertedClassifierHasAucZero) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<bool> labels = {true, true, false, false};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.0);
+}
+
+TEST(RocTest, ConstantScoresGiveHalf) {
+  const std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  const std::vector<bool> labels = {true, false, true, false};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.5);
+}
+
+TEST(RocTest, KnownMixedCase) {
+  // scores: P=.9, N=.8, P=.7, N=.1 -> pairs: (.9>.8),(.9>.1),(.7<.8),(.7>.1)
+  // AUC = 3/4.
+  const std::vector<double> scores = {0.9, 0.8, 0.7, 0.1};
+  const std::vector<bool> labels = {true, false, true, false};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.75);
+}
+
+TEST(RocTest, CurveEndpointsAndMonotonicity) {
+  const std::vector<double> scores = {0.9, 0.8, 0.7, 0.4, 0.2};
+  const std::vector<bool> labels = {true, false, true, false, false};
+  const auto curve = ComputeRoc(scores, labels);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().false_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().true_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().false_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().true_positive_rate, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].false_positive_rate,
+              curve[i - 1].false_positive_rate);
+    EXPECT_GE(curve[i].true_positive_rate, curve[i - 1].true_positive_rate);
+  }
+}
+
+TEST(RocTest, TiedScoresAreHandledAsOnePoint) {
+  const std::vector<double> scores = {0.5, 0.5, 0.1};
+  const std::vector<bool> labels = {true, false, false};
+  const auto curve = ComputeRoc(scores, labels);
+  // Points: (0,0), then the tie consumes one P and one N -> (0.5, 1.0),
+  // then (1,1).
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[1].false_positive_rate, 0.5);
+  EXPECT_DOUBLE_EQ(curve[1].true_positive_rate, 1.0);
+}
+
+TEST(RocTest, TprAtFprInterpolates) {
+  const std::vector<double> scores = {0.9, 0.8, 0.7, 0.4};
+  const std::vector<bool> labels = {true, false, true, false};
+  const auto curve = ComputeRoc(scores, labels);
+  // At fpr=0 we already have tpr=0.5 (first positive outscores all).
+  EXPECT_DOUBLE_EQ(TprAtFpr(curve, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(TprAtFpr(curve, 1.0), 1.0);
+  const double mid = TprAtFpr(curve, 0.25);
+  EXPECT_GE(mid, 0.5);
+  EXPECT_LE(mid, 1.0);
+}
+
+TEST(RocTest, RequiresBothClasses) {
+  EXPECT_THROW(ComputeRoc({0.1, 0.2}, {true, true}), std::invalid_argument);
+  EXPECT_THROW(ComputeRoc({0.1, 0.2}, {false, false}),
+               std::invalid_argument);
+  EXPECT_THROW(ComputeRoc({}, {}), std::invalid_argument);
+  EXPECT_THROW(ComputeRoc({0.1}, {true, false}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ldpids

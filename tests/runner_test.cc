@@ -1,0 +1,73 @@
+#include "analysis/runner.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+
+namespace ldpids {
+namespace {
+
+MechanismConfig Config() {
+  MechanismConfig c;
+  c.epsilon = 1.0;
+  c.window = 8;
+  c.fo = "GRR";
+  c.seed = 55;
+  return c;
+}
+
+TEST(RunnerTest, RunMechanismIsReproduciblePerRepetition) {
+  const auto data = MakeSinDataset(5000, 30, 0.05, 1);
+  const auto a = RunMechanism(*data, "LPA", Config(), 0);
+  const auto b = RunMechanism(*data, "LPA", Config(), 0);
+  EXPECT_EQ(a.releases, b.releases);
+  const auto c = RunMechanism(*data, "LPA", Config(), 1);
+  EXPECT_NE(c.releases, a.releases);
+}
+
+TEST(RunnerTest, EvaluateAveragesOverRepetitions) {
+  const auto data = MakeSinDataset(5000, 30, 0.05, 2);
+  const RunMetrics m = EvaluateMechanism(*data, "LBU", Config(), 4);
+  EXPECT_EQ(m.repetitions, 4u);
+  EXPECT_GT(m.mre, 0.0);
+  EXPECT_GT(m.mae, 0.0);
+  EXPECT_GT(m.mse, 0.0);
+  EXPECT_DOUBLE_EQ(m.cfpu, 1.0);                // LBU reports everyone, once
+  EXPECT_DOUBLE_EQ(m.publication_rate, 1.0);    // always publishes
+}
+
+TEST(RunnerTest, MoreRepetitionsTightenTheEstimate) {
+  const auto data = MakeSinDataset(5000, 30, 0.05, 3);
+  const RunMetrics a = EvaluateMechanism(*data, "LPU", Config(), 2);
+  const RunMetrics b = EvaluateMechanism(*data, "LPU", Config(), 2);
+  // Same seeds -> identical metrics (deterministic pipeline).
+  EXPECT_DOUBLE_EQ(a.mre, b.mre);
+}
+
+TEST(RunnerTest, AucIsPopulatedWhenEventsExist) {
+  // The Sin stream swings widely, so above-threshold events exist.
+  const auto data = MakeSinDataset(20000, 120, 0.05, 4);
+  const RunMetrics m = EvaluateMechanism(*data, "LPU", Config(), 2);
+  EXPECT_FALSE(std::isnan(m.auc));
+  EXPECT_GT(m.auc, 0.5);  // must beat coin-flipping
+  EXPECT_LE(m.auc, 1.0);
+}
+
+TEST(RunnerTest, SweepProducesOneResultPerConfig) {
+  const auto data = MakeSinDataset(5000, 24, 0.05, 5);
+  std::vector<MechanismConfig> configs;
+  for (double eps : {0.5, 1.0, 2.0}) {
+    MechanismConfig c = Config();
+    c.epsilon = eps;
+    configs.push_back(c);
+  }
+  const auto results = SweepMechanism(*data, "LPU", configs, 2);
+  ASSERT_EQ(results.size(), 3u);
+  // Error decreases with epsilon.
+  EXPECT_GT(results[0].mse, results[2].mse);
+}
+
+}  // namespace
+}  // namespace ldpids

@@ -1,0 +1,105 @@
+#include "datagen/synthetic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ldpids {
+namespace {
+
+TEST(BinarySyntheticDatasetTest, ShapeAndDomain) {
+  BinarySyntheticDataset data("bin", 1000, {0.1, 0.5, 0.9}, 1);
+  EXPECT_EQ(data.num_users(), 1000u);
+  EXPECT_EQ(data.length(), 3u);
+  EXPECT_EQ(data.domain(), 2u);
+  EXPECT_EQ(data.name(), "bin");
+}
+
+TEST(BinarySyntheticDatasetTest, ValuesAreDeterministic) {
+  BinarySyntheticDataset a("x", 100, {0.5, 0.5}, 9);
+  BinarySyntheticDataset b("x", 100, {0.5, 0.5}, 9);
+  BinarySyntheticDataset c("x", 100, {0.5, 0.5}, 10);
+  int diff_seed_mismatch = 0;
+  for (uint64_t u = 0; u < 100; ++u) {
+    for (std::size_t t = 0; t < 2; ++t) {
+      EXPECT_EQ(a.value(u, t), b.value(u, t));
+      diff_seed_mismatch += (a.value(u, t) != c.value(u, t));
+    }
+  }
+  EXPECT_GT(diff_seed_mismatch, 0);
+}
+
+TEST(BinarySyntheticDatasetTest, OnesFractionTracksProbability) {
+  BinarySyntheticDataset data("p", 100000, {0.05, 0.3, 0.8}, 4);
+  for (std::size_t t = 0; t < 3; ++t) {
+    const double p = data.probabilities()[t];
+    const double ones = data.TrueFrequencies(t)[1];
+    // Binomial concentration: 5 sigma.
+    const double sigma = std::sqrt(p * (1 - p) / 100000.0);
+    EXPECT_NEAR(ones, p, 5.0 * sigma) << "t=" << t;
+  }
+}
+
+TEST(BinarySyntheticDatasetTest, ValidatesInput) {
+  EXPECT_THROW(BinarySyntheticDataset("x", 0, {0.5}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(BinarySyntheticDataset("x", 10, {}, 1), std::invalid_argument);
+  EXPECT_THROW(BinarySyntheticDataset("x", 10, {1.5}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(BinarySyntheticDataset("x", 10, {-0.1}, 1),
+               std::invalid_argument);
+}
+
+TEST(DistributionSequenceDatasetTest, FrequenciesTrackDistributions) {
+  const Histogram pi0 = {0.7, 0.2, 0.1};
+  const Histogram pi1 = {0.1, 0.1, 0.8};
+  DistributionSequenceDataset data("cat", 200000, {pi0, pi1}, 5);
+  for (std::size_t t = 0; t < 2; ++t) {
+    const Histogram freq = data.TrueFrequencies(t);
+    const Histogram pi = data.DistributionAt(t);
+    for (std::size_t k = 0; k < 3; ++k) {
+      const double sigma = std::sqrt(pi[k] * (1 - pi[k]) / 200000.0);
+      EXPECT_NEAR(freq[k], pi[k], 5.0 * sigma) << "t=" << t << " k=" << k;
+    }
+  }
+}
+
+TEST(DistributionSequenceDatasetTest, NormalizesRows) {
+  DistributionSequenceDataset data("raw", 100, {{2.0, 6.0}}, 1);
+  const Histogram pi = data.DistributionAt(0);
+  EXPECT_NEAR(pi[0], 0.25, 1e-12);
+  EXPECT_NEAR(pi[1], 0.75, 1e-12);
+}
+
+TEST(DistributionSequenceDatasetTest, ValidatesInput) {
+  EXPECT_THROW(DistributionSequenceDataset("x", 10, {}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(DistributionSequenceDataset("x", 10, {{1.0}}, 1),
+               std::invalid_argument);  // domain < 2
+  EXPECT_THROW(DistributionSequenceDataset("x", 10, {{0.5, 0.5}, {1.0}}, 1),
+               std::invalid_argument);  // ragged
+  EXPECT_THROW(DistributionSequenceDataset("x", 10, {{0.0, 0.0}}, 1),
+               std::invalid_argument);  // all-zero
+  EXPECT_THROW(DistributionSequenceDataset("x", 10, {{-1.0, 2.0}}, 1),
+               std::invalid_argument);  // negative
+}
+
+TEST(SyntheticFactoriesTest, PaperDefaults) {
+  const auto lns = MakeLnsDataset();
+  EXPECT_EQ(lns->name(), "LNS");
+  EXPECT_EQ(lns->num_users(), 200000u);
+  EXPECT_EQ(lns->length(), 800u);
+
+  const auto sin = MakeSinDataset(1000, 50);
+  EXPECT_EQ(sin->name(), "Sin");
+  EXPECT_EQ(sin->length(), 50u);
+
+  const auto log = MakeLogDataset(1000, 60);
+  EXPECT_EQ(log->name(), "Log");
+  // Log probabilities are monotone, so the ones-share should trend up from
+  // t=0 to the end.
+  EXPECT_GE(log->probabilities().back(), log->probabilities().front());
+}
+
+}  // namespace
+}  // namespace ldpids

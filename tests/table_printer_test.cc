@@ -1,0 +1,51 @@
+#include "util/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace ldpids {
+namespace {
+
+TEST(FormatDoubleTest, FixedPrecision) {
+  EXPECT_EQ(FormatDouble(0.12345, 4), "0.1235");
+  EXPECT_EQ(FormatDouble(1.0, 2), "1.00");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"method", "mre"});
+  t.AddRow({"LBU", "0.5"});
+  t.AddRow({"LPA-long-name", "0.05"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("LPA-long-name"), std::string::npos);
+  EXPECT_NE(out.find("method"), std::string::npos);
+  // Every row starts at column 0 and columns align: the "mre" header and the
+  // values must start at the same offset.
+  const auto header_line = out.substr(0, out.find('\n'));
+  EXPECT_GE(header_line.find("mre"), std::string("LPA-long-name").size());
+}
+
+TEST(TablePrinterTest, NumericRowFormatting) {
+  TablePrinter t({"m", "a", "b"});
+  t.AddRow("LPD", {0.12349, 1.5}, 4);
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("0.1235"), std::string::npos);
+  EXPECT_NE(os.str().find("1.5000"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only-one"});
+  std::ostringstream os;
+  t.Print(os);  // must not crash
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace ldpids

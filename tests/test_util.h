@@ -1,0 +1,43 @@
+// Shared helpers for statistical assertions in the LDP-IDS test suite.
+//
+// Many properties under test are distributional (unbiasedness, variance
+// formulas, LDP perturbation probabilities). The helpers below compute
+// sample moments and standard errors so tests can assert with principled
+// tolerances (a few standard errors) instead of magic numbers.
+#ifndef LDPIDS_TESTS_TEST_UTIL_H_
+#define LDPIDS_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace ldpids::testing {
+
+inline double SampleMean(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+inline double SampleVariance(const std::vector<double>& xs) {
+  const double mean = SampleMean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+// Standard error of the sample mean.
+inline double StdError(const std::vector<double>& xs) {
+  return std::sqrt(SampleVariance(xs) / static_cast<double>(xs.size()));
+}
+
+// True if |observed_mean - expected| <= sigmas * standard error (plus a tiny
+// absolute slack for exact-zero cases).
+inline bool MeanWithin(const std::vector<double>& xs, double expected,
+                       double sigmas = 5.0, double abs_slack = 1e-12) {
+  return std::fabs(SampleMean(xs) - expected) <=
+         sigmas * StdError(xs) + abs_slack;
+}
+
+}  // namespace ldpids::testing
+
+#endif  // LDPIDS_TESTS_TEST_UTIL_H_

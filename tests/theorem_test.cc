@@ -1,0 +1,126 @@
+// Executable checks of the paper's analytic results:
+//   * Theorem 6.1  — MSE_LPU < MSE_LBU for GRR and OUE, analytically over a
+//                    parameter grid and empirically end-to-end;
+//   * Section 6.3.2 — population division beats budget division publication
+//                    for publication counts m >= 1 (Eqs. 8-11);
+//   * Lemma-level   — V(eps, n) scaling facts the mechanisms rely on.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.h"
+#include "analysis/runner.h"
+#include "datagen/synthetic.h"
+#include "fo/frequency_oracle.h"
+
+namespace ldpids {
+namespace {
+
+// Theorem 6.1 (analytic): V(eps, N/w) < V(eps/w, N) for GRR and OUE.
+TEST(Theorem61Test, PopulationDivisionBeatsBudgetDivisionAnalytically) {
+  for (const std::string& fo_name : {"GRR", "OUE"}) {
+    const auto& fo = GetFrequencyOracle(fo_name);
+    for (double eps : {0.5, 1.0, 2.0, 3.0}) {
+      for (uint64_t w : {2ull, 5ull, 20ull, 50ull}) {
+        for (std::size_t d : {2u, 10u, 117u}) {
+          const uint64_t n = 100000;
+          const double mse_lpu = fo.MeanVariance(eps, n / w, d);
+          const double mse_lbu = fo.MeanVariance(eps / static_cast<double>(w),
+                                                 n, d);
+          EXPECT_LT(mse_lpu, mse_lbu)
+              << fo_name << " eps=" << eps << " w=" << w << " d=" << d;
+        }
+      }
+    }
+  }
+}
+
+// The gap must *grow* with w: budget division degrades like
+// (e^{eps/w}-1)^{-2} ~ w^2/eps^2 while population division only pays w/n.
+TEST(Theorem61Test, GapGrowsWithWindowSize) {
+  const auto& grr = GetFrequencyOracle("GRR");
+  const uint64_t n = 100000;
+  double prev_ratio = 0.0;
+  for (uint64_t w : {2ull, 4ull, 8ull, 16ull, 32ull}) {
+    const double ratio =
+        grr.MeanVariance(1.0 / static_cast<double>(w), n, 5) /
+        grr.MeanVariance(1.0, n / w, 5);
+    EXPECT_GT(ratio, prev_ratio) << "w=" << w;
+    prev_ratio = ratio;
+  }
+  EXPECT_GT(prev_ratio, 10.0);  // at w=32 the gap is enormous
+}
+
+// Theorem 6.1 (empirical): run LBU and LPU end-to-end on the same stream.
+TEST(Theorem61Test, LpuBeatsLbuEmpirically) {
+  const auto data = MakeLnsDataset(50000, 100, 0.0025, 31);
+  MechanismConfig c;
+  c.epsilon = 1.0;
+  c.window = 20;
+  c.fo = "GRR";
+  const auto lbu = EvaluateMechanism(*data, "LBU", c, 3);
+  const auto lpu = EvaluateMechanism(*data, "LPU", c, 3);
+  EXPECT_LT(lpu.mse, lbu.mse);
+  EXPECT_LT(lpu.mre, lbu.mre);
+}
+
+// Section 6.3.2, Eq. (10) vs Eq. (8): for any m publications, the m-th
+// population-division publication V(eps, N/2^{m+1}) is below the
+// budget-division V(eps/2^{m+1}, N).
+TEST(Section632Test, DistributionScheduleErrorComparison) {
+  const auto& grr = GetFrequencyOracle("GRR");
+  const uint64_t n = 200000;
+  const double eps = 1.0;
+  for (int m = 1; m <= 6; ++m) {
+    const double denom = std::pow(2.0, m + 1);
+    const double v_lpd = grr.MeanVariance(eps, static_cast<uint64_t>(n / denom), 5);
+    const double v_lbd = grr.MeanVariance(eps / denom, n, 5);
+    EXPECT_LT(v_lpd, v_lbd) << "m=" << m;
+  }
+}
+
+// Section 6.3.2, Eq. (11) vs Eq. (9): absorption schedules.
+TEST(Section632Test, AbsorptionScheduleErrorComparison) {
+  const auto& grr = GetFrequencyOracle("GRR");
+  const uint64_t n = 200000;
+  const double eps = 1.0;
+  const double w = 20.0;
+  for (double m : {1.0, 2.0, 5.0, 10.0, 19.0}) {
+    const double share = (w + m) / (4.0 * w * m);
+    const double v_lpa =
+        grr.MeanVariance(eps, static_cast<uint64_t>(share * n), 5);
+    const double v_lba = grr.MeanVariance(share * eps, n, 5);
+    EXPECT_LT(v_lpa, v_lba) << "m=" << m;
+  }
+}
+
+// LBA's error grows more mildly with m than LBD's (Section 5.4.2): compare
+// the m-th publication budgets eps/2^{m+1} (LBD) vs (w+m)eps/(4wm) (LBA).
+TEST(Section542Test, AbsorptionDegradesMoreMildlyThanDistribution) {
+  const double eps = 1.0;
+  const double w = 20.0;
+  for (double m : {3.0, 5.0, 10.0}) {
+    const double lbd_budget = eps / std::pow(2.0, m + 1);
+    const double lba_budget = (w + m) * eps / (4.0 * w * m);
+    EXPECT_GT(lba_budget, lbd_budget) << "m=" << m;
+  }
+}
+
+// V(eps, n) sanity: strictly decreasing in eps, exactly 1/n in population.
+TEST(VarianceScalingTest, MonotoneInEpsilonInverseInPopulation) {
+  for (const std::string& name : AllFrequencyOracleNames()) {
+    const auto& fo = GetFrequencyOracle(name);
+    double prev = std::numeric_limits<double>::infinity();
+    for (double eps : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      const double v = fo.MeanVariance(eps, 1000, 8);
+      EXPECT_LT(v, prev) << name << " eps=" << eps;
+      prev = v;
+    }
+    EXPECT_NEAR(fo.MeanVariance(1.0, 500, 8),
+                4.0 * fo.MeanVariance(1.0, 2000, 8),
+                fo.MeanVariance(1.0, 500, 8) * 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ldpids

@@ -1,0 +1,112 @@
+#include "fo/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace ldpids {
+namespace {
+
+TEST(WireTest, GrrRoundTripAcrossDomainSizes) {
+  for (std::size_t domain : {2u, 200u, 300u, 70000u, 100000u}) {
+    const uint32_t value = static_cast<uint32_t>(domain - 1);
+    const auto packet = EncodeGrrReport(value, domain, 42);
+    const WireEnvelope env = DecodeEnvelope(packet);
+    EXPECT_EQ(env.oracle, OracleId::kGrr);
+    EXPECT_EQ(env.timestamp, 42u);
+    EXPECT_EQ(DecodeGrrPayload(env, domain).value, value) << domain;
+    EXPECT_EQ(packet.size(), EncodedReportSize(OracleId::kGrr, domain));
+  }
+}
+
+TEST(WireTest, GrrRejectsValueOutsideDomain) {
+  EXPECT_THROW(EncodeGrrReport(5, 5, 0), std::invalid_argument);
+}
+
+TEST(WireTest, BitVectorRoundTrip) {
+  std::vector<bool> bits(117);
+  for (std::size_t k = 0; k < bits.size(); ++k) bits[k] = (k % 3 == 0);
+  const auto packet = EncodeBitVectorReport(bits, OracleId::kOue, 7);
+  const WireEnvelope env = DecodeEnvelope(packet);
+  EXPECT_EQ(env.oracle, OracleId::kOue);
+  const BitVectorWireReport report = DecodeBitVectorPayload(env, 117);
+  EXPECT_EQ(report.bits, bits);
+  EXPECT_EQ(packet.size(), EncodedReportSize(OracleId::kOue, 117));
+}
+
+TEST(WireTest, BitVectorOnlyForUnaryOracles) {
+  EXPECT_THROW(EncodeBitVectorReport({true}, OracleId::kGrr, 0),
+               std::invalid_argument);
+}
+
+TEST(WireTest, OlhRoundTrip) {
+  const auto packet = EncodeOlhReport(0xDEADBEEFCAFEF00DULL, 3, 99);
+  const WireEnvelope env = DecodeEnvelope(packet);
+  const OlhWireReport report = DecodeOlhPayload(env);
+  EXPECT_EQ(report.seed, 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(report.bucket, 3u);
+  EXPECT_EQ(env.timestamp, 99u);
+}
+
+TEST(WireTest, HrRoundTrip) {
+  const auto packet = EncodeHrReport(127, 5);
+  const HrWireReport report = DecodeHrPayload(DecodeEnvelope(packet));
+  EXPECT_EQ(report.column, 127u);
+}
+
+TEST(WireTest, DetectsTruncation) {
+  auto packet = EncodeGrrReport(1, 4, 0);
+  packet.pop_back();
+  EXPECT_THROW(DecodeEnvelope(packet), std::runtime_error);
+  EXPECT_THROW(DecodeEnvelope({}), std::runtime_error);
+}
+
+TEST(WireTest, DetectsBitFlips) {
+  // Flip every byte position in turn; the decoder must reject each
+  // corruption (magic, version, oracle id, lengths, payload, checksum).
+  const auto original = EncodeOlhReport(123, 1, 17);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    auto corrupted = original;
+    corrupted[i] ^= 0x40;
+    EXPECT_THROW(
+        {
+          const WireEnvelope env = DecodeEnvelope(corrupted);
+          (void)DecodeOlhPayload(env);
+        },
+        std::runtime_error)
+        << "byte " << i;
+  }
+}
+
+TEST(WireTest, DetectsLengthMismatch) {
+  auto packet = EncodeHrReport(1, 0);
+  packet.insert(packet.end() - 4, 0xFF);  // extra payload byte, stale length
+  EXPECT_THROW(DecodeEnvelope(packet), std::runtime_error);
+}
+
+TEST(WireTest, PayloadTypeMismatchThrows) {
+  const WireEnvelope env = DecodeEnvelope(EncodeHrReport(1, 0));
+  EXPECT_THROW(DecodeGrrPayload(env, 4), std::runtime_error);
+  EXPECT_THROW(DecodeOlhPayload(env), std::runtime_error);
+  EXPECT_THROW(DecodeBitVectorPayload(env, 8), std::runtime_error);
+}
+
+TEST(WireTest, GrrDecodedValueMustFitDomain) {
+  // Encode in a 256-value domain, decode claiming a 4-value domain: same
+  // payload width, but the value 200 overflows.
+  const auto packet = EncodeGrrReport(200, 256, 0);
+  const WireEnvelope env = DecodeEnvelope(packet);
+  EXPECT_THROW(DecodeGrrPayload(env, 4), std::runtime_error);
+}
+
+TEST(WireTest, ChecksumIsStable) {
+  const uint8_t data[] = {1, 2, 3, 4};
+  EXPECT_EQ(WireChecksum(data, 4), WireChecksum(data, 4));
+  EXPECT_NE(WireChecksum(data, 4), WireChecksum(data, 3));
+}
+
+TEST(WireTest, HrReportIsSmallerThanOueForLargeDomains) {
+  EXPECT_LT(EncodedReportSize(OracleId::kHr, 4096),
+            EncodedReportSize(OracleId::kOue, 4096));
+}
+
+}  // namespace
+}  // namespace ldpids
