@@ -19,9 +19,14 @@
 int main(int argc, char** argv) {
   using namespace ldpids;
   const Flags flags(argc, argv);
+  const std::string kTitle =
+      "Ablation — CDP vs LDP utility gap (LNS, w=20)";
+  if (bench::HandleHelp(flags, kTitle)) {
+    return 0;
+  }
   const double scale = flags.GetDouble("scale", 0.3);
   const int reps = static_cast<int>(flags.GetInt("reps", 2));
-  bench::PrintHeader("Ablation — CDP vs LDP utility gap (LNS, w=20)", scale);
+  bench::PrintHeader(kTitle, scale);
 
   const auto data = MakeLnsDataset(bench::ScaledUsers(scale),
                                    bench::ScaledLength(scale));
@@ -32,7 +37,7 @@ int main(int argc, char** argv) {
   const std::vector<double> epsilons = {0.5, 1.0, 2.0};
 
   // CDP tier (trusted aggregator, Laplace).
-  for (const std::string& name : {"Uniform", "BD", "BA"}) {
+  for (const std::string name : {"Uniform", "BD", "BA"}) {
     std::vector<double> row;
     for (double eps : epsilons) {
       double total = 0.0;
@@ -53,7 +58,7 @@ int main(int argc, char** argv) {
   }
 
   // LDP tiers.
-  for (const std::string& name : {"LBU", "LBD", "LBA", "LPU", "LPD", "LPA"}) {
+  for (const std::string name : {"LBU", "LBD", "LBA", "LPU", "LPD", "LPA"}) {
     std::vector<std::string> cells = {
         name[1] == 'B' ? "LDP-budget" : "LDP-population", name};
     for (double eps : epsilons) {

@@ -17,10 +17,13 @@
 int main(int argc, char** argv) {
   using namespace ldpids;
   const Flags flags(argc, argv);
+  const std::string kTitle =
+      "Ablation — budget division vs population division (Theorem 6.1)";
+  if (bench::HandleHelp(flags, kTitle)) {
+    return 0;
+  }
   const double scale = flags.GetDouble("scale", 0.3);
-  bench::PrintHeader(
-      "Ablation — budget division vs population division (Theorem 6.1)",
-      scale);
+  bench::PrintHeader(kTitle, scale);
   const uint64_t n = 200000;
   const std::size_t d = 5;
   const double eps = 1.0;

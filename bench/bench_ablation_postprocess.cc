@@ -25,11 +25,14 @@
 int main(int argc, char** argv) {
   using namespace ldpids;
   const Flags flags(argc, argv);
+  const std::string kTitle =
+      "Ablation — consistency post-processing and smoothing (eps=1, w=20)";
+  if (bench::HandleHelp(flags, kTitle)) {
+    return 0;
+  }
   const double scale = flags.GetDouble("scale", 0.3);
   const int reps = static_cast<int>(flags.GetInt("reps", 2));
-  bench::PrintHeader(
-      "Ablation — consistency post-processing and smoothing (eps=1, w=20)",
-      scale);
+  bench::PrintHeader(kTitle, scale);
 
   const auto lns = MakeLnsDataset(bench::ScaledUsers(scale),
                                   bench::ScaledLength(scale));
@@ -48,7 +51,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> header = {"method"};
     for (PostProcess m : modes) header.push_back(PostProcessName(m));
     TablePrinter table(header);
-    for (const std::string& method : {"LBU", "LBA", "LPU", "LPA"}) {
+    for (const std::string method : {"LBU", "LBA", "LPU", "LPA"}) {
       std::vector<double> row;
       for (PostProcess mode : modes) {
         MechanismConfig config;
@@ -70,7 +73,7 @@ int main(int argc, char** argv) {
   const auto truth = lns->TrueStream();
   const double q = EstimateProcessVariance(truth);
   TablePrinter smooth_table({"method", "raw MSE", "smoothed MSE", "gain"});
-  for (const std::string& method : {"LBU", "LPU", "LPA"}) {
+  for (const std::string method : {"LBU", "LPU", "LPA"}) {
     MechanismConfig config;
     config.epsilon = 1.0;
     config.window = 20;

@@ -63,6 +63,23 @@ inline void PrintHeader(const std::string& title, double scale) {
   std::printf("(scale=%.3g; pass --scale=0.1 for a quick run)\n\n", scale);
 }
 
+// Prints usage and returns true when --help was passed, so bench mains can
+// exit 0 instead of launching a full paper-scale sweep.
+inline bool HandleHelp(const Flags& flags, const std::string& title) {
+  if (!flags.GetBool("help", false)) return false;
+  std::printf("%s\n\n", title.c_str());
+  std::printf(
+      "Common flags (each also settable via the LDPIDS_<NAME> env var; not\n"
+      "every bench reads every flag — see the bench's source header):\n"
+      "  --scale=S   multiply population and stream length by S\n"
+      "              (e.g. 0.1 for a quick run; 1 is the paper-sized sweep)\n"
+      "  --reps=R    repetitions per configuration cell\n"
+      "  --fo=NAME   frequency oracle: GRR | OUE | SUE | OLH | HR\n"
+      "  --csv=PATH  also dump the result series as CSV (where supported)\n"
+      "  --help      show this message and exit\n");
+  return true;
+}
+
 }  // namespace ldpids::bench
 
 #endif  // LDPIDS_BENCH_BENCH_COMMON_H_

@@ -47,9 +47,14 @@ MeanMetrics Evaluate(const NumericStreamDataset& data,
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  const std::string kTitle =
+      "Extension — w-event LDP mean estimation";
+  if (bench::HandleHelp(flags, kTitle)) {
+    return 0;
+  }
   const double scale = flags.GetDouble("scale", 0.3);
   const int reps = static_cast<int>(flags.GetInt("reps", 2));
-  bench::PrintHeader("Extension — w-event LDP mean estimation", scale);
+  bench::PrintHeader(kTitle, scale);
 
   const auto data = MakeNumericSineDataset(bench::ScaledUsers(scale, 100000),
                                            bench::ScaledLength(scale, 400),

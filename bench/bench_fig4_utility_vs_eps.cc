@@ -17,13 +17,17 @@
 int main(int argc, char** argv) {
   using namespace ldpids;
   const Flags flags(argc, argv);
+  const std::string kTitle =
+      "Fig. 4 — data utility (MRE) vs privacy budget eps, w=20";
+  if (bench::HandleHelp(flags, kTitle)) {
+    return 0;
+  }
   const double scale = flags.GetDouble("scale", 0.3);
   const int reps = static_cast<int>(flags.GetInt("reps", 2));
   const std::string fo = flags.GetString("fo", "GRR");
   const std::string csv_path = flags.GetString("csv", "");
 
-  bench::PrintHeader("Fig. 4 — data utility (MRE) vs privacy budget eps, w=20",
-                     scale);
+  bench::PrintHeader(kTitle, scale);
   const std::vector<double> epsilons = {0.5, 1.0, 1.5, 2.0, 2.5};
   std::unique_ptr<CsvWriter> csv;
   if (!csv_path.empty()) {

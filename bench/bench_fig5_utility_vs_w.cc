@@ -16,13 +16,17 @@
 int main(int argc, char** argv) {
   using namespace ldpids;
   const Flags flags(argc, argv);
+  const std::string kTitle =
+      "Fig. 5 — data utility (MRE) vs window size w, eps=1";
+  if (bench::HandleHelp(flags, kTitle)) {
+    return 0;
+  }
   const double scale = flags.GetDouble("scale", 0.3);
   const int reps = static_cast<int>(flags.GetInt("reps", 2));
   const std::string fo = flags.GetString("fo", "GRR");
   const std::string csv_path = flags.GetString("csv", "");
 
-  bench::PrintHeader("Fig. 5 — data utility (MRE) vs window size w, eps=1",
-                     scale);
+  bench::PrintHeader(kTitle, scale);
   const std::vector<std::size_t> windows = {10, 20, 30, 40, 50};
   std::unique_ptr<CsvWriter> csv;
   if (!csv_path.empty()) {

@@ -51,10 +51,14 @@ void RunPanel(const std::string& title,
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  const std::string kTitle =
+      "Fig. 6 — impact of dataset parameters (eps=1, w=30)";
+  if (bench::HandleHelp(flags, kTitle)) {
+    return 0;
+  }
   const double scale = flags.GetDouble("scale", 0.3);
   const int reps = static_cast<int>(flags.GetInt("reps", 2));
-  bench::PrintHeader("Fig. 6 — impact of dataset parameters (eps=1, w=30)",
-                     scale);
+  bench::PrintHeader(kTitle, scale);
   const std::size_t t = bench::ScaledLength(scale);
 
   // (a)/(b): population sweep 10,20,40,80 x 10^4 (scaled).

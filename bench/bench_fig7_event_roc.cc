@@ -22,14 +22,17 @@
 int main(int argc, char** argv) {
   using namespace ldpids;
   const Flags flags(argc, argv);
+  const std::string kTitle =
+      "Fig. 7 — ROC for above-threshold event monitoring (eps=1, w=50)";
+  if (bench::HandleHelp(flags, kTitle)) {
+    return 0;
+  }
   const double scale = flags.GetDouble("scale", 0.3);
   const int reps = static_cast<int>(flags.GetInt("reps", 3));
   const std::string fo = flags.GetString("fo", "GRR");
   const std::string csv_path = flags.GetString("csv", "");
 
-  bench::PrintHeader(
-      "Fig. 7 — ROC for above-threshold event monitoring (eps=1, w=50)",
-      scale);
+  bench::PrintHeader(kTitle, scale);
   const std::vector<std::string> methods = {"LBA", "LSP", "LPU", "LPD",
                                             "LPA"};
   std::unique_ptr<CsvWriter> csv;

@@ -43,10 +43,14 @@ void RunPanel(const std::string& title,
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  const std::string kTitle =
+      "Fig. 8 — communication frequency per user (LNS)";
+  if (bench::HandleHelp(flags, kTitle)) {
+    return 0;
+  }
   const double scale = flags.GetDouble("scale", 0.3);
   const int reps = static_cast<int>(flags.GetInt("reps", 2));
-  bench::PrintHeader("Fig. 8 — communication frequency per user (LNS)",
-                     scale);
+  bench::PrintHeader(kTitle, scale);
   const std::size_t t = bench::ScaledLength(scale);
 
   MechanismConfig base;

@@ -18,9 +18,14 @@
 int main(int argc, char** argv) {
   using namespace ldpids;
   const Flags flags(argc, argv);
+  const std::string kTitle =
+      "Table 2 — CFPU comparison on all datasets";
+  if (bench::HandleHelp(flags, kTitle)) {
+    return 0;
+  }
   const double scale = flags.GetDouble("scale", 0.3);
   const int reps = static_cast<int>(flags.GetInt("reps", 2));
-  bench::PrintHeader("Table 2 — CFPU comparison on all datasets", scale);
+  bench::PrintHeader(kTitle, scale);
 
   // Sin, Log + the three real-world-like datasets (paper's Table 2 columns).
   std::vector<std::shared_ptr<StreamDataset>> datasets;

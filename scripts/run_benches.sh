@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Runs every bench binary and records one BENCH_<name>.json per bench so the
+# performance trajectory of the repo can accumulate across PRs.
+#
+# Usage:
+#   scripts/run_benches.sh [--build-dir DIR] [--out-dir DIR]
+#                          [--scale S] [--reps R]
+#
+# Defaults run a fast smoke sweep (scale 0.05, 1 rep). Pass --scale 1 for the
+# full paper-sized experiments. Each JSON records the invocation, wall-clock
+# seconds, exit code, the bench's table output, and (where the bench supports
+# --csv) the parsed CSV rows. bench_micro uses Google Benchmark's native JSON
+# reporter instead.
+set -u
+
+BUILD_DIR=build
+OUT_DIR=bench_results
+SCALE=0.05
+REPS=1
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir) BUILD_DIR=$2; shift 2 ;;
+    --out-dir)   OUT_DIR=$2;   shift 2 ;;
+    --scale)     SCALE=$2;     shift 2 ;;
+    --reps)      REPS=$2;      shift 2 ;;
+    -h|--help)
+      sed -n '2,14p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "build directory '$BUILD_DIR' not found; run:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+mkdir -p "$OUT_DIR"
+
+failures=0
+for bench in "$BUILD_DIR"/bench_*; do
+  # Regular executable files only (the out-dir may live inside the build dir).
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  short=${name#bench_}
+  json="$OUT_DIR/BENCH_${short}.json"
+
+  if [ "$name" = "bench_micro" ]; then
+    # Google Benchmark has its own flag set and JSON reporter.
+    echo "== $name -> $json"
+    "$bench" --benchmark_format=json --benchmark_min_time=0.01 \
+      > "$json" 2>"$OUT_DIR/${name}.stderr" || failures=$((failures + 1))
+    continue
+  fi
+
+  csv="$OUT_DIR/${name}.csv"
+  txt="$OUT_DIR/${name}.txt"
+  rm -f "$csv"
+  echo "== $name (scale=$SCALE reps=$REPS) -> $json"
+  start=$(date +%s.%N)
+  "$bench" --scale="$SCALE" --reps="$REPS" --csv="$csv" > "$txt" 2>&1
+  status=$?
+  end=$(date +%s.%N)
+  [ $status -ne 0 ] && failures=$((failures + 1))
+
+  if ! BENCH_NAME=$name BENCH_SCALE=$SCALE BENCH_REPS=$REPS \
+       BENCH_STATUS=$status BENCH_START=$start BENCH_END=$end \
+       BENCH_TXT=$txt BENCH_CSV=$csv python3 - "$json" <<'PYEOF'
+import csv, json, os, sys
+
+rows = []
+csv_path = os.environ["BENCH_CSV"]
+if os.path.exists(csv_path):
+    with open(csv_path, newline="") as f:
+        rows = list(csv.DictReader(f))
+
+with open(os.environ["BENCH_TXT"]) as f:
+    table = f.read()
+
+record = {
+    "bench": os.environ["BENCH_NAME"],
+    "scale": float(os.environ["BENCH_SCALE"]),
+    "reps": int(os.environ["BENCH_REPS"]),
+    "exit_code": int(os.environ["BENCH_STATUS"]),
+    "wall_seconds": round(
+        float(os.environ["BENCH_END"]) - float(os.environ["BENCH_START"]), 3),
+    "table": table,
+    "rows": rows,
+}
+with open(sys.argv[1], "w") as f:
+    json.dump(record, f, indent=2)
+    f.write("\n")
+PYEOF
+  then
+    echo "failed to write $json" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+echo
+echo "results in $OUT_DIR/ ($(ls "$OUT_DIR"/BENCH_*.json 2>/dev/null | wc -l) JSON files, $failures failures)"
+exit $((failures > 0))

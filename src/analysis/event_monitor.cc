@@ -1,7 +1,10 @@
 #include "analysis/event_monitor.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace ldpids {
 

@@ -1,7 +1,10 @@
 #include "analysis/metrics.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
+#include <vector>
 
 namespace ldpids {
 

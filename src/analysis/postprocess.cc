@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstddef>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace ldpids {
 

@@ -1,8 +1,11 @@
 #include "analysis/roc.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <vector>
 
 namespace ldpids {
 

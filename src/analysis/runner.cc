@@ -1,7 +1,12 @@
 #include "analysis/runner.h"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "analysis/event_monitor.h"
 #include "analysis/metrics.h"

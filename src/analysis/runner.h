@@ -4,6 +4,7 @@
 #ifndef LDPIDS_ANALYSIS_RUNNER_H_
 #define LDPIDS_ANALYSIS_RUNNER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

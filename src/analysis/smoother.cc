@@ -1,6 +1,8 @@
 #include "analysis/smoother.h"
 
+#include <cstddef>
 #include <stdexcept>
+#include <vector>
 
 namespace ldpids {
 

@@ -1,9 +1,11 @@
 #include "analysis/topk.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <numeric>
 #include <stdexcept>
 #include <unordered_map>
+#include <vector>
 
 namespace ldpids {
 

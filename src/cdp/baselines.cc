@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "cdp/laplace.h"
 #include "core/dissimilarity.h"

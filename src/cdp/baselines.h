@@ -16,6 +16,7 @@
 #ifndef LDPIDS_CDP_BASELINES_H_
 #define LDPIDS_CDP_BASELINES_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>

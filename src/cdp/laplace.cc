@@ -1,5 +1,7 @@
 #include "cdp/laplace.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 
 #include "util/distributions.h"

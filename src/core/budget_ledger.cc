@@ -1,5 +1,6 @@
 #include "core/budget_ledger.h"
 
+#include <cstddef>
 #include <stdexcept>
 
 namespace ldpids {

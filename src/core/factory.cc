@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "core/lba.h"
 #include "core/lbd.h"

@@ -3,6 +3,7 @@
 #ifndef LDPIDS_CORE_FACTORY_H_
 #define LDPIDS_CORE_FACTORY_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

@@ -1,6 +1,10 @@
 #include "core/lba.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
 
 #include "core/dissimilarity.h"
 

@@ -14,6 +14,10 @@
 #ifndef LDPIDS_CORE_LBA_H_
 #define LDPIDS_CORE_LBA_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
 #include "core/budget_ledger.h"
 #include "core/mechanism.h"
 

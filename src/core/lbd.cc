@@ -1,5 +1,10 @@
 #include "core/lbd.h"
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
 #include "core/dissimilarity.h"
 
 namespace ldpids {

@@ -18,6 +18,10 @@
 #ifndef LDPIDS_CORE_LBD_H_
 #define LDPIDS_CORE_LBD_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
 #include "core/budget_ledger.h"
 #include "core/mechanism.h"
 

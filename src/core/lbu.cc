@@ -1,5 +1,9 @@
 #include "core/lbu.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
 namespace ldpids {
 
 LbuMechanism::LbuMechanism(MechanismConfig config, uint64_t num_users)

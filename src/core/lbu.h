@@ -8,6 +8,10 @@
 #ifndef LDPIDS_CORE_LBU_H_
 #define LDPIDS_CORE_LBU_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
 #include "core/budget_ledger.h"
 #include "core/mechanism.h"
 

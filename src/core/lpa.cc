@@ -1,19 +1,40 @@
 #include "core/lpa.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "core/dissimilarity.h"
 
 namespace ldpids {
 
-LpaMechanism::LpaMechanism(MechanismConfig config, uint64_t num_users)
-    : StreamMechanism(std::move(config), num_users),
-      population_(num_users, config_.window) {
-  if (num_users_ < 2 * config_.window) {
+namespace {
+// Validates the LPA population precondition up front — before the base
+// class or PopulationManager is constructed — and returns the window size
+// so the delegating constructor below passes an explicit, pre-validated
+// value instead of re-reading the config mid-initialization. (The previous
+// form read the base's `config_` after moving `config` into it: well-defined
+// but fragile — one rename away from a genuine moved-from read, and it
+// built the PopulationManager before validating.)
+std::size_t CheckedLpaWindow(std::size_t window, uint64_t num_users) {
+  if (num_users < 2 * static_cast<uint64_t>(window)) {
     throw std::invalid_argument("LPA needs at least 2*w users");
   }
+  return window;
 }
+}  // namespace
+
+LpaMechanism::LpaMechanism(MechanismConfig config, uint64_t num_users)
+    : LpaMechanism(CheckedLpaWindow(config.window, num_users),
+                   std::move(config), num_users) {}
+
+LpaMechanism::LpaMechanism(std::size_t window, MechanismConfig&& config,
+                           uint64_t num_users)
+    : StreamMechanism(std::move(config), num_users),
+      population_(num_users, window) {}
 
 StepResult LpaMechanism::DoStep(const StreamDataset& data, std::size_t t) {
   StepResult result;

@@ -12,7 +12,9 @@
 #ifndef LDPIDS_CORE_LPA_H_
 #define LDPIDS_CORE_LPA_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "core/mechanism.h"
 #include "core/population_manager.h"
@@ -30,6 +32,15 @@ class LpaMechanism final : public StreamMechanism {
   StepResult DoStep(const StreamDataset& data, std::size_t t) override;
 
  private:
+  // Delegation target: `window` has already been validated against
+  // `num_users` before the base class or any member is constructed, and the
+  // mem-initializer list uses the explicit parameter instead of reaching
+  // back into `config_` mid-construction. Takes `config` by rvalue
+  // reference so binding it is not a move — the move happens inside this
+  // constructor's initializer list, after both arguments are evaluated.
+  LpaMechanism(std::size_t window, MechanismConfig&& config,
+               uint64_t num_users);
+
   PopulationManager population_;
   std::int64_t last_publication_ = -1;
   uint64_t last_publication_users_ = 0;

@@ -1,19 +1,35 @@
 #include "core/lpd.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "core/dissimilarity.h"
 
 namespace ldpids {
 
-LpdMechanism::LpdMechanism(MechanismConfig config, uint64_t num_users)
-    : StreamMechanism(std::move(config), num_users),
-      population_(num_users, config_.window),
-      publication_users_(config_.window) {
-  if (num_users_ < 2 * config_.window) {
+namespace {
+// Validates the LPD population precondition before any member construction;
+// see the equivalent helper in lpa.cc for the rationale.
+std::size_t CheckedLpdWindow(std::size_t window, uint64_t num_users) {
+  if (num_users < 2 * static_cast<uint64_t>(window)) {
     throw std::invalid_argument("LPD needs at least 2*w users");
   }
+  return window;
 }
+}  // namespace
+
+LpdMechanism::LpdMechanism(MechanismConfig config, uint64_t num_users)
+    : LpdMechanism(CheckedLpdWindow(config.window, num_users),
+                   std::move(config), num_users) {}
+
+LpdMechanism::LpdMechanism(std::size_t window, MechanismConfig&& config,
+                           uint64_t num_users)
+    : StreamMechanism(std::move(config), num_users),
+      population_(num_users, window),
+      publication_users_(window) {}
 
 StepResult LpdMechanism::DoStep(const StreamDataset& data, std::size_t t) {
   StepResult result;

@@ -19,6 +19,10 @@
 #ifndef LDPIDS_CORE_LPD_H_
 #define LDPIDS_CORE_LPD_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
 #include "core/mechanism.h"
 #include "core/population_manager.h"
 #include "stream/window.h"
@@ -37,6 +41,10 @@ class LpdMechanism final : public StreamMechanism {
   StepResult DoStep(const StreamDataset& data, std::size_t t) override;
 
  private:
+  // Delegation target with a pre-validated window; see lpa.h.
+  LpdMechanism(std::size_t window, MechanismConfig&& config,
+               uint64_t num_users);
+
   PopulationManager population_;
   SlidingWindowSum publication_users_;  // |U_{i,2}| over the window
 };

@@ -1,16 +1,32 @@
 #include "core/lpu.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace ldpids {
 
-LpuMechanism::LpuMechanism(MechanismConfig config, uint64_t num_users)
-    : StreamMechanism(std::move(config), num_users),
-      population_(num_users, config_.window) {
-  if (num_users_ < config_.window) {
+namespace {
+// Validates the LPU population precondition before any member construction;
+// see the equivalent helper in lpa.cc for the rationale.
+std::size_t CheckedLpuWindow(std::size_t window, uint64_t num_users) {
+  if (num_users < static_cast<uint64_t>(window)) {
     throw std::invalid_argument("LPU needs at least w users");
   }
+  return window;
 }
+}  // namespace
+
+LpuMechanism::LpuMechanism(MechanismConfig config, uint64_t num_users)
+    : LpuMechanism(CheckedLpuWindow(config.window, num_users),
+                   std::move(config), num_users) {}
+
+LpuMechanism::LpuMechanism(std::size_t window, MechanismConfig&& config,
+                           uint64_t num_users)
+    : StreamMechanism(std::move(config), num_users),
+      population_(num_users, window) {}
 
 StepResult LpuMechanism::DoStep(const StreamDataset& data, std::size_t t) {
   const std::size_t group_size =

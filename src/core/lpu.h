@@ -11,6 +11,10 @@
 #ifndef LDPIDS_CORE_LPU_H_
 #define LDPIDS_CORE_LPU_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
 #include "core/mechanism.h"
 #include "core/population_manager.h"
 
@@ -27,6 +31,10 @@ class LpuMechanism final : public StreamMechanism {
   StepResult DoStep(const StreamDataset& data, std::size_t t) override;
 
  private:
+  // Delegation target with a pre-validated window; see lpa.h.
+  LpuMechanism(std::size_t window, MechanismConfig&& config,
+               uint64_t num_users);
+
   PopulationManager population_;
 };
 

@@ -1,5 +1,9 @@
 #include "core/lsp.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
 namespace ldpids {
 
 LspMechanism::LspMechanism(MechanismConfig config, uint64_t num_users)

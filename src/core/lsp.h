@@ -12,6 +12,10 @@
 #ifndef LDPIDS_CORE_LSP_H_
 #define LDPIDS_CORE_LSP_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
 #include "core/budget_ledger.h"
 #include "core/mechanism.h"
 

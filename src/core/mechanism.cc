@@ -1,6 +1,12 @@
 #include "core/mechanism.h"
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace ldpids {
 

@@ -17,6 +17,7 @@
 #ifndef LDPIDS_CORE_MECHANISM_H_
 #define LDPIDS_CORE_MECHANISM_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <memory>

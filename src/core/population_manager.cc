@@ -1,7 +1,11 @@
 #include "core/population_manager.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "util/sampling.h"
 

@@ -12,6 +12,7 @@
 #ifndef LDPIDS_CORE_POPULATION_MANAGER_H_
 #define LDPIDS_CORE_POPULATION_MANAGER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <vector>

@@ -13,6 +13,8 @@
 #ifndef LDPIDS_DATAGEN_CSV_DATASET_H_
 #define LDPIDS_DATAGEN_CSV_DATASET_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

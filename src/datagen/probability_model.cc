@@ -1,7 +1,10 @@
 #include "datagen/probability_model.h"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "util/distributions.h"
 #include "util/rng.h"

@@ -22,8 +22,10 @@
 #ifndef LDPIDS_DATAGEN_REALWORLD_SIM_H_
 #define LDPIDS_DATAGEN_REALWORLD_SIM_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "datagen/synthetic.h"
 

@@ -1,7 +1,13 @@
 #include "datagen/synthetic.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "datagen/probability_model.h"
 #include "util/rng.h"

@@ -14,6 +14,8 @@
 #ifndef LDPIDS_DATAGEN_SYNTHETIC_H_
 #define LDPIDS_DATAGEN_SYNTHETIC_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

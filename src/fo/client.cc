@@ -1,5 +1,7 @@
 #include "fo/client.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 
 #include "fo/grr.h"

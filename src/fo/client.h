@@ -14,6 +14,7 @@
 #ifndef LDPIDS_FO_CLIENT_H_
 #define LDPIDS_FO_CLIENT_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "util/histogram.h"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "fo/grr.h"
 #include "fo/hr.h"

@@ -22,6 +22,7 @@
 #ifndef LDPIDS_FO_FREQUENCY_ORACLE_H_
 #define LDPIDS_FO_FREQUENCY_ORACLE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>

@@ -1,7 +1,11 @@
 #include "fo/grr.h"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "util/distributions.h"
 

@@ -2,6 +2,9 @@
 
 #include <bit>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
 
 #include "util/distributions.h"

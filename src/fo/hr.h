@@ -18,6 +18,11 @@
 #ifndef LDPIDS_FO_HR_H_
 #define LDPIDS_FO_HR_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
 #include "fo/frequency_oracle.h"
 
 namespace ldpids {

@@ -14,6 +14,11 @@
 #ifndef LDPIDS_FO_OLH_H_
 #define LDPIDS_FO_OLH_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
 #include "fo/frequency_oracle.h"
 
 namespace ldpids {

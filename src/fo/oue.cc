@@ -1,6 +1,9 @@
 #include "fo/oue.h"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
 
 #include "util/distributions.h"

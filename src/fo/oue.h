@@ -12,6 +12,11 @@
 #ifndef LDPIDS_FO_OUE_H_
 #define LDPIDS_FO_OUE_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
 #include "fo/frequency_oracle.h"
 
 namespace ldpids {

@@ -1,6 +1,9 @@
 #include "fo/sue.h"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
 
 #include "util/distributions.h"

@@ -13,6 +13,11 @@
 #ifndef LDPIDS_FO_SUE_H_
 #define LDPIDS_FO_SUE_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
 #include "fo/frequency_oracle.h"
 
 namespace ldpids {

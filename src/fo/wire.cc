@@ -1,6 +1,9 @@
 #include "fo/wire.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "util/rng.h"
 

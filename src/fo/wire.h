@@ -24,6 +24,7 @@
 #ifndef LDPIDS_FO_WIRE_H_
 #define LDPIDS_FO_WIRE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -17,6 +17,7 @@
 #ifndef LDPIDS_MEAN_MEAN_STREAM_H_
 #define LDPIDS_MEAN_MEAN_STREAM_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>

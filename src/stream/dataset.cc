@@ -1,6 +1,10 @@
 #include "stream/dataset.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace ldpids {
 

@@ -14,6 +14,7 @@
 #ifndef LDPIDS_STREAM_DATASET_H_
 #define LDPIDS_STREAM_DATASET_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

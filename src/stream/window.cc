@@ -1,5 +1,7 @@
 #include "stream/window.h"
 
+#include <algorithm>
+#include <cstddef>
 #include <stdexcept>
 
 namespace ldpids {

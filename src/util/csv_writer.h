@@ -4,6 +4,7 @@
 #ifndef LDPIDS_UTIL_CSV_WRITER_H_
 #define LDPIDS_UTIL_CSV_WRITER_H_
 
+#include <cstddef>
 #include <fstream>
 #include <string>
 #include <vector>

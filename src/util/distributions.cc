@@ -1,8 +1,12 @@
 #include "util/distributions.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 namespace ldpids {
 

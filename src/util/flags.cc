@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace ldpids {
@@ -48,13 +52,23 @@ std::string Flags::GetString(const std::string& name,
 double Flags::GetDouble(const std::string& name, double def) const {
   const std::string s = GetString(name, "");
   if (s.empty()) return def;
-  return std::stod(s);
+  try {
+    return std::stod(s);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                s + "'");
+  }
 }
 
 int64_t Flags::GetInt(const std::string& name, int64_t def) const {
   const std::string s = GetString(name, "");
   if (s.empty()) return def;
-  return std::stoll(s);
+  try {
+    return std::stoll(s);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name +
+                                " expects an integer, got '" + s + "'");
+  }
 }
 
 bool Flags::GetBool(const std::string& name, bool def) const {

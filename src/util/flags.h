@@ -10,6 +10,7 @@
 #ifndef LDPIDS_UTIL_FLAGS_H_
 #define LDPIDS_UTIL_FLAGS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>

@@ -7,6 +7,7 @@
 #ifndef LDPIDS_UTIL_HISTOGRAM_H_
 #define LDPIDS_UTIL_HISTOGRAM_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -1,5 +1,7 @@
 #include "util/rng.h"
 
+#include <cstdint>
+
 namespace ldpids {
 
 uint64_t SplitMix64(uint64_t& state) {

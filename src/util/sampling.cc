@@ -1,6 +1,10 @@
 #include "util/sampling.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <numeric>
+#include <utility>
+#include <vector>
 
 namespace ldpids {
 

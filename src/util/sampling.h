@@ -8,6 +8,7 @@
 #ifndef LDPIDS_UTIL_SAMPLING_H_
 #define LDPIDS_UTIL_SAMPLING_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

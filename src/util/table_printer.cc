@@ -1,8 +1,12 @@
 #include "util/table_printer.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <iomanip>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace ldpids {
 

@@ -3,6 +3,7 @@
 #ifndef LDPIDS_UTIL_TABLE_PRINTER_H_
 #define LDPIDS_UTIL_TABLE_PRINTER_H_
 
+#include <cstddef>
 #include <ostream>
 #include <string>
 #include <vector>

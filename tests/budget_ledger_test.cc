@@ -54,6 +54,33 @@ TEST(BudgetLedgerTest, ExactBudgetIsAllowed) {
   EXPECT_NEAR(ledger.WindowSpent(), 1.0, 1e-12);
 }
 
+TEST(BudgetLedgerTest, ExactSpendSurvivesFloatRoundingAcrossChainedAdds) {
+  // w chained additions of eps/w do not sum to exactly eps in binary
+  // floating point (7 * 0.1 = 0.7000000000000001 > 0.7). The 1e-9 relative
+  // tolerance must accept this as "exactly on budget" at every timestamp of
+  // a long stream, where the window sum is repeatedly rebuilt as old
+  // contributions slide out and new ones arrive.
+  const std::size_t w = 7;
+  const double eps = 0.7;
+  BudgetLedger ledger(eps, w);
+  for (int t = 0; t < 200; ++t) {
+    ASSERT_NO_THROW(ledger.Record(eps / (2.0 * w), eps / (2.0 * w)))
+        << "timestamp " << t;
+  }
+  EXPECT_NEAR(ledger.WindowSpent(), eps, 1e-9);
+}
+
+TEST(BudgetLedgerTest, GenuineOverspendIsStillRejectedNearTheTolerance) {
+  // A real violation just above the relative tolerance must throw even when
+  // the window is otherwise exactly on budget: the slack exists to absorb
+  // rounding, not to donate extra epsilon.
+  const std::size_t w = 7;
+  const double eps = 0.7;
+  BudgetLedger ledger(eps, w);
+  for (std::size_t t = 0; t + 1 < w; ++t) ledger.Record(0.1, 0.0);
+  EXPECT_THROW(ledger.Record(0.1 + 1e-6, 0.0), std::logic_error);
+}
+
 TEST(BudgetLedgerTest, RejectsNegativeBudgets) {
   BudgetLedger ledger(1.0, 2);
   EXPECT_THROW(ledger.Record(-0.1, 0.0), std::logic_error);

@@ -51,7 +51,7 @@ std::vector<Histogram> SmallTrueStream(std::size_t length = 80) {
 }
 
 TEST(CdpFactoryTest, CreatesAllMethods) {
-  for (const std::string& name : {"Uniform", "Sampling", "BD", "BA"}) {
+  for (const std::string name : {"Uniform", "Sampling", "BD", "BA"}) {
     EXPECT_NO_THROW(CreateCdpMechanism(name, SmallCdpConfig())) << name;
   }
   EXPECT_THROW(CreateCdpMechanism("nope", SmallCdpConfig()),
@@ -60,7 +60,7 @@ TEST(CdpFactoryTest, CreatesAllMethods) {
 
 TEST(CdpMechanismTest, RunReleasesMatchStreamShape) {
   const auto stream = SmallTrueStream();
-  for (const std::string& name : {"Uniform", "Sampling", "BD", "BA"}) {
+  for (const std::string name : {"Uniform", "Sampling", "BD", "BA"}) {
     auto m = CreateCdpMechanism(name, SmallCdpConfig());
     const auto releases = m->Run(stream);
     ASSERT_EQ(releases.size(), stream.size()) << name;

@@ -109,6 +109,52 @@ TEST(GrrOracleTest, CohortAndPerUserPathsAgreeInMoments) {
   EXPECT_NEAR(var_exact, var_fast, 0.35 * std::max(var_exact, var_fast));
 }
 
+TEST(GrrOracleTest, AddCohortMatchesAddUserAcrossAllBins) {
+  // Distribution-equivalence of the two simulation paths over the *whole*
+  // report histogram: for the same (epsilon, d) and cohort composition, the
+  // O(n) per-user protocol and the O(d) cohort sampler must be statistically
+  // indistinguishable — same per-bin mean (the true frequency, by
+  // unbiasedness), zero-mean per-bin difference, and matching per-bin
+  // variance up to sampling error.
+  const GrrOracle oracle;
+  const std::size_t d = 4;
+  const double eps = 0.6;
+  const Counts cohort = {400, 300, 200, 100};
+  const double n = 1000.0;
+  Rng rng_user(11), rng_cohort(12);
+  constexpr int kReps = 300;
+  std::vector<std::vector<double>> user_est(d), cohort_est(d), diff(d);
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto su = oracle.CreateSketch({eps, d});
+    for (std::size_t k = 0; k < d; ++k) {
+      for (uint64_t i = 0; i < cohort[k]; ++i) {
+        su->AddUser(static_cast<uint32_t>(k), rng_user);
+      }
+    }
+    auto sc = oracle.CreateSketch({eps, d});
+    sc->AddCohort(cohort, rng_cohort);
+    const Histogram hu = su->Estimate();
+    const Histogram hc = sc->Estimate();
+    for (std::size_t k = 0; k < d; ++k) {
+      user_est[k].push_back(hu[k]);
+      cohort_est[k].push_back(hc[k]);
+      diff[k].push_back(hu[k] - hc[k]);
+    }
+  }
+  for (std::size_t k = 0; k < d; ++k) {
+    const double f = static_cast<double>(cohort[k]) / n;
+    EXPECT_TRUE(testing::MeanWithin(user_est[k], f))
+        << "bin " << k << ": " << testing::SampleMean(user_est[k]);
+    EXPECT_TRUE(testing::MeanWithin(cohort_est[k], f))
+        << "bin " << k << ": " << testing::SampleMean(cohort_est[k]);
+    EXPECT_TRUE(testing::MeanWithin(diff[k], 0.0))
+        << "bin " << k << ": " << testing::SampleMean(diff[k]);
+    const double vu = testing::SampleVariance(user_est[k]);
+    const double vc = testing::SampleVariance(cohort_est[k]);
+    EXPECT_NEAR(vu, vc, 0.35 * std::max(vu, vc)) << "bin " << k;
+  }
+}
+
 TEST(GrrOracleTest, SketchRejectsBadInput) {
   const GrrOracle oracle;
   auto sketch = oracle.CreateSketch({1.0, 4});

@@ -45,7 +45,7 @@ TEST(IntegrationTest, PopulationDivisionBeatsBudgetDivision) {
 // Fig. 4 trend: error decreases with epsilon for all methods.
 TEST(IntegrationTest, ErrorDecreasesWithEpsilon) {
   const auto data = MakeLnsDataset(30000, 120, 0.0025, 2);
-  for (const std::string& name : {"LBU", "LBA", "LPU", "LPA"}) {
+  for (const std::string name : {"LBU", "LBA", "LPU", "LPA"}) {
     const double lo = EvaluateMechanism(*data, name, Config(0.5), 2).mse;
     const double hi = EvaluateMechanism(*data, name, Config(2.5), 2).mse;
     EXPECT_LT(hi, lo) << name;
@@ -55,7 +55,7 @@ TEST(IntegrationTest, ErrorDecreasesWithEpsilon) {
 // Fig. 5 trend: error grows with w (fewer users/budget per timestamp).
 TEST(IntegrationTest, ErrorGrowsWithWindow) {
   const auto data = MakeLnsDataset(30000, 150, 0.0025, 3);
-  for (const std::string& name : {"LBU", "LPU"}) {
+  for (const std::string name : {"LBU", "LPU"}) {
     const double small_w =
         EvaluateMechanism(*data, name, Config(1.0, 10), 2).mse;
     const double large_w =
@@ -66,7 +66,7 @@ TEST(IntegrationTest, ErrorGrowsWithWindow) {
 
 // Fig. 6(a)/(b) trend: error decreases with population size.
 TEST(IntegrationTest, ErrorDecreasesWithPopulation) {
-  for (const std::string& name : {"LBU", "LPA"}) {
+  for (const std::string name : {"LBU", "LPA"}) {
     const auto small = MakeLnsDataset(10000, 100, 0.0025, 4);
     const auto large = MakeLnsDataset(80000, 100, 0.0025, 4);
     const double mse_small = EvaluateMechanism(*small, name, Config(), 2).mse;
@@ -79,7 +79,7 @@ TEST(IntegrationTest, ErrorDecreasesWithPopulation) {
 TEST(IntegrationTest, AdaptiveErrorGrowsWithFluctuation) {
   const auto calm = MakeLnsDataset(30000, 120, 0.001, 5);
   const auto wild = MakeLnsDataset(30000, 120, 0.008, 5);
-  for (const std::string& name : {"LPD", "LPA", "LSP"}) {
+  for (const std::string name : {"LPD", "LPA", "LSP"}) {
     const double mse_calm = EvaluateMechanism(*calm, name, Config(), 2).mse;
     const double mse_wild = EvaluateMechanism(*wild, name, Config(), 2).mse;
     EXPECT_GT(mse_wild, mse_calm) << name;
@@ -147,7 +147,7 @@ TEST(IntegrationTest, CategoricalStreamsEndToEnd) {
   RealWorldSimOptions o;
   o.scale = 0.02;
   const auto data = MakeTaxiLikeDataset(o);
-  for (const std::string& name : {"LBA", "LPA"}) {
+  for (const std::string name : {"LBA", "LPA"}) {
     const RunMetrics m = EvaluateMechanism(*data, name, Config(1.0, 5), 2);
     EXPECT_GT(m.mre, 0.0) << name;
     EXPECT_TRUE(std::isfinite(m.mre)) << name;

@@ -120,7 +120,7 @@ TEST(BudgetAdaptiveTest, CfpuBetweenOneAndTwo) {
   // LBD/LBA: every user reports each timestamp for M1, and once more at
   // publication timestamps: 1 <= CFPU = 1 + m/w <= 2.
   const auto data = SmallStream(80);
-  for (const std::string& name : {"LBD", "LBA"}) {
+  for (const std::string name : {"LBD", "LBA"}) {
     auto run = RunMechanism(*data, name, SmallConfig());
     EXPECT_GE(run.Cfpu(), 1.0) << name;
     EXPECT_LE(run.Cfpu(), 2.0) << name;
@@ -135,7 +135,7 @@ TEST(PopulationAdaptiveTest, CfpuBelowUniform) {
   // LPD/LPA report strictly fewer messages than the 1/w of LPU whenever
   // some timestamps approximate (Section 6.3.3).
   const auto data = SmallStream(80);
-  for (const std::string& name : {"LPD", "LPA"}) {
+  for (const std::string name : {"LPD", "LPA"}) {
     auto run = RunMechanism(*data, name, SmallConfig());
     EXPECT_GT(run.Cfpu(), 0.0) << name;
     EXPECT_LT(run.Cfpu(), 1.0 / 10.0 + 1e-9) << name;

@@ -2,12 +2,16 @@
 // minimal populations, and cross-feature interactions (post-processing on
 // adaptive mechanisms, FO switching mid-family).
 #include <cmath>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
 #include "analysis/metrics.h"
 #include "analysis/runner.h"
 #include "core/factory.h"
+#include "core/lpa.h"
+#include "core/lpd.h"
+#include "core/lpu.h"
 #include "datagen/probability_model.h"
 #include "datagen/synthetic.h"
 
@@ -38,7 +42,7 @@ TEST(MechanismEdgeTest, WindowOfOneBehavesLikeRepeatedOneShot) {
 TEST(MechanismEdgeTest, HugeEpsilonGivesNearExactReleases) {
   const auto data = MakeSinDataset(20000, 30, 0.05, 2);
   const auto truth = data->TrueStream();
-  for (const std::string& name : {"LBU", "LPU"}) {
+  for (const std::string name : {"LBU", "LPU"}) {
     const RunResult run = RunMechanism(*data, name, Config(50.0, 5));
     EXPECT_LT(MeanAbsoluteError(truth, run.releases), 0.02) << name;
   }
@@ -54,10 +58,39 @@ TEST(MechanismEdgeTest, TinyEpsilonStillSatisfiesAccountingAndRuns) {
 TEST(MechanismEdgeTest, MinimalPopulationForPopulationDivision) {
   // Exactly 2*w users: LPD/LPA get one dissimilarity user per timestamp.
   const auto data = MakeSinDataset(20, 25, 0.05, 4);
-  for (const std::string& name : {"LPD", "LPA"}) {
+  for (const std::string name : {"LPD", "LPA"}) {
     const RunResult run = RunMechanism(*data, name, Config(1.0, 10));
     EXPECT_EQ(run.releases.size(), 25u) << name;
   }
+}
+
+TEST(MechanismEdgeTest, LpaConstructionAtExactPopulationBoundary) {
+  // Regression for the constructor-initialization hazard: LPA used to read
+  // its config mid-initialization while the argument was being moved into
+  // the base class. At the num_users == 2*w boundary the PopulationManager
+  // must be built with the *validated* window, and the mechanism must run a
+  // full stream (one dissimilarity user per timestamp, unit = N/(2w) = 1).
+  const MechanismConfig c = Config(1.0, 10);
+  LpaMechanism lpa(c, 20);
+  EXPECT_EQ(lpa.config().window, 10u);
+  EXPECT_EQ(lpa.num_users(), 20u);
+  const auto data = MakeSinDataset(20, 25, 0.05, 11);
+  const RunResult run = lpa.Run(*data);
+  EXPECT_EQ(run.releases.size(), 25u);
+  // One user short of the boundary must be rejected up front.
+  EXPECT_THROW(LpaMechanism(c, 19), std::invalid_argument);
+}
+
+TEST(MechanismEdgeTest, PopulationMechanismsValidatePopulationUpFront) {
+  // The same precondition family across all population-division mechanisms:
+  // exactly-enough users construct, one fewer throws std::invalid_argument.
+  const MechanismConfig c = Config(1.0, 8);
+  EXPECT_NO_THROW(LpuMechanism(c, 8));
+  EXPECT_THROW(LpuMechanism(c, 7), std::invalid_argument);
+  EXPECT_NO_THROW(LpdMechanism(c, 16));
+  EXPECT_THROW(LpdMechanism(c, 15), std::invalid_argument);
+  EXPECT_NO_THROW(LpaMechanism(c, 16));
+  EXPECT_THROW(LpaMechanism(c, 15), std::invalid_argument);
 }
 
 TEST(MechanismEdgeTest, PostProcessingComposesWithAdaptiveMechanisms) {
@@ -65,7 +98,7 @@ TEST(MechanismEdgeTest, PostProcessingComposesWithAdaptiveMechanisms) {
   // pipeline must stay stable and at least as accurate in MRE terms.
   const auto data = MakeLnsDataset(20000, 80, 0.0025, 5);
   const auto truth = data->TrueStream();
-  for (const std::string& name : {"LBA", "LPA"}) {
+  for (const std::string name : {"LBA", "LPA"}) {
     MechanismConfig raw = Config(1.0, 10);
     MechanismConfig pp = raw;
     pp.post_process = PostProcess::kNormSub;
@@ -96,7 +129,7 @@ TEST(MechanismEdgeTest, AllFosDriveAdaptiveMechanisms) {
   for (const std::string& fo : AllFrequencyOracleNames()) {
     MechanismConfig c = Config(1.0, 8);
     c.fo = fo;
-    for (const std::string& name : {"LBA", "LPA"}) {
+    for (const std::string name : {"LBA", "LPA"}) {
       EXPECT_NO_THROW(RunMechanism(*data, name, c)) << name << "+" << fo;
     }
   }

@@ -18,7 +18,7 @@ namespace {
 
 // Theorem 6.1 (analytic): V(eps, N/w) < V(eps/w, N) for GRR and OUE.
 TEST(Theorem61Test, PopulationDivisionBeatsBudgetDivisionAnalytically) {
-  for (const std::string& fo_name : {"GRR", "OUE"}) {
+  for (const std::string fo_name : {"GRR", "OUE"}) {
     const auto& fo = GetFrequencyOracle(fo_name);
     for (double eps : {0.5, 1.0, 2.0, 3.0}) {
       for (uint64_t w : {2ull, 5ull, 20ull, 50ull}) {
