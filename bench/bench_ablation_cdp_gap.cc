@@ -25,8 +25,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   const double scale = flags.GetDouble("scale", 0.3);
-  const int reps = static_cast<int>(flags.GetInt("reps", 2));
+  const int reps = bench::RepsFlag(flags, 2);
+  const std::size_t threads = bench::BenchThreads(flags);
   bench::PrintHeader(kTitle, scale);
+  bench::ThroughputRecorder throughput(threads);
 
   const auto data = MakeLnsDataset(bench::ScaledUsers(scale),
                                    bench::ScaledLength(scale));
@@ -66,12 +68,15 @@ int main(int argc, char** argv) {
       c.epsilon = eps;
       c.window = 20;
       cells.push_back(FormatDouble(
-          EvaluateMechanism(*data, name, c, static_cast<std::size_t>(reps))
+          EvaluateMechanism(*data, name, c, static_cast<std::size_t>(reps),
+                            threads)
               .mse,
           9));
     }
     table.AddRow(cells);
   }
   table.Print(std::cout);
+  throughput.AddRuns(static_cast<uint64_t>(reps) * 9);  // CDP tier runs
+  throughput.Print();
   return 0;
 }

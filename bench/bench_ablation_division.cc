@@ -23,7 +23,9 @@ int main(int argc, char** argv) {
     return 0;
   }
   const double scale = flags.GetDouble("scale", 0.3);
+  const std::size_t threads = bench::BenchThreads(flags);
   bench::PrintHeader(kTitle, scale);
+  bench::ThroughputRecorder throughput(threads);
   const uint64_t n = 200000;
   const std::size_t d = 5;
   const double eps = 1.0;
@@ -72,11 +74,12 @@ int main(int argc, char** argv) {
   config.epsilon = eps;
   config.window = 20;
   for (const auto& [b, p] : pairs) {
-    const double mb = EvaluateMechanism(*data, b, config, 2).mse;
-    const double mp = EvaluateMechanism(*data, p, config, 2).mse;
+    const double mb = EvaluateMechanism(*data, b, config, 2, threads).mse;
+    const double mp = EvaluateMechanism(*data, p, config, 2, threads).mse;
     empirical.AddRow({b + " vs " + p, FormatDouble(mb, 8),
                       FormatDouble(mp, 8), FormatDouble(mb / mp, 1)});
   }
   empirical.Print(std::cout);
+  throughput.Print();
   return 0;
 }

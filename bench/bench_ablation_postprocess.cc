@@ -10,8 +10,10 @@
 // The table reports MRE on LNS (left, sparse binary) and a Taxi-like
 // categorical stream (right) for each mechanism x post-processing mode,
 // plus a smoothing row for the always-publish methods.
+#include <cstddef>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "analysis/metrics.h"
 #include "analysis/postprocess.h"
@@ -21,6 +23,7 @@
 #include "core/factory.h"
 #include "fo/frequency_oracle.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace ldpids;
@@ -31,8 +34,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   const double scale = flags.GetDouble("scale", 0.3);
-  const int reps = static_cast<int>(flags.GetInt("reps", 2));
+  const int reps = bench::RepsFlag(flags, 2);
+  const std::size_t threads = bench::BenchThreads(flags);
   bench::PrintHeader(kTitle, scale);
+  bench::ThroughputRecorder throughput(threads);
 
   const auto lns = MakeLnsDataset(bench::ScaledUsers(scale),
                                   bench::ScaledLength(scale));
@@ -59,7 +64,8 @@ int main(int argc, char** argv) {
         config.window = 20;
         config.post_process = mode;
         row.push_back(EvaluateMechanism(*data, method, config,
-                                        static_cast<std::size_t>(reps))
+                                        static_cast<std::size_t>(reps),
+                                        threads)
                           .mre);
       }
       table.AddRow(method, row);
@@ -77,21 +83,32 @@ int main(int argc, char** argv) {
     MechanismConfig config;
     config.epsilon = 1.0;
     config.window = 20;
+    // Per-method measurement variance at publications.
+    double r;
+    const auto& fo = GetFrequencyOracle("GRR");
+    if (method == "LBU") {
+      r = fo.MeanVariance(1.0 / 20.0, lns->num_users(), 2);
+    } else if (method == "LPU") {
+      r = fo.MeanVariance(1.0, lns->num_users() / 20, 2);
+    } else {
+      r = fo.MeanVariance(1.0, lns->num_users() / (2 * 20), 2);
+    }
+    // Repetitions fan out across threads; the reduction stays in fixed rep
+    // order so the printed numbers match the serial run bit-for-bit.
+    struct RepMse {
+      double raw = 0.0;
+      double smoothed = 0.0;
+    };
+    const std::vector<RepMse> per_rep = bench::ParallelReps<RepMse>(
+        threads, reps, [&](std::size_t rep) {
+          const RunResult run = RunMechanism(*lns, method, config, rep);
+          return RepMse{MeanSquaredError(truth, run.releases),
+                        MeanSquaredError(truth, SmoothRun(run, q, r))};
+        });
     double raw = 0.0, smoothed = 0.0;
-    for (int rep = 0; rep < reps; ++rep) {
-      const RunResult run = RunMechanism(*lns, method, config, rep);
-      // Per-method measurement variance at publications.
-      double r;
-      const auto& fo = GetFrequencyOracle("GRR");
-      if (method == "LBU") {
-        r = fo.MeanVariance(1.0 / 20.0, lns->num_users(), 2);
-      } else if (method == "LPU") {
-        r = fo.MeanVariance(1.0, lns->num_users() / 20, 2);
-      } else {
-        r = fo.MeanVariance(1.0, lns->num_users() / (2 * 20), 2);
-      }
-      raw += MeanSquaredError(truth, run.releases);
-      smoothed += MeanSquaredError(truth, SmoothRun(run, q, r));
+    for (const RepMse& m : per_rep) {
+      raw += m.raw;
+      smoothed += m.smoothed;
     }
     smooth_table.AddRow(method,
                         {raw / reps, smoothed / reps,
@@ -99,5 +116,6 @@ int main(int argc, char** argv) {
                         6);
   }
   smooth_table.Print(std::cout);
+  throughput.Print();
   return 0;
 }

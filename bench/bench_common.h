@@ -1,10 +1,12 @@
 // Shared setup for the figure/table reproduction binaries.
 //
 // Every bench accepts:
-//   --scale=S   (or LDPIDS_SCALE=S)  multiply N and T by S in (0, 1]
-//   --reps=R    repetitions per cell (default 3 synthetic / 2 real-like)
-//   --fo=NAME   frequency oracle (default GRR, as in the paper)
-//   --csv=PATH  also dump the series as CSV
+//   --scale=S    (or LDPIDS_SCALE=S)  multiply N and T by S in (0, 1]
+//   --reps=R     repetitions per cell (default 3 synthetic / 2 real-like)
+//   --fo=NAME    frequency oracle (default GRR, as in the paper)
+//   --threads=K  parallel evaluation lanes (default: all hardware threads);
+//                results are bit-identical for every K
+//   --csv=PATH   also dump the series as CSV
 //
 // At scale 1 the datasets match the paper exactly: LNS/Sin/Log with
 // N = 200,000, T = 800; Taxi/Foursquare/Taobao with the shapes of §7.1.2.
@@ -12,16 +14,20 @@
 #define LDPIDS_BENCH_BENCH_COMMON_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/runner.h"
 #include "datagen/realworld_sim.h"
 #include "datagen/synthetic.h"
 #include "stream/dataset.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 namespace ldpids::bench {
 
@@ -58,10 +64,98 @@ inline std::vector<std::shared_ptr<StreamDataset>> MakeAllDatasets(
   return datasets;
 }
 
+// Evaluation-engine thread count: --threads / LDPIDS_THREADS, defaulting to
+// every hardware thread. Rejects 0, negatives and malformed values with the
+// standard flag error.
+inline std::size_t BenchThreads(const Flags& flags) {
+  return ThreadCountFlag(flags, HardwareThreads());
+}
+
+// Repetitions per cell: --reps / LDPIDS_REPS, clamped at zero so a negative
+// value degrades to the historical no-op sweep instead of wrapping around
+// in the size_t casts downstream.
+inline int RepsFlag(const Flags& flags, int def) {
+  return static_cast<int>(
+      std::max<int64_t>(0, flags.GetInt("reps", def)));
+}
+
+// Evaluates the `cells` independent cells of one table row concurrently and
+// returns the metrics in cell order, so tables and CSV dumps stay
+// deterministic. For rows whose cells differ in *dataset* (fig6/fig8/
+// table2) this is what keeps --threads effective at --reps=1, where
+// EvaluateMechanism's internal repetition fan-out has nothing to spread
+// (nested engine calls run inline on the cell's thread); rows whose cells
+// differ only in config should prefer SweepMechanism, which fans out the
+// full grid. Dataset caches are thread-safe, but warming them first
+// (data->TrueStream()) avoids serializing the cells on first access.
+inline std::vector<RunMetrics> EvaluateCellsInParallel(
+    std::size_t threads, std::size_t cells,
+    const std::function<RunMetrics(std::size_t)>& cell) {
+  std::vector<RunMetrics> out(cells);
+  ParallelFor(threads, cells, [&](std::size_t i) { out[i] = cell(i); });
+  return out;
+}
+
 inline void PrintHeader(const std::string& title, double scale) {
   std::printf("=== %s ===\n", title.c_str());
   std::printf("(scale=%.3g; pass --scale=0.1 for a quick run)\n\n", scale);
 }
+
+// Fans a bench's repetitions out across threads into per-rep result slots,
+// guarding non-positive reps down to the historical no-op loop. The caller
+// reduces the returned slots in fixed repetition order, which is what keeps
+// the printed tables bit-identical at every thread count. Sibling of
+// EvaluateCellsInParallel for benches whose per-rep payload is bespoke
+// (ROC curves, smoothed runs, mean metrics).
+template <typename Result>
+inline std::vector<Result> ParallelReps(
+    std::size_t threads, int reps,
+    const std::function<Result(std::size_t)>& rep_fn) {
+  const std::size_t rep_count = reps > 0 ? static_cast<std::size_t>(reps) : 0;
+  std::vector<Result> out(rep_count);
+  ParallelFor(threads, rep_count,
+              [&](std::size_t rep) { out[rep] = rep_fn(rep); });
+  return out;
+}
+
+// Records wall-time and mechanism-run throughput over a bench and prints
+// one machine-parseable line that scripts/run_benches.sh folds into the
+// BENCH_*.json trajectory record. The window is end-to-end — construction
+// (right after flag parsing) to Print() — so it includes dataset generation
+// and cache warming; that keeps the metric's definition identical across
+// PRs, and bench_micro carries the isolated engine/oracle numbers.
+// Mechanism runs are counted via the engine's global RunMechanism counter;
+// work that bypasses RunMechanism (the CDP baselines, the mean-stream
+// extension) reports itself through AddRuns().
+class ThroughputRecorder {
+ public:
+  explicit ThroughputRecorder(std::size_t threads)
+      : threads_(threads),
+        start_(std::chrono::steady_clock::now()),
+        start_runs_(TotalMechanismRunCount()) {}
+
+  void AddRuns(uint64_t runs) { extra_runs_ += runs; }
+
+  void Print() const {
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const uint64_t runs =
+        TotalMechanismRunCount() - start_runs_ + extra_runs_;
+    std::printf(
+        "\n[throughput] threads=%zu mechanism_runs=%llu wall_s=%.3f "
+        "runs_per_s=%.3f\n",
+        threads_, static_cast<unsigned long long>(runs), wall_s,
+        wall_s > 0.0 ? static_cast<double>(runs) / wall_s : 0.0);
+  }
+
+ private:
+  std::size_t threads_;
+  std::chrono::steady_clock::time_point start_;
+  uint64_t start_runs_;
+  uint64_t extra_runs_ = 0;
+};
 
 // Prints usage and returns true when --help was passed, so bench mains can
 // exit 0 instead of launching a full paper-scale sweep.
@@ -71,12 +165,14 @@ inline bool HandleHelp(const Flags& flags, const std::string& title) {
   std::printf(
       "Common flags (each also settable via the LDPIDS_<NAME> env var; not\n"
       "every bench reads every flag — see the bench's source header):\n"
-      "  --scale=S   multiply population and stream length by S\n"
-      "              (e.g. 0.1 for a quick run; 1 is the paper-sized sweep)\n"
-      "  --reps=R    repetitions per configuration cell\n"
-      "  --fo=NAME   frequency oracle: GRR | OUE | SUE | OLH | HR\n"
-      "  --csv=PATH  also dump the result series as CSV (where supported)\n"
-      "  --help      show this message and exit\n");
+      "  --scale=S    multiply population and stream length by S\n"
+      "               (e.g. 0.1 for a quick run; 1 is the paper-sized sweep)\n"
+      "  --reps=R     repetitions per configuration cell\n"
+      "  --fo=NAME    frequency oracle: GRR | OUE | SUE | OLH | HR\n"
+      "  --threads=K  parallel evaluation lanes (default: all hardware\n"
+      "               threads; results are bit-identical for every K)\n"
+      "  --csv=PATH   also dump the result series as CSV (where supported)\n"
+      "  --help       show this message and exit\n");
   return true;
 }
 

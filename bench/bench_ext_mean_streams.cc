@@ -6,12 +6,15 @@
 // Theorem 6.1 carries over verbatim — MeanLPU/MeanLPA beat MeanLBU by a
 // widening factor as w grows, and MeanLPA pays the least communication.
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "mean/mean_stream.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -24,19 +27,28 @@ struct MeanMetrics {
 
 MeanMetrics Evaluate(const NumericStreamDataset& data,
                      const std::string& name, double eps, std::size_t w,
-                     int reps) {
+                     int reps, std::size_t threads) {
+  // Warm the lazily-cached true means before fanning out, so the parallel
+  // repetitions below only ever read the cache.
+  for (std::size_t t = 0; t < data.length(); ++t) data.TrueMean(t);
+  const std::vector<MeanMetrics> per_rep = bench::ParallelReps<MeanMetrics>(
+      threads, reps, [&](std::size_t rep) {
+        auto m = CreateMeanMechanism(name, eps, w, data.num_users(),
+                                     1000 + static_cast<uint64_t>(rep));
+        const MeanRunResult run = m->Run(data);
+        double mse = 0.0;
+        for (std::size_t t = 0; t < run.releases.size(); ++t) {
+          const double diff = run.releases[t] - data.TrueMean(t);
+          mse += diff * diff;
+        }
+        return MeanMetrics{mse / static_cast<double>(run.releases.size()),
+                           run.Cfpu()};
+      });
+  // Fixed-order reduction keeps the table identical for every thread count.
   MeanMetrics metrics;
-  for (int rep = 0; rep < reps; ++rep) {
-    auto m = CreateMeanMechanism(name, eps, w, data.num_users(),
-                                 1000 + static_cast<uint64_t>(rep));
-    const MeanRunResult run = m->Run(data);
-    double mse = 0.0;
-    for (std::size_t t = 0; t < run.releases.size(); ++t) {
-      const double diff = run.releases[t] - data.TrueMean(t);
-      mse += diff * diff;
-    }
-    metrics.mse += mse / static_cast<double>(run.releases.size());
-    metrics.cfpu += run.Cfpu();
+  for (const MeanMetrics& r : per_rep) {
+    metrics.mse += r.mse;
+    metrics.cfpu += r.cfpu;
   }
   metrics.mse /= reps;
   metrics.cfpu /= reps;
@@ -53,8 +65,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   const double scale = flags.GetDouble("scale", 0.3);
-  const int reps = static_cast<int>(flags.GetInt("reps", 2));
+  const int reps = bench::RepsFlag(flags, 2);
+  const std::size_t threads = bench::BenchThreads(flags);
   bench::PrintHeader(kTitle, scale);
+  bench::ThroughputRecorder throughput(threads);
 
   const auto data = MakeNumericSineDataset(bench::ScaledUsers(scale, 100000),
                                            bench::ScaledLength(scale, 400),
@@ -65,7 +79,7 @@ int main(int argc, char** argv) {
   for (const std::string& name : AllMeanMechanismNames()) {
     std::vector<double> row;
     for (double eps : {0.5, 1.0, 2.0}) {
-      row.push_back(Evaluate(*data, name, eps, 20, reps).mse);
+      row.push_back(Evaluate(*data, name, eps, 20, reps, threads).mse);
     }
     eps_table.AddRow(name, row, 6);
   }
@@ -76,7 +90,7 @@ int main(int argc, char** argv) {
   for (const std::string& name : AllMeanMechanismNames()) {
     std::vector<double> row;
     for (std::size_t w : {10u, 20u, 40u}) {
-      row.push_back(Evaluate(*data, name, 1.0, w, reps).mse);
+      row.push_back(Evaluate(*data, name, 1.0, w, reps, threads).mse);
     }
     w_table.AddRow(name, row, 6);
   }
@@ -85,8 +99,12 @@ int main(int argc, char** argv) {
   std::printf("\nCFPU (eps=1, w=20)\n");
   TablePrinter c_table({"method", "CFPU"});
   for (const std::string& name : AllMeanMechanismNames()) {
-    c_table.AddRow(name, {Evaluate(*data, name, 1.0, 20, reps).cfpu}, 4);
+    c_table.AddRow(name, {Evaluate(*data, name, 1.0, 20, reps, threads).cfpu}, 4);
   }
   c_table.Print(std::cout);
+  // Mean mechanisms bypass RunMechanism; count them explicitly:
+  // 3 methods x (3 eps + 3 w + 1 cfpu) cells x reps runs.
+  throughput.AddRuns(static_cast<uint64_t>(reps) * 3 * 7);
+  throughput.Print();
   return 0;
 }

@@ -23,11 +23,13 @@ int main(int argc, char** argv) {
     return 0;
   }
   const double scale = flags.GetDouble("scale", 0.3);
-  const int reps = static_cast<int>(flags.GetInt("reps", 2));
+  const int reps = bench::RepsFlag(flags, 2);
   const std::string fo = flags.GetString("fo", "GRR");
   const std::string csv_path = flags.GetString("csv", "");
+  const std::size_t threads = bench::BenchThreads(flags);
 
   bench::PrintHeader(kTitle, scale);
+  bench::ThroughputRecorder throughput(threads);
   const std::vector<double> epsilons = {0.5, 1.0, 1.5, 2.0, 2.5};
   std::unique_ptr<CsvWriter> csv;
   if (!csv_path.empty()) {
@@ -43,18 +45,25 @@ int main(int argc, char** argv) {
     std::vector<std::string> header = {"method"};
     for (double eps : epsilons) header.push_back("eps=" + FormatDouble(eps, 1));
     TablePrinter table(header);
+    std::vector<MechanismConfig> configs;
+    for (double eps : epsilons) {
+      MechanismConfig config;
+      config.epsilon = eps;
+      config.window = 20;
+      config.fo = fo;
+      configs.push_back(config);
+    }
     for (const std::string& method : AllMechanismNames()) {
+      // SweepMechanism fans out the full (eps x repetition) grid, so every
+      // engine lane stays busy even at --reps=1.
+      const std::vector<RunMetrics> cells = SweepMechanism(
+          *data, method, configs, static_cast<std::size_t>(reps), threads);
       std::vector<double> row;
-      for (double eps : epsilons) {
-        MechanismConfig config;
-        config.epsilon = eps;
-        config.window = 20;
-        config.fo = fo;
-        const RunMetrics m = EvaluateMechanism(*data, method, config,
-                                               static_cast<std::size_t>(reps));
+      for (std::size_t i = 0; i < epsilons.size(); ++i) {
+        const RunMetrics& m = cells[i];
         row.push_back(m.mre);
         if (csv) {
-          csv->WriteRow({data->name(), method, FormatDouble(eps, 2),
+          csv->WriteRow({data->name(), method, FormatDouble(epsilons[i], 2),
                          FormatDouble(m.mre, 6), FormatDouble(m.mae, 6),
                          FormatDouble(m.mse, 8)});
         }
@@ -64,5 +73,6 @@ int main(int argc, char** argv) {
     table.Print(std::cout);
     std::printf("\n");
   }
+  throughput.Print();
   return 0;
 }

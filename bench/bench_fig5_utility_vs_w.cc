@@ -22,11 +22,13 @@ int main(int argc, char** argv) {
     return 0;
   }
   const double scale = flags.GetDouble("scale", 0.3);
-  const int reps = static_cast<int>(flags.GetInt("reps", 2));
+  const int reps = bench::RepsFlag(flags, 2);
   const std::string fo = flags.GetString("fo", "GRR");
   const std::string csv_path = flags.GetString("csv", "");
+  const std::size_t threads = bench::BenchThreads(flags);
 
   bench::PrintHeader(kTitle, scale);
+  bench::ThroughputRecorder throughput(threads);
   const std::vector<std::size_t> windows = {10, 20, 30, 40, 50};
   std::unique_ptr<CsvWriter> csv;
   if (!csv_path.empty()) {
@@ -42,18 +44,25 @@ int main(int argc, char** argv) {
     std::vector<std::string> header = {"method"};
     for (std::size_t w : windows) header.push_back("w=" + std::to_string(w));
     TablePrinter table(header);
+    std::vector<MechanismConfig> configs;
+    for (std::size_t w : windows) {
+      MechanismConfig config;
+      config.epsilon = 1.0;
+      config.window = w;
+      config.fo = fo;
+      configs.push_back(config);
+    }
     for (const std::string& method : AllMechanismNames()) {
+      // SweepMechanism fans out the full (w x repetition) grid, so every
+      // engine lane stays busy even at --reps=1.
+      const std::vector<RunMetrics> cells = SweepMechanism(
+          *data, method, configs, static_cast<std::size_t>(reps), threads);
       std::vector<double> row;
-      for (std::size_t w : windows) {
-        MechanismConfig config;
-        config.epsilon = 1.0;
-        config.window = w;
-        config.fo = fo;
-        const RunMetrics m = EvaluateMechanism(*data, method, config,
-                                               static_cast<std::size_t>(reps));
+      for (std::size_t i = 0; i < windows.size(); ++i) {
+        const RunMetrics& m = cells[i];
         row.push_back(m.mre);
         if (csv) {
-          csv->WriteRow({data->name(), method, std::to_string(w),
+          csv->WriteRow({data->name(), method, std::to_string(windows[i]),
                          FormatDouble(m.mre, 6), FormatDouble(m.mse, 8)});
         }
       }
@@ -62,5 +71,6 @@ int main(int argc, char** argv) {
     table.Print(std::cout);
     std::printf("\n");
   }
+  throughput.Print();
   return 0;
 }

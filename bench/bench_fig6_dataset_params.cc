@@ -29,18 +29,21 @@ MechanismConfig Fig6Config() {
 void RunPanel(const std::string& title,
               const std::vector<std::string>& column_labels,
               const std::vector<std::shared_ptr<StreamDataset>>& datasets,
-              int reps) {
+              int reps, std::size_t threads) {
   std::printf("%s\n", title.c_str());
+  // Warm every dataset's count cache before the parallel cells below.
+  for (const auto& data : datasets) data->TrueStream();
   std::vector<std::string> header = {"method"};
   for (const auto& label : column_labels) header.push_back(label);
   TablePrinter table(header);
   for (const std::string& method : AllMechanismNames()) {
+    const std::vector<RunMetrics> cells = bench::EvaluateCellsInParallel(
+        threads, datasets.size(), [&](std::size_t i) {
+          return EvaluateMechanism(*datasets[i], method, Fig6Config(),
+                                   static_cast<std::size_t>(reps), threads);
+        });
     std::vector<double> row;
-    for (const auto& data : datasets) {
-      row.push_back(EvaluateMechanism(*data, method, Fig6Config(),
-                                      static_cast<std::size_t>(reps))
-                        .mre);
-    }
+    for (const RunMetrics& m : cells) row.push_back(m.mre);
     table.AddRow(method, row);
   }
   table.Print(std::cout);
@@ -57,8 +60,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   const double scale = flags.GetDouble("scale", 0.3);
-  const int reps = static_cast<int>(flags.GetInt("reps", 2));
+  const int reps = bench::RepsFlag(flags, 2);
+  const std::size_t threads = bench::BenchThreads(flags);
   bench::PrintHeader(kTitle, scale);
+  bench::ThroughputRecorder throughput(threads);
   const std::size_t t = bench::ScaledLength(scale);
 
   // (a)/(b): population sweep 10,20,40,80 x 10^4 (scaled).
@@ -73,8 +78,10 @@ int main(int argc, char** argv) {
       lns.push_back(MakeLnsDataset(sn, t));
       sin.push_back(MakeSinDataset(sn, t));
     }
-    RunPanel("(a) varying population N on LNS", labels, lns, reps);
-    RunPanel("(b) varying population N on Sin", labels, sin, reps);
+    RunPanel("(a) varying population N on LNS", labels, lns, reps,
+             threads);
+    RunPanel("(b) varying population N on Sin", labels, sin, reps,
+             threads);
   }
 
   // (c): fluctuation sweep on LNS.
@@ -86,7 +93,8 @@ int main(int argc, char** argv) {
       labels.push_back("sqrtQ=" + FormatDouble(q, 3));
       datasets.push_back(MakeLnsDataset(bench::ScaledUsers(scale), t, q));
     }
-    RunPanel("(c) varying fluctuation sqrt(Q) on LNS", labels, datasets, reps);
+    RunPanel("(c) varying fluctuation sqrt(Q) on LNS", labels, datasets,
+             reps, threads);
   }
 
   // (d): period parameter sweep on Sin.
@@ -98,7 +106,9 @@ int main(int argc, char** argv) {
       labels.push_back("b=" + FormatDouble(b, 3));
       datasets.push_back(MakeSinDataset(bench::ScaledUsers(scale), t, b));
     }
-    RunPanel("(d) varying period parameter b on Sin", labels, datasets, reps);
+    RunPanel("(d) varying period parameter b on Sin", labels, datasets,
+             reps, threads);
   }
+  throughput.Print();
   return 0;
 }

@@ -8,8 +8,10 @@
 //
 // Paper shape to verify: LPD/LPA dominate; LSP is worst despite its low MRE
 // (its long approximation runs miss real-time changes); LBA sits between.
+#include <cstddef>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "analysis/event_monitor.h"
 #include "analysis/roc.h"
@@ -18,6 +20,7 @@
 #include "core/factory.h"
 #include "util/csv_writer.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace ldpids;
@@ -28,11 +31,13 @@ int main(int argc, char** argv) {
     return 0;
   }
   const double scale = flags.GetDouble("scale", 0.3);
-  const int reps = static_cast<int>(flags.GetInt("reps", 3));
+  const int reps = bench::RepsFlag(flags, 3);
   const std::string fo = flags.GetString("fo", "GRR");
   const std::string csv_path = flags.GetString("csv", "");
+  const std::size_t threads = bench::BenchThreads(flags);
 
   bench::PrintHeader(kTitle, scale);
+  bench::ThroughputRecorder throughput(threads);
   const std::vector<std::string> methods = {"LBA", "LSP", "LPU", "LPD",
                                             "LPA"};
   std::unique_ptr<CsvWriter> csv;
@@ -49,31 +54,52 @@ int main(int argc, char** argv) {
     TablePrinter table(
         {"method", "AUC", "TPR@FPR=.01", "TPR@FPR=.1", "TPR@FPR=.3"});
     for (const std::string& method : methods) {
+      // Repetitions fan out across threads; per-rep results land in fixed
+      // slots and are reduced in rep order, so the table matches the serial
+      // run bit-for-bit.
+      struct RepResult {
+        double auc = 0.0, tpr01 = 0.0, tpr10 = 0.0, tpr30 = 0.0;
+        bool valid = false;
+        std::vector<RocPoint> curve;  // kept only for rep 0 (CSV dump)
+      };
+      const std::vector<RepResult> per_rep = bench::ParallelReps<RepResult>(
+          threads, reps, [&](std::size_t rep) {
+            MechanismConfig config;
+            config.epsilon = 1.0;
+            config.window = 50;
+            config.fo = fo;
+            const RunResult run = RunMechanism(*data, method, config, rep);
+            std::vector<double> scores;
+            std::vector<bool> labels;
+            RepResult r;
+            if (!PrepareEventDetection(truth, run.releases, &scores,
+                                       &labels)) {
+              return r;
+            }
+            auto curve = ComputeRoc(scores, labels);
+            r.auc = RocAuc(scores, labels);
+            r.tpr01 = TprAtFpr(curve, 0.01);
+            r.tpr10 = TprAtFpr(curve, 0.1);
+            r.tpr30 = TprAtFpr(curve, 0.3);
+            r.valid = true;
+            if (rep == 0) r.curve = std::move(curve);
+            return r;
+          });
       double auc = 0.0, tpr01 = 0.0, tpr10 = 0.0, tpr30 = 0.0;
       int valid = 0;
-      for (int rep = 0; rep < reps; ++rep) {
-        MechanismConfig config;
-        config.epsilon = 1.0;
-        config.window = 50;
-        config.fo = fo;
-        const RunResult run = RunMechanism(*data, method, config, rep);
-        std::vector<double> scores;
-        std::vector<bool> labels;
-        if (!PrepareEventDetection(truth, run.releases, &scores, &labels)) {
-          continue;
-        }
-        const auto curve = ComputeRoc(scores, labels);
-        auc += RocAuc(scores, labels);
-        tpr01 += TprAtFpr(curve, 0.01);
-        tpr10 += TprAtFpr(curve, 0.1);
-        tpr30 += TprAtFpr(curve, 0.3);
+      for (const RepResult& r : per_rep) {
+        if (!r.valid) continue;
+        auc += r.auc;
+        tpr01 += r.tpr01;
+        tpr10 += r.tpr10;
+        tpr30 += r.tpr30;
         ++valid;
-        if (csv && rep == 0) {
-          for (const RocPoint& p : curve) {
-            csv->WriteRow({data->name(), method,
-                           FormatDouble(p.false_positive_rate, 6),
-                           FormatDouble(p.true_positive_rate, 6)});
-          }
+      }
+      if (csv && !per_rep.empty() && per_rep[0].valid) {
+        for (const RocPoint& p : per_rep[0].curve) {
+          csv->WriteRow({data->name(), method,
+                         FormatDouble(p.false_positive_rate, 6),
+                         FormatDouble(p.true_positive_rate, 6)});
         }
       }
       if (valid == 0) {
@@ -86,5 +112,6 @@ int main(int argc, char** argv) {
     table.Print(std::cout);
     std::printf("\n");
   }
+  throughput.Print();
   return 0;
 }

@@ -21,18 +21,23 @@ using namespace ldpids;
 void RunPanel(const std::string& title,
               const std::vector<std::string>& labels,
               const std::vector<std::shared_ptr<StreamDataset>>& datasets,
-              const std::vector<MechanismConfig>& configs, int reps) {
+              const std::vector<MechanismConfig>& configs, int reps,
+              std::size_t threads) {
   std::printf("%s\n", title.c_str());
+  // Warm every dataset's count cache before the parallel cells below (the
+  // eps/w panels share one dataset across cells).
+  for (const auto& data : datasets) data->TrueStream();
   std::vector<std::string> header = {"method"};
   for (const auto& label : labels) header.push_back(label);
   TablePrinter table(header);
   for (const std::string& method : AllMechanismNames()) {
+    const std::vector<RunMetrics> cells = bench::EvaluateCellsInParallel(
+        threads, datasets.size(), [&](std::size_t i) {
+          return EvaluateMechanism(*datasets[i], method, configs[i],
+                                   static_cast<std::size_t>(reps), threads);
+        });
     std::vector<double> row;
-    for (std::size_t i = 0; i < datasets.size(); ++i) {
-      row.push_back(EvaluateMechanism(*datasets[i], method, configs[i],
-                                      static_cast<std::size_t>(reps))
-                        .cfpu);
-    }
+    for (const RunMetrics& m : cells) row.push_back(m.cfpu);
     table.AddRow(method, row);
   }
   table.Print(std::cout);
@@ -49,8 +54,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   const double scale = flags.GetDouble("scale", 0.3);
-  const int reps = static_cast<int>(flags.GetInt("reps", 2));
+  const int reps = bench::RepsFlag(flags, 2);
+  const std::size_t threads = bench::BenchThreads(flags);
   bench::PrintHeader(kTitle, scale);
+  bench::ThroughputRecorder throughput(threads);
   const std::size_t t = bench::ScaledLength(scale);
 
   MechanismConfig base;
@@ -69,7 +76,7 @@ int main(int argc, char** argv) {
       configs.push_back(base);
     }
     RunPanel("(a) CFPU vs population N (eps=1, w=20)", labels, datasets,
-             configs, reps);
+             configs, reps, threads);
   }
 
   // (b) CFPU vs fluctuation Q.
@@ -83,7 +90,7 @@ int main(int argc, char** argv) {
       configs.push_back(base);
     }
     RunPanel("(b) CFPU vs fluctuation sqrt(Q) (eps=1, w=20)", labels,
-             datasets, configs, reps);
+             datasets, configs, reps, threads);
   }
 
   // (c) CFPU vs eps.
@@ -100,7 +107,7 @@ int main(int argc, char** argv) {
       configs.push_back(c);
     }
     RunPanel("(c) CFPU vs privacy budget eps (w=20)", labels, datasets,
-             configs, reps);
+             configs, reps, threads);
   }
 
   // (d) CFPU vs w.
@@ -117,7 +124,8 @@ int main(int argc, char** argv) {
       configs.push_back(c);
     }
     RunPanel("(d) CFPU vs window size w (eps=1)", labels, datasets, configs,
-             reps);
+             reps, threads);
   }
+  throughput.Print();
   return 0;
 }

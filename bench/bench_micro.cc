@@ -1,8 +1,10 @@
 // Google-benchmark microbenchmarks: throughput of the substrate pieces
 // (frequency-oracle perturbation/aggregation, subset sampling, mechanism
-// steps) so regressions in the hot paths are visible.
+// steps, the parallel evaluation engine) so regressions in the hot paths
+// are visible.
 #include <benchmark/benchmark.h>
 
+#include "analysis/runner.h"
 #include "core/factory.h"
 #include "datagen/synthetic.h"
 #include "fo/client.h"
@@ -10,6 +12,7 @@
 #include "util/distributions.h"
 #include "util/rng.h"
 #include "util/sampling.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -78,6 +81,105 @@ void BM_FoPerUserRound(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
 BENCHMARK(BM_FoPerUserRound)->Arg(1000)->Arg(100000);
+
+void BM_FoIngestPerUser(benchmark::State& state) {
+  // Per-user ingestion cost of one oracle at domain d: the exact client
+  // protocol plus server-side folding, one user at a time. For OLH this is
+  // the path whose O(d) support scan the batched entry point kills.
+  static const std::vector<std::string> kNames = AllFrequencyOracleNames();
+  const std::string name = kNames[static_cast<std::size_t>(state.range(0))];
+  const std::size_t d = static_cast<std::size_t>(state.range(1));
+  const auto& fo = GetFrequencyOracle(name);
+  Rng rng(7);
+  const uint64_t n = 2000;
+  for (auto _ : state) {
+    auto sketch = fo.CreateSketch({1.0, d});
+    for (uint64_t u = 0; u < n; ++u) {
+      sketch->AddUser(static_cast<uint32_t>(u % d), rng);
+    }
+    benchmark::DoNotOptimize(sketch->Estimate());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.SetLabel(name + "/d=" + std::to_string(d));
+}
+BENCHMARK(BM_FoIngestPerUser)
+    ->Args({0, 1024})   // GRR
+    ->Args({2, 1024})   // OLH: the O(n*d) scan being replaced
+    ->Args({2, 4096});  // OLH at larger domain
+
+void BM_FoIngestBatched(benchmark::State& state) {
+  // The same ingestion through the adaptive AddUsers batch entry point,
+  // which switches to O(d) cohort-style binomial/multinomial sampling.
+  // items_per_second here vs BM_FoIngestPerUser is the batched-vs-per-user
+  // speedup the trajectory tracks (>= 10x at d >= 1024 for OLH).
+  static const std::vector<std::string> kNames = AllFrequencyOracleNames();
+  const std::string name = kNames[static_cast<std::size_t>(state.range(0))];
+  const std::size_t d = static_cast<std::size_t>(state.range(1));
+  const auto& fo = GetFrequencyOracle(name);
+  Rng rng(8);
+  const uint64_t n = 2000;
+  std::vector<uint32_t> values(n);
+  for (uint64_t u = 0; u < n; ++u) values[u] = static_cast<uint32_t>(u % d);
+  for (auto _ : state) {
+    auto sketch = fo.CreateSketch({1.0, d});
+    sketch->AddUsers(values, rng);
+    benchmark::DoNotOptimize(sketch->Estimate());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.SetLabel(name + "/d=" + std::to_string(d));
+}
+BENCHMARK(BM_FoIngestBatched)
+    ->Args({0, 1024})
+    ->Args({2, 1024})
+    ->Args({2, 4096});
+
+void BM_FoOracleThroughput(benchmark::State& state) {
+  // Sustained oracle ingestion throughput (users/sec) for every oracle at a
+  // paper-sized timestamp: 100k users over a categorical domain, through
+  // the adaptive batch path.
+  static const std::vector<std::string> kNames = AllFrequencyOracleNames();
+  const std::string name = kNames[static_cast<std::size_t>(state.range(0))];
+  const std::size_t d = 117;
+  const auto& fo = GetFrequencyOracle(name);
+  Rng rng(9);
+  const uint64_t n = 100000;
+  std::vector<uint32_t> values(n);
+  for (uint64_t u = 0; u < n; ++u) values[u] = static_cast<uint32_t>(u % d);
+  for (auto _ : state) {
+    auto sketch = fo.CreateSketch({1.0, d});
+    sketch->AddUsers(values, rng);
+    benchmark::DoNotOptimize(sketch->Estimate());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.SetLabel(name + "/d=117");
+}
+BENCHMARK(BM_FoOracleThroughput)->DenseRange(0, 4);
+
+void BM_EvaluateMechanismThreads(benchmark::State& state) {
+  // Engine scaling: one EvaluateMechanism cell (8 repetitions of LPA over a
+  // per-user-simulated Sin stream) at 1..8 threads. Outputs are bit-identical
+  // across the sweep; wall-clock per iteration is the scaling curve, and the
+  // 1-thread / 8-thread ratio is the engine speedup the trajectory tracks.
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const auto data = MakeSinDataset(20000, 60, 0.05, 11);
+  data->TrueStream();  // warm the count cache outside the timed region
+  MechanismConfig config;
+  config.epsilon = 1.0;
+  config.window = 20;
+  config.per_user_simulation = true;  // heavy, O(N*T) per repetition
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EvaluateMechanism(*data, "LPA", config, 8, threads));
+  }
+  state.SetLabel("threads=" + std::to_string(threads));
+}
+BENCHMARK(BM_EvaluateMechanismThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_PoolSampling(benchmark::State& state) {
   Rng rng(6);

@@ -24,8 +24,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   const double scale = flags.GetDouble("scale", 0.3);
-  const int reps = static_cast<int>(flags.GetInt("reps", 2));
+  const int reps = bench::RepsFlag(flags, 2);
+  const std::size_t threads = bench::BenchThreads(flags);
   bench::PrintHeader(kTitle, scale);
+  bench::ThroughputRecorder throughput(threads);
 
   // Sin, Log + the three real-world-like datasets (paper's Table 2 columns).
   std::vector<std::shared_ptr<StreamDataset>> datasets;
@@ -43,25 +45,29 @@ int main(int argc, char** argv) {
   };
   const std::vector<Setting> settings = {{1.0, 20}, {2.0, 20}, {2.0, 40}};
 
+  // Warm every dataset's count cache before the parallel cells below.
+  for (const auto& data : datasets) data->TrueStream();
   for (const Setting& s : settings) {
     std::printf("eps=%.0f, w=%zu\n", s.epsilon, s.window);
     std::vector<std::string> header = {"method"};
     for (const auto& d : datasets) header.push_back(d->name());
     TablePrinter table(header);
     for (const std::string& method : AllMechanismNames()) {
+      const std::vector<RunMetrics> cells = bench::EvaluateCellsInParallel(
+          threads, datasets.size(), [&](std::size_t i) {
+            MechanismConfig config;
+            config.epsilon = s.epsilon;
+            config.window = s.window;
+            return EvaluateMechanism(*datasets[i], method, config,
+                                     static_cast<std::size_t>(reps), threads);
+          });
       std::vector<double> row;
-      for (const auto& data : datasets) {
-        MechanismConfig config;
-        config.epsilon = s.epsilon;
-        config.window = s.window;
-        row.push_back(EvaluateMechanism(*data, method, config,
-                                        static_cast<std::size_t>(reps))
-                          .cfpu);
-      }
+      for (const RunMetrics& m : cells) row.push_back(m.cfpu);
       table.AddRow(method, row);
     }
     table.Print(std::cout);
     std::printf("\n");
   }
+  throughput.Print();
   return 0;
 }

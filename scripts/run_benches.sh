@@ -4,19 +4,21 @@
 #
 # Usage:
 #   scripts/run_benches.sh [--build-dir DIR] [--out-dir DIR]
-#                          [--scale S] [--reps R]
+#                          [--scale S] [--reps R] [--threads K]
 #
-# Defaults run a fast smoke sweep (scale 0.05, 1 rep). Pass --scale 1 for the
-# full paper-sized experiments. Each JSON records the invocation, wall-clock
-# seconds, exit code, the bench's table output, and (where the bench supports
-# --csv) the parsed CSV rows. bench_micro uses Google Benchmark's native JSON
-# reporter instead.
+# Defaults run a fast smoke sweep (scale 0.05, 1 rep, all hardware threads).
+# Pass --scale 1 for the full paper-sized experiments. Each JSON records the
+# invocation (including the thread count), wall-clock seconds, exit code,
+# the bench's table output, the bench-reported [throughput] line (threads,
+# mechanism runs, runs/sec), and (where the bench supports --csv) the parsed
+# CSV rows. bench_micro uses Google Benchmark's native JSON reporter instead.
 set -u
 
 BUILD_DIR=build
 OUT_DIR=bench_results
 SCALE=0.05
 REPS=1
+THREADS=$(nproc 2>/dev/null || echo 1)
 
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -24,12 +26,25 @@ while [ $# -gt 0 ]; do
     --out-dir)   OUT_DIR=$2;   shift 2 ;;
     --scale)     SCALE=$2;     shift 2 ;;
     --reps)      REPS=$2;      shift 2 ;;
+    --threads)   THREADS=$2;   shift 2 ;;
     -h|--help)
       sed -n '2,14p' "$0" | sed 's/^# \{0,1\}//'
       exit 0 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+
+# --threads must be a positive integer: a malformed value silently falling
+# back to serial would corrupt the recorded perf trajectory.
+case "$THREADS" in
+  ''|*[!0-9]*)
+    echo "error: --threads expects a positive integer, got '$THREADS'" >&2
+    exit 2 ;;
+esac
+if [ "$THREADS" -lt 1 ]; then
+  echo "error: --threads expects a positive integer, got '$THREADS'" >&2
+  exit 2
+fi
 
 if [ ! -d "$BUILD_DIR" ]; then
   echo "build directory '$BUILD_DIR' not found; run:" >&2
@@ -57,15 +72,17 @@ for bench in "$BUILD_DIR"/bench_*; do
   csv="$OUT_DIR/${name}.csv"
   txt="$OUT_DIR/${name}.txt"
   rm -f "$csv"
-  echo "== $name (scale=$SCALE reps=$REPS) -> $json"
+  echo "== $name (scale=$SCALE reps=$REPS threads=$THREADS) -> $json"
   start=$(date +%s.%N)
-  "$bench" --scale="$SCALE" --reps="$REPS" --csv="$csv" > "$txt" 2>&1
+  "$bench" --scale="$SCALE" --reps="$REPS" --threads="$THREADS" \
+    --csv="$csv" > "$txt" 2>&1
   status=$?
   end=$(date +%s.%N)
   [ $status -ne 0 ] && failures=$((failures + 1))
 
   if ! BENCH_NAME=$name BENCH_SCALE=$SCALE BENCH_REPS=$REPS \
-       BENCH_STATUS=$status BENCH_START=$start BENCH_END=$end \
+       BENCH_THREADS=$THREADS BENCH_STATUS=$status \
+       BENCH_START=$start BENCH_END=$end \
        BENCH_TXT=$txt BENCH_CSV=$csv python3 - "$json" <<'PYEOF'
 import csv, json, os, sys
 
@@ -78,13 +95,28 @@ if os.path.exists(csv_path):
 with open(os.environ["BENCH_TXT"]) as f:
     table = f.read()
 
+# Benches print one machine-parseable "[throughput] k=v ..." line recording
+# the engine thread count, mechanism runs and runs/sec of the sweep.
+throughput = {}
+for line in table.splitlines():
+    if line.startswith("[throughput]"):
+        for token in line.split()[1:]:
+            key, _, value = token.partition("=")
+            try:
+                throughput[key] = int(value) if "." not in value \
+                    else float(value)
+            except ValueError:
+                throughput[key] = value
+
 record = {
     "bench": os.environ["BENCH_NAME"],
     "scale": float(os.environ["BENCH_SCALE"]),
     "reps": int(os.environ["BENCH_REPS"]),
+    "threads": int(os.environ["BENCH_THREADS"]),
     "exit_code": int(os.environ["BENCH_STATUS"]),
     "wall_seconds": round(
         float(os.environ["BENCH_END"]) - float(os.environ["BENCH_START"]), 3),
+    "throughput": throughput,
     "table": table,
     "rows": rows,
 }

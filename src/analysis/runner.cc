@@ -1,5 +1,6 @@
 #include "analysis/runner.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -12,45 +13,71 @@
 #include "analysis/metrics.h"
 #include "analysis/roc.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace ldpids {
 
-RunResult RunMechanism(const StreamDataset& data,
-                       const std::string& mechanism_name,
-                       MechanismConfig config, uint64_t repetition) {
-  // Derive an independent per-repetition seed; HashCounter keeps runs
-  // reproducible from (config.seed, repetition) alone.
-  config.seed = HashCounter(config.seed, repetition, 0xEC0);
-  std::unique_ptr<StreamMechanism> mechanism =
-      CreateMechanism(mechanism_name, config, data.num_users());
-  return mechanism->Run(data);
+namespace {
+
+std::atomic<uint64_t> g_mechanism_runs{0};
+
+// Everything EvaluateMechanism needs from one repetition. Repetitions are
+// fully independent (each derives its seed statelessly from
+// (config.seed, rep) inside RunMechanism), so computing these slots is
+// embarrassingly parallel; only the reduction order matters.
+struct RepetitionMetrics {
+  double mre = 0.0;
+  double mae = 0.0;
+  double mse = 0.0;
+  double cfpu = 0.0;
+  double publication_rate = 0.0;
+  double auc = 0.0;
+  bool has_auc = false;
+};
+
+RepetitionMetrics OneRepetition(const StreamDataset& data,
+                                const std::string& mechanism_name,
+                                const MechanismConfig& config, std::size_t rep,
+                                const std::vector<Histogram>& truth) {
+  const RunResult run = RunMechanism(data, mechanism_name, config, rep);
+  RepetitionMetrics m;
+  m.mre = MeanRelativeError(truth, run.releases);
+  m.mae = MeanAbsoluteError(truth, run.releases);
+  m.mse = MeanSquaredError(truth, run.releases);
+  m.cfpu = run.Cfpu();
+  m.publication_rate = static_cast<double>(run.num_publications) /
+                       static_cast<double>(run.timestamps);
+  std::vector<double> scores;
+  std::vector<bool> labels;
+  m.has_auc = PrepareEventDetection(truth, run.releases, &scores, &labels);
+  if (m.has_auc) m.auc = RocAuc(scores, labels);
+  return m;
 }
 
-RunMetrics EvaluateMechanism(const StreamDataset& data,
-                             const std::string& mechanism_name,
-                             const MechanismConfig& config,
-                             std::size_t repetitions) {
-  const std::vector<Histogram> truth = data.TrueStream();
+// Reduces `count` repetition slots starting at `first` in fixed repetition
+// order: floating-point accumulation is not associative, so a
+// first-finished-first-summed reduction would make the result depend on
+// thread scheduling. This order matches the historical serial loop exactly,
+// keeping every thread count bit-identical to it.
+RunMetrics ReduceInRepetitionOrder(const RepetitionMetrics* first,
+                                   std::size_t count) {
   RunMetrics metrics;
-  metrics.repetitions = repetitions;
+  metrics.repetitions = count;
   double auc_total = 0.0;
   std::size_t auc_count = 0;
-  for (std::size_t rep = 0; rep < repetitions; ++rep) {
-    const RunResult run = RunMechanism(data, mechanism_name, config, rep);
-    metrics.mre += MeanRelativeError(truth, run.releases);
-    metrics.mae += MeanAbsoluteError(truth, run.releases);
-    metrics.mse += MeanSquaredError(truth, run.releases);
-    metrics.cfpu += run.Cfpu();
-    metrics.publication_rate += static_cast<double>(run.num_publications) /
-                                static_cast<double>(run.timestamps);
-    std::vector<double> scores;
-    std::vector<bool> labels;
-    if (PrepareEventDetection(truth, run.releases, &scores, &labels)) {
-      auc_total += RocAuc(scores, labels);
+  for (std::size_t rep = 0; rep < count; ++rep) {
+    const RepetitionMetrics& m = first[rep];
+    metrics.mre += m.mre;
+    metrics.mae += m.mae;
+    metrics.mse += m.mse;
+    metrics.cfpu += m.cfpu;
+    metrics.publication_rate += m.publication_rate;
+    if (m.has_auc) {
+      auc_total += m.auc;
       ++auc_count;
     }
   }
-  const double inv = 1.0 / static_cast<double>(repetitions);
+  const double inv = 1.0 / static_cast<double>(count);
   metrics.mre *= inv;
   metrics.mae *= inv;
   metrics.mse *= inv;
@@ -62,13 +89,61 @@ RunMetrics EvaluateMechanism(const StreamDataset& data,
   return metrics;
 }
 
+}  // namespace
+
+uint64_t TotalMechanismRunCount() {
+  return g_mechanism_runs.load(std::memory_order_relaxed);
+}
+
+RunResult RunMechanism(const StreamDataset& data,
+                       const std::string& mechanism_name,
+                       MechanismConfig config, uint64_t repetition) {
+  // Derive an independent per-repetition seed; HashCounter keeps runs
+  // reproducible from (config.seed, repetition) alone.
+  config.seed = HashCounter(config.seed, repetition, 0xEC0);
+  std::unique_ptr<StreamMechanism> mechanism =
+      CreateMechanism(mechanism_name, config, data.num_users());
+  g_mechanism_runs.fetch_add(1, std::memory_order_relaxed);
+  return mechanism->Run(data);
+}
+
+RunMetrics EvaluateMechanism(const StreamDataset& data,
+                             const std::string& mechanism_name,
+                             const MechanismConfig& config,
+                             std::size_t repetitions,
+                             std::size_t num_threads) {
+  // Computing the truth up front also warms the dataset's per-timestamp
+  // count cache, so the parallel repetitions below only ever read it.
+  const std::vector<Histogram> truth = data.TrueStream();
+  std::vector<RepetitionMetrics> per_rep(repetitions);
+  ParallelFor(num_threads, repetitions, [&](std::size_t rep) {
+    per_rep[rep] = OneRepetition(data, mechanism_name, config, rep, truth);
+  });
+  return ReduceInRepetitionOrder(per_rep.data(), repetitions);
+}
+
 std::vector<RunMetrics> SweepMechanism(
     const StreamDataset& data, const std::string& mechanism_name,
-    const std::vector<MechanismConfig>& configs, std::size_t repetitions) {
+    const std::vector<MechanismConfig>& configs, std::size_t repetitions,
+    std::size_t num_threads) {
+  // Fan out over the whole (config x repetition) grid, not just the
+  // repetitions of one cell at a time: at small repetition counts this is
+  // what keeps every engine lane busy. Slots are keyed by (config, rep) and
+  // each config's slice reduces in repetition order, so the output is
+  // bit-identical to evaluating the configs one by one, at any thread count.
+  const std::vector<Histogram> truth = data.TrueStream();
+  std::vector<RepetitionMetrics> grid(configs.size() * repetitions);
+  ParallelFor(num_threads, grid.size(), [&](std::size_t i) {
+    const std::size_t config_index = i / repetitions;
+    const std::size_t rep = i % repetitions;
+    grid[i] =
+        OneRepetition(data, mechanism_name, configs[config_index], rep, truth);
+  });
   std::vector<RunMetrics> out;
   out.reserve(configs.size());
-  for (const MechanismConfig& config : configs) {
-    out.push_back(EvaluateMechanism(data, mechanism_name, config, repetitions));
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    out.push_back(
+        ReduceInRepetitionOrder(grid.data() + c * repetitions, repetitions));
   }
   return out;
 }

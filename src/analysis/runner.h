@@ -33,20 +33,36 @@ RunResult RunMechanism(const StreamDataset& data,
                        const std::string& mechanism_name,
                        MechanismConfig config, uint64_t repetition = 0);
 
+// Total number of RunMechanism invocations since process start, across all
+// threads. The bench harness samples this around a sweep to record
+// mechanism-run throughput in the BENCH_*.json trajectory files.
+uint64_t TotalMechanismRunCount();
+
 // Runs `repetitions` independent runs and averages MRE/MAE/MSE/CFPU/AUC.
 // The true stream is computed once and shared across repetitions.
+//
+// `num_threads` > 1 fans the repetitions out across a thread pool. Each
+// repetition's seed derives statelessly from (config.seed, rep) and the
+// per-repetition metrics are reduced in fixed repetition order, so the
+// result is bit-identical for every thread count (including 1): threads
+// change wall-clock time, never numbers.
 RunMetrics EvaluateMechanism(const StreamDataset& data,
                              const std::string& mechanism_name,
                              const MechanismConfig& config,
-                             std::size_t repetitions = 3);
+                             std::size_t repetitions = 3,
+                             std::size_t num_threads = 1);
 
 // Sweeps one mechanism over several configs (e.g. varying epsilon) and
 // returns the metric per config; a convenience for figure series.
+// `num_threads` parallelizes the whole (config x repetition) grid — so the
+// engine stays busy even at repetitions = 1 — with the same bit-identical
+// guarantee as EvaluateMechanism.
 std::vector<RunMetrics> SweepMechanism(const StreamDataset& data,
                                        const std::string& mechanism_name,
                                        const std::vector<MechanismConfig>&
                                            configs,
-                                       std::size_t repetitions = 3);
+                                       std::size_t repetitions = 3,
+                                       std::size_t num_threads = 1);
 
 }  // namespace ldpids
 

@@ -37,6 +37,7 @@ class LbaMechanism final : public StreamMechanism {
   // Timestamp of the last publication; -1 before the first one.
   std::int64_t last_publication_ = -1;
   double last_publication_epsilon_ = 0.0;
+  Histogram dis_estimate_;  // M_{t,1} scratch, reused across timestamps
 };
 
 }  // namespace ldpids

@@ -38,6 +38,7 @@ class LbdMechanism final : public StreamMechanism {
 
  private:
   BudgetLedger ledger_;
+  Histogram dis_estimate_;  // M_{t,1} scratch, reused across timestamps
 };
 
 }  // namespace ldpids

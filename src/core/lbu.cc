@@ -15,7 +15,7 @@ StepResult LbuMechanism::DoStep(const StreamDataset& data, std::size_t t) {
       config_.epsilon / static_cast<double>(config_.window);
   StepResult result;
   uint64_t n = 0;
-  result.release = CollectViaFo(data, t, step_epsilon, nullptr, &n);
+  CollectViaFo(data, t, step_epsilon, nullptr, &n, &result.release);
   result.published = true;
   result.messages = n;
   // All budget is "publication" budget here; LBU has no dissimilarity phase.

@@ -45,10 +45,9 @@ StepResult LpaMechanism::DoStep(const StreamDataset& data, std::size_t t) {
   const std::vector<uint32_t> dis_users =
       population_.Sample(static_cast<std::size_t>(unit), rng_);
   uint64_t n_dis = 0;
-  const Histogram c_t1 =
-      CollectViaFo(data, t, config_.epsilon, &dis_users, &n_dis);
+  CollectViaFo(data, t, config_.epsilon, &dis_users, &n_dis, &dis_estimate_);
   const double dis = EstimateDissimilarity(
-      c_t1, last_release_, MeanVariance(config_.epsilon, n_dis));
+      dis_estimate_, last_release_, MeanVariance(config_.epsilon, n_dis));
   result.messages += n_dis;
 
   // --- Sub-mechanism M_{t,2}: absorption schedule over users ---
@@ -73,8 +72,8 @@ StepResult LpaMechanism::DoStep(const StreamDataset& data, std::size_t t) {
       const std::vector<uint32_t> pub_users =
           population_.Sample(static_cast<std::size_t>(n_pp), rng_);
       uint64_t n_pub = 0;
-      result.release =
-          CollectViaFo(data, t, config_.epsilon, &pub_users, &n_pub);
+      CollectViaFo(data, t, config_.epsilon, &pub_users, &n_pub,
+                   &result.release);
       result.published = true;
       result.messages += n_pub;
       last_publication_ = static_cast<std::int64_t>(t);

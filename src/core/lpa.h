@@ -44,6 +44,7 @@ class LpaMechanism final : public StreamMechanism {
   PopulationManager population_;
   std::int64_t last_publication_ = -1;
   uint64_t last_publication_users_ = 0;
+  Histogram dis_estimate_;  // M_{t,1} scratch, reused across timestamps
 };
 
 }  // namespace ldpids

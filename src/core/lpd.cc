@@ -40,10 +40,9 @@ StepResult LpdMechanism::DoStep(const StreamDataset& data, std::size_t t) {
   const std::vector<uint32_t> dis_users =
       population_.Sample(dis_group_size, rng_);
   uint64_t n_dis = 0;
-  const Histogram c_t1 =
-      CollectViaFo(data, t, config_.epsilon, &dis_users, &n_dis);
+  CollectViaFo(data, t, config_.epsilon, &dis_users, &n_dis, &dis_estimate_);
   const double dis = EstimateDissimilarity(
-      c_t1, last_release_, MeanVariance(config_.epsilon, n_dis));
+      dis_estimate_, last_release_, MeanVariance(config_.epsilon, n_dis));
   result.messages += n_dis;
 
   // --- Sub-mechanism M_{t,2}: publication-user allocation (lines 7-17) ---
@@ -62,8 +61,8 @@ StepResult LpdMechanism::DoStep(const StreamDataset& data, std::size_t t) {
           population_.Sample(static_cast<std::size_t>(n_pp), rng_);
       if (!pub_users.empty()) {
         uint64_t n_pub = 0;
-        result.release =
-            CollectViaFo(data, t, config_.epsilon, &pub_users, &n_pub);
+        CollectViaFo(data, t, config_.epsilon, &pub_users, &n_pub,
+                     &result.release);
         result.published = true;
         result.messages += n_pub;
         pub_users_spent = n_pub;

@@ -47,6 +47,7 @@ class LpdMechanism final : public StreamMechanism {
 
   PopulationManager population_;
   SlidingWindowSum publication_users_;  // |U_{i,2}| over the window
+  Histogram dis_estimate_;  // M_{t,1} scratch, reused across timestamps
 };
 
 }  // namespace ldpids

@@ -35,7 +35,7 @@ StepResult LpuMechanism::DoStep(const StreamDataset& data, std::size_t t) {
 
   StepResult result;
   uint64_t n = 0;
-  result.release = CollectViaFo(data, t, config_.epsilon, &group, &n);
+  CollectViaFo(data, t, config_.epsilon, &group, &n, &result.release);
   result.published = true;
   result.messages = n;
   population_.EndTimestamp();

@@ -15,7 +15,7 @@ StepResult LspMechanism::DoStep(const StreamDataset& data, std::size_t t) {
   if (t % config_.window == 0) {
     // Sampling timestamp: everyone reports with the full budget.
     uint64_t n = 0;
-    result.release = CollectViaFo(data, t, config_.epsilon, nullptr, &n);
+    CollectViaFo(data, t, config_.epsilon, nullptr, &n, &result.release);
     result.published = true;
     result.messages = n;
     ledger_.Record(0.0, config_.epsilon);

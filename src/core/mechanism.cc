@@ -76,6 +76,15 @@ Histogram StreamMechanism::CollectViaFo(const StreamDataset& data,
                                         std::size_t t, double epsilon,
                                         const std::vector<uint32_t>* subset,
                                         uint64_t* n_out) {
+  Histogram out;
+  CollectViaFo(data, t, epsilon, subset, n_out, &out);
+  return out;
+}
+
+void StreamMechanism::CollectViaFo(const StreamDataset& data, std::size_t t,
+                                   double epsilon,
+                                   const std::vector<uint32_t>* subset,
+                                   uint64_t* n_out, Histogram* out) {
   FoParams params{epsilon, domain_};
   std::unique_ptr<FoSketch> sketch = fo_.CreateSketch(params);
   if (config_.per_user_simulation) {
@@ -86,13 +95,14 @@ Histogram StreamMechanism::CollectViaFo(const StreamDataset& data,
     } else {
       for (uint32_t u : *subset) sketch->AddUser(data.value(u, t), rng_);
     }
+  } else if (subset == nullptr) {
+    sketch->AddCohort(data.TrueCounts(t), rng_);
   } else {
-    const Counts counts =
-        subset == nullptr ? data.TrueCounts(t) : data.SubsetCounts(*subset, t);
-    sketch->AddCohort(counts, rng_);
+    data.SubsetCountsInto(*subset, t, &subset_counts_scratch_);
+    sketch->AddCohort(subset_counts_scratch_, rng_);
   }
   if (n_out != nullptr) *n_out = sketch->num_users();
-  return sketch->Estimate();
+  sketch->EstimateInto(out);
 }
 
 double StreamMechanism::MeanVariance(double epsilon, uint64_t n) const {

@@ -112,6 +112,13 @@ class StreamMechanism {
                          double epsilon, const std::vector<uint32_t>* subset,
                          uint64_t* n_out);
 
+  // Hot-path variant: writes the estimate into `*out` (resized to the
+  // domain), so mechanisms reuse one release/estimate buffer across
+  // timestamps instead of allocating a fresh histogram per FO round.
+  void CollectViaFo(const StreamDataset& data, std::size_t t, double epsilon,
+                    const std::vector<uint32_t>* subset, uint64_t* n_out,
+                    Histogram* out);
+
   // The paper's V(eps, n): FO mean per-bin variance for the configured
   // domain size. `domain_` is latched on the first Step.
   double MeanVariance(double epsilon, uint64_t n) const;
@@ -123,6 +130,9 @@ class StreamMechanism {
   Histogram last_release_;   // r_{t-1}; zeros before the first release
   std::size_t next_t_ = 0;
   std::size_t domain_ = 0;   // latched from the dataset on first Step
+
+ private:
+  Counts subset_counts_scratch_;  // reused by CollectViaFo's cohort path
 };
 
 }  // namespace ldpids

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -13,6 +15,27 @@
 #include "fo/sue.h"
 
 namespace ldpids {
+
+void FoSketch::AddUsers(const std::vector<uint32_t>& values, Rng& rng) {
+  // Batches too small to be worth a d-sized tally always take the exact
+  // per-user protocol.
+  constexpr std::size_t kMinTallyBatch = 8;
+  if (values.size() < kMinTallyBatch) {
+    for (uint32_t v : values) AddUser(v, rng);
+    return;
+  }
+  const std::size_t d = domain();
+  Counts counts(d, 0);
+  for (uint32_t v : values) {
+    if (v >= d) throw std::out_of_range("FO value out of domain");
+    ++counts[v];
+  }
+  if (CohortPaysOff(values.size(), counts)) {
+    AddCohort(counts, rng);
+  } else {
+    for (uint32_t v : values) AddUser(v, rng);
+  }
+}
 
 void ValidateFoParams(const FoParams& params) {
   if (params.domain < 2) {

@@ -53,13 +53,46 @@ class FoSketch {
   // from the same per-bin distribution AddUser would induce, in O(d)-O(d^2).
   virtual void AddCohort(const Counts& true_counts, Rng& rng) = 0;
 
-  // Unbiased frequency estimates for all d values. Requires at least one
-  // user; throws std::logic_error otherwise.
-  virtual Histogram Estimate() const = 0;
+  // Batched ingestion of a timestamp's worth of users: equivalent in
+  // distribution to calling AddUser for every element of `values`. Tiny
+  // batches run the exact per-user protocol; larger ones are tallied and,
+  // when the oracle's cost model says the cohort sampling path wins
+  // (CohortPaysOff), folded via AddCohort — turning per-timestamp ingestion
+  // cost from O(n * per-user-cost) into O(n + cohort-cost).
+  void AddUsers(const std::vector<uint32_t>& values, Rng& rng);
+
+  // Writes the unbiased frequency estimates for all d values into `*out`
+  // (resized to domain()), reusing the caller's buffer across rounds.
+  // Requires at least one user; throws std::logic_error otherwise.
+  virtual void EstimateInto(Histogram* out) const = 0;
+
+  // Allocating convenience wrapper around EstimateInto.
+  Histogram Estimate() const {
+    Histogram out;
+    EstimateInto(&out);
+    return out;
+  }
+
+  // |Omega| this sketch aggregates over.
+  virtual std::size_t domain() const = 0;
 
   uint64_t num_users() const { return num_users_; }
 
  protected:
+  // Cost-model hook for AddUsers: given a tallied batch of `batch_size`
+  // users, should the sketch fold it via AddCohort instead of replaying the
+  // per-user protocol? The default says yes, which is right for oracles
+  // whose per-user simulation is Theta(d) (OUE, SUE, OLH, HR) — their whole
+  // cohort costs about two binomials per bin. GRR overrides it: its client
+  // is O(1) per user while its cohort pays an O(d) multinomial spread per
+  // nonzero bin, so cohort sampling only wins for concentrated batches.
+  virtual bool CohortPaysOff(std::size_t batch_size,
+                             const Counts& true_counts) const {
+    (void)batch_size;
+    (void)true_counts;
+    return true;
+  }
+
   uint64_t num_users_ = 0;
 };
 

@@ -19,7 +19,8 @@ class GrrSketch final : public FoSketch {
       : d_(params.domain),
         p_(GrrOracle::KeepProbability(params.epsilon, params.domain)),
         q_(GrrOracle::LieProbability(params.epsilon, params.domain)),
-        report_counts_(params.domain, 0) {}
+        report_counts_(params.domain, 0),
+        uniform_other_(params.domain - 1, 1.0) {}
 
   void AddUser(uint32_t true_value, Rng& rng) override {
     if (true_value >= d_) throw std::out_of_range("GRR value out of domain");
@@ -39,8 +40,9 @@ class GrrSketch final : public FoSketch {
     }
     // For the m_k users holding value k: kept ~ Binomial(m_k, p); the lies
     // spread uniformly (multinomially) over the other d-1 values. This is
-    // exactly the distribution of the per-user protocol.
-    const std::vector<double> uniform_other(d_ - 1, 1.0);
+    // exactly the distribution of the per-user protocol. The uniform weight
+    // vector is hoisted into the sketch and the spread lands in a reused
+    // scratch buffer, so the per-value loop does no allocation.
     for (std::size_t k = 0; k < d_; ++k) {
       const uint64_t m = true_counts[k];
       if (m == 0) continue;
@@ -48,27 +50,40 @@ class GrrSketch final : public FoSketch {
       report_counts_[k] += kept;
       const uint64_t lies = m - kept;
       if (lies > 0) {
-        const std::vector<uint64_t> spread =
-            SampleMultinomial(rng, lies, uniform_other);
+        SampleMultinomial(rng, lies, uniform_other_, &spread_scratch_);
         for (std::size_t j = 0; j < d_ - 1; ++j) {
           const std::size_t target = (j >= k) ? j + 1 : j;
-          report_counts_[target] += spread[j];
+          report_counts_[target] += spread_scratch_[j];
         }
       }
       num_users_ += m;
     }
   }
 
-  Histogram Estimate() const override {
+  void EstimateInto(Histogram* out) const override {
     if (num_users_ == 0) throw std::logic_error("GRR sketch has no users");
-    Histogram est(d_);
+    out->resize(d_);
+    Histogram& est = *out;
     const double inv_n = 1.0 / static_cast<double>(num_users_);
     const double denom = p_ - q_;
     for (std::size_t k = 0; k < d_; ++k) {
       const double reported = static_cast<double>(report_counts_[k]) * inv_n;
       est[k] = (reported - q_) / denom;
     }
-    return est;
+  }
+
+  std::size_t domain() const override { return d_; }
+
+ protected:
+  // GRR's per-user client is O(1) while AddCohort pays one binomial plus an
+  // O(d) multinomial spread for every nonzero bin, so the cohort path only
+  // wins when the batch dwarfs (nonzero bins) x d — i.e. for concentrated
+  // or very large batches, not for counts spread across the domain.
+  bool CohortPaysOff(std::size_t batch_size,
+                     const Counts& true_counts) const override {
+    std::size_t nonzero = 0;
+    for (uint64_t c : true_counts) nonzero += c > 0 ? 1 : 0;
+    return nonzero * (d_ + 1) < batch_size;
   }
 
  private:
@@ -76,6 +91,8 @@ class GrrSketch final : public FoSketch {
   double p_;
   double q_;
   Counts report_counts_;
+  const std::vector<double> uniform_other_;
+  std::vector<uint64_t> spread_scratch_;
 };
 
 }  // namespace

@@ -61,17 +61,19 @@ class HrSketch final : public FoSketch {
     num_users_ += n;
   }
 
-  Histogram Estimate() const override {
+  void EstimateInto(Histogram* out) const override {
     if (num_users_ == 0) throw std::logic_error("HR sketch has no users");
-    Histogram est(d_);
+    out->resize(d_);
+    Histogram& est = *out;
     const double inv_n = 1.0 / static_cast<double>(num_users_);
     const double denom = p_ - 0.5;
     for (std::size_t v = 0; v < d_; ++v) {
       est[v] =
           (static_cast<double>(support_counts_[v]) * inv_n - 0.5) / denom;
     }
-    return est;
   }
+
+  std::size_t domain() const override { return d_; }
 
  private:
   std::size_t d_;

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "util/distributions.h"
 
@@ -34,10 +35,11 @@ class OlhSketch final : public FoSketch {
       const uint64_t r = rng.UniformInt(g_ - 1);
       report = (r >= own_bucket) ? r + 1 : r;
     }
-    // Server side: tally every domain value whose hash equals the report.
-    for (uint32_t k = 0; k < d_; ++k) {
-      if (HashToBucket(seed, k, g_) == report) ++support_counts_[k];
-    }
+    // The server-side support scan is deferred: reports accumulate per seed
+    // and are resolved in value-major batches (ResolvePending), instead of
+    // one O(d) hash sweep per user interleaved with the client sampling.
+    pending_.push_back({seed, report});
+    if (pending_.size() >= kResolveBatch) ResolvePending();
     ++num_users_;
   }
 
@@ -55,23 +57,57 @@ class OlhSketch final : public FoSketch {
     num_users_ += n;
   }
 
-  Histogram Estimate() const override {
+  void EstimateInto(Histogram* out) const override {
     if (num_users_ == 0) throw std::logic_error("OLH sketch has no users");
-    Histogram est(d_);
+    ResolvePending();
+    out->resize(d_);
+    Histogram& est = *out;
     const double inv_n = 1.0 / static_cast<double>(num_users_);
     const double q = 1.0 / static_cast<double>(g_);
     const double denom = p_ - q;
     for (std::size_t k = 0; k < d_; ++k) {
       est[k] = (static_cast<double>(support_counts_[k]) * inv_n - q) / denom;
     }
-    return est;
   }
 
+  std::size_t domain() const override { return d_; }
+
  private:
+  // One not-yet-resolved client report: the hash seed and the perturbed
+  // bucket the user sent.
+  struct PendingReport {
+    uint64_t seed;
+    uint64_t report;
+  };
+
+  // Batch size for deferred resolution: large enough to amortize the sweep
+  // setup, small enough that the pending array (16 B each) stays in L1.
+  static constexpr std::size_t kResolveBatch = 512;
+
+  // Tallies the pending reports into support_counts_ value-major: the
+  // per-value count accumulates in a register while the compact report
+  // array is streamed, instead of walking the d-sized count array once per
+  // user. Resolution is pure bookkeeping (no RNG), so deferring it does not
+  // change any sampled stream.
+  void ResolvePending() const {
+    if (pending_.empty()) return;
+    for (uint32_t k = 0; k < d_; ++k) {
+      uint64_t supports = 0;
+      for (const PendingReport& r : pending_) {
+        supports += HashToBucket(r.seed, k, g_) == r.report ? 1 : 0;
+      }
+      support_counts_[k] += supports;
+    }
+    pending_.clear();
+  }
+
   std::size_t d_;
   uint64_t g_;
   double p_;
-  Counts support_counts_;
+  // Mutable: resolution from the const Estimate path is caching, not
+  // observable behaviour (same justification as StreamDataset's count cache).
+  mutable Counts support_counts_;
+  mutable std::vector<PendingReport> pending_;
 };
 
 }  // namespace

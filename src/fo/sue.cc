@@ -43,17 +43,19 @@ class SueSketch final : public FoSketch {
     num_users_ += n;
   }
 
-  Histogram Estimate() const override {
+  void EstimateInto(Histogram* out) const override {
     if (num_users_ == 0) throw std::logic_error("SUE sketch has no users");
-    Histogram est(d_);
+    out->resize(d_);
+    Histogram& est = *out;
     const double inv_n = 1.0 / static_cast<double>(num_users_);
     const double q = 1.0 - p_;
     for (std::size_t k = 0; k < d_; ++k) {
       est[k] =
           (static_cast<double>(one_counts_[k]) * inv_n - q) / (p_ - q);
     }
-    return est;
   }
+
+  std::size_t domain() const override { return d_; }
 
  private:
   std::size_t d_;

@@ -1,11 +1,13 @@
 #include "mean/mean_stream.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -15,15 +17,22 @@ namespace ldpids {
 
 double NumericStreamDataset::TrueMean(std::size_t t) const {
   if (t >= length()) throw std::out_of_range("timestamp beyond stream");
-  if (mean_cache_.size() < length()) {
-    mean_cache_.resize(length(), 0.0);
-    cached_.resize(length(), false);
+  // Lock-free fast path for warmed slots; see StreamDataset::TrueCounts.
+  if (cache_ready_.load(std::memory_order_acquire) &&
+      cached_[t].load(std::memory_order_acquire)) {
+    return mean_cache_[t];
   }
-  if (!cached_[t]) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (!cache_ready_.load(std::memory_order_relaxed)) {
+    mean_cache_.resize(length(), 0.0);
+    cached_ = std::vector<std::atomic<bool>>(length());
+    cache_ready_.store(true, std::memory_order_release);
+  }
+  if (!cached_[t].load(std::memory_order_relaxed)) {
     double total = 0.0;
     for (uint64_t u = 0; u < num_users(); ++u) total += value(u, t);
     mean_cache_[t] = total / static_cast<double>(num_users());
-    cached_[t] = true;
+    cached_[t].store(true, std::memory_order_release);
   }
   return mean_cache_[t];
 }

@@ -17,9 +17,11 @@
 #ifndef LDPIDS_MEAN_MEAN_STREAM_H_
 #define LDPIDS_MEAN_MEAN_STREAM_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,12 +41,16 @@ class NumericStreamDataset {
   virtual std::size_t length() const = 0;
   virtual double value(uint64_t user, std::size_t t) const = 0;
 
-  // Population mean at t (cached on first use).
+  // Population mean at t (cached on first use). Thread-safe like
+  // StreamDataset::TrueCounts: first access fills the slot under a mutex,
+  // warmed reads are lock-free acquire loads.
   double TrueMean(std::size_t t) const;
 
  private:
+  mutable std::mutex cache_mu_;
+  mutable std::atomic<bool> cache_ready_{false};
   mutable std::vector<double> mean_cache_;
-  mutable std::vector<bool> cached_;
+  mutable std::vector<std::atomic<bool>> cached_;
 };
 
 // Synthetic numeric stream: per-user value = clamp(base_t + personal noise)

@@ -1,7 +1,9 @@
 #include "stream/dataset.h"
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -10,11 +12,20 @@ namespace ldpids {
 
 const Counts& StreamDataset::TrueCounts(std::size_t t) const {
   if (t >= length()) throw std::out_of_range("timestamp beyond stream");
-  if (count_cache_.size() < length()) {
-    count_cache_.resize(length());
-    cached_.resize(length(), false);
+  // Fast path: cache vectors allocated and this slot filled. The acquire
+  // loads pair with the release stores below, so the counts written before
+  // the flag are visible.
+  if (cache_ready_.load(std::memory_order_acquire) &&
+      cached_[t].load(std::memory_order_acquire)) {
+    return count_cache_[t];
   }
-  if (!cached_[t]) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (!cache_ready_.load(std::memory_order_relaxed)) {
+    count_cache_.resize(length());
+    cached_ = std::vector<std::atomic<bool>>(length());
+    cache_ready_.store(true, std::memory_order_release);
+  }
+  if (!cached_[t].load(std::memory_order_relaxed)) {
     Counts counts(domain(), 0);
     const uint64_t n = num_users();
     for (uint64_t u = 0; u < n; ++u) {
@@ -23,7 +34,7 @@ const Counts& StreamDataset::TrueCounts(std::size_t t) const {
       ++counts[v];
     }
     count_cache_[t] = std::move(counts);
-    cached_[t] = true;
+    cached_[t].store(true, std::memory_order_release);
   }
   return count_cache_[t];
 }
@@ -34,9 +45,15 @@ Histogram StreamDataset::TrueFrequencies(std::size_t t) const {
 
 Counts StreamDataset::SubsetCounts(const std::vector<uint32_t>& users,
                                    std::size_t t) const {
-  Counts counts(domain(), 0);
-  for (uint32_t u : users) ++counts[value(u, t)];
+  Counts counts;
+  SubsetCountsInto(users, t, &counts);
   return counts;
+}
+
+void StreamDataset::SubsetCountsInto(const std::vector<uint32_t>& users,
+                                     std::size_t t, Counts* out) const {
+  out->assign(domain(), 0);
+  for (uint32_t u : users) ++(*out)[value(u, t)];
 }
 
 std::vector<Histogram> StreamDataset::TrueStream() const {

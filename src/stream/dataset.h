@@ -14,8 +14,10 @@
 #ifndef LDPIDS_STREAM_DATASET_H_
 #define LDPIDS_STREAM_DATASET_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -45,6 +47,12 @@ class StreamDataset {
   Counts SubsetCounts(const std::vector<uint32_t>& users,
                       std::size_t t) const;
 
+  // Scratch-buffer variant for hot paths: writes the subset counts into
+  // `*out` (resized to domain()), so population-division mechanisms reuse
+  // one buffer per run instead of allocating every timestamp.
+  void SubsetCountsInto(const std::vector<uint32_t>& users, std::size_t t,
+                        Counts* out) const;
+
   // The full sequence (c_1, ..., c_T) of true frequency histograms.
   std::vector<Histogram> TrueStream() const;
 
@@ -52,10 +60,17 @@ class StreamDataset {
   StreamDataset() = default;
 
  private:
-  // Cache of per-timestamp counts, grown on demand. Mutable because caching
-  // is not observable behaviour.
+  // Cache of per-timestamp counts, filled on demand. Mutable because caching
+  // is not observable behaviour. Thread-safe without by-convention warming:
+  // the parallel evaluation engine reads TrueCounts from concurrent
+  // repetitions/cells, so first access of a timestamp fills its slot under
+  // cache_mu_ while warmed reads take a lock-free fast path (an acquire load
+  // of the ready flag, then of the slot flag). The slot vectors are
+  // allocated once at full length and never reallocated afterwards.
+  mutable std::mutex cache_mu_;
+  mutable std::atomic<bool> cache_ready_{false};
   mutable std::vector<Counts> count_cache_;
-  mutable std::vector<bool> cached_;
+  mutable std::vector<std::atomic<bool>> cached_;
 };
 
 }  // namespace ldpids

@@ -115,6 +115,13 @@ uint64_t SampleBinomial(Rng& rng, uint64_t n, double p) {
 
 std::vector<uint64_t> SampleMultinomial(Rng& rng, uint64_t n,
                                         const std::vector<double>& weights) {
+  std::vector<uint64_t> counts;
+  SampleMultinomial(rng, n, weights, &counts);
+  return counts;
+}
+
+void SampleMultinomial(Rng& rng, uint64_t n, const std::vector<double>& weights,
+                       std::vector<uint64_t>* out) {
   double total = 0.0;
   for (double w : weights) {
     if (w < 0.0) throw std::invalid_argument("negative multinomial weight");
@@ -123,7 +130,8 @@ std::vector<uint64_t> SampleMultinomial(Rng& rng, uint64_t n,
   if (weights.empty() || total <= 0.0) {
     throw std::invalid_argument("multinomial weights must have positive sum");
   }
-  std::vector<uint64_t> counts(weights.size(), 0);
+  out->assign(weights.size(), 0);
+  std::vector<uint64_t>& counts = *out;
   uint64_t remaining = n;
   double weight_left = total;
   for (std::size_t k = 0; k + 1 < weights.size() && remaining > 0; ++k) {
@@ -134,7 +142,6 @@ std::vector<uint64_t> SampleMultinomial(Rng& rng, uint64_t n,
     weight_left -= weights[k];
   }
   counts.back() = remaining;
-  return counts;
 }
 
 namespace {

@@ -41,6 +41,13 @@ uint64_t SampleBinomial(Rng& rng, uint64_t n, double p);
 std::vector<uint64_t> SampleMultinomial(Rng& rng, uint64_t n,
                                         const std::vector<double>& weights);
 
+// Scratch-buffer overload for hot paths: writes the counts into `*out`
+// (resized to weights.size()), so a caller drawing one multinomial per
+// domain value per timestamp reuses one buffer instead of allocating.
+// Consumes exactly the same RNG stream as the allocating overload.
+void SampleMultinomial(Rng& rng, uint64_t n, const std::vector<double>& weights,
+                       std::vector<uint64_t>* out);
+
 // Hypergeometric sample: number of "marked" elements in a size-`draws`
 // subset drawn without replacement from a population of size `total`
 // containing `marked` marked elements. Exact; inversion for small draws,

@@ -86,6 +86,26 @@ const std::string& Flags::positional(std::size_t i) const {
   return positional_[i];
 }
 
+std::size_t ThreadCountFlag(const Flags& flags, std::size_t def) {
+  const std::string s = flags.GetString("threads", "");
+  if (s.empty()) return def;
+  // Strict parse: std::stoll-style leniency ("8abc" -> 8) is not acceptable
+  // for a flag that silently reshapes recorded benchmark numbers.
+  int64_t threads = 0;
+  try {
+    std::size_t consumed = 0;
+    threads = std::stoll(s, &consumed);
+    if (consumed != s.size()) threads = 0;
+  } catch (const std::exception&) {
+    threads = 0;
+  }
+  if (threads < 1) {
+    throw std::invalid_argument(
+        "flag --threads expects a positive integer, got '" + s + "'");
+  }
+  return static_cast<std::size_t>(threads);
+}
+
 double BenchScale(const Flags& flags) {
   double scale = flags.GetDouble("scale", 1.0);
   if (scale <= 0.0) scale = 1.0;

@@ -43,6 +43,14 @@ class Flags {
 // lengths in the bench harness. Reads flag --scale / env LDPIDS_SCALE.
 double BenchScale(const Flags& flags);
 
+// Worker-thread count for the parallel evaluation engine. Reads flag
+// --threads / env LDPIDS_THREADS, falling back to `def`. Unlike the lenient
+// --scale clamp, malformed or non-positive values (--threads=0, --threads=-2,
+// --threads=many) throw std::invalid_argument with the standard flag-error
+// message: a typo silently degrading a benchmark to serial would corrupt the
+// recorded perf trajectory.
+std::size_t ThreadCountFlag(const Flags& flags, std::size_t def);
+
 }  // namespace ldpids
 
 #endif  // LDPIDS_UTIL_FLAGS_H_

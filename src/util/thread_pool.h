@@ -1,0 +1,97 @@
+// Deterministic thread-parallel evaluation primitive.
+//
+// The evaluation engine (analysis/runner.h) fans independent repetitions out
+// across threads. Because every unit of work derives its randomness
+// statelessly (HashCounter(seed, index)) and results are reduced in fixed
+// index order, the output is bit-identical for every thread count — the
+// pool only changes wall-clock time, never results.
+//
+// `ThreadPool` keeps a fixed set of parked worker threads and hands them
+// index ranges through an atomic cursor (dynamic scheduling, so uneven task
+// costs balance automatically). `ParallelFor` is the convenience entry point
+// used across the library: it runs on a lazily-created process-wide pool and
+// degrades to a plain inline loop when one thread is requested, the work has
+// at most one item, or the calling thread is already executing a parallel
+// task — whether as a pool worker or as a participating caller — so nested
+// calls never deadlock.
+#ifndef LDPIDS_UTIL_THREAD_POOL_H_
+#define LDPIDS_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ldpids {
+
+// Number of hardware threads, never less than 1 (hardware_concurrency() may
+// return 0 on exotic platforms).
+std::size_t HardwareThreads();
+
+class ThreadPool {
+ public:
+  // A pool of `num_threads` total execution lanes: the calling thread
+  // participates in every ParallelFor, so `num_threads - 1` workers are
+  // spawned. `num_threads` must be >= 1.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total lanes including the calling thread.
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  // Runs fn(0), ..., fn(n - 1), each exactly once, across at most
+  // min(max_threads, num_threads()) lanes, and blocks until all complete.
+  // The first exception thrown by any invocation is rethrown here (remaining
+  // indices may be skipped once an exception is recorded). Concurrent
+  // ParallelFor calls from different threads are serialized; calls from a
+  // pool worker run inline on that worker.
+  void ParallelFor(std::size_t n, std::size_t max_threads,
+                   const std::function<void(std::size_t)>& fn);
+
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    ParallelFor(n, num_threads(), fn);
+  }
+
+ private:
+  void WorkerLoop();
+  // Pulls indices from the shared cursor until the job is drained; records
+  // the first exception and cancels the remainder.
+  void RunChunk(const std::function<void(std::size_t)>& fn, std::size_t n);
+
+  std::mutex call_mu_;  // serializes ParallelFor invocations
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+
+  // State of the in-flight job, guarded by mu_ (cursor_ is the only field
+  // touched outside the lock).
+  uint64_t generation_ = 0;
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t slots_ = 0;    // workers still allowed to join the job
+  std::size_t active_ = 0;   // workers currently inside RunChunk
+  std::atomic<std::size_t> cursor_{0};
+  std::exception_ptr error_;
+};
+
+// Runs fn(0), ..., fn(n - 1) across up to `num_threads` threads on a shared
+// process-wide pool, blocking until all complete. `num_threads <= 1` (or
+// n <= 1) runs inline with no synchronization at all; results are identical
+// either way whenever the tasks are independent.
+void ParallelFor(std::size_t num_threads, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_UTIL_THREAD_POOL_H_

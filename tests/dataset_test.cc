@@ -1,8 +1,13 @@
 #include "stream/dataset.h"
 
+#include <atomic>
+#include <cstddef>
+
 #include <gtest/gtest.h>
 
 #include "datagen/csv_dataset.h"
+#include "datagen/synthetic.h"
+#include "util/thread_pool.h"
 
 namespace ldpids {
 namespace {
@@ -64,6 +69,21 @@ TEST(InMemoryDatasetTest, ValidatesInput) {
   EXPECT_THROW(InMemoryDataset("x", {{0, 1}, {0}}, 2), std::invalid_argument);
   EXPECT_THROW(InMemoryDataset("x", {{0, 2}}, 2), std::invalid_argument);
   EXPECT_THROW(InMemoryDataset("x", {{0, 1}}, 1), std::invalid_argument);
+}
+
+TEST(StreamDatasetTest, TrueCountsIsThreadSafeOnAColdCache) {
+  // The parallel evaluation engine may hit a dataset's lazy count cache
+  // from several threads before anything warmed it; first accesses must
+  // fill slots exactly once and agree with a serially-warmed twin.
+  const auto warm = MakeSinDataset(2000, 40, 0.05, 7);
+  const auto cold = MakeSinDataset(2000, 40, 0.05, 7);
+  for (std::size_t t = 0; t < warm->length(); ++t) warm->TrueCounts(t);
+  std::atomic<int> mismatches{0};
+  ParallelFor(8, 4 * cold->length(), [&](std::size_t i) {
+    const std::size_t t = i % cold->length();
+    if (cold->TrueCounts(t) != warm->TrueCounts(t)) mismatches.fetch_add(1);
+  });
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace

@@ -136,6 +136,28 @@ TEST(MultinomialTest, RejectsInvalidWeights) {
   EXPECT_THROW(SampleMultinomial(rng, 10, {1.0, -1.0}), std::invalid_argument);
 }
 
+TEST(MultinomialTest, ScratchOverloadMatchesAllocatingOverloadExactly) {
+  // The scratch-buffer overload must consume the identical RNG stream, so
+  // seed-pinned results agree bit-for-bit.
+  const std::vector<double> w = {0.5, 1.5, 3.0, 0.25};
+  Rng rng_a(21), rng_b(21);
+  std::vector<uint64_t> scratch;
+  for (int round = 0; round < 10; ++round) {
+    const auto allocated = SampleMultinomial(rng_a, 1000, w);
+    SampleMultinomial(rng_b, 1000, w, &scratch);
+    EXPECT_EQ(allocated, scratch) << "round " << round;
+  }
+}
+
+TEST(MultinomialTest, ScratchOverloadResetsStaleBuffer) {
+  // A dirty or wrongly-sized caller buffer must not leak into the result.
+  Rng rng(22);
+  std::vector<uint64_t> scratch = {99, 99, 99, 99, 99, 99, 99};
+  SampleMultinomial(rng, 100, {1.0, 1.0, 1.0}, &scratch);
+  ASSERT_EQ(scratch.size(), 3u);
+  EXPECT_EQ(scratch[0] + scratch[1] + scratch[2], 100u);
+}
+
 TEST(HypergeometricTest, EdgeCases) {
   Rng rng(11);
   EXPECT_EQ(SampleHypergeometric(rng, 10, 5, 0), 0u);

@@ -1,6 +1,7 @@
 #include "util/flags.h"
 
 #include <cstdlib>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -68,6 +69,38 @@ TEST(FlagsTest, PositionalArgumentsAreKept) {
   EXPECT_EQ(f.positional(0), "first");
   EXPECT_EQ(f.positional(1), "second");
   EXPECT_THROW(f.positional(2), std::out_of_range);
+}
+
+TEST(ThreadCountFlagTest, ParsesPositiveValues) {
+  EXPECT_EQ(ThreadCountFlag(MakeFlags({"--threads=4"}), 1), 4u);
+  EXPECT_EQ(ThreadCountFlag(MakeFlags({"--threads", "16"}), 1), 16u);
+}
+
+TEST(ThreadCountFlagTest, FallsBackToDefaultWhenAbsent) {
+  EXPECT_EQ(ThreadCountFlag(MakeFlags({}), 7), 7u);
+}
+
+TEST(ThreadCountFlagTest, RejectsZeroAndNegative) {
+  EXPECT_THROW(ThreadCountFlag(MakeFlags({"--threads=0"}), 1),
+               std::invalid_argument);
+  EXPECT_THROW(ThreadCountFlag(MakeFlags({"--threads=-3"}), 1),
+               std::invalid_argument);
+}
+
+TEST(ThreadCountFlagTest, RejectsMalformedValues) {
+  EXPECT_THROW(ThreadCountFlag(MakeFlags({"--threads=many"}), 1),
+               std::invalid_argument);
+  // Strict parse: trailing garbage is rejected, not truncated.
+  EXPECT_THROW(ThreadCountFlag(MakeFlags({"--threads=8abc"}), 1),
+               std::invalid_argument);
+  EXPECT_THROW(ThreadCountFlag(MakeFlags({"--threads=2.5"}), 1),
+               std::invalid_argument);
+}
+
+TEST(ThreadCountFlagTest, ReadsEnvironmentFallback) {
+  ::setenv("LDPIDS_THREADS", "3", 1);
+  EXPECT_EQ(ThreadCountFlag(MakeFlags({}), 1), 3u);
+  ::unsetenv("LDPIDS_THREADS");
 }
 
 TEST(BenchScaleTest, ClampsToUnitInterval) {

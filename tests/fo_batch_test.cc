@@ -1,0 +1,181 @@
+// Tests for the adaptive FoSketch::AddUsers batch entry point and the
+// deferred (batched) OLH support resolution.
+//
+// Contract under test: AddUsers is distribution-equivalent to calling
+// AddUser per element. Where the sampling path is shared the equivalence is
+// seed-pinned exact — small batches replay the per-user protocol verbatim,
+// large batches replay the AddCohort path verbatim — and across the switch
+// it holds in expectation (the estimates stay unbiased).
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fo/frequency_oracle.h"
+#include "test_util.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace ldpids {
+namespace {
+
+std::vector<uint32_t> CyclingValues(std::size_t n, std::size_t d) {
+  std::vector<uint32_t> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = static_cast<uint32_t>(i % d);
+  }
+  return values;
+}
+
+class FoBatchTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FoBatchTest, SmallBatchMatchesPerUserExactly) {
+  // 3 users is below every oracle's batch threshold, so AddUsers must
+  // replay the exact per-user protocol: same RNG stream, same estimate.
+  const auto& fo = GetFrequencyOracle(GetParam());
+  const FoParams params{1.0, 8};
+  const std::vector<uint32_t> values = {1, 5, 5};
+
+  Rng rng_batch(42);
+  auto batched = fo.CreateSketch(params);
+  batched->AddUsers(values, rng_batch);
+
+  Rng rng_loop(42);
+  auto looped = fo.CreateSketch(params);
+  for (uint32_t v : values) looped->AddUser(v, rng_loop);
+
+  EXPECT_EQ(batched->num_users(), looped->num_users());
+  EXPECT_EQ(batched->Estimate(), looped->Estimate());
+}
+
+TEST_P(FoBatchTest, LargeBatchMatchesCohortExactly) {
+  // 5000 users is above every oracle's threshold, so AddUsers must tally
+  // the counts and replay the AddCohort sampling path verbatim.
+  const auto& fo = GetFrequencyOracle(GetParam());
+  const std::size_t d = 8;
+  const FoParams params{1.0, d};
+  const std::vector<uint32_t> values = CyclingValues(5000, d);
+
+  Rng rng_batch(7);
+  auto batched = fo.CreateSketch(params);
+  batched->AddUsers(values, rng_batch);
+
+  Rng rng_cohort(7);
+  auto cohort = fo.CreateSketch(params);
+  cohort->AddCohort(CountValues(values, d), rng_cohort);
+
+  EXPECT_EQ(batched->num_users(), cohort->num_users());
+  EXPECT_EQ(batched->Estimate(), cohort->Estimate());
+}
+
+TEST_P(FoBatchTest, BatchedEstimateIsUnbiasedAcrossRepetitions) {
+  // Expectation-level equivalence across the adaptive switch: the batched
+  // estimate of a skewed cohort must center on the true frequencies.
+  const auto& fo = GetFrequencyOracle(GetParam());
+  const std::size_t d = 4;
+  const FoParams params{1.0, d};
+  // 1000 users: 700 hold value 0, 200 hold value 1, 100 hold value 3.
+  std::vector<uint32_t> values;
+  values.insert(values.end(), 700, 0);
+  values.insert(values.end(), 200, 1);
+  values.insert(values.end(), 100, 3);
+
+  Rng rng(123);
+  std::vector<double> est0, est2;
+  for (int rep = 0; rep < 80; ++rep) {
+    auto sketch = fo.CreateSketch(params);
+    sketch->AddUsers(values, rng);
+    const Histogram est = sketch->Estimate();
+    est0.push_back(est[0]);
+    est2.push_back(est[2]);
+  }
+  EXPECT_TRUE(testing::MeanWithin(est0, 0.7, 5.5)) << testing::SampleMean(est0);
+  EXPECT_TRUE(testing::MeanWithin(est2, 0.0, 5.5)) << testing::SampleMean(est2);
+}
+
+TEST_P(FoBatchTest, RejectsOutOfDomainValueInBatchPath) {
+  const auto& fo = GetFrequencyOracle(GetParam());
+  const std::size_t d = 4;
+  Rng rng(5);
+  // Large batch -> the tally path must validate each value.
+  std::vector<uint32_t> values = CyclingValues(1000, d);
+  values[500] = static_cast<uint32_t>(d);  // out of domain
+  auto sketch = fo.CreateSketch({1.0, d});
+  EXPECT_THROW(sketch->AddUsers(values, rng), std::out_of_range);
+}
+
+TEST_P(FoBatchTest, DomainAccessorMatchesParams) {
+  const auto& fo = GetFrequencyOracle(GetParam());
+  EXPECT_EQ(fo.CreateSketch({1.0, 17})->domain(), 17u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOracles, FoBatchTest,
+                         ::testing::Values("GRR", "OUE", "OLH", "SUE", "HR"));
+
+// --- OLH deferred support resolution ---
+
+TEST(OlhDeferredResolveTest, InterleavedEstimatesMatchEndToEndResolution) {
+  // Resolution is pure bookkeeping (no RNG), so estimating mid-stream must
+  // not change anything: two sketches fed the same 700-report stream agree
+  // even when one of them resolves (via Estimate) after every 100 users.
+  const auto& fo = GetFrequencyOracle("OLH");
+  const std::size_t d = 16;
+  Rng rng_a(99), rng_b(99);
+  auto interleaved = fo.CreateSketch({1.0, d});
+  auto end_to_end = fo.CreateSketch({1.0, d});
+  Histogram scratch;
+  for (int u = 0; u < 700; ++u) {
+    const uint32_t v = static_cast<uint32_t>(u % d);
+    interleaved->AddUser(v, rng_a);
+    end_to_end->AddUser(v, rng_b);
+    if (u % 100 == 99) interleaved->EstimateInto(&scratch);
+  }
+  EXPECT_EQ(interleaved->Estimate(), end_to_end->Estimate());
+}
+
+TEST(OlhDeferredResolveTest, ManyUsersCrossResolveBatchBoundaries) {
+  // 1300 users crosses the internal resolve-batch size multiple times; the
+  // estimate must still center on the (degenerate) truth.
+  const auto& fo = GetFrequencyOracle("OLH");
+  const std::size_t d = 4;
+  Rng rng(3);
+  auto sketch = fo.CreateSketch({1.0, d});
+  for (int u = 0; u < 1300; ++u) sketch->AddUser(2, rng);
+  const Histogram est = sketch->Estimate();
+  EXPECT_NEAR(est[2], 1.0, 0.25);
+  EXPECT_NEAR(est[0], 0.0, 0.25);
+}
+
+TEST(OlhDeferredResolveTest, EstimateIsIdempotent) {
+  const auto& fo = GetFrequencyOracle("OLH");
+  Rng rng(4);
+  auto sketch = fo.CreateSketch({1.0, 8});
+  for (int u = 0; u < 50; ++u) sketch->AddUser(static_cast<uint32_t>(u % 8), rng);
+  const Histogram first = sketch->Estimate();
+  const Histogram second = sketch->Estimate();
+  EXPECT_EQ(first, second);
+}
+
+// --- Mixed ingestion ---
+
+TEST(FoMixedIngestTest, MixedAddUserAndCohortAccumulate) {
+  // AddUser and AddCohort commute into one sketch; num_users tracks both.
+  const auto& fo = GetFrequencyOracle("OLH");
+  const std::size_t d = 8;
+  Rng rng(11);
+  auto sketch = fo.CreateSketch({1.0, d});
+  for (int u = 0; u < 20; ++u) sketch->AddUser(static_cast<uint32_t>(u % d), rng);
+  Counts cohort(d, 50);
+  sketch->AddCohort(cohort, rng);
+  EXPECT_EQ(sketch->num_users(), 20u + 50u * d);
+  const Histogram est = sketch->Estimate();
+  double sum = 0.0;
+  for (double f : est) sum += f;
+  EXPECT_NEAR(sum, 1.0, 0.35);  // unbiased estimates sum near 1
+}
+
+}  // namespace
+}  // namespace ldpids

@@ -1,6 +1,7 @@
 #include "analysis/runner.h"
 
 #include <cmath>
+#include <cstddef>
 
 #include <gtest/gtest.h>
 
@@ -8,6 +9,24 @@
 
 namespace ldpids {
 namespace {
+
+// Bitwise equality of two metric sets (NaN-aware for the AUC field, which
+// is NaN when the truth has no events). Used by the thread-count
+// determinism suite: the parallel engine promises bit-identical results,
+// so no tolerance is allowed.
+void ExpectBitIdentical(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.repetitions, b.repetitions);
+  EXPECT_EQ(a.mre, b.mre);
+  EXPECT_EQ(a.mae, b.mae);
+  EXPECT_EQ(a.mse, b.mse);
+  EXPECT_EQ(a.cfpu, b.cfpu);
+  EXPECT_EQ(a.publication_rate, b.publication_rate);
+  if (std::isnan(a.auc) || std::isnan(b.auc)) {
+    EXPECT_TRUE(std::isnan(a.auc) && std::isnan(b.auc));
+  } else {
+    EXPECT_EQ(a.auc, b.auc);
+  }
+}
 
 MechanismConfig Config() {
   MechanismConfig c;
@@ -53,6 +72,54 @@ TEST(RunnerTest, AucIsPopulatedWhenEventsExist) {
   EXPECT_FALSE(std::isnan(m.auc));
   EXPECT_GT(m.auc, 0.5);  // must beat coin-flipping
   EXPECT_LE(m.auc, 1.0);
+}
+
+TEST(RunnerParallelTest, EvaluateIsBitIdenticalAtOneTwoAndEightThreads) {
+  // The determinism contract of the parallel engine: per-repetition seeds
+  // derive statelessly and the reduction runs in fixed repetition order, so
+  // every thread count must produce the same bits.
+  const auto data = MakeSinDataset(20000, 60, 0.05, 4);
+  for (const char* method : {"LBU", "LPA"}) {
+    const RunMetrics serial = EvaluateMechanism(*data, method, Config(), 6, 1);
+    const RunMetrics two = EvaluateMechanism(*data, method, Config(), 6, 2);
+    const RunMetrics eight = EvaluateMechanism(*data, method, Config(), 6, 8);
+    ExpectBitIdentical(serial, two);
+    ExpectBitIdentical(serial, eight);
+  }
+}
+
+TEST(RunnerParallelTest, PerUserSimulationIsAlsoThreadCountInvariant) {
+  // The per-user path reads dataset values directly from the parallel
+  // repetitions; it must be just as deterministic.
+  const auto data = MakeSinDataset(2000, 24, 0.05, 9);
+  MechanismConfig config = Config();
+  config.per_user_simulation = true;
+  const RunMetrics serial = EvaluateMechanism(*data, "LPU", config, 4, 1);
+  const RunMetrics parallel = EvaluateMechanism(*data, "LPU", config, 4, 8);
+  ExpectBitIdentical(serial, parallel);
+}
+
+TEST(RunnerParallelTest, SweepIsBitIdenticalAcrossThreadCounts) {
+  const auto data = MakeSinDataset(5000, 24, 0.05, 5);
+  std::vector<MechanismConfig> configs;
+  for (double eps : {0.5, 1.0}) {
+    MechanismConfig c = Config();
+    c.epsilon = eps;
+    configs.push_back(c);
+  }
+  const auto serial = SweepMechanism(*data, "LPD", configs, 3, 1);
+  const auto parallel = SweepMechanism(*data, "LPD", configs, 3, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ExpectBitIdentical(serial[i], parallel[i]);
+  }
+}
+
+TEST(RunnerParallelTest, RunCounterAdvancesByRepetitions) {
+  const auto data = MakeSinDataset(2000, 16, 0.05, 6);
+  const uint64_t before = TotalMechanismRunCount();
+  EvaluateMechanism(*data, "LBU", Config(), 5, 2);
+  EXPECT_EQ(TotalMechanismRunCount() - before, 5u);
 }
 
 TEST(RunnerTest, SweepProducesOneResultPerConfig) {

@@ -1,0 +1,120 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ldpids {
+namespace {
+
+TEST(HardwareThreadsTest, IsAtLeastOne) {
+  EXPECT_GE(HardwareThreads(), 1u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(8, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, SingleThreadRunsInlineOnCaller) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(16);
+  ParallelFor(1, ids.size(), [&](std::size_t i) {
+    ids[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelForTest, ZeroAndOneTaskEdgeCases) {
+  int calls = 0;
+  ParallelFor(4, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(4, 1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, MoreThreadsThanTasks) {
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(16, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, PropagatesTheFirstException) {
+  EXPECT_THROW(
+      ParallelFor(4, 100,
+                  [&](std::size_t i) {
+                    if (i == 37) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  // The pool must stay usable after an exceptional job.
+  std::atomic<int> count{0};
+  ParallelFor(4, 50, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(4, 8, [&](std::size_t outer) {
+    ParallelFor(4, 8, [&](std::size_t inner) {
+      hits[outer * 8 + inner].fetch_add(1);
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, RepeatedJobsOnTheSharedPool) {
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> sum{0};
+    ParallelFor(8, 100, [&](std::size_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), 5050u);
+  }
+}
+
+TEST(ThreadPoolTest, DedicatedPoolRunsTasksAcrossThreads) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<std::atomic<int>> hits(200);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, MaxThreadsCapIsHonoredAndCorrect) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(100);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(hits.size(), 2, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, SingleLanePoolRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(8);
+  pool.ParallelFor(ids.size(), [&](std::size_t i) {
+    ids[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+}
+
+}  // namespace
+}  // namespace ldpids
