@@ -1,0 +1,236 @@
+// Serving-layer throughput: wire-report ingestion rate (reports/sec) as a
+// function of shard and thread counts, plus end-to-end multi-session
+// serving via StreamServer.
+//
+// Two sections:
+//   1. Raw sharded ingestion — one pre-produced round of wire packets per
+//      oracle is pushed through ReportRouter::IngestBatch at several
+//      (shards x threads) configurations; reports/sec covers decode,
+//      validation, sketch folding and the final shard merge.
+//   2. End-to-end serving — a StreamServer advances concurrent mechanism
+//      sessions (clients -> packets -> sharded ingest -> w-event release),
+//      measuring releases/sec and reports/sec of the whole path.
+//
+// Flags: --scale (population multiplier), --reps (timing repetitions; best
+// rep is reported), --threads, --fo, --csv, --help. The "[throughput]"
+// line records the peak ingestion configuration for BENCH_*.json.
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/factory.h"
+#include "core/mechanism.h"
+#include "fo/frequency_oracle.h"
+#include "fo/wire.h"
+#include "service/client_fleet.h"
+#include "service/ingest.h"
+#include "service/session.h"
+#include "service/stream_server.h"
+#include "util/csv_writer.h"
+#include "util/flags.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace ldpids;
+using namespace ldpids::bench;
+using service::ClientFleet;
+using service::IngestStats;
+using service::MechanismSession;
+using service::ReportRouter;
+using service::RoundRequest;
+using service::SessionOptions;
+using service::StreamServer;
+
+constexpr std::size_t kDomain = 64;
+constexpr double kEpsilon = 1.0;
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+uint32_t TruthValue(uint64_t user, std::size_t t) {
+  return static_cast<uint32_t>(HashCounter(13, user, t) % kDomain);
+}
+
+struct IngestCell {
+  std::string oracle;
+  std::size_t shards = 0;
+  std::size_t threads = 0;
+  uint64_t reports = 0;
+  double reports_per_s = 0.0;
+};
+
+// One pre-produced round pushed through the router `reps` times; the best
+// rep is recorded (timing noise only shrinks the number).
+IngestCell BenchIngest(OracleId oracle, std::size_t num_reports,
+                       std::size_t shards, std::size_t threads, int reps) {
+  const FrequencyOracle& fo = GetFrequencyOracle(OracleIdName(oracle));
+  const FoParams params{kEpsilon, kDomain};
+
+  const ClientFleet fleet(num_reports, TruthValue, 97);
+  RoundRequest request;
+  request.timestamp = 0;
+  request.epsilon = kEpsilon;
+  request.domain = kDomain;
+  request.oracle = oracle;
+  const auto packets = fleet.ProduceRound(request, threads);
+
+  IngestCell cell;
+  cell.oracle = OracleIdName(oracle);
+  cell.shards = shards;
+  cell.threads = threads;
+  cell.reports = num_reports;
+  for (int rep = 0; rep < std::max(1, reps); ++rep) {
+    ReportRouter router(fo, params, oracle, 0, shards);
+    const auto start = std::chrono::steady_clock::now();
+    router.IngestBatch(packets, threads);
+    IngestStats stats;
+    auto sketch = router.Close(&stats);
+    const double wall = Seconds(start);
+    if (stats.accepted != num_reports) {
+      std::fprintf(stderr, "ingest dropped packets: %s\n",
+                   stats.ToString().c_str());
+      std::exit(1);
+    }
+    const double rate =
+        wall > 0.0 ? static_cast<double>(num_reports) / wall : 0.0;
+    cell.reports_per_s = std::max(cell.reports_per_s, rate);
+  }
+  return cell;
+}
+
+struct ServeResult {
+  uint64_t releases = 0;
+  uint64_t reports = 0;
+  double wall_s = 0.0;
+};
+
+// N concurrent sessions advanced over T timestamps.
+ServeResult BenchServe(const std::vector<std::string>& mechanisms,
+                       uint64_t users_per_stream, std::size_t timestamps,
+                       std::size_t shards, std::size_t threads) {
+  StreamServer server(threads);
+  std::vector<std::unique_ptr<ClientFleet>> fleets;
+  for (std::size_t i = 0; i < mechanisms.size(); ++i) {
+    fleets.push_back(
+        std::make_unique<ClientFleet>(users_per_stream, TruthValue, 41 + i));
+    MechanismConfig config;
+    config.epsilon = kEpsilon;
+    config.window = 8;
+    config.fo = "GRR";
+    config.seed = 17 + i;
+    SessionOptions options;
+    options.num_shards = shards;
+    options.num_threads = threads;
+    server.AddSession(
+        mechanisms[i],
+        std::make_unique<MechanismSession>(
+            CreateMechanism(mechanisms[i], config, users_per_stream),
+            kDomain, options, fleets[i]->Transport(threads)));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < timestamps; ++t) server.AdvanceAll();
+  ServeResult result;
+  result.wall_s = Seconds(start);
+  result.releases = mechanisms.size() * timestamps;
+  for (std::size_t i = 0; i < server.num_sessions(); ++i) {
+    result.reports += server.session(i).stats().accepted;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (HandleHelp(flags,
+                 "bench_service_throughput — online serving layer: sharded "
+                 "wire ingestion and multi-session serving rates")) {
+    return 0;
+  }
+  const double scale = BenchScale(flags);
+  const std::size_t threads = BenchThreads(flags);
+  const int reps = RepsFlag(flags, 3);
+  const std::string csv_path = flags.GetString("csv", "");
+
+  PrintHeader("Service throughput (reports/sec)", scale);
+
+  // --- section 1: raw sharded ingestion ---
+  const std::size_t num_reports = ScaledUsers(scale, 400000);
+  std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
+  std::vector<IngestCell> cells;
+  std::printf("oracle   shards  threads     reports    reports/sec\n");
+  for (OracleId oracle :
+       {OracleId::kGrr, OracleId::kOue, OracleId::kOlh, OracleId::kHr}) {
+    for (std::size_t shards : shard_counts) {
+      const IngestCell cell =
+          BenchIngest(oracle, num_reports, shards, threads, reps);
+      std::printf("%-8s %6zu  %7zu  %10llu  %13.0f\n", cell.oracle.c_str(),
+                  cell.shards, cell.threads,
+                  static_cast<unsigned long long>(cell.reports),
+                  cell.reports_per_s);
+      cells.push_back(cell);
+    }
+  }
+
+  // --- section 2: end-to-end multi-session serving ---
+  const std::vector<std::string> mechanisms = {"LBU", "LBA", "LPU", "LPA"};
+  const uint64_t users_per_stream =
+      std::max<uint64_t>(400, ScaledUsers(scale, 50000));
+  const std::size_t timestamps = std::max<std::size_t>(8, ScaledLength(scale, 64));
+  const std::size_t serve_shards = std::min<std::size_t>(4, shard_counts.back());
+  const ServeResult serve = BenchServe(mechanisms, users_per_stream,
+                                       timestamps, serve_shards, threads);
+  std::printf(
+      "\nend-to-end: %zu sessions x %zu timestamps, %llu users/stream, "
+      "%zu shards\n",
+      mechanisms.size(), timestamps,
+      static_cast<unsigned long long>(users_per_stream), serve_shards);
+  std::printf("  releases: %llu (%.1f/sec)   ingested reports: %llu "
+              "(%.0f/sec)\n",
+              static_cast<unsigned long long>(serve.releases),
+              serve.wall_s > 0.0
+                  ? static_cast<double>(serve.releases) / serve.wall_s
+                  : 0.0,
+              static_cast<unsigned long long>(serve.reports),
+              serve.wall_s > 0.0
+                  ? static_cast<double>(serve.reports) / serve.wall_s
+                  : 0.0);
+
+  if (!csv_path.empty()) {
+    CsvWriter csv(csv_path,
+                  {"oracle", "shards", "threads", "reports", "reports_per_s"});
+    for (const IngestCell& cell : cells) {
+      csv.WriteRow(cell.oracle,
+                   {static_cast<double>(cell.shards),
+                    static_cast<double>(cell.threads),
+                    static_cast<double>(cell.reports), cell.reports_per_s});
+    }
+  }
+
+  // Peak ingestion configuration, folded into BENCH_*.json by
+  // scripts/run_benches.sh.
+  const auto best = std::max_element(
+      cells.begin(), cells.end(), [](const IngestCell& a, const IngestCell& b) {
+        return a.reports_per_s < b.reports_per_s;
+      });
+  std::printf(
+      "\n[throughput] threads=%zu shards=%zu oracle=%s reports=%llu "
+      "reports_per_s=%.0f serve_reports_per_s=%.0f wall_s=%.3f\n",
+      threads, best->shards, best->oracle.c_str(),
+      static_cast<unsigned long long>(best->reports), best->reports_per_s,
+      serve.wall_s > 0.0 ? static_cast<double>(serve.reports) / serve.wall_s
+                         : 0.0,
+      serve.wall_s);
+  return 0;
+}

@@ -2,10 +2,15 @@
 // checksummed packets, the "network" mangles some of them, and the server
 // decodes defensively and aggregates only the intact reports.
 //
-// Demonstrates: fo/wire.h encoding/decoding, corruption handling, and that
-// the estimate stays unbiased when packets are dropped uniformly at random
-// (dropping is value-independent, so it only shrinks the cohort).
+// Demonstrates: fo/wire.h non-throwing decoding with typed WireError
+// reasons (the serving hot path never uses exceptions for routine
+// corruption), per-reason rejection accounting, and that the estimate
+// stays unbiased when packets are dropped uniformly at random (dropping is
+// value-independent, so it only shrinks the cohort).
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
+#include <map>
 #include <vector>
 
 #include "fo/client.h"
@@ -23,6 +28,7 @@ int main() {
   Rng network_rng(123);
   GrrAggregator aggregator(kEpsilon, kDomain);
   int received = 0, rejected = 0;
+  std::map<WireError, int> reject_reasons;
 
   for (int u = 0; u < kUsers; ++u) {
     // --- client side ---
@@ -38,17 +44,25 @@ int main() {
     }
 
     // --- server side: never trust a packet ---
-    try {
-      const WireEnvelope env = DecodeEnvelope(packet);
-      aggregator.Consume(DecodeGrrPayload(env, kDomain).value);
+    // The typed decoders return a precise reason instead of throwing, so
+    // the ingest edge can account for every rejection without exception
+    // overhead — and without a catch-all that would hide decoder bugs.
+    DecodedReport report;
+    const WireError err = TryDecodeReport(packet, kDomain, &report);
+    if (err == WireError::kOk) {
+      aggregator.Consume(report.grr.value);
       ++received;
-    } catch (const std::exception&) {
-      ++rejected;  // drop silently; corruption is value-independent
+    } else {
+      ++rejected;
+      ++reject_reasons[err];
     }
   }
 
   std::printf("packets: %d accepted, %d rejected (%.2f%% loss)\n", received,
               rejected, 100.0 * rejected / kUsers);
+  for (const auto& [reason, count] : reject_reasons) {
+    std::printf("  rejected as '%s': %d\n", WireErrorName(reason), count);
+  }
   std::printf("bytes per GRR report at d=%zu: %zu\n", kDomain,
               EncodedReportSize(OracleId::kGrr, kDomain));
 

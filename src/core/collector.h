@@ -1,0 +1,78 @@
+// Collection-round abstraction — the seam between stream mechanisms and
+// whatever supplies their LDP aggregates.
+//
+// A mechanism's per-timestamp logic (budget allocation, publish-vs-
+// approximate decisions) needs only the *result* of each FO collection
+// round: an unbiased estimate plus the number of reporters. Where those
+// reports come from is a deployment detail:
+//
+//   * offline simulation — `DatasetCollector` simulates the cohort from a
+//     `StreamDataset`'s ground truth, exactly as the pre-session
+//     `StreamMechanism` did (same RNG stream, same sketch paths), so
+//     `Run` over a dataset stays bit-identical to the historical results;
+//   * online serving — `service::MechanismSession` implements the same
+//     interface over sharded wire-report ingestion (src/service/), where
+//     the server only ever sees perturbed packets.
+#ifndef LDPIDS_CORE_COLLECTOR_H_
+#define LDPIDS_CORE_COLLECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fo/frequency_oracle.h"
+#include "stream/dataset.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace ldpids {
+
+// Supplies the server-side FO aggregate for each collection round a
+// mechanism performs. One context drives one mechanism for the lifetime of
+// a stream: `domain()` and `num_users()` must stay constant.
+class CollectorContext {
+ public:
+  virtual ~CollectorContext() = default;
+
+  virtual std::size_t domain() const = 0;
+  virtual uint64_t num_users() const = 0;
+
+  // Runs one FO collection round at timestamp `t` with per-user budget
+  // `epsilon`. `subset == nullptr` means the whole population reports
+  // (budget division); otherwise only the listed users do (population
+  // division). Writes the unbiased estimate into `*out` (resized to
+  // domain()) and the number of reporters into `*n_out` when non-null.
+  virtual void Collect(std::size_t t, double epsilon,
+                       const std::vector<uint32_t>* subset, uint64_t* n_out,
+                       Histogram* out) = 0;
+};
+
+// Offline adapter: simulates each collection round from a StreamDataset's
+// ground truth. Holds a reference to the caller's RNG (the mechanism's own
+// generator) so the draw order — and therefore every released histogram —
+// matches the pre-session code path bit for bit.
+class DatasetCollector final : public CollectorContext {
+ public:
+  // `per_user_simulation` selects FoSketch::AddUser per user versus the
+  // O(d) AddCohort aggregate draw (MechanismConfig::per_user_simulation).
+  DatasetCollector(const StreamDataset& data, const FrequencyOracle& fo,
+                   bool per_user_simulation, Rng& rng);
+
+  std::size_t domain() const override { return data_.domain(); }
+  uint64_t num_users() const override { return data_.num_users(); }
+
+  void Collect(std::size_t t, double epsilon,
+               const std::vector<uint32_t>* subset, uint64_t* n_out,
+               Histogram* out) override;
+
+ private:
+  const StreamDataset& data_;
+  const FrequencyOracle& fo_;
+  const bool per_user_simulation_;
+  Rng& rng_;
+  Counts subset_counts_scratch_;  // reused by the cohort path
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_CORE_COLLECTOR_H_

@@ -14,7 +14,7 @@ LbaMechanism::LbaMechanism(MechanismConfig config, uint64_t num_users)
     : StreamMechanism(std::move(config), num_users),
       ledger_(config_.epsilon, config_.window) {}
 
-StepResult LbaMechanism::DoStep(const StreamDataset& data, std::size_t t) {
+StepResult LbaMechanism::DoStep(CollectorContext& ctx, std::size_t t) {
   const double w = static_cast<double>(config_.window);
   const double unit = config_.epsilon / (2.0 * w);  // per-timestamp allocation
   StepResult result;
@@ -22,7 +22,7 @@ StepResult LbaMechanism::DoStep(const StreamDataset& data, std::size_t t) {
   // --- Sub-mechanism M_{t,1}: identical to LBD (Alg. 2 line 3) ---
   const double eps_dis = unit;
   uint64_t n_dis = 0;
-  CollectViaFo(data, t, eps_dis, nullptr, &n_dis, &dis_estimate_);
+  CollectViaFo(ctx, t, eps_dis, nullptr, &n_dis, &dis_estimate_);
   const double dis = EstimateDissimilarity(dis_estimate_, last_release_,
                                            MeanVariance(eps_dis, n_dis));
   result.messages += n_dis;
@@ -53,7 +53,7 @@ StepResult LbaMechanism::DoStep(const StreamDataset& data, std::size_t t) {
     if (dis > err) {
       // Publication strategy (lines 12-14).
       uint64_t n_pub = 0;
-      CollectViaFo(data, t, eps_pub, nullptr, &n_pub, &result.release);
+      CollectViaFo(ctx, t, eps_pub, nullptr, &n_pub, &result.release);
       result.published = true;
       result.messages += n_pub;
       eps_pub_spent = eps_pub;

@@ -30,7 +30,7 @@ class LbaMechanism final : public StreamMechanism {
   std::string name() const override { return "LBA"; }
 
  protected:
-  StepResult DoStep(const StreamDataset& data, std::size_t t) override;
+  StepResult DoStep(CollectorContext& ctx, std::size_t t) override;
 
  private:
   BudgetLedger ledger_;

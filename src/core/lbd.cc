@@ -13,14 +13,14 @@ LbdMechanism::LbdMechanism(MechanismConfig config, uint64_t num_users)
     : StreamMechanism(std::move(config), num_users),
       ledger_(config_.epsilon, config_.window) {}
 
-StepResult LbdMechanism::DoStep(const StreamDataset& data, std::size_t t) {
+StepResult LbdMechanism::DoStep(CollectorContext& ctx, std::size_t t) {
   const double w = static_cast<double>(config_.window);
   StepResult result;
 
   // --- Sub-mechanism M_{t,1}: private dissimilarity estimation ---
   const double eps_dis = config_.epsilon / (2.0 * w);  // Alg. 1 line 3
   uint64_t n_dis = 0;
-  CollectViaFo(data, t, eps_dis, nullptr, &n_dis, &dis_estimate_);
+  CollectViaFo(ctx, t, eps_dis, nullptr, &n_dis, &dis_estimate_);
   const double dis = EstimateDissimilarity(dis_estimate_, last_release_,
                                            MeanVariance(eps_dis, n_dis));
   result.messages += n_dis;
@@ -37,7 +37,7 @@ StepResult LbdMechanism::DoStep(const StreamDataset& data, std::size_t t) {
     if (dis > err) {
       // Publication strategy (lines 11-13).
       uint64_t n_pub = 0;
-      CollectViaFo(data, t, eps_pub, nullptr, &n_pub, &result.release);
+      CollectViaFo(ctx, t, eps_pub, nullptr, &n_pub, &result.release);
       result.published = true;
       result.messages += n_pub;
       eps_pub_spent = eps_pub;

@@ -34,7 +34,7 @@ class LbdMechanism final : public StreamMechanism {
   std::string name() const override { return "LBD"; }
 
  protected:
-  StepResult DoStep(const StreamDataset& data, std::size_t t) override;
+  StepResult DoStep(CollectorContext& ctx, std::size_t t) override;
 
  private:
   BudgetLedger ledger_;

@@ -10,12 +10,12 @@ LbuMechanism::LbuMechanism(MechanismConfig config, uint64_t num_users)
     : StreamMechanism(std::move(config), num_users),
       ledger_(config_.epsilon, config_.window) {}
 
-StepResult LbuMechanism::DoStep(const StreamDataset& data, std::size_t t) {
+StepResult LbuMechanism::DoStep(CollectorContext& ctx, std::size_t t) {
   const double step_epsilon =
       config_.epsilon / static_cast<double>(config_.window);
   StepResult result;
   uint64_t n = 0;
-  CollectViaFo(data, t, step_epsilon, nullptr, &n, &result.release);
+  CollectViaFo(ctx, t, step_epsilon, nullptr, &n, &result.release);
   result.published = true;
   result.messages = n;
   // All budget is "publication" budget here; LBU has no dissimilarity phase.

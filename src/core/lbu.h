@@ -24,7 +24,7 @@ class LbuMechanism final : public StreamMechanism {
   std::string name() const override { return "LBU"; }
 
  protected:
-  StepResult DoStep(const StreamDataset& data, std::size_t t) override;
+  StepResult DoStep(CollectorContext& ctx, std::size_t t) override;
 
  private:
   BudgetLedger ledger_;

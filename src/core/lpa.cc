@@ -36,7 +36,7 @@ LpaMechanism::LpaMechanism(std::size_t window, MechanismConfig&& config,
     : StreamMechanism(std::move(config), num_users),
       population_(num_users, window) {}
 
-StepResult LpaMechanism::DoStep(const StreamDataset& data, std::size_t t) {
+StepResult LpaMechanism::DoStep(CollectorContext& ctx, std::size_t t) {
   StepResult result;
   const uint64_t unit =
       num_users_ / (2 * static_cast<uint64_t>(config_.window));
@@ -45,7 +45,7 @@ StepResult LpaMechanism::DoStep(const StreamDataset& data, std::size_t t) {
   const std::vector<uint32_t> dis_users =
       population_.Sample(static_cast<std::size_t>(unit), rng_);
   uint64_t n_dis = 0;
-  CollectViaFo(data, t, config_.epsilon, &dis_users, &n_dis, &dis_estimate_);
+  CollectViaFo(ctx, t, config_.epsilon, &dis_users, &n_dis, &dis_estimate_);
   const double dis = EstimateDissimilarity(
       dis_estimate_, last_release_, MeanVariance(config_.epsilon, n_dis));
   result.messages += n_dis;
@@ -72,7 +72,7 @@ StepResult LpaMechanism::DoStep(const StreamDataset& data, std::size_t t) {
       const std::vector<uint32_t> pub_users =
           population_.Sample(static_cast<std::size_t>(n_pp), rng_);
       uint64_t n_pub = 0;
-      CollectViaFo(data, t, config_.epsilon, &pub_users, &n_pub,
+      CollectViaFo(ctx, t, config_.epsilon, &pub_users, &n_pub,
                    &result.release);
       result.published = true;
       result.messages += n_pub;

@@ -29,7 +29,7 @@ class LpaMechanism final : public StreamMechanism {
   std::string name() const override { return "LPA"; }
 
  protected:
-  StepResult DoStep(const StreamDataset& data, std::size_t t) override;
+  StepResult DoStep(CollectorContext& ctx, std::size_t t) override;
 
  private:
   // Delegation target: `window` has already been validated against

@@ -31,7 +31,7 @@ LpdMechanism::LpdMechanism(std::size_t window, MechanismConfig&& config,
       population_(num_users, window),
       publication_users_(window) {}
 
-StepResult LpdMechanism::DoStep(const StreamDataset& data, std::size_t t) {
+StepResult LpdMechanism::DoStep(CollectorContext& ctx, std::size_t t) {
   StepResult result;
 
   // --- Sub-mechanism M_{t,1}: dissimilarity users (Alg. 3 lines 3-6) ---
@@ -40,7 +40,7 @@ StepResult LpdMechanism::DoStep(const StreamDataset& data, std::size_t t) {
   const std::vector<uint32_t> dis_users =
       population_.Sample(dis_group_size, rng_);
   uint64_t n_dis = 0;
-  CollectViaFo(data, t, config_.epsilon, &dis_users, &n_dis, &dis_estimate_);
+  CollectViaFo(ctx, t, config_.epsilon, &dis_users, &n_dis, &dis_estimate_);
   const double dis = EstimateDissimilarity(
       dis_estimate_, last_release_, MeanVariance(config_.epsilon, n_dis));
   result.messages += n_dis;
@@ -61,7 +61,7 @@ StepResult LpdMechanism::DoStep(const StreamDataset& data, std::size_t t) {
           population_.Sample(static_cast<std::size_t>(n_pp), rng_);
       if (!pub_users.empty()) {
         uint64_t n_pub = 0;
-        CollectViaFo(data, t, config_.epsilon, &pub_users, &n_pub,
+        CollectViaFo(ctx, t, config_.epsilon, &pub_users, &n_pub,
                      &result.release);
         result.published = true;
         result.messages += n_pub;

@@ -38,7 +38,7 @@ class LpdMechanism final : public StreamMechanism {
   std::string name() const override { return "LPD"; }
 
  protected:
-  StepResult DoStep(const StreamDataset& data, std::size_t t) override;
+  StepResult DoStep(CollectorContext& ctx, std::size_t t) override;
 
  private:
   // Delegation target with a pre-validated window; see lpa.h.

@@ -28,14 +28,14 @@ LpuMechanism::LpuMechanism(std::size_t window, MechanismConfig&& config,
     : StreamMechanism(std::move(config), num_users),
       population_(num_users, window) {}
 
-StepResult LpuMechanism::DoStep(const StreamDataset& data, std::size_t t) {
+StepResult LpuMechanism::DoStep(CollectorContext& ctx, std::size_t t) {
   const std::size_t group_size =
       static_cast<std::size_t>(num_users_ / config_.window);
   const std::vector<uint32_t> group = population_.Sample(group_size, rng_);
 
   StepResult result;
   uint64_t n = 0;
-  CollectViaFo(data, t, config_.epsilon, &group, &n, &result.release);
+  CollectViaFo(ctx, t, config_.epsilon, &group, &n, &result.release);
   result.published = true;
   result.messages = n;
   population_.EndTimestamp();

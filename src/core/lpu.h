@@ -28,7 +28,7 @@ class LpuMechanism final : public StreamMechanism {
   std::string name() const override { return "LPU"; }
 
  protected:
-  StepResult DoStep(const StreamDataset& data, std::size_t t) override;
+  StepResult DoStep(CollectorContext& ctx, std::size_t t) override;
 
  private:
   // Delegation target with a pre-validated window; see lpa.h.

@@ -10,12 +10,12 @@ LspMechanism::LspMechanism(MechanismConfig config, uint64_t num_users)
     : StreamMechanism(std::move(config), num_users),
       ledger_(config_.epsilon, config_.window) {}
 
-StepResult LspMechanism::DoStep(const StreamDataset& data, std::size_t t) {
+StepResult LspMechanism::DoStep(CollectorContext& ctx, std::size_t t) {
   StepResult result;
   if (t % config_.window == 0) {
     // Sampling timestamp: everyone reports with the full budget.
     uint64_t n = 0;
-    CollectViaFo(data, t, config_.epsilon, nullptr, &n, &result.release);
+    CollectViaFo(ctx, t, config_.epsilon, nullptr, &n, &result.release);
     result.published = true;
     result.messages = n;
     ledger_.Record(0.0, config_.epsilon);

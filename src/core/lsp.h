@@ -28,7 +28,7 @@ class LspMechanism final : public StreamMechanism {
   std::string name() const override { return "LSP"; }
 
  protected:
-  StepResult DoStep(const StreamDataset& data, std::size_t t) override;
+  StepResult DoStep(CollectorContext& ctx, std::size_t t) override;
 
  private:
   BudgetLedger ledger_;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -32,20 +31,23 @@ StreamMechanism::StreamMechanism(MechanismConfig config, uint64_t num_users)
   }
 }
 
-StepResult StreamMechanism::Step(const StreamDataset& data, std::size_t t) {
+StepResult StreamMechanism::Step(CollectorContext& ctx, std::size_t t) {
   if (t != next_t_) {
     throw std::logic_error("mechanism timestamps must be sequential");
   }
-  if (data.num_users() != num_users_) {
-    throw std::invalid_argument("dataset population mismatch");
+  if (ctx.num_users() != num_users_) {
+    throw std::invalid_argument("collector population mismatch");
   }
   if (domain_ == 0) {
-    domain_ = data.domain();
+    domain_ = ctx.domain();
+    if (domain_ == 0) {
+      throw std::invalid_argument("collector domain must be positive");
+    }
     last_release_.assign(domain_, 0.0);  // r_0 = <0, ..., 0> (Alg. 1 line 1)
-  } else if (domain_ != data.domain()) {
-    throw std::invalid_argument("dataset domain changed mid-stream");
+  } else if (domain_ != ctx.domain()) {
+    throw std::invalid_argument("collector domain changed mid-stream");
   }
-  StepResult result = DoStep(data, t);
+  StepResult result = DoStep(ctx, t);
   if (config_.post_process != PostProcess::kNone && result.published) {
     result.release = ApplyPostProcess(result.release, config_.post_process);
   }
@@ -54,16 +56,25 @@ StepResult StreamMechanism::Step(const StreamDataset& data, std::size_t t) {
   return result;
 }
 
+StepResult StreamMechanism::Step(const StreamDataset& data, std::size_t t) {
+  DatasetCollector collector(data, fo_, config_.per_user_simulation, rng_);
+  return Step(collector, t);
+}
+
 RunResult StreamMechanism::Run(const StreamDataset& data,
                                std::size_t max_timestamps) {
-  const std::size_t steps = std::min(data.length(), max_timestamps);
+  DatasetCollector collector(data, fo_, config_.per_user_simulation, rng_);
+  return Run(collector, std::min(data.length(), max_timestamps));
+}
+
+RunResult StreamMechanism::Run(CollectorContext& ctx, std::size_t steps) {
   RunResult run;
-  run.num_users = data.num_users();
+  run.num_users = ctx.num_users();
   run.timestamps = steps;
   run.releases.reserve(steps);
   run.published.reserve(steps);
   for (std::size_t t = 0; t < steps; ++t) {
-    StepResult step = Step(data, t);
+    StepResult step = Step(ctx, t);
     run.total_messages += step.messages;
     run.num_publications += step.published ? 1 : 0;
     run.published.push_back(step.published);
@@ -72,37 +83,11 @@ RunResult StreamMechanism::Run(const StreamDataset& data,
   return run;
 }
 
-Histogram StreamMechanism::CollectViaFo(const StreamDataset& data,
-                                        std::size_t t, double epsilon,
-                                        const std::vector<uint32_t>* subset,
-                                        uint64_t* n_out) {
-  Histogram out;
-  CollectViaFo(data, t, epsilon, subset, n_out, &out);
-  return out;
-}
-
-void StreamMechanism::CollectViaFo(const StreamDataset& data, std::size_t t,
+void StreamMechanism::CollectViaFo(CollectorContext& ctx, std::size_t t,
                                    double epsilon,
                                    const std::vector<uint32_t>* subset,
                                    uint64_t* n_out, Histogram* out) {
-  FoParams params{epsilon, domain_};
-  std::unique_ptr<FoSketch> sketch = fo_.CreateSketch(params);
-  if (config_.per_user_simulation) {
-    if (subset == nullptr) {
-      for (uint64_t u = 0; u < num_users_; ++u) {
-        sketch->AddUser(data.value(u, t), rng_);
-      }
-    } else {
-      for (uint32_t u : *subset) sketch->AddUser(data.value(u, t), rng_);
-    }
-  } else if (subset == nullptr) {
-    sketch->AddCohort(data.TrueCounts(t), rng_);
-  } else {
-    data.SubsetCountsInto(*subset, t, &subset_counts_scratch_);
-    sketch->AddCohort(subset_counts_scratch_, rng_);
-  }
-  if (n_out != nullptr) *n_out = sketch->num_users();
-  sketch->EstimateInto(out);
+  ctx.Collect(t, epsilon, subset, n_out, out);
 }
 
 double StreamMechanism::MeanVariance(double epsilon, uint64_t n) const {

@@ -1,9 +1,13 @@
 // Stream-mechanism interface for w-event LDP release (paper Sections 4-6).
 //
-// A `StreamMechanism` processes one timestamp at a time: given the ground
-// truth at time t (through a `StreamDataset`, which stands in for the
-// distributed users), it simulates the users' LDP reports and produces the
-// server-side release r_t. Every mechanism guarantees w-event epsilon-LDP:
+// A `StreamMechanism` processes one timestamp at a time: it pulls the FO
+// aggregate of every collection round it performs from a
+// `CollectorContext` (core/collector.h) and produces the server-side
+// release r_t. In offline simulation the context is a `DatasetCollector`
+// (ground truth through a `StreamDataset`, which stands in for the
+// distributed users); in online serving (src/service/) it is backed by
+// sharded wire-report ingestion, so the server only ever sees perturbed
+// reports. Every mechanism guarantees w-event epsilon-LDP:
 //
 //   * budget-division mechanisms (LBU, LSP, LBD, LBA) make each user report
 //     at every timestamp but with per-timestamp budgets summing to <= eps in
@@ -25,6 +29,7 @@
 #include <vector>
 
 #include "analysis/postprocess.h"
+#include "core/collector.h"
 #include "fo/frequency_oracle.h"
 #include "stream/dataset.h"
 #include "util/histogram.h"
@@ -84,15 +89,27 @@ class StreamMechanism {
 
   virtual std::string name() const = 0;
 
-  // Processes the next timestamp. Must be called with t = 0, 1, 2, ... in
-  // order (throws std::logic_error otherwise). `data.num_users()` must match
-  // the population the mechanism was created for.
+  // Session API: processes the next timestamp, pulling every FO aggregate
+  // it needs from `ctx`. Must be called with t = 0, 1, 2, ... in order
+  // (throws std::logic_error otherwise). `ctx.num_users()` must match the
+  // population the mechanism was created for, and `ctx.domain()` must stay
+  // constant across the stream. This is what the online serving layer
+  // (src/service/) drives one timestamp at a time.
+  StepResult Step(CollectorContext& ctx, std::size_t t);
+
+  // Offline convenience: simulates the collection rounds from `data`'s
+  // ground truth via a DatasetCollector bound to this mechanism's RNG.
   StepResult Step(const StreamDataset& data, std::size_t t);
 
-  // Runs over `data` from t = 0 to min(length, max_timestamps) - 1.
+  // Runs over `data` from t = 0 to min(length, max_timestamps) - 1. A thin
+  // adapter over the session API: one DatasetCollector drives every Step,
+  // producing bit-identical results to the historical fused loop.
   RunResult Run(const StreamDataset& data,
                 std::size_t max_timestamps =
                     std::numeric_limits<std::size_t>::max());
+
+  // Session-driven run: `steps` timestamps pulled from `ctx`.
+  RunResult Run(CollectorContext& ctx, std::size_t steps);
 
   const MechanismConfig& config() const { return config_; }
   uint64_t num_users() const { return num_users_; }
@@ -101,21 +118,17 @@ class StreamMechanism {
  protected:
   StreamMechanism(MechanismConfig config, uint64_t num_users);
 
-  // Mechanism-specific logic for one timestamp.
-  virtual StepResult DoStep(const StreamDataset& data, std::size_t t) = 0;
+  // Mechanism-specific logic for one timestamp; every FO aggregate is
+  // pulled through `ctx`, never from ground truth directly.
+  virtual StepResult DoStep(CollectorContext& ctx, std::size_t t) = 0;
 
   // Runs one FO collection round with budget `epsilon` at timestamp `t`.
   // If `subset` is null the whole population reports (budget division);
-  // otherwise only the listed users do (population division). Returns the
-  // unbiased estimate and stores the number of reporters in `n_out`.
-  Histogram CollectViaFo(const StreamDataset& data, std::size_t t,
-                         double epsilon, const std::vector<uint32_t>* subset,
-                         uint64_t* n_out);
-
-  // Hot-path variant: writes the estimate into `*out` (resized to the
-  // domain), so mechanisms reuse one release/estimate buffer across
-  // timestamps instead of allocating a fresh histogram per FO round.
-  void CollectViaFo(const StreamDataset& data, std::size_t t, double epsilon,
+  // otherwise only the listed users do (population division). Writes the
+  // unbiased estimate into `*out` (resized to the domain, so mechanisms
+  // reuse one release/estimate buffer across timestamps) and the number of
+  // reporters into `*n_out`.
+  void CollectViaFo(CollectorContext& ctx, std::size_t t, double epsilon,
                     const std::vector<uint32_t>* subset, uint64_t* n_out,
                     Histogram* out);
 
@@ -129,10 +142,7 @@ class StreamMechanism {
   Rng rng_;
   Histogram last_release_;   // r_{t-1}; zeros before the first release
   std::size_t next_t_ = 0;
-  std::size_t domain_ = 0;   // latched from the dataset on first Step
-
- private:
-  Counts subset_counts_scratch_;  // reused by CollectViaFo's cohort path
+  std::size_t domain_ = 0;   // latched from the collector on first Step
 };
 
 }  // namespace ldpids

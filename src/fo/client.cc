@@ -2,21 +2,98 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
+#include <vector>
 
 #include "fo/grr.h"
+#include "fo/hr.h"
+#include "fo/olh.h"
+#include "fo/oue.h"
+#include "fo/sue.h"
+#include "fo/wire.h"
 
 namespace ldpids {
+
+namespace {
+
+// GRR client draw, shared with GrrClient::Perturb: keep w.p. p, otherwise
+// uniform over the d-1 other values.
+uint32_t GrrDraw(uint32_t true_value, double epsilon, std::size_t d,
+                 Rng& rng) {
+  const double p = GrrOracle::KeepProbability(epsilon, d);
+  if (rng.Bernoulli(p)) return true_value;
+  const uint32_t r = static_cast<uint32_t>(rng.UniformInt(d - 1));
+  return (r >= true_value) ? r + 1 : r;
+}
+
+}  // namespace
+
+std::vector<uint8_t> PerturbToWire(OracleId oracle, uint32_t true_value,
+                                   double epsilon, std::size_t domain,
+                                   uint32_t timestamp, Rng& rng) {
+  if (domain < 2) throw std::invalid_argument("domain must have >= 2 values");
+  if (!(epsilon > 0.0)) throw std::invalid_argument("epsilon must be > 0");
+  if (true_value >= domain) throw std::out_of_range("value outside domain");
+  switch (oracle) {
+    case OracleId::kGrr:
+      return EncodeGrrReport(GrrDraw(true_value, epsilon, domain, rng),
+                             domain, timestamp);
+    case OracleId::kOue: {
+      const double q = OueOracle::ZeroFlipProbability(epsilon);
+      std::vector<bool> bits(domain);
+      for (std::size_t k = 0; k < domain; ++k) {
+        bits[k] = rng.Bernoulli(k == true_value ? 0.5 : q);
+      }
+      return EncodeBitVectorReport(bits, OracleId::kOue, timestamp);
+    }
+    case OracleId::kSue: {
+      const double p = SueOracle::KeepProbability(epsilon);
+      std::vector<bool> bits(domain);
+      for (std::size_t k = 0; k < domain; ++k) {
+        bits[k] = rng.Bernoulli(k == true_value ? p : 1.0 - p);
+      }
+      return EncodeBitVectorReport(bits, OracleId::kSue, timestamp);
+    }
+    case OracleId::kOlh: {
+      const uint64_t g = OlhOracle::BucketCount(epsilon);
+      if (g > std::numeric_limits<uint32_t>::max()) {
+        throw std::invalid_argument("OLH bucket does not fit the wire");
+      }
+      const double p = OlhOracle::KeepProbability(epsilon);
+      const uint64_t seed = rng.NextU64();
+      const uint64_t own = OlhOracle::HashToBucket(seed, true_value, g);
+      uint64_t report = own;
+      if (!rng.Bernoulli(p)) {
+        const uint64_t r = rng.UniformInt(g - 1);
+        report = (r >= own) ? r + 1 : r;
+      }
+      return EncodeOlhReport(seed, static_cast<uint32_t>(report), timestamp);
+    }
+    case OracleId::kHr: {
+      const uint64_t k = HrOracle::HadamardSize(domain);
+      if (k > std::numeric_limits<uint32_t>::max()) {
+        throw std::invalid_argument("HR column does not fit the wire");
+      }
+      const double p = HrOracle::KeepProbability(epsilon);
+      const uint64_t row = static_cast<uint64_t>(true_value) + 1;
+      const bool want_positive = rng.Bernoulli(p);
+      uint64_t y;
+      do {
+        y = rng.UniformInt(k);
+      } while (HrOracle::HadamardPositive(row, y) != want_positive);
+      return EncodeHrReport(static_cast<uint32_t>(y), timestamp);
+    }
+  }
+  throw std::invalid_argument("unknown oracle id");
+}
 
 GrrClient::GrrClient(uint64_t seed) : rng_(seed) {}
 
 uint32_t GrrClient::Perturb(uint32_t true_value, double epsilon,
                             std::size_t d) {
   if (true_value >= d) throw std::out_of_range("value outside domain");
-  const double p = GrrOracle::KeepProbability(epsilon, d);
-  if (rng_.Bernoulli(p)) return true_value;
-  const uint32_t r = static_cast<uint32_t>(rng_.UniformInt(d - 1));
-  return (r >= true_value) ? r + 1 : r;
+  return GrrDraw(true_value, epsilon, d, rng_);
 }
 
 GrrAggregator::GrrAggregator(double epsilon, std::size_t d)

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "fo/wire.h"
 #include "util/histogram.h"
 #include "util/rng.h"
 
@@ -60,6 +61,22 @@ class FoSketch {
   // (CohortPaysOff), folded via AddCohort — turning per-timestamp ingestion
   // cost from O(n * per-user-cost) into O(n + cohort-cost).
   void AddUsers(const std::vector<uint32_t>& values, Rng& rng);
+
+  // Online ingestion: folds one decoded wire report (fo/wire.h) into the
+  // sketch. This is the pure server side of the protocol — no RNG, just
+  // bookkeeping over what a real client sent. Returns false without
+  // mutating the sketch when the report does not belong here (different
+  // oracle, wrong bit-vector width, bucket/column out of range); the
+  // serving layer counts such rejects instead of crashing or throwing.
+  virtual bool AddReport(const DecodedReport& report) = 0;
+
+  // Shard-reduce: folds another sketch of the same oracle and parameters
+  // into this one, as if its users had reported here directly. Because all
+  // sketch state is additive integer counts, merging K shards yields
+  // bit-identical estimates to single-sketch ingestion of the same reports
+  // no matter how they were partitioned. Throws std::invalid_argument when
+  // `other` is a different oracle or was created with different FoParams.
+  virtual void MergeFrom(const FoSketch& other) = 0;
 
   // Writes the unbiased frequency estimates for all d values into `*out`
   // (resized to domain()), reusing the caller's buffer across rounds.

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fo/wire.h"
 #include "util/distributions.h"
 
 namespace ldpids {
@@ -58,6 +59,26 @@ class GrrSketch final : public FoSketch {
       }
       num_users_ += m;
     }
+  }
+
+  bool AddReport(const DecodedReport& report) override {
+    if (report.oracle != OracleId::kGrr) return false;
+    if (report.grr.value >= d_) return false;
+    ++report_counts_[report.grr.value];
+    ++num_users_;
+    return true;
+  }
+
+  void MergeFrom(const FoSketch& other) override {
+    const auto* peer = dynamic_cast<const GrrSketch*>(&other);
+    if (peer == nullptr || peer == this || peer->d_ != d_ ||
+        peer->p_ != p_) {
+      throw std::invalid_argument("GRR merge: incompatible sketch");
+    }
+    for (std::size_t k = 0; k < d_; ++k) {
+      report_counts_[k] += peer->report_counts_[k];
+    }
+    num_users_ += peer->num_users_;
   }
 
   void EstimateInto(Histogram* out) const override {

@@ -7,6 +7,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "fo/wire.h"
 #include "util/distributions.h"
 
 namespace ldpids {
@@ -15,7 +16,7 @@ namespace {
 
 // H[row][col] = +1 iff popcount(row & col) is even.
 inline bool HadamardPositive(uint64_t row, uint64_t col) {
-  return (std::popcount(row & col) & 1) == 0;
+  return HrOracle::HadamardPositive(row, col);
 }
 
 class HrSketch final : public FoSketch {
@@ -61,6 +62,30 @@ class HrSketch final : public FoSketch {
     num_users_ += n;
   }
 
+  bool AddReport(const DecodedReport& report) override {
+    if (report.oracle != OracleId::kHr) return false;
+    if (report.hr.column >= k_) return false;
+    for (uint32_t v = 0; v < d_; ++v) {
+      if (HadamardPositive(static_cast<uint64_t>(v) + 1, report.hr.column)) {
+        ++support_counts_[v];
+      }
+    }
+    ++num_users_;
+    return true;
+  }
+
+  void MergeFrom(const FoSketch& other) override {
+    const auto* peer = dynamic_cast<const HrSketch*>(&other);
+    if (peer == nullptr || peer == this || peer->d_ != d_ ||
+        peer->k_ != k_ || peer->p_ != p_) {
+      throw std::invalid_argument("HR merge: incompatible sketch");
+    }
+    for (std::size_t v = 0; v < d_; ++v) {
+      support_counts_[v] += peer->support_counts_[v];
+    }
+    num_users_ += peer->num_users_;
+  }
+
   void EstimateInto(Histogram* out) const override {
     if (num_users_ == 0) throw std::logic_error("HR sketch has no users");
     out->resize(d_);
@@ -83,6 +108,10 @@ class HrSketch final : public FoSketch {
 };
 
 }  // namespace
+
+bool HrOracle::HadamardPositive(uint64_t row, uint64_t column) {
+  return (std::popcount(row & column) & 1) == 0;
+}
 
 uint64_t HrOracle::HadamardSize(std::size_t domain) {
   uint64_t k = 2;

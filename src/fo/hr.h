@@ -41,6 +41,9 @@ class HrOracle final : public FrequencyOracle {
   static uint64_t HadamardSize(std::size_t domain);
   // p = e^eps / (e^eps + 1).
   static double KeepProbability(double epsilon);
+  // H[row][col] = +1 iff popcount(row & col) is even. Exposed so wire
+  // clients (fo/client.h) sample columns exactly like the sketch.
+  static bool HadamardPositive(uint64_t row, uint64_t column);
 };
 
 }  // namespace ldpids

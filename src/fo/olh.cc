@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fo/wire.h"
 #include "util/distributions.h"
 
 namespace ldpids {
@@ -15,7 +16,7 @@ namespace {
 
 // Pairwise-uniform hash of value `v` under seed `s` into [0, g).
 inline uint64_t HashToBucket(uint64_t seed, uint32_t v, uint64_t g) {
-  return HashCounter(seed, v, 0x01F) % g;
+  return OlhOracle::HashToBucket(seed, v, g);
 }
 
 class OlhSketch final : public FoSketch {
@@ -55,6 +56,30 @@ class OlhSketch final : public FoSketch {
                             SampleBinomial(rng, n - true_counts[k], q);
     }
     num_users_ += n;
+  }
+
+  bool AddReport(const DecodedReport& report) override {
+    if (report.oracle != OracleId::kOlh) return false;
+    if (report.olh.bucket >= g_) return false;
+    // Same deferred value-major resolution as AddUser — resolution is pure
+    // bookkeeping, so batching does not change any count.
+    pending_.push_back({report.olh.seed, report.olh.bucket});
+    if (pending_.size() >= kResolveBatch) ResolvePending();
+    ++num_users_;
+    return true;
+  }
+
+  void MergeFrom(const FoSketch& other) override {
+    const auto* peer = dynamic_cast<const OlhSketch*>(&other);
+    if (peer == nullptr || peer == this || peer->d_ != d_ ||
+        peer->g_ != g_ || peer->p_ != p_) {
+      throw std::invalid_argument("OLH merge: incompatible sketch");
+    }
+    peer->ResolvePending();
+    for (std::size_t k = 0; k < d_; ++k) {
+      support_counts_[k] += peer->support_counts_[k];
+    }
+    num_users_ += peer->num_users_;
   }
 
   void EstimateInto(Histogram* out) const override {
@@ -111,6 +136,10 @@ class OlhSketch final : public FoSketch {
 };
 
 }  // namespace
+
+uint64_t OlhOracle::HashToBucket(uint64_t seed, uint32_t value, uint64_t g) {
+  return HashCounter(seed, value, 0x01F) % g;
+}
 
 uint64_t OlhOracle::BucketCount(double epsilon) {
   const uint64_t g =

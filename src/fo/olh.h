@@ -37,6 +37,10 @@ class OlhOracle final : public FrequencyOracle {
   static uint64_t BucketCount(double epsilon);
   // GRR keep-probability inside the g-bucket domain.
   static double KeepProbability(double epsilon);
+  // The pairwise-uniform hash h_s(v) into [0, g) shared by the client
+  // protocol and the server-side support scan. Exposed so wire clients
+  // (fo/client.h) hash exactly like the sketch.
+  static uint64_t HashToBucket(uint64_t seed, uint32_t value, uint64_t g);
 };
 
 }  // namespace ldpids

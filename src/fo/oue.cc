@@ -6,6 +6,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "fo/wire.h"
 #include "util/distributions.h"
 
 namespace ldpids {
@@ -41,6 +42,28 @@ class OueSketch final : public FoSketch {
                         SampleBinomial(rng, n - true_counts[k], q_);
     }
     num_users_ += n;
+  }
+
+  bool AddReport(const DecodedReport& report) override {
+    if (report.oracle != OracleId::kOue) return false;
+    if (report.bits.bits.size() != d_) return false;
+    for (std::size_t k = 0; k < d_; ++k) {
+      if (report.bits.bits[k]) ++one_counts_[k];
+    }
+    ++num_users_;
+    return true;
+  }
+
+  void MergeFrom(const FoSketch& other) override {
+    const auto* peer = dynamic_cast<const OueSketch*>(&other);
+    if (peer == nullptr || peer == this || peer->d_ != d_ ||
+        peer->q_ != q_) {
+      throw std::invalid_argument("OUE merge: incompatible sketch");
+    }
+    for (std::size_t k = 0; k < d_; ++k) {
+      one_counts_[k] += peer->one_counts_[k];
+    }
+    num_users_ += peer->num_users_;
   }
 
   void EstimateInto(Histogram* out) const override {

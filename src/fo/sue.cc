@@ -6,6 +6,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "fo/wire.h"
 #include "util/distributions.h"
 
 namespace ldpids {
@@ -41,6 +42,28 @@ class SueSketch final : public FoSketch {
                         SampleBinomial(rng, n - true_counts[k], 1.0 - p_);
     }
     num_users_ += n;
+  }
+
+  bool AddReport(const DecodedReport& report) override {
+    if (report.oracle != OracleId::kSue) return false;
+    if (report.bits.bits.size() != d_) return false;
+    for (std::size_t k = 0; k < d_; ++k) {
+      if (report.bits.bits[k]) ++one_counts_[k];
+    }
+    ++num_users_;
+    return true;
+  }
+
+  void MergeFrom(const FoSketch& other) override {
+    const auto* peer = dynamic_cast<const SueSketch*>(&other);
+    if (peer == nullptr || peer == this || peer->d_ != d_ ||
+        peer->p_ != p_) {
+      throw std::invalid_argument("SUE merge: incompatible sketch");
+    }
+    for (std::size_t k = 0; k < d_; ++k) {
+      one_counts_[k] += peer->one_counts_[k];
+    }
+    num_users_ += peer->num_users_;
   }
 
   void EstimateInto(Histogram* out) const override {

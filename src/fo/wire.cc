@@ -1,8 +1,11 @@
 #include "fo/wire.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/rng.h"
@@ -59,7 +62,129 @@ std::vector<uint8_t> BuildEnvelope(OracleId oracle, uint32_t timestamp,
   return out;
 }
 
+// Shared by the throwing wrappers.
+[[noreturn]] void ThrowWire(WireError error) {
+  throw std::runtime_error(std::string("wire: ") + WireErrorName(error));
+}
+
+// Zero-copy envelope view into the caller's packet buffer: the ingest hot
+// path (TryDecodeReport) validates and decodes without materializing the
+// payload into a WireEnvelope's heap vector.
+struct EnvelopeView {
+  OracleId oracle = OracleId::kGrr;
+  uint32_t timestamp = 0;
+  const uint8_t* payload = nullptr;
+  std::size_t payload_size = 0;
+};
+
+WireError ViewEnvelope(const uint8_t* data, std::size_t size,
+                       EnvelopeView* out) {
+  if (size < kHeaderSize + kChecksumSize) return WireError::kTooShort;
+  if (data[0] != kMagic) return WireError::kBadMagic;
+  if (data[1] != kVersion) return WireError::kBadVersion;
+  const uint8_t oracle_raw = data[2];
+  if (oracle_raw < 1 || oracle_raw > 5) return WireError::kUnknownOracle;
+  const uint32_t payload_len = GetU32(data + 7);
+  if (size != kHeaderSize + payload_len + kChecksumSize) {
+    return WireError::kLengthMismatch;
+  }
+  const uint32_t stored = GetU32(data + size - kChecksumSize);
+  const uint32_t computed = WireChecksum(data, size - kChecksumSize);
+  if (stored != computed) return WireError::kChecksumMismatch;
+
+  out->oracle = static_cast<OracleId>(oracle_raw);
+  out->timestamp = GetU32(data + 3);
+  out->payload = data + kHeaderSize;
+  out->payload_size = payload_len;
+  return WireError::kOk;
+}
+
+// Payload decoders over raw bytes, shared by the envelope-based Try* API
+// and the zero-copy TryDecodeReport path.
+WireError GrrPayloadFromBytes(const uint8_t* payload, std::size_t size,
+                              std::size_t domain, GrrWireReport* out) {
+  const std::size_t bytes = GrrValueBytes(domain);
+  if (size != bytes) return WireError::kPayloadSize;
+  uint32_t value = 0;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    value |= static_cast<uint32_t>(payload[i]) << (8 * i);
+  }
+  if (value >= domain) return WireError::kValueOutOfDomain;
+  out->value = value;
+  return WireError::kOk;
+}
+
+WireError BitVectorPayloadFromBytes(const uint8_t* payload, std::size_t size,
+                                    std::size_t domain,
+                                    BitVectorWireReport* out) {
+  if (size != (domain + 7) / 8) return WireError::kPayloadSize;
+  // assign reuses the caller's bit buffer, so a reused DecodedReport
+  // scratch makes this allocation-free after the first packet.
+  out->bits.assign(domain, false);
+  for (std::size_t k = 0; k < domain; ++k) {
+    out->bits[k] = (payload[k / 8] >> (k % 8)) & 1u;
+  }
+  return WireError::kOk;
+}
+
+WireError OlhPayloadFromBytes(const uint8_t* payload, std::size_t size,
+                              OlhWireReport* out) {
+  if (size != 12) return WireError::kPayloadSize;
+  out->seed = GetU64(payload);
+  out->bucket = GetU32(payload + 8);
+  return WireError::kOk;
+}
+
+WireError HrPayloadFromBytes(const uint8_t* payload, std::size_t size,
+                             HrWireReport* out) {
+  if (size != 4) return WireError::kPayloadSize;
+  out->column = GetU32(payload);
+  return WireError::kOk;
+}
+
 }  // namespace
+
+std::vector<OracleId> AllOracleIds() {
+  return {OracleId::kGrr, OracleId::kOue, OracleId::kOlh, OracleId::kSue,
+          OracleId::kHr};
+}
+
+const char* OracleIdName(OracleId oracle) {
+  switch (oracle) {
+    case OracleId::kGrr: return "GRR";
+    case OracleId::kOue: return "OUE";
+    case OracleId::kOlh: return "OLH";
+    case OracleId::kSue: return "SUE";
+    case OracleId::kHr: return "HR";
+  }
+  return "?";
+}
+
+OracleId OracleIdFromName(const std::string& name) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  for (OracleId id : AllOracleIds()) {
+    if (upper == OracleIdName(id)) return id;
+  }
+  throw std::invalid_argument("unknown oracle name: " + name);
+}
+
+const char* WireErrorName(WireError error) {
+  switch (error) {
+    case WireError::kOk: return "ok";
+    case WireError::kTooShort: return "packet too short";
+    case WireError::kBadMagic: return "bad magic";
+    case WireError::kBadVersion: return "bad version";
+    case WireError::kUnknownOracle: return "unknown oracle id";
+    case WireError::kLengthMismatch: return "length mismatch";
+    case WireError::kChecksumMismatch: return "checksum mismatch";
+    case WireError::kWrongOracle: return "payload oracle mismatch";
+    case WireError::kPayloadSize: return "payload size mismatch";
+    case WireError::kValueOutOfDomain: return "value outside domain";
+  }
+  return "?";
+}
 
 uint32_t WireChecksum(const uint8_t* data, std::size_t size) {
   // Mix the bytes through SplitMix64 word-wise; take the low 32 bits.
@@ -108,86 +233,118 @@ std::vector<uint8_t> EncodeHrReport(uint32_t column, uint32_t timestamp) {
   return BuildEnvelope(OracleId::kHr, timestamp, payload);
 }
 
-WireEnvelope DecodeEnvelope(const std::vector<uint8_t>& packet) {
-  if (packet.size() < kHeaderSize + kChecksumSize) {
-    throw std::runtime_error("wire: packet too short");
-  }
-  if (packet[0] != kMagic) throw std::runtime_error("wire: bad magic");
-  if (packet[1] != kVersion) throw std::runtime_error("wire: bad version");
-  const uint8_t oracle_raw = packet[2];
-  if (oracle_raw < 1 || oracle_raw > 5) {
-    throw std::runtime_error("wire: unknown oracle id");
-  }
-  const uint32_t payload_len = GetU32(packet.data() + 7);
-  if (packet.size() != kHeaderSize + payload_len + kChecksumSize) {
-    throw std::runtime_error("wire: length mismatch");
-  }
-  const uint32_t stored =
-      GetU32(packet.data() + packet.size() - kChecksumSize);
-  const uint32_t computed =
-      WireChecksum(packet.data(), packet.size() - kChecksumSize);
-  if (stored != computed) throw std::runtime_error("wire: checksum mismatch");
+WireError TryDecodeEnvelope(const uint8_t* data, std::size_t size,
+                            WireEnvelope* out) {
+  EnvelopeView view;
+  const WireError err = ViewEnvelope(data, size, &view);
+  if (err != WireError::kOk) return err;
+  out->oracle = view.oracle;
+  out->timestamp = view.timestamp;
+  out->payload.assign(view.payload, view.payload + view.payload_size);
+  return WireError::kOk;
+}
 
+WireError TryDecodeEnvelope(const std::vector<uint8_t>& packet,
+                            WireEnvelope* out) {
+  return TryDecodeEnvelope(packet.data(), packet.size(), out);
+}
+
+WireError TryDecodeGrrPayload(const WireEnvelope& envelope,
+                              std::size_t domain, GrrWireReport* out) {
+  if (envelope.oracle != OracleId::kGrr) return WireError::kWrongOracle;
+  return GrrPayloadFromBytes(envelope.payload.data(),
+                             envelope.payload.size(), domain, out);
+}
+
+WireError TryDecodeBitVectorPayload(const WireEnvelope& envelope,
+                                    std::size_t domain,
+                                    BitVectorWireReport* out) {
+  if (envelope.oracle != OracleId::kOue &&
+      envelope.oracle != OracleId::kSue) {
+    return WireError::kWrongOracle;
+  }
+  return BitVectorPayloadFromBytes(envelope.payload.data(),
+                                   envelope.payload.size(), domain, out);
+}
+
+WireError TryDecodeOlhPayload(const WireEnvelope& envelope,
+                              OlhWireReport* out) {
+  if (envelope.oracle != OracleId::kOlh) return WireError::kWrongOracle;
+  return OlhPayloadFromBytes(envelope.payload.data(),
+                             envelope.payload.size(), out);
+}
+
+WireError TryDecodeHrPayload(const WireEnvelope& envelope, HrWireReport* out) {
+  if (envelope.oracle != OracleId::kHr) return WireError::kWrongOracle;
+  return HrPayloadFromBytes(envelope.payload.data(), envelope.payload.size(),
+                            out);
+}
+
+WireError TryDecodeReport(const uint8_t* data, std::size_t size,
+                          std::size_t domain, DecodedReport* out) {
+  // Hot path: validate through a zero-copy view — no payload
+  // materialization, and with a reused DecodedReport no allocation at all.
+  EnvelopeView view;
+  const WireError err = ViewEnvelope(data, size, &view);
+  if (err != WireError::kOk) return err;
+  out->oracle = view.oracle;
+  out->timestamp = view.timestamp;
+  switch (view.oracle) {
+    case OracleId::kGrr:
+      return GrrPayloadFromBytes(view.payload, view.payload_size, domain,
+                                 &out->grr);
+    case OracleId::kOue:
+    case OracleId::kSue:
+      return BitVectorPayloadFromBytes(view.payload, view.payload_size,
+                                       domain, &out->bits);
+    case OracleId::kOlh:
+      return OlhPayloadFromBytes(view.payload, view.payload_size, &out->olh);
+    case OracleId::kHr:
+      return HrPayloadFromBytes(view.payload, view.payload_size, &out->hr);
+  }
+  return WireError::kUnknownOracle;  // unreachable after envelope validation
+}
+
+WireError TryDecodeReport(const std::vector<uint8_t>& packet,
+                          std::size_t domain, DecodedReport* out) {
+  return TryDecodeReport(packet.data(), packet.size(), domain, out);
+}
+
+WireEnvelope DecodeEnvelope(const std::vector<uint8_t>& packet) {
   WireEnvelope env;
-  env.oracle = static_cast<OracleId>(oracle_raw);
-  env.timestamp = GetU32(packet.data() + 3);
-  env.payload.assign(packet.begin() + kHeaderSize,
-                     packet.end() - kChecksumSize);
+  const WireError err = TryDecodeEnvelope(packet, &env);
+  if (err != WireError::kOk) ThrowWire(err);
   return env;
 }
 
 GrrWireReport DecodeGrrPayload(const WireEnvelope& envelope,
                                std::size_t domain) {
-  if (envelope.oracle != OracleId::kGrr) {
-    throw std::runtime_error("wire: not a GRR payload");
-  }
-  const std::size_t bytes = GrrValueBytes(domain);
-  if (envelope.payload.size() != bytes) {
-    throw std::runtime_error("wire: GRR payload size mismatch");
-  }
-  uint32_t value = 0;
-  for (std::size_t i = 0; i < bytes; ++i) {
-    value |= static_cast<uint32_t>(envelope.payload[i]) << (8 * i);
-  }
-  if (value >= domain) throw std::runtime_error("wire: GRR value overflow");
-  return {value};
+  GrrWireReport out;
+  const WireError err = TryDecodeGrrPayload(envelope, domain, &out);
+  if (err != WireError::kOk) ThrowWire(err);
+  return out;
 }
 
 BitVectorWireReport DecodeBitVectorPayload(const WireEnvelope& envelope,
                                            std::size_t domain) {
-  if (envelope.oracle != OracleId::kOue &&
-      envelope.oracle != OracleId::kSue) {
-    throw std::runtime_error("wire: not a bit-vector payload");
-  }
-  if (envelope.payload.size() != (domain + 7) / 8) {
-    throw std::runtime_error("wire: bit-vector size mismatch");
-  }
   BitVectorWireReport out;
-  out.bits.resize(domain);
-  for (std::size_t k = 0; k < domain; ++k) {
-    out.bits[k] = (envelope.payload[k / 8] >> (k % 8)) & 1u;
-  }
+  const WireError err = TryDecodeBitVectorPayload(envelope, domain, &out);
+  if (err != WireError::kOk) ThrowWire(err);
   return out;
 }
 
 OlhWireReport DecodeOlhPayload(const WireEnvelope& envelope) {
-  if (envelope.oracle != OracleId::kOlh) {
-    throw std::runtime_error("wire: not an OLH payload");
-  }
-  if (envelope.payload.size() != 12) {
-    throw std::runtime_error("wire: OLH payload size mismatch");
-  }
-  return {GetU64(envelope.payload.data()), GetU32(envelope.payload.data() + 8)};
+  OlhWireReport out;
+  const WireError err = TryDecodeOlhPayload(envelope, &out);
+  if (err != WireError::kOk) ThrowWire(err);
+  return out;
 }
 
 HrWireReport DecodeHrPayload(const WireEnvelope& envelope) {
-  if (envelope.oracle != OracleId::kHr) {
-    throw std::runtime_error("wire: not an HR payload");
-  }
-  if (envelope.payload.size() != 4) {
-    throw std::runtime_error("wire: HR payload size mismatch");
-  }
-  return {GetU32(envelope.payload.data())};
+  HrWireReport out;
+  const WireError err = TryDecodeHrPayload(envelope, &out);
+  if (err != WireError::kOk) ThrowWire(err);
+  return out;
 }
 
 std::size_t EncodedReportSize(OracleId oracle, std::size_t domain) {

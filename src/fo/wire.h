@@ -18,9 +18,15 @@
 //   OLH  — 8-byte hash seed + 4-byte bucket index;
 //   HR   — Hadamard column index (4 bytes).
 //
-// Decoding validates the magic, version, length and checksum and throws
-// std::runtime_error with a precise reason on any corruption — a server
-// must never crash on a malformed client packet.
+// Decoding comes in two flavours:
+//
+//   * `TryDecode*` — validates magic, version, length, checksum and payload
+//     shape and returns a typed `WireError` instead of throwing. This is
+//     the serving hot path (src/service/): a busy ingest loop must never
+//     pay exception machinery for routine corruption, and a server must
+//     never crash on a malformed client packet.
+//   * `Decode*` — thin wrappers that throw std::runtime_error carrying the
+//     same reason, for callers where a bad packet is exceptional.
 #ifndef LDPIDS_FO_WIRE_H_
 #define LDPIDS_FO_WIRE_H_
 
@@ -38,6 +44,34 @@ enum class OracleId : uint8_t {
   kSue = 4,
   kHr = 5,
 };
+
+// All wire oracle ids, in id order; for parameterized tests and sweeps.
+std::vector<OracleId> AllOracleIds();
+
+// Canonical name of an oracle id ("GRR", "OUE", ...), matching
+// GetFrequencyOracle's naming.
+const char* OracleIdName(OracleId oracle);
+
+// Inverse of OracleIdName (case-insensitive). Throws std::invalid_argument
+// for unknown names.
+OracleId OracleIdFromName(const std::string& name);
+
+// Precise decode outcome. kOk is 0 so results can be truth-tested.
+enum class WireError : uint8_t {
+  kOk = 0,
+  kTooShort,           // smaller than header + checksum
+  kBadMagic,
+  kBadVersion,
+  kUnknownOracle,      // oracle id outside [kGrr, kHr]
+  kLengthMismatch,     // declared payload length != actual
+  kChecksumMismatch,
+  kWrongOracle,        // payload decoder for a different oracle
+  kPayloadSize,        // payload length wrong for the oracle/domain
+  kValueOutOfDomain,   // decoded value does not fit the domain
+};
+
+// Human-readable reason, for logs and rejection reports.
+const char* WireErrorName(WireError error);
 
 // Oracle-specific report payloads, in decoded form.
 struct GrrWireReport {
@@ -61,6 +95,17 @@ struct WireEnvelope {
   std::vector<uint8_t> payload;
 };
 
+// A fully decoded report, ready for server-side folding
+// (FoSketch::AddReport). Only the member matching `oracle` is meaningful.
+struct DecodedReport {
+  OracleId oracle = OracleId::kGrr;
+  uint32_t timestamp = 0;
+  GrrWireReport grr;
+  BitVectorWireReport bits;
+  OlhWireReport olh;
+  HrWireReport hr;
+};
+
 // Checksum used by the envelope (simple but robust 32-bit mix; stable
 // across platforms).
 uint32_t WireChecksum(const uint8_t* data, std::size_t size);
@@ -75,9 +120,32 @@ std::vector<uint8_t> EncodeOlhReport(uint64_t seed, uint32_t bucket,
                                      uint32_t timestamp);
 std::vector<uint8_t> EncodeHrReport(uint32_t column, uint32_t timestamp);
 
-// --- decoding ---
-// Parses and validates the envelope; throws std::runtime_error on
-// corruption (bad magic/version/length/checksum).
+// --- non-throwing decoding (serving hot path) ---
+// Each validates fully and writes `*out` only on kOk; on error the output
+// is left in an unspecified but valid state.
+WireError TryDecodeEnvelope(const uint8_t* data, std::size_t size,
+                            WireEnvelope* out);
+WireError TryDecodeEnvelope(const std::vector<uint8_t>& packet,
+                            WireEnvelope* out);
+WireError TryDecodeGrrPayload(const WireEnvelope& envelope,
+                              std::size_t domain, GrrWireReport* out);
+WireError TryDecodeBitVectorPayload(const WireEnvelope& envelope,
+                                    std::size_t domain,
+                                    BitVectorWireReport* out);
+WireError TryDecodeOlhPayload(const WireEnvelope& envelope,
+                              OlhWireReport* out);
+WireError TryDecodeHrPayload(const WireEnvelope& envelope, HrWireReport* out);
+
+// One-shot envelope + payload decode of whatever oracle the packet claims,
+// validated against `domain`. The workhorse of service::IngestShard.
+WireError TryDecodeReport(const uint8_t* data, std::size_t size,
+                          std::size_t domain, DecodedReport* out);
+WireError TryDecodeReport(const std::vector<uint8_t>& packet,
+                          std::size_t domain, DecodedReport* out);
+
+// --- throwing decoding ---
+// Parses and validates the envelope; throws std::runtime_error with the
+// WireErrorName reason on any corruption.
 WireEnvelope DecodeEnvelope(const std::vector<uint8_t>& packet);
 
 // Payload decoders; `domain` is needed to size GRR values and bit vectors.

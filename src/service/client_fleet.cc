@@ -1,0 +1,66 @@
+#include "service/client_fleet.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "fo/client.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace ldpids::service {
+
+ClientFleet::ClientFleet(uint64_t num_users, ValueFn values, uint64_t seed)
+    : num_users_(num_users), values_(std::move(values)), seed_(seed) {
+  if (num_users_ == 0) {
+    throw std::invalid_argument("fleet must have at least one user");
+  }
+  if (!values_) {
+    throw std::invalid_argument("fleet needs a value function");
+  }
+}
+
+std::vector<std::vector<uint8_t>> ClientFleet::ProduceRound(
+    const RoundRequest& request, std::size_t num_threads) const {
+  const std::size_t cohort_size =
+      request.cohort != nullptr ? request.cohort->size()
+                                : static_cast<std::size_t>(num_users_);
+  std::vector<std::vector<uint8_t>> packets(cohort_size);
+  ParallelFor(num_threads, cohort_size, [&](std::size_t i) {
+    const uint64_t user =
+        request.cohort != nullptr ? (*request.cohort)[i] : i;
+    // Stateless per-(user, round) stream: reproducible at any thread count.
+    Rng rng(HashCounter(seed_, user, request.round_index));
+    packets[i] = PerturbToWire(
+        request.oracle, values_(user, request.timestamp), request.epsilon,
+        request.domain, static_cast<uint32_t>(request.timestamp), rng);
+  });
+  return packets;
+}
+
+RoundTransport ClientFleet::Transport(std::size_t num_threads,
+                                      MangleFn mangle) const {
+  return [this, num_threads, mangle](const RoundRequest& request,
+                                     ReportRouter& router) {
+    std::vector<std::vector<uint8_t>> packets =
+        ProduceRound(request, num_threads);
+    if (mangle) {
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < packets.size(); ++i) {
+        const uint64_t user =
+            request.cohort != nullptr ? (*request.cohort)[i]
+                                      : static_cast<uint64_t>(i);
+        if (mangle(packets[i], user, request.round_index)) {
+          if (kept != i) packets[kept] = std::move(packets[i]);
+          ++kept;
+        }
+      }
+      packets.resize(kept);
+    }
+    router.IngestBatch(packets, num_threads);
+  };
+}
+
+}  // namespace ldpids::service

@@ -1,0 +1,56 @@
+// A simulated population of client devices for the serving layer's demos,
+// tests and benchmarks.
+//
+// Each user holds a true value per timestamp (supplied by a callback, e.g.
+// an adapter over a StreamDataset) and, when a round request names them,
+// runs the real client-side protocol (fo/client.h PerturbToWire) and emits
+// a checksummed wire packet. User u's randomness in round r derives
+// statelessly from (fleet seed, u, r), so a fleet is reproducible and its
+// packets are identical regardless of production order or thread count.
+#ifndef LDPIDS_SERVICE_CLIENT_FLEET_H_
+#define LDPIDS_SERVICE_CLIENT_FLEET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "service/ingest.h"
+#include "service/session.h"
+
+namespace ldpids::service {
+
+class ClientFleet {
+ public:
+  // True value of `user` at timestamp `t`; must be pure and in-domain.
+  using ValueFn = std::function<uint32_t(uint64_t user, std::size_t t)>;
+
+  ClientFleet(uint64_t num_users, ValueFn values, uint64_t seed);
+
+  // Produces the round's packets — one per cohort member (or per user when
+  // the request's cohort is null), in cohort order — fanning production
+  // across up to `num_threads` pool lanes.
+  std::vector<std::vector<uint8_t>> ProduceRound(
+      const RoundRequest& request, std::size_t num_threads) const;
+
+  // A RoundTransport that produces the round's packets and ingests them
+  // into the router (`ReportRouter::IngestBatch`), both across up to
+  // `num_threads` lanes. `mangle`, when set, may corrupt or drop packets
+  // in transit (hostile-network simulation): it is applied to every packet
+  // before ingestion; returning false drops the packet.
+  using MangleFn = std::function<bool(std::vector<uint8_t>& packet,
+                                      uint64_t user, uint64_t round)>;
+  RoundTransport Transport(std::size_t num_threads,
+                           MangleFn mangle = nullptr) const;
+
+  uint64_t num_users() const { return num_users_; }
+
+ private:
+  uint64_t num_users_;
+  ValueFn values_;
+  uint64_t seed_;
+};
+
+}  // namespace ldpids::service
+
+#endif  // LDPIDS_SERVICE_CLIENT_FLEET_H_

@@ -1,0 +1,123 @@
+#include "service/ingest.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace ldpids::service {
+
+const char* IngestResultName(IngestResult result) {
+  switch (result) {
+    case IngestResult::kAccepted: return "accepted";
+    case IngestResult::kMalformed: return "malformed";
+    case IngestResult::kWrongOracle: return "wrong oracle";
+    case IngestResult::kWrongTimestamp: return "wrong timestamp";
+    case IngestResult::kSketchRejected: return "sketch rejected";
+  }
+  return "?";
+}
+
+IngestStats& IngestStats::operator+=(const IngestStats& other) {
+  accepted += other.accepted;
+  malformed += other.malformed;
+  wrong_oracle += other.wrong_oracle;
+  wrong_timestamp += other.wrong_timestamp;
+  sketch_rejected += other.sketch_rejected;
+  return *this;
+}
+
+std::string IngestStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "accepted=%llu malformed=%llu wrong_oracle=%llu "
+                "wrong_timestamp=%llu sketch_rejected=%llu",
+                static_cast<unsigned long long>(accepted),
+                static_cast<unsigned long long>(malformed),
+                static_cast<unsigned long long>(wrong_oracle),
+                static_cast<unsigned long long>(wrong_timestamp),
+                static_cast<unsigned long long>(sketch_rejected));
+  return buf;
+}
+
+IngestShard::IngestShard(const FrequencyOracle& fo, const FoParams& params,
+                         OracleId oracle, uint32_t timestamp)
+    : sketch_(fo.CreateSketch(params)),
+      oracle_(oracle),
+      timestamp_(timestamp),
+      domain_(params.domain) {}
+
+IngestResult IngestShard::Ingest(const uint8_t* data, std::size_t size) {
+  if (sketch_ == nullptr) {
+    throw std::logic_error("ingest shard already closed");
+  }
+  if (TryDecodeReport(data, size, domain_, &scratch_) != WireError::kOk) {
+    ++stats_.malformed;
+    return IngestResult::kMalformed;
+  }
+  if (scratch_.oracle != oracle_) {
+    ++stats_.wrong_oracle;
+    return IngestResult::kWrongOracle;
+  }
+  if (scratch_.timestamp != timestamp_) {
+    ++stats_.wrong_timestamp;
+    return IngestResult::kWrongTimestamp;
+  }
+  if (!sketch_->AddReport(scratch_)) {
+    ++stats_.sketch_rejected;
+    return IngestResult::kSketchRejected;
+  }
+  ++stats_.accepted;
+  return IngestResult::kAccepted;
+}
+
+ReportRouter::ReportRouter(const FrequencyOracle& fo, const FoParams& params,
+                           OracleId oracle, uint32_t timestamp,
+                           std::size_t num_shards) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("router needs at least one shard");
+  }
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.emplace_back(fo, params, oracle, timestamp);
+  }
+}
+
+IngestResult ReportRouter::Ingest(const std::vector<uint8_t>& packet) {
+  if (closed_) throw std::logic_error("router already closed");
+  const IngestResult result = shards_[next_shard_].Ingest(packet);
+  next_shard_ = (next_shard_ + 1) % shards_.size();
+  return result;
+}
+
+void ReportRouter::IngestBatch(
+    const std::vector<std::vector<uint8_t>>& packets,
+    std::size_t num_threads) {
+  if (closed_) throw std::logic_error("router already closed");
+  const std::size_t k = shards_.size();
+  ParallelFor(num_threads, k, [&](std::size_t shard) {
+    for (std::size_t i = shard; i < packets.size(); i += k) {
+      shards_[shard].Ingest(packets[i]);
+    }
+  });
+}
+
+std::unique_ptr<FoSketch> ReportRouter::Close(IngestStats* stats) {
+  if (closed_) throw std::logic_error("router already closed");
+  closed_ = true;
+  std::unique_ptr<FoSketch> merged = shards_[0].TakeSketch();
+  if (stats != nullptr) *stats += shards_[0].stats();
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    merged->MergeFrom(shards_[i].sketch());
+    if (stats != nullptr) *stats += shards_[i].stats();
+  }
+  return merged;
+}
+
+}  // namespace ldpids::service

@@ -1,0 +1,125 @@
+// Sharded wire-report ingestion — the server edge of the online serving
+// layer.
+//
+// One FO collection round at one timestamp is ingested by a `ReportRouter`
+// holding K `IngestShard`s. Each shard decodes envelopes defensively
+// (typed `WireError` results, no exceptions on the hot path), validates
+// them against the round's oracle/timestamp/domain, and folds accepted
+// reports into its own `FoSketch`. At timestamp close the shards are
+// merged (`FoSketch::MergeFrom`) into one sketch whose estimate is
+// bit-identical to single-shard ingestion of the same packets — sketch
+// state is additive integer counts, so the partition never shows.
+//
+// Thread model: one shard is single-threaded; different shards are
+// independent, so `IngestBatch` fans the K shard slices across the shared
+// thread pool (util/thread_pool.h). The slice assignment (packet i -> shard
+// i mod K) is deterministic, keeping merged results reproducible at every
+// thread count.
+#ifndef LDPIDS_SERVICE_INGEST_H_
+#define LDPIDS_SERVICE_INGEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fo/frequency_oracle.h"
+#include "fo/wire.h"
+
+namespace ldpids::service {
+
+// Why a packet was (not) folded into the round's sketch.
+enum class IngestResult : uint8_t {
+  kAccepted = 0,
+  kMalformed,        // wire-level corruption (any WireError)
+  kWrongOracle,      // valid packet, but for a different oracle
+  kWrongTimestamp,   // valid packet, but stale or from the future
+  kSketchRejected,   // decoded fine, out of range for the sketch params
+};
+
+const char* IngestResultName(IngestResult result);
+
+// Per-round acceptance accounting, kept per shard and summed at close.
+struct IngestStats {
+  uint64_t accepted = 0;
+  uint64_t malformed = 0;
+  uint64_t wrong_oracle = 0;
+  uint64_t wrong_timestamp = 0;
+  uint64_t sketch_rejected = 0;
+
+  uint64_t total() const {
+    return accepted + malformed + wrong_oracle + wrong_timestamp +
+           sketch_rejected;
+  }
+  uint64_t rejected() const { return total() - accepted; }
+  IngestStats& operator+=(const IngestStats& other);
+  std::string ToString() const;
+};
+
+// One shard: a defensive decoder in front of a FoSketch. Single-threaded.
+class IngestShard {
+ public:
+  // `oracle` and `timestamp` pin what this round accepts; `params` sizes
+  // the sketch (domain) and fixes the per-user budget (epsilon).
+  IngestShard(const FrequencyOracle& fo, const FoParams& params,
+              OracleId oracle, uint32_t timestamp);
+
+  IngestShard(IngestShard&&) = default;
+  IngestShard& operator=(IngestShard&&) = delete;
+
+  // Decodes and folds one packet; never throws on packet content.
+  IngestResult Ingest(const uint8_t* data, std::size_t size);
+  IngestResult Ingest(const std::vector<uint8_t>& packet) {
+    return Ingest(packet.data(), packet.size());
+  }
+
+  const IngestStats& stats() const { return stats_; }
+  const FoSketch& sketch() const { return *sketch_; }
+
+  // Releases the shard's sketch for merging; the shard must not ingest
+  // afterwards.
+  std::unique_ptr<FoSketch> TakeSketch() { return std::move(sketch_); }
+
+ private:
+  std::unique_ptr<FoSketch> sketch_;
+  OracleId oracle_;
+  uint32_t timestamp_;
+  std::size_t domain_;
+  IngestStats stats_;
+  DecodedReport scratch_;  // reused across packets; no per-packet alloc
+};
+
+// Routes one round's packets across K shards and shard-reduces at close.
+class ReportRouter {
+ public:
+  ReportRouter(const FrequencyOracle& fo, const FoParams& params,
+               OracleId oracle, uint32_t timestamp, std::size_t num_shards);
+
+  // Serial single-packet path: round-robins packets over the shards.
+  IngestResult Ingest(const std::vector<uint8_t>& packet);
+
+  // Batch path: packet i goes to shard i mod K, and the K shard slices are
+  // ingested concurrently across up to `num_threads` pool lanes. The
+  // assignment is deterministic, so results are identical at every thread
+  // and shard count.
+  void IngestBatch(const std::vector<std::vector<uint8_t>>& packets,
+                   std::size_t num_threads);
+
+  // Merges all shards into one sketch and returns it, accumulating the
+  // shards' acceptance stats into `*stats` when non-null. The router is
+  // closed afterwards: further Ingest calls throw std::logic_error.
+  std::unique_ptr<FoSketch> Close(IngestStats* stats = nullptr);
+
+  std::size_t num_shards() const { return shards_.size(); }
+  const IngestShard& shard(std::size_t i) const { return shards_[i]; }
+
+ private:
+  std::vector<IngestShard> shards_;
+  std::size_t next_shard_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace ldpids::service
+
+#endif  // LDPIDS_SERVICE_INGEST_H_

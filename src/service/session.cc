@@ -1,0 +1,108 @@
+#include "service/session.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/collector.h"
+#include "util/histogram.h"
+
+namespace ldpids::service {
+
+// Implements the mechanism-facing CollectorContext by opening one sharded
+// ingestion round per Collect call.
+class MechanismSession::WireCollector final : public CollectorContext {
+ public:
+  WireCollector(MechanismSession& session, const FrequencyOracle& fo,
+                OracleId oracle, std::size_t domain, uint64_t num_users)
+      : session_(session),
+        fo_(fo),
+        oracle_(oracle),
+        domain_(domain),
+        num_users_(num_users) {}
+
+  std::size_t domain() const override { return domain_; }
+  uint64_t num_users() const override { return num_users_; }
+
+  void Collect(std::size_t t, double epsilon,
+               const std::vector<uint32_t>* subset, uint64_t* n_out,
+               Histogram* out) override {
+    if (t > std::numeric_limits<uint32_t>::max()) {
+      throw std::invalid_argument("timestamp does not fit the wire");
+    }
+    const FoParams params{epsilon, domain_};
+    ReportRouter router(fo_, params, oracle_, static_cast<uint32_t>(t),
+                        session_.options_.num_shards);
+    RoundRequest request;
+    request.timestamp = t;
+    request.epsilon = epsilon;
+    request.domain = domain_;
+    request.oracle = oracle_;
+    request.cohort = subset;
+    request.round_index = session_.rounds_++;
+    session_.transport_(request, router);
+    std::unique_ptr<FoSketch> merged = router.Close(&session_.stats_);
+    if (merged->num_users() == 0) {
+      throw std::runtime_error("collection round accepted zero reports");
+    }
+    if (n_out != nullptr) *n_out = merged->num_users();
+    merged->EstimateInto(out);
+  }
+
+ private:
+  MechanismSession& session_;
+  const FrequencyOracle& fo_;
+  const OracleId oracle_;
+  const std::size_t domain_;
+  const uint64_t num_users_;
+};
+
+MechanismSession::MechanismSession(
+    std::unique_ptr<StreamMechanism> mechanism, std::size_t domain,
+    SessionOptions options, RoundTransport transport)
+    : mechanism_(std::move(mechanism)),
+      transport_(std::move(transport)),
+      options_(options) {
+  if (mechanism_ == nullptr) {
+    throw std::invalid_argument("session needs a mechanism");
+  }
+  if (domain < 2) {
+    throw std::invalid_argument("session domain must have >= 2 values");
+  }
+  if (options_.num_shards == 0 || options_.num_threads == 0) {
+    throw std::invalid_argument("session shards/threads must be >= 1");
+  }
+  if (!transport_) {
+    throw std::invalid_argument("session needs a transport");
+  }
+  collector_ = std::make_unique<WireCollector>(
+      *this, GetFrequencyOracle(mechanism_->config().fo),
+      OracleIdFromName(mechanism_->config().fo), domain,
+      mechanism_->num_users());
+}
+
+MechanismSession::~MechanismSession() = default;
+
+std::size_t MechanismSession::domain() const { return collector_->domain(); }
+
+StepResult MechanismSession::Advance() {
+  if (failed_) {
+    throw std::logic_error(
+        "session failed in an earlier round; its w-event accounting is "
+        "unrecoverable — create a fresh session");
+  }
+  try {
+    StepResult result = mechanism_->Step(*collector_, next_t_);
+    ++next_t_;
+    return result;
+  } catch (...) {
+    failed_ = true;
+    throw;
+  }
+}
+
+}  // namespace ldpids::service

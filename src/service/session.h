@@ -1,0 +1,110 @@
+// Incremental mechanism sessions: a StreamMechanism driven one timestamp
+// at a time by externally supplied wire reports instead of simulating its
+// own cohort.
+//
+// Per timestamp, the mechanism's DoStep performs up to two FO collection
+// rounds (dissimilarity estimate, then publication) whose budgets and
+// cohorts are decided mid-step from noisy state — so the rounds cannot be
+// precomputed. The session inverts control: each time the mechanism asks
+// its CollectorContext for a round, the session opens a sharded
+// `ReportRouter`, hands a `RoundRequest` to the caller's transport (which
+// makes the cohort's packets arrive — a simulated client fleet, a network
+// stub, a replay log), then closes the round and feeds the merged estimate
+// back to the mechanism. The server side only ever sees perturbed wire
+// bytes, which is the deployment model the paper assumes.
+#ifndef LDPIDS_SERVICE_SESSION_H_
+#define LDPIDS_SERVICE_SESSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/mechanism.h"
+#include "fo/frequency_oracle.h"
+#include "fo/wire.h"
+#include "service/ingest.h"
+
+namespace ldpids::service {
+
+// One FO collection round the mechanism asked for. Handed to the
+// transport, which must deliver the cohort's reports into the router.
+struct RoundRequest {
+  std::size_t timestamp = 0;
+  double epsilon = 0.0;        // per-user budget of this round
+  std::size_t domain = 0;
+  OracleId oracle = OracleId::kGrr;
+  // nullptr: the whole population reports (budget division). Otherwise
+  // exactly the listed users (population division). Only valid during the
+  // transport call.
+  const std::vector<uint32_t>* cohort = nullptr;
+  // Rounds issued by this session so far; unique per round, so transports
+  // can derive per-round randomness statelessly.
+  uint64_t round_index = 0;
+};
+
+// Delivers one round's packets into the router (synchronously; typically
+// via ReportRouter::IngestBatch). Runs inside Advance().
+using RoundTransport = std::function<void(const RoundRequest&,
+                                          ReportRouter&)>;
+
+struct SessionOptions {
+  std::size_t num_shards = 1;   // ingestion shards per round
+  std::size_t num_threads = 1;  // pool lanes for sharded ingestion
+};
+
+// Owns one mechanism and advances it timestamp by timestamp over wire
+// ingestion. Not thread-safe itself; distinct sessions are independent
+// (StreamServer drives many concurrently).
+class MechanismSession {
+ public:
+  // `mechanism` must be non-null; `domain` is the stream's |Omega| (the
+  // mechanism latches it on the first step). The FO and oracle id derive
+  // from the mechanism's config.
+  MechanismSession(std::unique_ptr<StreamMechanism> mechanism,
+                   std::size_t domain, SessionOptions options,
+                   RoundTransport transport);
+  ~MechanismSession();
+
+  // Processes the next timestamp: runs the mechanism's step logic, calling
+  // the transport once per FO round it performs. Returns the release r_t.
+  //
+  // Failure semantics: if a round ends with zero accepted reports (an
+  // estimate from nobody is meaningless) or the transport throws, the
+  // exception propagates AND the session is permanently failed — the
+  // mechanism's w-event budget/population accounting was interrupted
+  // mid-step and cannot be rolled back, so replaying or skipping the
+  // timestamp would void the privacy invariant. Every later Advance()
+  // throws std::logic_error immediately (see failed()); the caller's
+  // recovery unit is the session, not the round.
+  StepResult Advance();
+
+  // True once an Advance() failed; the session refuses further work.
+  bool failed() const { return failed_; }
+
+  const StreamMechanism& mechanism() const { return *mechanism_; }
+  std::size_t domain() const;
+  // Timestamp the next Advance() will process.
+  std::size_t next_timestamp() const { return next_t_; }
+  // Rounds issued so far.
+  uint64_t rounds() const { return rounds_; }
+  // Acceptance accounting accumulated over every round so far.
+  const IngestStats& stats() const { return stats_; }
+
+ private:
+  class WireCollector;  // CollectorContext over sharded ingestion
+
+  std::unique_ptr<StreamMechanism> mechanism_;
+  std::unique_ptr<WireCollector> collector_;
+  RoundTransport transport_;
+  SessionOptions options_;
+  std::size_t next_t_ = 0;
+  uint64_t rounds_ = 0;
+  bool failed_ = false;
+  IngestStats stats_;
+};
+
+}  // namespace ldpids::service
+
+#endif  // LDPIDS_SERVICE_SESSION_H_

@@ -1,0 +1,39 @@
+#include "service/stream_server.h"
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace ldpids::service {
+
+StreamServer::StreamServer(std::size_t num_threads)
+    : num_threads_(num_threads) {
+  if (num_threads_ == 0) {
+    throw std::invalid_argument("server needs at least one thread");
+  }
+}
+
+std::size_t StreamServer::AddSession(
+    std::string name, std::unique_ptr<MechanismSession> session) {
+  if (session == nullptr) {
+    throw std::invalid_argument("null session");
+  }
+  names_.push_back(std::move(name));
+  sessions_.push_back(std::move(session));
+  return sessions_.size() - 1;
+}
+
+std::vector<StepResult> StreamServer::AdvanceAll() {
+  std::vector<StepResult> releases(sessions_.size());
+  ParallelFor(num_threads_, sessions_.size(), [&](std::size_t i) {
+    releases[i] = sessions_[i]->Advance();
+  });
+  return releases;
+}
+
+}  // namespace ldpids::service

@@ -35,6 +35,19 @@ double SampleLaplace(Rng& rng, double scale) {
 
 namespace {
 
+// glibc's lgamma writes the process-global `signgam`, which makes every
+// concurrent binomial draw a data race (flagged by the CI TSan job) even
+// though the returned value is fine. The reentrant form returns the same
+// bits — thread-count invariance of all sampled streams is unaffected.
+inline double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 // Sequential CDF inversion ("BINV"); expected cost O(n*p). Exact.
 uint64_t BinomialInversion(Rng& rng, uint64_t n, double p) {
   const double q = 1.0 - p;
@@ -74,7 +87,7 @@ uint64_t BinomialBtrs(Rng& rng, uint64_t n, double p) {
   const double alpha = (2.83 + 5.1 / b) * spq;
   const double lpq = std::log(p / q);
   const double m = std::floor((nd + 1.0) * p);
-  const double h = std::lgamma(m + 1.0) + std::lgamma(nd - m + 1.0);
+  const double h = LogGamma(m + 1.0) + LogGamma(nd - m + 1.0);
 
   while (true) {
     double v = rng.NextDouble();
@@ -98,7 +111,7 @@ uint64_t BinomialBtrs(Rng& rng, uint64_t n, double p) {
     if (kd < 0.0 || kd > nd) continue;
     const double logv = std::log(v * alpha / (a / (us * us) + b));
     const double bound =
-        h - std::lgamma(kd + 1.0) - std::lgamma(nd - kd + 1.0) + (kd - m) * lpq;
+        h - LogGamma(kd + 1.0) - LogGamma(nd - kd + 1.0) + (kd - m) * lpq;
     if (logv <= bound) return static_cast<uint64_t>(kd);
   }
 }

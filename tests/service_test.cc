@@ -1,0 +1,379 @@
+// End-to-end coverage of the online serving layer (src/service/): wire
+// clients, defensive sharded ingestion, incremental mechanism sessions and
+// the multi-session server.
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "core/mechanism.h"
+#include "fo/client.h"
+#include "fo/frequency_oracle.h"
+#include "fo/wire.h"
+#include "service/client_fleet.h"
+#include "service/ingest.h"
+#include "service/session.h"
+#include "service/stream_server.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace ldpids {
+namespace {
+
+using service::ClientFleet;
+using service::IngestResult;
+using service::IngestShard;
+using service::IngestStats;
+using service::MechanismSession;
+using service::ReportRouter;
+using service::RoundRequest;
+using service::SessionOptions;
+using service::StreamServer;
+
+constexpr std::size_t kDomain = 10;
+constexpr double kEpsilon = 1.0;
+
+uint32_t TruthValue(uint64_t user, std::size_t t) {
+  return static_cast<uint32_t>((user + 3 * t) % kDomain);
+}
+
+// --- wire client vs simulation sketch -------------------------------------
+
+TEST(WireClientTest, WireIngestionReproducesAddUserBitForBit) {
+  // PerturbToWire draws randomness in exactly AddUser's order, so feeding
+  // the decoded packets of same-seeded per-user streams into a sketch must
+  // reproduce the simulation sketch exactly, for every oracle.
+  for (OracleId oracle : AllOracleIds()) {
+    const FrequencyOracle& fo = GetFrequencyOracle(OracleIdName(oracle));
+    const FoParams params{kEpsilon, kDomain};
+    auto simulated = fo.CreateSketch(params);
+    auto wire = fo.CreateSketch(params);
+    for (uint64_t u = 0; u < 500; ++u) {
+      const uint32_t value = TruthValue(u, 0);
+      Rng sim_rng(HashCounter(17, u, 0));
+      Rng wire_rng(HashCounter(17, u, 0));
+      simulated->AddUser(value, sim_rng);
+      const auto packet =
+          PerturbToWire(oracle, value, kEpsilon, kDomain, 0, wire_rng);
+      DecodedReport report;
+      ASSERT_EQ(TryDecodeReport(packet, kDomain, &report), WireError::kOk);
+      ASSERT_TRUE(wire->AddReport(report));
+    }
+    EXPECT_EQ(wire->num_users(), simulated->num_users());
+    EXPECT_EQ(wire->Estimate(), simulated->Estimate())
+        << OracleIdName(oracle);
+  }
+}
+
+// --- ingest shard / router ------------------------------------------------
+
+std::vector<std::vector<uint8_t>> RoundPackets(OracleId oracle,
+                                               uint32_t timestamp,
+                                               std::size_t n) {
+  std::vector<std::vector<uint8_t>> packets;
+  for (uint64_t u = 0; u < n; ++u) {
+    Rng rng(HashCounter(23, u, timestamp));
+    packets.push_back(PerturbToWire(oracle, TruthValue(u, timestamp),
+                                    kEpsilon, kDomain, timestamp, rng));
+  }
+  return packets;
+}
+
+TEST(IngestShardTest, CountsEveryRejectionReasonWithoutThrowing) {
+  const FrequencyOracle& fo = GetFrequencyOracle("GRR");
+  IngestShard shard(fo, {kEpsilon, kDomain}, OracleId::kGrr, /*timestamp=*/4);
+
+  auto good = RoundPackets(OracleId::kGrr, 4, 3);
+  EXPECT_EQ(shard.Ingest(good[0]), IngestResult::kAccepted);
+
+  auto corrupted = good[1];
+  corrupted[corrupted.size() / 2] ^= 0x5A;
+  EXPECT_EQ(shard.Ingest(corrupted), IngestResult::kMalformed);
+
+  // Valid packet, wrong oracle for this round.
+  auto olh = RoundPackets(OracleId::kOlh, 4, 1);
+  EXPECT_EQ(shard.Ingest(olh[0]), IngestResult::kWrongOracle);
+
+  // Valid packet, stale timestamp.
+  auto stale = RoundPackets(OracleId::kGrr, 3, 1);
+  EXPECT_EQ(shard.Ingest(stale[0]), IngestResult::kWrongTimestamp);
+
+  EXPECT_EQ(shard.stats().accepted, 1u);
+  EXPECT_EQ(shard.stats().malformed, 1u);
+  EXPECT_EQ(shard.stats().wrong_oracle, 1u);
+  EXPECT_EQ(shard.stats().wrong_timestamp, 1u);
+  EXPECT_EQ(shard.stats().total(), 4u);
+  EXPECT_EQ(shard.stats().rejected(), 3u);
+}
+
+TEST(IngestShardTest, SketchRangeChecksAreTheSecondLineOfDefense) {
+  // A forged OLH packet with a bucket beyond g, and an HR packet with a
+  // column beyond K, decode fine at wire level but must be rejected by the
+  // sketch — counted, not crashed.
+  {
+    const FrequencyOracle& fo = GetFrequencyOracle("OLH");
+    IngestShard shard(fo, {kEpsilon, kDomain}, OracleId::kOlh, 0);
+    // g = round(e^1)+1 = 4; bucket 4000 is out of range.
+    const auto forged = EncodeOlhReport(123, 4000, 0);
+    EXPECT_EQ(shard.Ingest(forged), IngestResult::kSketchRejected);
+    EXPECT_EQ(shard.stats().sketch_rejected, 1u);
+  }
+  {
+    const FrequencyOracle& fo = GetFrequencyOracle("HR");
+    IngestShard shard(fo, {kEpsilon, kDomain}, OracleId::kHr, 0);
+    // K = 16 for d = 10; column 99999 is out of range.
+    const auto forged = EncodeHrReport(99999, 0);
+    EXPECT_EQ(shard.Ingest(forged), IngestResult::kSketchRejected);
+    EXPECT_EQ(shard.stats().sketch_rejected, 1u);
+  }
+}
+
+class RouterShardingTest : public ::testing::TestWithParam<OracleId> {};
+
+TEST_P(RouterShardingTest, MergedShardsMatchSingleShardBitForBit) {
+  const OracleId oracle = GetParam();
+  const FrequencyOracle& fo = GetFrequencyOracle(OracleIdName(oracle));
+  const FoParams params{kEpsilon, kDomain};
+  const auto packets = RoundPackets(oracle, 7, 800);
+
+  ReportRouter single(fo, params, oracle, 7, 1);
+  single.IngestBatch(packets, 1);
+  IngestStats single_stats;
+  auto single_sketch = single.Close(&single_stats);
+
+  for (const std::size_t shards : {2u, 4u, 5u}) {
+    for (const std::size_t threads : {1u, 4u}) {
+      ReportRouter router(fo, params, oracle, 7, shards);
+      router.IngestBatch(packets, threads);
+      IngestStats stats;
+      auto merged = router.Close(&stats);
+      EXPECT_EQ(stats.accepted, single_stats.accepted);
+      EXPECT_EQ(merged->num_users(), single_sketch->num_users());
+      EXPECT_EQ(merged->Estimate(), single_sketch->Estimate())
+          << OracleIdName(oracle) << " shards=" << shards
+          << " threads=" << threads;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOracles, RouterShardingTest,
+                         ::testing::ValuesIn(AllOracleIds()),
+                         [](const auto& info) {
+                           return std::string(OracleIdName(info.param));
+                         });
+
+TEST(RouterTest, CloseIsFinalAndSerialRoundRobinWorks) {
+  const FrequencyOracle& fo = GetFrequencyOracle("GRR");
+  ReportRouter router(fo, {kEpsilon, kDomain}, OracleId::kGrr, 0, 3);
+  const auto packets = RoundPackets(OracleId::kGrr, 0, 9);
+  for (const auto& p : packets) {
+    EXPECT_EQ(router.Ingest(p), IngestResult::kAccepted);
+  }
+  // Round-robin spread: 3 shards x 3 packets each.
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(router.shard(s).stats().accepted, 3u);
+  }
+  auto sketch = router.Close(nullptr);
+  EXPECT_EQ(sketch->num_users(), 9u);
+  EXPECT_THROW(router.Ingest(packets[0]), std::logic_error);
+  EXPECT_THROW(router.Close(nullptr), std::logic_error);
+}
+
+// --- mechanism sessions ---------------------------------------------------
+
+MechanismConfig SessionConfig(const std::string& mechanism_fo = "GRR") {
+  MechanismConfig c;
+  c.epsilon = kEpsilon;
+  c.window = 4;
+  c.fo = mechanism_fo;
+  c.seed = 91;
+  return c;
+}
+
+std::unique_ptr<MechanismSession> MakeSession(const std::string& mechanism,
+                                              const ClientFleet& fleet,
+                                              std::size_t shards,
+                                              std::size_t threads,
+                                              const std::string& fo = "GRR") {
+  SessionOptions options;
+  options.num_shards = shards;
+  options.num_threads = threads;
+  return std::make_unique<MechanismSession>(
+      CreateMechanism(mechanism, SessionConfig(fo), fleet.num_users()),
+      kDomain, options, fleet.Transport(threads));
+}
+
+TEST(MechanismSessionTest, EveryMechanismServesOnlineEndToEnd) {
+  const ClientFleet fleet(600, TruthValue, 2718);
+  for (const std::string& name : AllMechanismNames()) {
+    auto session = MakeSession(name, fleet, 2, 1);
+    for (std::size_t t = 0; t < 10; ++t) {
+      EXPECT_EQ(session->next_timestamp(), t);
+      const StepResult step = session->Advance();
+      ASSERT_EQ(step.release.size(), kDomain) << name << " t=" << t;
+      for (double v : step.release) {
+        EXPECT_TRUE(std::isfinite(v)) << name;
+      }
+    }
+    // The server only saw wire packets; every accepted report is counted.
+    EXPECT_GT(session->rounds(), 0u) << name;
+    EXPECT_GT(session->stats().accepted, 0u) << name;
+    EXPECT_EQ(session->stats().rejected(), 0u) << name;
+  }
+}
+
+TEST(MechanismSessionTest, BudgetDivisionAccountingMatchesTheCohorts) {
+  // LBU: whole population, one round per timestamp.
+  const ClientFleet fleet(500, TruthValue, 1);
+  auto session = MakeSession("LBU", fleet, 3, 1);
+  for (std::size_t t = 0; t < 6; ++t) session->Advance();
+  EXPECT_EQ(session->rounds(), 6u);
+  EXPECT_EQ(session->stats().accepted, 6u * 500u);
+}
+
+TEST(MechanismSessionTest, ShardAndThreadCountsNeverChangeReleases) {
+  // Sharded merge is exact and fleet randomness is stateless per
+  // (user, round), so the released stream is bit-identical across every
+  // shard/thread configuration.
+  const ClientFleet fleet(600, TruthValue, 5050);
+  auto reference = MakeSession("LPA", fleet, 1, 1);
+  std::vector<Histogram> expected;
+  for (std::size_t t = 0; t < 8; ++t) {
+    expected.push_back(reference->Advance().release);
+  }
+  for (const std::size_t shards : {2u, 4u}) {
+    for (const std::size_t threads : {1u, 4u}) {
+      const ClientFleet same_fleet(600, TruthValue, 5050);
+      auto session = MakeSession("LPA", same_fleet, shards, threads);
+      for (std::size_t t = 0; t < 8; ++t) {
+        EXPECT_EQ(session->Advance().release, expected[t])
+            << "shards=" << shards << " threads=" << threads << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(MechanismSessionTest, NonGrrOraclesServeOnline) {
+  for (const std::string fo : {"OUE", "OLH", "SUE", "HR"}) {
+    const ClientFleet fleet(400, TruthValue, 11);
+    auto session = MakeSession("LBD", fleet, 2, 1, fo);
+    for (std::size_t t = 0; t < 5; ++t) {
+      const StepResult step = session->Advance();
+      ASSERT_EQ(step.release.size(), kDomain) << fo;
+    }
+    EXPECT_EQ(session->stats().rejected(), 0u) << fo;
+  }
+}
+
+TEST(MechanismSessionTest, CorruptedPacketsAreCountedAndSurvived) {
+  const ClientFleet fleet(800, TruthValue, 404);
+  SessionOptions options;
+  options.num_shards = 2;
+  options.num_threads = 1;
+  // Corrupt every 10th user's packet in transit; drop every 97th.
+  auto mangle = [](std::vector<uint8_t>& packet, uint64_t user,
+                   uint64_t round) {
+    (void)round;
+    if (user % 97 == 0) return false;
+    if (user % 10 == 0) packet[packet.size() / 2] ^= 0xFF;
+    return true;
+  };
+  auto session = std::make_unique<MechanismSession>(
+      CreateMechanism("LBU", SessionConfig(), fleet.num_users()), kDomain,
+      options, fleet.Transport(1, mangle));
+  for (std::size_t t = 0; t < 4; ++t) {
+    const StepResult step = session->Advance();
+    EXPECT_EQ(step.release.size(), kDomain);
+  }
+  EXPECT_GT(session->stats().malformed, 0u);
+  EXPECT_GT(session->stats().accepted, 0u);
+  EXPECT_EQ(session->stats().wrong_timestamp, 0u);
+}
+
+TEST(MechanismSessionTest, EmptyRoundThrowsInsteadOfFabricatingAnEstimate) {
+  const ClientFleet fleet(100, TruthValue, 12);
+  SessionOptions options;
+  auto drop_all = [](std::vector<uint8_t>& packet, uint64_t, uint64_t) {
+    (void)packet;
+    return false;
+  };
+  MechanismSession session(
+      CreateMechanism("LBU", SessionConfig(), fleet.num_users()), kDomain,
+      options, fleet.Transport(1, drop_all));
+  EXPECT_FALSE(session.failed());
+  EXPECT_THROW(session.Advance(), std::runtime_error);
+  // The failure interrupted the mechanism's w-event accounting mid-step,
+  // so the session is permanently failed: no replays, no skips.
+  EXPECT_TRUE(session.failed());
+  EXPECT_THROW(session.Advance(), std::logic_error);
+}
+
+TEST(MechanismSessionTest, ConstructorValidates) {
+  const ClientFleet fleet(100, TruthValue, 1);
+  EXPECT_THROW(MechanismSession(nullptr, kDomain, {}, fleet.Transport(1)),
+               std::invalid_argument);
+  EXPECT_THROW(
+      MechanismSession(CreateMechanism("LBU", SessionConfig(), 100), 1, {},
+                       fleet.Transport(1)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      MechanismSession(CreateMechanism("LBU", SessionConfig(), 100),
+                       kDomain, {}, nullptr),
+      std::invalid_argument);
+}
+
+// --- stream server --------------------------------------------------------
+
+TEST(StreamServerTest, ParallelAdvanceMatchesSerialSessions) {
+  const std::vector<std::string> mechanisms = {"LBU", "LBA", "LPU", "LPA"};
+  constexpr std::size_t kSteps = 6;
+
+  // Reference: each session advanced serially on its own.
+  std::vector<std::vector<Histogram>> expected;
+  for (const std::string& name : mechanisms) {
+    const ClientFleet fleet(600, TruthValue, 7000 + expected.size());
+    auto session = MakeSession(name, fleet, 2, 1);
+    std::vector<Histogram> releases;
+    for (std::size_t t = 0; t < kSteps; ++t) {
+      releases.push_back(session->Advance().release);
+    }
+    expected.push_back(std::move(releases));
+  }
+
+  // Server: same sessions advanced concurrently.
+  StreamServer server(/*num_threads=*/4);
+  std::vector<std::unique_ptr<ClientFleet>> fleets;
+  for (std::size_t i = 0; i < mechanisms.size(); ++i) {
+    fleets.push_back(
+        std::make_unique<ClientFleet>(600, TruthValue, 7000 + i));
+    server.AddSession(mechanisms[i],
+                      MakeSession(mechanisms[i], *fleets[i], 2, 1));
+  }
+  ASSERT_EQ(server.num_sessions(), mechanisms.size());
+  for (std::size_t t = 0; t < kSteps; ++t) {
+    const std::vector<StepResult> releases = server.AdvanceAll();
+    for (std::size_t i = 0; i < mechanisms.size(); ++i) {
+      EXPECT_EQ(releases[i].release, expected[i][t])
+          << server.name(i) << " t=" << t;
+    }
+  }
+}
+
+TEST(StreamServerTest, TracksSessionsByName) {
+  StreamServer server(1);
+  const ClientFleet fleet(200, TruthValue, 3);
+  const std::size_t idx =
+      server.AddSession("metrics/eu", MakeSession("LBU", fleet, 1, 1));
+  EXPECT_EQ(server.name(idx), "metrics/eu");
+  EXPECT_EQ(server.session(idx).next_timestamp(), 0u);
+  EXPECT_THROW(server.AddSession("null", nullptr), std::invalid_argument);
+  EXPECT_THROW(StreamServer(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ldpids
