@@ -183,6 +183,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The measured shards -> reports/sec curve above is what sanity-checks
+  // the adaptive default (num_shards = 0 resolves to the hardware thread
+  // count inside ReportRouter): the curve's knee sits at the core count.
+  {
+    const FrequencyOracle& fo = GetFrequencyOracle("GRR");
+    ReportRouter adaptive(fo, {kEpsilon, kDomain}, OracleId::kGrr, 0, 0);
+    std::printf(
+        "\nadaptive default: num_shards=0 -> %zu shards "
+        "(hardware threads: %zu)\n",
+        adaptive.num_shards(), HardwareThreads());
+  }
+
   // --- section 2: end-to-end multi-session serving ---
   const std::vector<std::string> mechanisms = {"LBU", "LBA", "LPU", "LPA"};
   const uint64_t users_per_stream =

@@ -1,0 +1,309 @@
+// Transport-layer throughput: frame codec rates and the end-to-end
+// networked serving path.
+//
+// Three sections:
+//   1. Frame codec — encode and streaming-decode rates (frames/sec and
+//      MB/sec) over an in-memory stream of realistically sized frames
+//      (one wire report per frame), decoded in socket-read-sized chunks.
+//   2. Socket loopback — a full round trip: fleet packets -> frames ->
+//      SocketClient -> SocketListener -> RoundBuffer -> sharded ingest,
+//      measuring delivered frames/sec across the real TCP loopback.
+//   3. End-to-end serving — a MechanismSession advanced over the socket
+//      transport (clients -> frames -> RoundBuffer -> shards -> release),
+//      measuring reports/sec of the whole networked path.
+//
+// Flags: --scale (population multiplier), --reps (best rep reported),
+// --threads, --csv, --help. The "[throughput]" line records frames/sec
+// (codec decode), socket frames/sec and end-to-end reports/sec for
+// BENCH_transport.json (scripts/run_benches.sh).
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/factory.h"
+#include "core/mechanism.h"
+#include "fo/wire.h"
+#include "service/client_fleet.h"
+#include "service/session.h"
+#include "transport/frame.h"
+#include "transport/round_buffer.h"
+#include "transport/socket.h"
+#include "util/csv_writer.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ldpids;
+using namespace ldpids::bench;
+using service::ClientFleet;
+using service::MechanismSession;
+using service::RoundRequest;
+using service::SessionOptions;
+using transport::Frame;
+using transport::FrameDecoder;
+using transport::FrameDemux;
+using transport::MakeBufferedTransport;
+using transport::MakeDataFrame;
+using transport::RoundBuffer;
+using transport::SendRoundFrames;
+using transport::SocketClient;
+using transport::SocketListener;
+
+constexpr std::size_t kDomain = 64;
+constexpr double kEpsilon = 1.0;
+constexpr uint64_t kSessionId = 1;
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+uint32_t TruthValue(uint64_t user, std::size_t t) {
+  return static_cast<uint32_t>(HashCounter(13, user, t) % kDomain);
+}
+
+struct CodecCell {
+  uint64_t frames = 0;
+  uint64_t bytes = 0;
+  double encode_frames_per_s = 0.0;
+  double decode_frames_per_s = 0.0;
+};
+
+// One round of GRR-report-sized frames encoded into a stream, then decoded
+// through the streaming decoder in 64 KiB chunks (what a socket read
+// hands the server).
+CodecCell BenchCodec(std::size_t num_frames, int reps) {
+  const ClientFleet fleet(num_frames, TruthValue, 97);
+  RoundRequest request;
+  request.epsilon = kEpsilon;
+  request.domain = kDomain;
+  request.oracle = OracleId::kGrr;
+  const auto packets = fleet.ProduceRound(request, 1);
+
+  CodecCell cell;
+  cell.frames = num_frames;
+  for (int rep = 0; rep < std::max(1, reps); ++rep) {
+    std::vector<uint8_t> stream;
+    stream.reserve(num_frames *
+                   transport::EncodedFrameSize(packets[0].size()));
+    auto start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < num_frames; ++i) {
+      transport::AppendEncodedFrame(MakeDataFrame(kSessionId, 0, packets[i]),
+                                    &stream);
+    }
+    const double encode_wall = Seconds(start);
+    cell.bytes = stream.size();
+
+    FrameDecoder decoder;
+    Frame frame;
+    uint64_t decoded = 0;
+    constexpr std::size_t kChunk = 64 * 1024;
+    start = std::chrono::steady_clock::now();
+    for (std::size_t off = 0; off < stream.size(); off += kChunk) {
+      decoder.Append(stream.data() + off,
+                     std::min(kChunk, stream.size() - off));
+      while (decoder.Next(&frame)) ++decoded;
+    }
+    const double decode_wall = Seconds(start);
+    if (decoded != num_frames || decoder.stats().errors() != 0) {
+      std::fprintf(stderr, "codec bench lost frames: %s\n",
+                   decoder.stats().ToString().c_str());
+      std::exit(1);
+    }
+    const double n = static_cast<double>(num_frames);
+    if (encode_wall > 0.0) {
+      cell.encode_frames_per_s =
+          std::max(cell.encode_frames_per_s, n / encode_wall);
+    }
+    if (decode_wall > 0.0) {
+      cell.decode_frames_per_s =
+          std::max(cell.decode_frames_per_s, n / decode_wall);
+    }
+  }
+  return cell;
+}
+
+struct SocketCell {
+  uint64_t frames = 0;
+  double frames_per_s = 0.0;
+  double mb_per_s = 0.0;
+};
+
+// Pushes one round's frames through the real loopback socket into a
+// RoundBuffer and waits for full delivery (the end-of-round marker plus
+// count is the flow control, exactly like serving).
+SocketCell BenchSocketLoopback(std::size_t num_frames, int reps) {
+  const ClientFleet fleet(num_frames, TruthValue, 98);
+  RoundRequest request;
+  request.epsilon = kEpsilon;
+  request.domain = kDomain;
+  request.oracle = OracleId::kGrr;
+  const auto packets = fleet.ProduceRound(request, 1);
+
+  SocketCell cell;
+  cell.frames = num_frames;
+  for (int rep = 0; rep < std::max(1, reps); ++rep) {
+    transport::RoundBufferOptions options;
+    options.round_deadline = std::chrono::milliseconds(60000);
+    RoundBuffer buffer(options);
+    FrameDemux demux;
+    demux.Register(kSessionId, &buffer);
+    SocketListener listener(0, demux.Handler());
+    SocketClient client(listener.port());
+    uint64_t bytes = 0;
+    const auto start = std::chrono::steady_clock::now();
+    SendRoundFrames(client, kSessionId, 0, packets);
+    const auto delivered = buffer.TakeRound(0);
+    const double wall = Seconds(start);
+    bytes = client.bytes_sent();
+    client.Close();
+    listener.Stop();
+    if (delivered.size() != num_frames) {
+      std::fprintf(stderr, "socket bench lost frames: %zu of %zu\n",
+                   delivered.size(), num_frames);
+      std::exit(1);
+    }
+    if (wall > 0.0) {
+      cell.frames_per_s = std::max(
+          cell.frames_per_s, static_cast<double>(num_frames) / wall);
+      cell.mb_per_s =
+          std::max(cell.mb_per_s,
+                   static_cast<double>(bytes) / (1024.0 * 1024.0) / wall);
+    }
+  }
+  return cell;
+}
+
+struct ServeCell {
+  uint64_t reports = 0;
+  double reports_per_s = 0.0;
+  double wall_s = 0.0;
+};
+
+// A full networked serving run: LBU session over the socket transport.
+ServeCell BenchServeOverSocket(uint64_t users, std::size_t timestamps,
+                               std::size_t shards, std::size_t threads) {
+  const ClientFleet fleet(users, TruthValue, 99);
+  RoundBuffer buffer;
+  FrameDemux demux;
+  demux.Register(kSessionId, &buffer);
+  SocketListener listener(0, demux.Handler());
+  SocketClient client(listener.port());
+
+  MechanismConfig config;
+  config.epsilon = kEpsilon;
+  config.window = 8;
+  config.fo = "GRR";
+  config.seed = 17;
+  SessionOptions options;
+  options.num_shards = shards;
+  options.num_threads = threads;
+
+  auto announce = [&](const RoundRequest& request) {
+    SendRoundFrames(client, kSessionId, request.round_index,
+                    fleet.ProduceRound(request, threads));
+  };
+  MechanismSession session(
+      CreateMechanism("LBU", config, users), kDomain, options,
+      MakeBufferedTransport(buffer, announce, threads));
+
+  ServeCell cell;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < timestamps; ++t) session.Advance();
+  cell.wall_s = Seconds(start);
+  cell.reports = session.stats().accepted;
+  if (cell.wall_s > 0.0) {
+    cell.reports_per_s = static_cast<double>(cell.reports) / cell.wall_s;
+  }
+  client.Close();
+  listener.Stop();
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (HandleHelp(flags,
+                 "bench_transport — network transport subsystem: frame "
+                 "codec, socket loopback and end-to-end networked "
+                 "serving rates")) {
+    return 0;
+  }
+  const double scale = BenchScale(flags);
+  const std::size_t threads = BenchThreads(flags);
+  const int reps = RepsFlag(flags, 3);
+  const std::string csv_path = flags.GetString("csv", "");
+
+  PrintHeader("Transport throughput", scale);
+
+  // --- section 1: frame codec ---
+  const std::size_t codec_frames = ScaledUsers(scale, 400000);
+  const CodecCell codec = BenchCodec(codec_frames, reps);
+  const double frame_bytes =
+      codec.frames > 0
+          ? static_cast<double>(codec.bytes) / static_cast<double>(codec.frames)
+          : 0.0;
+  std::printf("frame codec (%llu frames, %.0f B/frame):\n",
+              static_cast<unsigned long long>(codec.frames), frame_bytes);
+  std::printf("  encode: %12.0f frames/s  (%7.1f MB/s)\n",
+              codec.encode_frames_per_s,
+              codec.encode_frames_per_s * frame_bytes / (1024.0 * 1024.0));
+  std::printf("  decode: %12.0f frames/s  (%7.1f MB/s)\n",
+              codec.decode_frames_per_s,
+              codec.decode_frames_per_s * frame_bytes / (1024.0 * 1024.0));
+
+  // --- section 2: socket loopback ---
+  const std::size_t socket_frames = ScaledUsers(scale, 200000);
+  const SocketCell socket_cell = BenchSocketLoopback(socket_frames, reps);
+  std::printf(
+      "\nsocket loopback (%llu frames through 127.0.0.1, round-buffered):\n"
+      "  deliver: %12.0f frames/s  (%7.1f MB/s)\n",
+      static_cast<unsigned long long>(socket_cell.frames),
+      socket_cell.frames_per_s, socket_cell.mb_per_s);
+
+  // --- section 3: end-to-end networked serving ---
+  const uint64_t users = std::max<uint64_t>(400, ScaledUsers(scale, 50000));
+  const std::size_t timestamps =
+      std::max<std::size_t>(8, ScaledLength(scale, 64));
+  const ServeCell serve =
+      BenchServeOverSocket(users, timestamps, /*shards=*/0, threads);
+  std::printf(
+      "\nend-to-end over socket: LBU x %zu timestamps, %llu users/round, "
+      "adaptive shards\n"
+      "  ingested: %llu reports (%12.0f reports/s)\n",
+      timestamps, static_cast<unsigned long long>(users),
+      static_cast<unsigned long long>(serve.reports), serve.reports_per_s);
+
+  if (!csv_path.empty()) {
+    CsvWriter csv(csv_path, {"section", "items", "items_per_s"});
+    csv.WriteRow("codec_encode",
+                 {static_cast<double>(codec.frames),
+                  codec.encode_frames_per_s});
+    csv.WriteRow("codec_decode",
+                 {static_cast<double>(codec.frames),
+                  codec.decode_frames_per_s});
+    csv.WriteRow("socket_deliver",
+                 {static_cast<double>(socket_cell.frames),
+                  socket_cell.frames_per_s});
+    csv.WriteRow("serve_reports",
+                 {static_cast<double>(serve.reports), serve.reports_per_s});
+  }
+
+  std::printf(
+      "\n[throughput] threads=%zu frames=%llu frames_per_s=%.0f "
+      "socket_frames_per_s=%.0f reports_per_s=%.0f wall_s=%.3f\n",
+      threads, static_cast<unsigned long long>(codec.frames),
+      codec.decode_frames_per_s, socket_cell.frames_per_s,
+      serve.reports_per_s, serve.wall_s);
+  return 0;
+}

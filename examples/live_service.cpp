@@ -4,85 +4,285 @@
 // across shards, merges, and drives a w-event LDP mechanism one timestamp
 // at a time — the server never sees a single true value.
 //
-// Demonstrates: ClientFleet -> wire packets -> ReportRouter (sharded,
-// defensive decode) -> FoSketch merge -> MechanismSession releases, plus
-// the per-reason rejection accounting a production ingest edge needs.
+// `--transport` selects how the packets reach the server:
+//   inproc  (default) PR 3's in-process RoundTransport callback;
+//   socket  each round's packets travel as length-prefixed frames over a
+//           loopback TCP connection into a RoundBuffer (src/transport/),
+//           with shuffled delivery and ~2% of the round duplicated;
+//   file    the same framed traffic is recorded to an append-only log,
+//           then replayed into a second, fresh server — which must (and
+//           does) publish the identical release stream.
+// All three paths produce bit-identical releases: the ingest edge
+// deduplicates by user nonce, shard assignment is nonce-keyed, and sketch
+// state is additive, so delivery order and duplication never show.
+//
+// Other flags: --users, --timestamps, --shards (0 = one per hardware
+// thread), --log (frame log path for --transport=file).
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/factory.h"
 #include "core/mechanism.h"
 #include "service/client_fleet.h"
 #include "service/session.h"
+#include "transport/batch_file.h"
+#include "transport/frame.h"
+#include "transport/round_buffer.h"
+#include "transport/socket.h"
+#include "util/flags.h"
 #include "util/histogram.h"
 #include "util/rng.h"
 
-int main() {
-  using namespace ldpids;
-  using service::ClientFleet;
-  using service::MechanismSession;
-  using service::SessionOptions;
+namespace {
 
-  constexpr uint64_t kUsers = 30000;
-  constexpr std::size_t kDomain = 8;
-  constexpr std::size_t kTimestamps = 16;
-  constexpr std::size_t kShards = 4;
-  constexpr double kCorruptionRate = 0.01;
+using namespace ldpids;
+using service::ClientFleet;
+using service::MechanismSession;
+using service::RoundRequest;
+using service::SessionOptions;
+using transport::Frame;
+using transport::FrameDemux;
+using transport::FrameLogWriter;
+using transport::MakeBufferedTransport;
+using transport::RoundBuffer;
+using transport::RoundBufferOptions;
+using transport::SendRoundFrames;
+using transport::SocketClient;
+using transport::SocketListener;
 
-  // Ground truth held on-device: a burst moves the population's mode from
-  // value 2 to value 5 halfway through the stream.
-  auto truth = [](uint64_t user, std::size_t t) -> uint32_t {
-    const uint64_t h = HashCounter(99, user, t);
-    const uint32_t mode = t < kTimestamps / 2 ? 2u : 5u;
-    return (h % 10) < 7 ? mode : static_cast<uint32_t>(h % kDomain);
-  };
-  const ClientFleet fleet(kUsers, truth, /*seed=*/2026);
+constexpr std::size_t kDomain = 8;
+constexpr uint64_t kSessionId = 1;
+constexpr double kCorruptionRate = 0.01;
+constexpr double kDuplicationRate = 0.02;
 
-  // Hostile network: ~1% of packets get a byte flipped in transit. The
-  // ingest edge must reject them by checksum, never crash, never skew the
-  // estimate (corruption is value-independent).
-  Rng network_rng(7);
-  auto mangle = [&network_rng](std::vector<uint8_t>& packet, uint64_t,
-                               uint64_t) {
-    if (network_rng.Bernoulli(kCorruptionRate)) {
-      packet[network_rng.UniformInt(packet.size())] ^= 0xFF;
-    }
-    return true;  // corrupted packets still arrive; the server drops them
-  };
+struct DemoRun {
+  std::vector<StepResult> steps;
+  service::IngestStats ingest;
+  uint64_t rounds = 0;
+};
 
+MechanismConfig DemoConfig() {
   MechanismConfig config;
   config.epsilon = 1.0;
   config.window = 4;
   config.fo = "OUE";
   config.seed = 11;
-  SessionOptions options;
-  options.num_shards = kShards;
-  options.num_threads = 1;
+  return config;
+}
 
-  MechanismSession session(
-      CreateMechanism("LBA", config, kUsers), kDomain, options,
-      fleet.Transport(/*num_threads=*/1, mangle));
+// Drives one full session and collects its releases.
+DemoRun RunSession(uint64_t users, std::size_t timestamps,
+                   SessionOptions options, service::RoundTransport t) {
+  MechanismSession session(CreateMechanism("LBA", DemoConfig(), users),
+                           kDomain, options, std::move(t));
+  DemoRun result;
+  for (std::size_t step = 0; step < timestamps; ++step) {
+    result.steps.push_back(session.Advance());
+  }
+  result.ingest = session.stats();
+  result.rounds = session.rounds();
+  return result;
+}
 
-  std::printf("online LDP-IDS serving: %llu clients, d=%zu, %zu shards, "
-              "LBA + OUE, w=%zu\n\n",
-              static_cast<unsigned long long>(kUsers), kDomain, kShards,
-              config.window);
+void PrintReleases(const DemoRun& result) {
   std::printf("  t  published  est[2]   est[5]\n");
-  for (std::size_t t = 0; t < kTimestamps; ++t) {
-    const StepResult step = session.Advance();
+  for (std::size_t t = 0; t < result.steps.size(); ++t) {
     std::printf(" %2zu      %s     %+.3f   %+.3f\n", t,
-                step.published ? "yes" : " no", step.release[2],
-                step.release[5]);
+                result.steps[t].published ? "yes" : " no",
+                result.steps[t].release[2], result.steps[t].release[5]);
+  }
+  std::printf("\nrounds: %llu   ingest: %s\n",
+              static_cast<unsigned long long>(result.rounds),
+              result.ingest.ToString().c_str());
+}
+
+bool SameReleases(const DemoRun& a, const DemoRun& b) {
+  if (a.steps.size() != b.steps.size()) return false;
+  for (std::size_t t = 0; t < a.steps.size(); ++t) {
+    if (a.steps[t].release != b.steps[t].release) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string mode = flags.GetString("transport", "inproc");
+  const uint64_t users =
+      static_cast<uint64_t>(flags.GetInt("users", 30000));
+  const std::size_t timestamps =
+      static_cast<std::size_t>(flags.GetInt("timestamps", 16));
+  const std::size_t shards =
+      static_cast<std::size_t>(flags.GetInt("shards", 4));
+  const std::string log_path =
+      flags.GetString("log", "live_service_frames.log");
+  if (mode != "inproc" && mode != "socket" && mode != "file") {
+    std::fprintf(stderr,
+                 "unknown --transport '%s' (want inproc, socket or file)\n",
+                 mode.c_str());
+    return 2;
   }
 
-  std::printf("\nrounds: %llu   ingest: %s\n",
-              static_cast<unsigned long long>(session.rounds()),
-              session.stats().ToString().c_str());
-  std::printf("(the mode handoff 2 -> 5 at t=%zu shows up in the releases "
-              "while every report stayed eps-LDP on the wire)\n",
-              kTimestamps / 2);
+  // Ground truth held on-device: a burst moves the population's mode from
+  // value 2 to value 5 halfway through the stream.
+  const std::size_t half = timestamps / 2;
+  auto truth = [half](uint64_t user, std::size_t t) -> uint32_t {
+    const uint64_t h = HashCounter(99, user, t);
+    const uint32_t mode_value = t < half ? 2u : 5u;
+    return (h % 10) < 7 ? mode_value : static_cast<uint32_t>(h % kDomain);
+  };
+  const ClientFleet fleet(users, truth, /*seed=*/2026);
+
+  // Hostile network, applied on the client side of every transport: ~1% of
+  // packets get a byte flipped in transit. The ingest edge must reject
+  // them by checksum, never crash, never skew the estimate (corruption is
+  // value-independent).
+  Rng network_rng(7);
+  auto mangle = [&network_rng](std::vector<uint8_t>& packet) {
+    if (network_rng.Bernoulli(kCorruptionRate)) {
+      packet[network_rng.UniformInt(packet.size())] ^= 0xFF;
+    }
+  };
+
+  SessionOptions options;
+  options.num_shards = shards;
+  options.num_threads = 1;
+
+  std::printf(
+      "online LDP-IDS serving: %llu clients, d=%zu, %zu shards%s, "
+      "LBA + OUE, w=%zu, transport=%s\n\n",
+      static_cast<unsigned long long>(users), kDomain, shards,
+      shards == 0 ? " (adaptive)" : "", DemoConfig().window, mode.c_str());
+
+  if (mode == "inproc") {
+    const DemoRun result = RunSession(
+        users, timestamps, options,
+        fleet.Transport(1, [&mangle](std::vector<uint8_t>& packet, uint64_t,
+                                     uint64_t) {
+          mangle(packet);
+          return true;
+        }));
+    PrintReleases(result);
+    std::printf("(the mode handoff 2 -> 5 at t=%zu shows up in the "
+                "releases while every report stayed eps-LDP on the wire)\n",
+                half);
+    return 0;
+  }
+
+  // Framed transports: the round's packets leave the fleet as frames, get
+  // shuffled and partially duplicated in flight, and reassemble in a
+  // RoundBuffer on the server side.
+  Rng delivery_rng(13);
+  uint64_t frames_duplicated = 0;
+  auto send_round = [&](transport::FrameSender& sender,
+                        const RoundRequest& request) {
+    auto packets = fleet.ProduceRound(request, 1);
+    for (auto& packet : packets) mangle(packet);
+    // Shuffle delivery order and duplicate ~2% of the round.
+    for (std::size_t i = packets.size(); i > 1; --i) {
+      std::swap(packets[i - 1], packets[delivery_rng.UniformInt(i)]);
+    }
+    const std::size_t n = packets.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (delivery_rng.Bernoulli(kDuplicationRate)) {
+        packets.push_back(packets[i]);
+        ++frames_duplicated;
+      }
+    }
+    SendRoundFrames(sender, kSessionId, request.round_index, packets);
+  };
+
+  if (mode == "socket") {
+    RoundBuffer buffer;
+    FrameDemux demux;
+    demux.Register(kSessionId, &buffer);
+    SocketListener listener(0, demux.Handler());
+    SocketClient client(listener.port());
+    std::printf("loopback listener on 127.0.0.1:%u\n\n", listener.port());
+
+    const DemoRun result = RunSession(
+        users, timestamps, options,
+        MakeBufferedTransport(
+            buffer,
+            [&](const RoundRequest& request) { send_round(client, request); },
+            options.num_threads));
+    client.Close();
+    listener.Stop();
+    PrintReleases(result);
+    std::printf("frames duplicated in flight: %llu (rejected by nonce "
+                "dedup; corrupted copies by checksum)\n",
+                static_cast<unsigned long long>(frames_duplicated));
+    std::printf("listener: %s\n", listener.stats().ToString().c_str());
+    std::printf("round buffer: %s\n", buffer.stats().ToString().c_str());
+    return 0;
+  }
+
+  // --transport=file: record the framed traffic while serving live, then
+  // replay the log into a second, fresh server and check both publish the
+  // identical release stream.
+  class RecordAndDeliver : public transport::FrameSender {
+   public:
+    RecordAndDeliver(FrameLogWriter& recorder, RoundBuffer& buffer)
+        : recorder_(recorder), buffer_(buffer) {}
+    void Send(const Frame& frame) override {
+      recorder_.Send(frame);
+      Frame copy = frame;
+      buffer_.Deliver(std::move(copy));
+    }
+    void Flush() override { recorder_.Flush(); }
+
+   private:
+    FrameLogWriter& recorder_;
+    RoundBuffer& buffer_;
+  };
+
+  DemoRun live;
+  {
+    RoundBuffer buffer;
+    FrameLogWriter recorder(log_path);
+    RecordAndDeliver tee(recorder, buffer);
+    live = RunSession(
+        users, timestamps, options,
+        MakeBufferedTransport(
+            buffer,
+            [&](const RoundRequest& request) { send_round(tee, request); },
+            options.num_threads));
+    recorder.Close();
+    std::printf("recorded %llu frames (%llu bytes) -> %s\n\n",
+                static_cast<unsigned long long>(recorder.frames_written()),
+                static_cast<unsigned long long>(recorder.bytes_written()),
+                log_path.c_str());
+  }
+  PrintReleases(live);
+
+  // Replay: the whole recording lands up front, so every round beyond the
+  // first arrives early — widen the watermark so the buffer holds it all.
+  RoundBufferOptions replay_options;
+  replay_options.max_lateness = ~uint64_t{0} / 2;
+  replay_options.max_buffered_rounds = ~uint64_t{0} / 2;
+  RoundBuffer replay_buffer(replay_options);
+  const transport::FrameStats replay_stats = transport::ReplayFrameLog(
+      log_path,
+      [&](Frame&& frame) { replay_buffer.Deliver(std::move(frame)); });
+  const DemoRun replayed =
+      RunSession(users, timestamps, options,
+                 MakeBufferedTransport(replay_buffer, nullptr,
+                                       options.num_threads));
+  std::printf("\nreplay: %s\n", replay_stats.ToString().c_str());
+  if (!SameReleases(live, replayed)) {
+    std::printf("replayed releases DIVERGED from the live run\n");
+    return 1;
+  }
+  std::printf("replayed releases are bit-identical to the live run "
+              "(%zu timestamps, %llu rounds)\n",
+              replayed.steps.size(),
+              static_cast<unsigned long long>(replayed.rounds));
   return 0;
 }

@@ -10,7 +10,9 @@
 # Pass --scale 1 for the full paper-sized experiments. Each JSON records the
 # invocation (including the thread count), wall-clock seconds, exit code,
 # the bench's table output, the bench-reported [throughput] line (threads,
-# mechanism runs, runs/sec), and (where the bench supports --csv) the parsed
+# mechanism runs, runs/sec; bench_transport reports frames_per_s,
+# socket_frames_per_s and end-to-end reports_per_s into
+# BENCH_transport.json), and (where the bench supports --csv) the parsed
 # CSV rows. bench_micro uses Google Benchmark's native JSON reporter instead.
 set -u
 

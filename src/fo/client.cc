@@ -31,21 +31,22 @@ uint32_t GrrDraw(uint32_t true_value, double epsilon, std::size_t d,
 
 std::vector<uint8_t> PerturbToWire(OracleId oracle, uint32_t true_value,
                                    double epsilon, std::size_t domain,
-                                   uint32_t timestamp, Rng& rng) {
+                                   uint32_t timestamp, uint64_t nonce,
+                                   Rng& rng) {
   if (domain < 2) throw std::invalid_argument("domain must have >= 2 values");
   if (!(epsilon > 0.0)) throw std::invalid_argument("epsilon must be > 0");
   if (true_value >= domain) throw std::out_of_range("value outside domain");
   switch (oracle) {
     case OracleId::kGrr:
       return EncodeGrrReport(GrrDraw(true_value, epsilon, domain, rng),
-                             domain, timestamp);
+                             domain, timestamp, nonce);
     case OracleId::kOue: {
       const double q = OueOracle::ZeroFlipProbability(epsilon);
       std::vector<bool> bits(domain);
       for (std::size_t k = 0; k < domain; ++k) {
         bits[k] = rng.Bernoulli(k == true_value ? 0.5 : q);
       }
-      return EncodeBitVectorReport(bits, OracleId::kOue, timestamp);
+      return EncodeBitVectorReport(bits, OracleId::kOue, timestamp, nonce);
     }
     case OracleId::kSue: {
       const double p = SueOracle::KeepProbability(epsilon);
@@ -53,7 +54,7 @@ std::vector<uint8_t> PerturbToWire(OracleId oracle, uint32_t true_value,
       for (std::size_t k = 0; k < domain; ++k) {
         bits[k] = rng.Bernoulli(k == true_value ? p : 1.0 - p);
       }
-      return EncodeBitVectorReport(bits, OracleId::kSue, timestamp);
+      return EncodeBitVectorReport(bits, OracleId::kSue, timestamp, nonce);
     }
     case OracleId::kOlh: {
       const uint64_t g = OlhOracle::BucketCount(epsilon);
@@ -68,7 +69,8 @@ std::vector<uint8_t> PerturbToWire(OracleId oracle, uint32_t true_value,
         const uint64_t r = rng.UniformInt(g - 1);
         report = (r >= own) ? r + 1 : r;
       }
-      return EncodeOlhReport(seed, static_cast<uint32_t>(report), timestamp);
+      return EncodeOlhReport(seed, static_cast<uint32_t>(report), timestamp,
+                             nonce);
     }
     case OracleId::kHr: {
       const uint64_t k = HrOracle::HadamardSize(domain);
@@ -82,7 +84,7 @@ std::vector<uint8_t> PerturbToWire(OracleId oracle, uint32_t true_value,
       do {
         y = rng.UniformInt(k);
       } while (HrOracle::HadamardPositive(row, y) != want_positive);
-      return EncodeHrReport(static_cast<uint32_t>(y), timestamp);
+      return EncodeHrReport(static_cast<uint32_t>(y), timestamp, nonce);
     }
   }
   throw std::invalid_argument("unknown oracle id");

@@ -27,15 +27,19 @@ namespace ldpids {
 // One-shot client side of the deployment protocol for any oracle: runs the
 // client perturbation of `oracle` on `true_value` (per-user budget
 // `epsilon`, domain size `domain`) and returns the encoded wire packet a
-// device would send. Randomness is drawn from `rng` in exactly the same
-// order as the corresponding FoSketch::AddUser, so a server-side sketch fed
-// the decoded packets of a same-seeded RNG stream reproduces the
-// simulation sketch bit for bit (pinned in tests/service_test.cc).
-// Throws std::out_of_range for a value outside the domain and
-// std::invalid_argument for parameters the wire format cannot carry.
+// device would send. `nonce` identifies the device within the round (the
+// serving layer passes the user id) so the ingest edge can reject network
+// duplicates instead of double-counting. Randomness is drawn from `rng` in
+// exactly the same order as the corresponding FoSketch::AddUser, so a
+// server-side sketch fed the decoded packets of a same-seeded RNG stream
+// reproduces the simulation sketch bit for bit (pinned in
+// tests/service_test.cc). Throws std::out_of_range for a value outside the
+// domain and std::invalid_argument for parameters the wire format cannot
+// carry.
 std::vector<uint8_t> PerturbToWire(OracleId oracle, uint32_t true_value,
                                    double epsilon, std::size_t domain,
-                                   uint32_t timestamp, Rng& rng);
+                                   uint32_t timestamp, uint64_t nonce,
+                                   Rng& rng);
 
 // User-side GRR perturbation. One instance per (simulated) device.
 class GrrClient {

@@ -12,35 +12,37 @@
 
 namespace ldpids {
 
-namespace {
-
-constexpr uint8_t kMagic = 0xAD;
-constexpr uint8_t kVersion = 1;
-constexpr std::size_t kHeaderSize = 11;
-constexpr std::size_t kChecksumSize = 4;
-
-void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+void PutU32Le(std::vector<uint8_t>* out, uint32_t v) {
   out->push_back(static_cast<uint8_t>(v));
   out->push_back(static_cast<uint8_t>(v >> 8));
   out->push_back(static_cast<uint8_t>(v >> 16));
   out->push_back(static_cast<uint8_t>(v >> 24));
 }
 
-void PutU64(std::vector<uint8_t>* out, uint64_t v) {
-  PutU32(out, static_cast<uint32_t>(v));
-  PutU32(out, static_cast<uint32_t>(v >> 32));
+void PutU64Le(std::vector<uint8_t>* out, uint64_t v) {
+  PutU32Le(out, static_cast<uint32_t>(v));
+  PutU32Le(out, static_cast<uint32_t>(v >> 32));
 }
 
-uint32_t GetU32(const uint8_t* p) {
+uint32_t GetU32Le(const uint8_t* p) {
   return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
          (static_cast<uint32_t>(p[2]) << 16) |
          (static_cast<uint32_t>(p[3]) << 24);
 }
 
-uint64_t GetU64(const uint8_t* p) {
-  return static_cast<uint64_t>(GetU32(p)) |
-         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+uint64_t GetU64Le(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32Le(p)) |
+         (static_cast<uint64_t>(GetU32Le(p + 4)) << 32);
 }
+
+namespace {
+
+constexpr uint8_t kMagic = 0xAD;
+constexpr uint8_t kVersion = 2;  // v2 added the 8-byte user nonce
+constexpr std::size_t kHeaderSize = 19;
+constexpr std::size_t kChecksumSize = 4;
+constexpr std::size_t kNonceOffset = 7;
+constexpr std::size_t kLengthOffset = 15;
 
 std::size_t GrrValueBytes(std::size_t domain) {
   if (domain <= 256) return 1;
@@ -49,16 +51,18 @@ std::size_t GrrValueBytes(std::size_t domain) {
 }
 
 std::vector<uint8_t> BuildEnvelope(OracleId oracle, uint32_t timestamp,
+                                   uint64_t nonce,
                                    const std::vector<uint8_t>& payload) {
   std::vector<uint8_t> out;
   out.reserve(kHeaderSize + payload.size() + kChecksumSize);
   out.push_back(kMagic);
   out.push_back(kVersion);
   out.push_back(static_cast<uint8_t>(oracle));
-  PutU32(&out, timestamp);
-  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32Le(&out, timestamp);
+  PutU64Le(&out, nonce);
+  PutU32Le(&out, static_cast<uint32_t>(payload.size()));
   out.insert(out.end(), payload.begin(), payload.end());
-  PutU32(&out, WireChecksum(out.data(), out.size()));
+  PutU32Le(&out, WireChecksum(out.data(), out.size()));
   return out;
 }
 
@@ -73,6 +77,7 @@ std::vector<uint8_t> BuildEnvelope(OracleId oracle, uint32_t timestamp,
 struct EnvelopeView {
   OracleId oracle = OracleId::kGrr;
   uint32_t timestamp = 0;
+  uint64_t nonce = 0;
   const uint8_t* payload = nullptr;
   std::size_t payload_size = 0;
 };
@@ -84,16 +89,17 @@ WireError ViewEnvelope(const uint8_t* data, std::size_t size,
   if (data[1] != kVersion) return WireError::kBadVersion;
   const uint8_t oracle_raw = data[2];
   if (oracle_raw < 1 || oracle_raw > 5) return WireError::kUnknownOracle;
-  const uint32_t payload_len = GetU32(data + 7);
+  const uint32_t payload_len = GetU32Le(data + kLengthOffset);
   if (size != kHeaderSize + payload_len + kChecksumSize) {
     return WireError::kLengthMismatch;
   }
-  const uint32_t stored = GetU32(data + size - kChecksumSize);
+  const uint32_t stored = GetU32Le(data + size - kChecksumSize);
   const uint32_t computed = WireChecksum(data, size - kChecksumSize);
   if (stored != computed) return WireError::kChecksumMismatch;
 
   out->oracle = static_cast<OracleId>(oracle_raw);
-  out->timestamp = GetU32(data + 3);
+  out->timestamp = GetU32Le(data + 3);
+  out->nonce = GetU64Le(data + kNonceOffset);
   out->payload = data + kHeaderSize;
   out->payload_size = payload_len;
   return WireError::kOk;
@@ -130,15 +136,15 @@ WireError BitVectorPayloadFromBytes(const uint8_t* payload, std::size_t size,
 WireError OlhPayloadFromBytes(const uint8_t* payload, std::size_t size,
                               OlhWireReport* out) {
   if (size != 12) return WireError::kPayloadSize;
-  out->seed = GetU64(payload);
-  out->bucket = GetU32(payload + 8);
+  out->seed = GetU64Le(payload);
+  out->bucket = GetU32Le(payload + 8);
   return WireError::kOk;
 }
 
 WireError HrPayloadFromBytes(const uint8_t* payload, std::size_t size,
                              HrWireReport* out) {
   if (size != 4) return WireError::kPayloadSize;
-  out->column = GetU32(payload);
+  out->column = GetU32Le(payload);
   return WireError::kOk;
 }
 
@@ -196,19 +202,20 @@ uint32_t WireChecksum(const uint8_t* data, std::size_t size) {
 }
 
 std::vector<uint8_t> EncodeGrrReport(uint32_t value, std::size_t domain,
-                                     uint32_t timestamp) {
+                                     uint32_t timestamp, uint64_t nonce) {
   if (value >= domain) throw std::invalid_argument("value outside domain");
   std::vector<uint8_t> payload;
   const std::size_t bytes = GrrValueBytes(domain);
   for (std::size_t i = 0; i < bytes; ++i) {
     payload.push_back(static_cast<uint8_t>(value >> (8 * i)));
   }
-  return BuildEnvelope(OracleId::kGrr, timestamp, payload);
+  return BuildEnvelope(OracleId::kGrr, timestamp, nonce, payload);
 }
 
 std::vector<uint8_t> EncodeBitVectorReport(const std::vector<bool>& bits,
                                            OracleId oracle,
-                                           uint32_t timestamp) {
+                                           uint32_t timestamp,
+                                           uint64_t nonce) {
   if (oracle != OracleId::kOue && oracle != OracleId::kSue) {
     throw std::invalid_argument("bit-vector payloads are OUE/SUE only");
   }
@@ -216,21 +223,29 @@ std::vector<uint8_t> EncodeBitVectorReport(const std::vector<bool>& bits,
   for (std::size_t k = 0; k < bits.size(); ++k) {
     if (bits[k]) payload[k / 8] |= static_cast<uint8_t>(1u << (k % 8));
   }
-  return BuildEnvelope(oracle, timestamp, payload);
+  return BuildEnvelope(oracle, timestamp, nonce, payload);
 }
 
 std::vector<uint8_t> EncodeOlhReport(uint64_t seed, uint32_t bucket,
-                                     uint32_t timestamp) {
+                                     uint32_t timestamp, uint64_t nonce) {
   std::vector<uint8_t> payload;
-  PutU64(&payload, seed);
-  PutU32(&payload, bucket);
-  return BuildEnvelope(OracleId::kOlh, timestamp, payload);
+  PutU64Le(&payload, seed);
+  PutU32Le(&payload, bucket);
+  return BuildEnvelope(OracleId::kOlh, timestamp, nonce, payload);
 }
 
-std::vector<uint8_t> EncodeHrReport(uint32_t column, uint32_t timestamp) {
+std::vector<uint8_t> EncodeHrReport(uint32_t column, uint32_t timestamp,
+                                    uint64_t nonce) {
   std::vector<uint8_t> payload;
-  PutU32(&payload, column);
-  return BuildEnvelope(OracleId::kHr, timestamp, payload);
+  PutU32Le(&payload, column);
+  return BuildEnvelope(OracleId::kHr, timestamp, nonce, payload);
+}
+
+bool PeekWireNonce(const uint8_t* data, std::size_t size, uint64_t* nonce) {
+  if (size < kHeaderSize + kChecksumSize) return false;
+  if (data[0] != kMagic || data[1] != kVersion) return false;
+  *nonce = GetU64Le(data + kNonceOffset);
+  return true;
 }
 
 WireError TryDecodeEnvelope(const uint8_t* data, std::size_t size,
@@ -240,6 +255,7 @@ WireError TryDecodeEnvelope(const uint8_t* data, std::size_t size,
   if (err != WireError::kOk) return err;
   out->oracle = view.oracle;
   out->timestamp = view.timestamp;
+  out->nonce = view.nonce;
   out->payload.assign(view.payload, view.payload + view.payload_size);
   return WireError::kOk;
 }
@@ -289,6 +305,7 @@ WireError TryDecodeReport(const uint8_t* data, std::size_t size,
   if (err != WireError::kOk) return err;
   out->oracle = view.oracle;
   out->timestamp = view.timestamp;
+  out->nonce = view.nonce;
   switch (view.oracle) {
     case OracleId::kGrr:
       return GrrPayloadFromBytes(view.payload, view.payload_size, domain,

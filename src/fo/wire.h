@@ -5,12 +5,21 @@
 // report a client can emit:
 //
 //   byte 0      magic (0xLD -> 0xAD)
-//   byte 1      version (1)
+//   byte 1      version (2)
 //   byte 2      oracle id (see OracleId)
 //   bytes 3-6   timestamp (uint32, little-endian)
-//   bytes 7-10  payload length (uint32, little-endian)
-//   bytes 11..  payload (oracle-specific, below)
+//   bytes 7-14  user nonce (uint64, little-endian)
+//   bytes 15-18 payload length (uint32, little-endian)
+//   bytes 19..  payload (oracle-specific, below)
 //   last 4      CRC32C-style checksum of everything before it
+//
+// The nonce identifies the reporting device within one collection round
+// (the serving layer uses the stable per-user id). It carries no private
+// information — in an LDP deployment the aggregator already knows *who*
+// reports, only the *value* is perturbed — and it is what lets the ingest
+// edge reject a duplicated report instead of double-counting the user, and
+// lets the report router keep all of one user's (possibly duplicated)
+// packets on the same shard so shard count never changes results.
 //
 // Payloads:
 //   GRR  — the reported value index (1/2/4 bytes by domain, LE);
@@ -88,10 +97,12 @@ struct HrWireReport {
   uint32_t column = 0;
 };
 
-// A decoded envelope: which oracle, which timestamp, raw payload bytes.
+// A decoded envelope: which oracle, which timestamp and reporter, raw
+// payload bytes.
 struct WireEnvelope {
   OracleId oracle = OracleId::kGrr;
   uint32_t timestamp = 0;
+  uint64_t nonce = 0;
   std::vector<uint8_t> payload;
 };
 
@@ -100,6 +111,7 @@ struct WireEnvelope {
 struct DecodedReport {
   OracleId oracle = OracleId::kGrr;
   uint32_t timestamp = 0;
+  uint64_t nonce = 0;
   GrrWireReport grr;
   BitVectorWireReport bits;
   OlhWireReport olh;
@@ -110,15 +122,31 @@ struct DecodedReport {
 // across platforms).
 uint32_t WireChecksum(const uint8_t* data, std::size_t size);
 
+// Little-endian integer (de)serialization shared by the report envelope
+// and the frame codec one layer up (transport/frame.h).
+void PutU32Le(std::vector<uint8_t>* out, uint32_t v);
+void PutU64Le(std::vector<uint8_t>* out, uint64_t v);
+uint32_t GetU32Le(const uint8_t* p);
+uint64_t GetU64Le(const uint8_t* p);
+
 // --- encoding ---
 std::vector<uint8_t> EncodeGrrReport(uint32_t value, std::size_t domain,
-                                     uint32_t timestamp);
+                                     uint32_t timestamp, uint64_t nonce = 0);
 std::vector<uint8_t> EncodeBitVectorReport(const std::vector<bool>& bits,
                                            OracleId oracle,
-                                           uint32_t timestamp);
+                                           uint32_t timestamp,
+                                           uint64_t nonce = 0);
 std::vector<uint8_t> EncodeOlhReport(uint64_t seed, uint32_t bucket,
-                                     uint32_t timestamp);
-std::vector<uint8_t> EncodeHrReport(uint32_t column, uint32_t timestamp);
+                                     uint32_t timestamp, uint64_t nonce = 0);
+std::vector<uint8_t> EncodeHrReport(uint32_t column, uint32_t timestamp,
+                                    uint64_t nonce = 0);
+
+// Reads the user nonce out of an encoded report without validating or
+// decoding the rest (only the magic/version prefix and the length are
+// checked). Lets the report router pick a shard for a packet before paying
+// for the full decode; returns false for anything too mangled to carry a
+// nonce — such packets are rejected downstream wherever they land.
+bool PeekWireNonce(const uint8_t* data, std::size_t size, uint64_t* nonce);
 
 // --- non-throwing decoding (serving hot path) ---
 // Each validates fully and writes `*out` only on kOk; on error the output

@@ -32,10 +32,12 @@ std::vector<std::vector<uint8_t>> ClientFleet::ProduceRound(
     const uint64_t user =
         request.cohort != nullptr ? (*request.cohort)[i] : i;
     // Stateless per-(user, round) stream: reproducible at any thread count.
+    // The wire nonce is the user id, so the ingest edge can reject a
+    // duplicated packet without un-blinding anything it did not know.
     Rng rng(HashCounter(seed_, user, request.round_index));
     packets[i] = PerturbToWire(
         request.oracle, values_(user, request.timestamp), request.epsilon,
-        request.domain, static_cast<uint32_t>(request.timestamp), rng);
+        request.domain, static_cast<uint32_t>(request.timestamp), user, rng);
   });
   return packets;
 }

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace ldpids::service {
@@ -19,6 +20,7 @@ const char* IngestResultName(IngestResult result) {
     case IngestResult::kMalformed: return "malformed";
     case IngestResult::kWrongOracle: return "wrong oracle";
     case IngestResult::kWrongTimestamp: return "wrong timestamp";
+    case IngestResult::kDuplicate: return "duplicate";
     case IngestResult::kSketchRejected: return "sketch rejected";
   }
   return "?";
@@ -29,19 +31,21 @@ IngestStats& IngestStats::operator+=(const IngestStats& other) {
   malformed += other.malformed;
   wrong_oracle += other.wrong_oracle;
   wrong_timestamp += other.wrong_timestamp;
+  duplicate += other.duplicate;
   sketch_rejected += other.sketch_rejected;
   return *this;
 }
 
 std::string IngestStats::ToString() const {
-  char buf[160];
+  char buf[200];
   std::snprintf(buf, sizeof(buf),
                 "accepted=%llu malformed=%llu wrong_oracle=%llu "
-                "wrong_timestamp=%llu sketch_rejected=%llu",
+                "wrong_timestamp=%llu duplicate=%llu sketch_rejected=%llu",
                 static_cast<unsigned long long>(accepted),
                 static_cast<unsigned long long>(malformed),
                 static_cast<unsigned long long>(wrong_oracle),
                 static_cast<unsigned long long>(wrong_timestamp),
+                static_cast<unsigned long long>(duplicate),
                 static_cast<unsigned long long>(sketch_rejected));
   return buf;
 }
@@ -69,10 +73,17 @@ IngestResult IngestShard::Ingest(const uint8_t* data, std::size_t size) {
     ++stats_.wrong_timestamp;
     return IngestResult::kWrongTimestamp;
   }
+  if (seen_.count(scratch_.nonce) != 0) {
+    ++stats_.duplicate;
+    return IngestResult::kDuplicate;
+  }
   if (!sketch_->AddReport(scratch_)) {
     ++stats_.sketch_rejected;
     return IngestResult::kSketchRejected;
   }
+  // Burn the nonce only on acceptance: a forged packet that decoded but
+  // failed the sketch's range check must not lock its user out.
+  seen_.insert(scratch_.nonce);
   ++stats_.accepted;
   return IngestResult::kAccepted;
 }
@@ -80,20 +91,27 @@ IngestResult IngestShard::Ingest(const uint8_t* data, std::size_t size) {
 ReportRouter::ReportRouter(const FrequencyOracle& fo, const FoParams& params,
                            OracleId oracle, uint32_t timestamp,
                            std::size_t num_shards) {
-  if (num_shards == 0) {
-    throw std::invalid_argument("router needs at least one shard");
-  }
+  if (num_shards == 0) num_shards = HardwareThreads();
   shards_.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
     shards_.emplace_back(fo, params, oracle, timestamp);
   }
 }
 
+std::size_t ReportRouter::ShardOf(const uint8_t* data, std::size_t size,
+                                  std::size_t fallback) const {
+  uint64_t nonce = 0;
+  if (!PeekWireNonce(data, size, &nonce)) {
+    // Too mangled to carry a nonce; it will be rejected wherever it lands,
+    // so any deterministic spread works.
+    return fallback % shards_.size();
+  }
+  return static_cast<std::size_t>(Mix64(nonce)) % shards_.size();
+}
+
 IngestResult ReportRouter::Ingest(const std::vector<uint8_t>& packet) {
   if (closed_) throw std::logic_error("router already closed");
-  const IngestResult result = shards_[next_shard_].Ingest(packet);
-  next_shard_ = (next_shard_ + 1) % shards_.size();
-  return result;
+  return shards_[ShardOf(packet.data(), packet.size(), 0)].Ingest(packet);
 }
 
 void ReportRouter::IngestBatch(
@@ -101,8 +119,16 @@ void ReportRouter::IngestBatch(
     std::size_t num_threads) {
   if (closed_) throw std::logic_error("router already closed");
   const std::size_t k = shards_.size();
+  // Deterministic nonce partition, computed serially (a header peek per
+  // packet) so every copy of one user's report lands on the same shard and
+  // the per-shard index lists are in global packet order.
+  std::vector<std::vector<uint32_t>> slices(k);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    slices[ShardOf(packets[i].data(), packets[i].size(), i)].push_back(
+        static_cast<uint32_t>(i));
+  }
   ParallelFor(num_threads, k, [&](std::size_t shard) {
-    for (std::size_t i = shard; i < packets.size(); i += k) {
+    for (const uint32_t i : slices[shard]) {
       shards_[shard].Ingest(packets[i]);
     }
   });

@@ -12,9 +12,11 @@
 //
 // Thread model: one shard is single-threaded; different shards are
 // independent, so `IngestBatch` fans the K shard slices across the shared
-// thread pool (util/thread_pool.h). The slice assignment (packet i -> shard
-// i mod K) is deterministic, keeping merged results reproducible at every
-// thread count.
+// thread pool (util/thread_pool.h). Packets are partitioned by their wire
+// nonce (hash(nonce) mod K; packets too mangled to carry a nonce fall back
+// to index mod K) — deterministic, and it keeps every copy of one user's
+// report on the same shard, so per-round duplicate rejection is exact and
+// merged results are reproducible at every shard and thread count.
 #ifndef LDPIDS_SERVICE_INGEST_H_
 #define LDPIDS_SERVICE_INGEST_H_
 
@@ -22,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "fo/frequency_oracle.h"
@@ -35,6 +38,7 @@ enum class IngestResult : uint8_t {
   kMalformed,        // wire-level corruption (any WireError)
   kWrongOracle,      // valid packet, but for a different oracle
   kWrongTimestamp,   // valid packet, but stale or from the future
+  kDuplicate,        // this round already accepted this user nonce
   kSketchRejected,   // decoded fine, out of range for the sketch params
 };
 
@@ -46,11 +50,12 @@ struct IngestStats {
   uint64_t malformed = 0;
   uint64_t wrong_oracle = 0;
   uint64_t wrong_timestamp = 0;
+  uint64_t duplicate = 0;
   uint64_t sketch_rejected = 0;
 
   uint64_t total() const {
     return accepted + malformed + wrong_oracle + wrong_timestamp +
-           sketch_rejected;
+           duplicate + sketch_rejected;
   }
   uint64_t rejected() const { return total() - accepted; }
   IngestStats& operator+=(const IngestStats& other);
@@ -88,21 +93,28 @@ class IngestShard {
   std::size_t domain_;
   IngestStats stats_;
   DecodedReport scratch_;  // reused across packets; no per-packet alloc
+  // Nonces accepted this round: a re-delivered packet (retry, duplicating
+  // network, replayed log) must not double-count its user.
+  std::unordered_set<uint64_t> seen_;
 };
 
 // Routes one round's packets across K shards and shard-reduces at close.
 class ReportRouter {
  public:
+  // `num_shards == 0` picks the adaptive default: one shard per hardware
+  // thread (the knee of bench_service_throughput's shards -> reports/sec
+  // curve sits at the core count; beyond it the merge at Close only adds
+  // work).
   ReportRouter(const FrequencyOracle& fo, const FoParams& params,
                OracleId oracle, uint32_t timestamp, std::size_t num_shards);
 
-  // Serial single-packet path: round-robins packets over the shards.
+  // Serial single-packet path: routes the packet by its wire nonce.
   IngestResult Ingest(const std::vector<uint8_t>& packet);
 
-  // Batch path: packet i goes to shard i mod K, and the K shard slices are
-  // ingested concurrently across up to `num_threads` pool lanes. The
-  // assignment is deterministic, so results are identical at every thread
-  // and shard count.
+  // Batch path: packets are partitioned by nonce and the K shard slices
+  // are ingested concurrently across up to `num_threads` pool lanes. The
+  // assignment is deterministic and order-independent, so results are
+  // identical at every thread and shard count.
   void IngestBatch(const std::vector<std::vector<uint8_t>>& packets,
                    std::size_t num_threads);
 
@@ -115,8 +127,11 @@ class ReportRouter {
   const IngestShard& shard(std::size_t i) const { return shards_[i]; }
 
  private:
+  // Shard index for one packet: nonce-keyed so duplicates colocate.
+  std::size_t ShardOf(const uint8_t* data, std::size_t size,
+                      std::size_t fallback) const;
+
   std::vector<IngestShard> shards_;
-  std::size_t next_shard_ = 0;
   bool closed_ = false;
 };
 

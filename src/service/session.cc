@@ -73,8 +73,8 @@ MechanismSession::MechanismSession(
   if (domain < 2) {
     throw std::invalid_argument("session domain must have >= 2 values");
   }
-  if (options_.num_shards == 0 || options_.num_threads == 0) {
-    throw std::invalid_argument("session shards/threads must be >= 1");
+  if (options_.num_threads == 0) {
+    throw std::invalid_argument("session threads must be >= 1");
   }
   if (!transport_) {
     throw std::invalid_argument("session needs a transport");

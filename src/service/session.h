@@ -50,7 +50,9 @@ using RoundTransport = std::function<void(const RoundRequest&,
                                           ReportRouter&)>;
 
 struct SessionOptions {
-  std::size_t num_shards = 1;   // ingestion shards per round
+  // Ingestion shards per round; 0 = adaptive (one per hardware thread,
+  // resolved by ReportRouter).
+  std::size_t num_shards = 1;
   std::size_t num_threads = 1;  // pool lanes for sharded ingestion
 };
 

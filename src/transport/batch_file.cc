@@ -1,0 +1,79 @@
+#include "transport/batch_file.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ldpids::transport {
+
+FrameLogWriter::FrameLogWriter(const std::string& path,
+                               std::size_t flush_bytes)
+    : file_(std::fopen(path.c_str(), "wb")), flush_bytes_(flush_bytes) {
+  if (file_ == nullptr) {
+    throw std::runtime_error("cannot open frame log for writing: " + path);
+  }
+  buffer_.reserve(flush_bytes_ + kMaxFramePayload);
+}
+
+FrameLogWriter::~FrameLogWriter() {
+  try {
+    Close();
+  } catch (...) {
+    // Destructor: a full disk must not escalate to std::terminate; losing
+    // an unflushed tail on teardown is the caller's bug (call Close()).
+  }
+}
+
+void FrameLogWriter::Send(const Frame& frame) {
+  if (file_ == nullptr) {
+    throw std::logic_error("frame log already closed");
+  }
+  const std::size_t before = buffer_.size();
+  AppendEncodedFrame(frame, &buffer_);
+  ++frames_written_;
+  bytes_written_ += buffer_.size() - before;
+  if (buffer_.size() >= flush_bytes_) Flush();
+}
+
+void FrameLogWriter::Flush() {
+  if (file_ == nullptr || buffer_.empty()) return;
+  if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+      buffer_.size()) {
+    throw std::runtime_error("frame log write failed");
+  }
+  buffer_.clear();
+  std::fflush(file_);
+}
+
+void FrameLogWriter::Close() {
+  if (file_ == nullptr) return;
+  Flush();
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+FrameStats ReplayFrameLog(const std::string& path,
+                          const FrameHandler& handler,
+                          std::size_t chunk_bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    throw std::runtime_error("cannot open frame log for reading: " + path);
+  }
+  FrameDecoder decoder;
+  std::vector<uint8_t> chunk(chunk_bytes > 0 ? chunk_bytes : 1);
+  Frame frame;
+  for (;;) {
+    const std::size_t n = std::fread(chunk.data(), 1, chunk.size(), file);
+    if (n == 0) break;
+    decoder.Append(chunk.data(), n);
+    while (decoder.Next(&frame)) handler(std::move(frame));
+  }
+  std::fclose(file);
+  return decoder.stats();
+}
+
+}  // namespace ldpids::transport

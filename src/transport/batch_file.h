@@ -1,0 +1,64 @@
+// Batch-file transport: an append-only log of encoded frames.
+//
+// The writer side is a FrameSender, so anything that can talk to a socket
+// can record to disk instead (or in addition — tests tee every frame they
+// send). The reader side replays a recorded log into a FrameHandler in
+// file order, which re-drives a server deterministically: same frames in,
+// same releases out (pinned in tests/transport_test.cc). Recorded traffic
+// is also the reproducer format for ingest-edge bugs — a crashing capture
+// can be replayed under a debugger or a sanitizer byte for byte.
+#ifndef LDPIDS_TRANSPORT_BATCH_FILE_H_
+#define LDPIDS_TRANSPORT_BATCH_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "transport/frame.h"
+
+namespace ldpids::transport {
+
+// Appends encoded frames to a file through a batching buffer. Not
+// thread-safe; one writer per log.
+class FrameLogWriter : public FrameSender {
+ public:
+  // Creates/truncates `path` ("w" mode) — a frame log is one recording,
+  // not a ring. Throws std::runtime_error if the file cannot be opened.
+  explicit FrameLogWriter(const std::string& path,
+                          std::size_t flush_bytes = 64 * 1024);
+  ~FrameLogWriter() override;
+
+  FrameLogWriter(const FrameLogWriter&) = delete;
+  FrameLogWriter& operator=(const FrameLogWriter&) = delete;
+
+  void Send(const Frame& frame) override;
+  void Flush() override;
+  // Flushes and closes the file; further Send calls throw.
+  void Close();
+
+  uint64_t frames_written() const { return frames_written_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::vector<uint8_t> buffer_;
+  std::size_t flush_bytes_;
+  uint64_t frames_written_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+// Replays a frame log: reads `path` in `chunk_bytes` slices, runs them
+// through a FrameDecoder (so a truncated or bit-flipped log degrades to
+// typed error counts, never a crash) and hands every decoded frame to
+// `handler` in file order. Returns the decode stats; corrupt or trailing
+// partial bytes show up there as errors/skips. Throws std::runtime_error
+// only if the file cannot be opened.
+FrameStats ReplayFrameLog(const std::string& path,
+                          const FrameHandler& handler,
+                          std::size_t chunk_bytes = 64 * 1024);
+
+}  // namespace ldpids::transport
+
+#endif  // LDPIDS_TRANSPORT_BATCH_FILE_H_

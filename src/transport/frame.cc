@@ -1,0 +1,213 @@
+#include "transport/frame.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fo/wire.h"
+
+namespace ldpids::transport {
+
+namespace {
+
+constexpr uint8_t kMagic0 = 0x4C;  // 'L'
+constexpr uint8_t kMagic1 = 0xDF;
+constexpr uint8_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 24;
+constexpr std::size_t kChecksumSize = 4;
+constexpr std::size_t kLengthOffset = 20;
+
+}  // namespace
+
+const char* FrameErrorName(FrameError error) {
+  switch (error) {
+    case FrameError::kOk: return "ok";
+    case FrameError::kIncomplete: return "incomplete";
+    case FrameError::kBadMagic: return "bad magic";
+    case FrameError::kBadVersion: return "bad version";
+    case FrameError::kBadKind: return "bad kind";
+    case FrameError::kOversize: return "payload oversize";
+    case FrameError::kChecksumMismatch: return "checksum mismatch";
+    case FrameError::kBadControl: return "bad control payload";
+  }
+  return "?";
+}
+
+std::size_t EncodedFrameSize(std::size_t payload_size) {
+  return kHeaderSize + payload_size + kChecksumSize;
+}
+
+Frame MakeDataFrame(uint64_t session_id, uint64_t timestamp,
+                    std::vector<uint8_t> payload) {
+  Frame frame;
+  frame.session_id = session_id;
+  frame.timestamp = timestamp;
+  frame.kind = FrameKind::kData;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+Frame MakeEndRoundFrame(uint64_t session_id, uint64_t timestamp,
+                        uint64_t expected_data_frames) {
+  Frame frame;
+  frame.session_id = session_id;
+  frame.timestamp = timestamp;
+  frame.kind = FrameKind::kEndRound;
+  PutU64Le(&frame.payload, expected_data_frames);
+  return frame;
+}
+
+uint64_t EndRoundExpected(const Frame& frame) {
+  if (frame.kind != FrameKind::kEndRound || frame.payload.size() != 8) {
+    throw std::invalid_argument("not an end-of-round frame");
+  }
+  return GetU64Le(frame.payload.data());
+}
+
+void AppendEncodedFrame(const Frame& frame, std::vector<uint8_t>* out) {
+  if (frame.payload.size() > kMaxFramePayload) {
+    throw std::invalid_argument("frame payload exceeds kMaxFramePayload");
+  }
+  const std::size_t start = out->size();
+  out->reserve(start + EncodedFrameSize(frame.payload.size()));
+  out->push_back(kMagic0);
+  out->push_back(kMagic1);
+  out->push_back(kVersion);
+  out->push_back(static_cast<uint8_t>(frame.kind));
+  PutU64Le(out, frame.session_id);
+  PutU64Le(out, frame.timestamp);
+  PutU32Le(out, static_cast<uint32_t>(frame.payload.size()));
+  out->insert(out->end(), frame.payload.begin(), frame.payload.end());
+  PutU32Le(out, WireChecksum(out->data() + start, out->size() - start));
+}
+
+std::vector<uint8_t> EncodeFrame(const Frame& frame) {
+  std::vector<uint8_t> out;
+  AppendEncodedFrame(frame, &out);
+  return out;
+}
+
+FrameError TryDecodeFrame(const uint8_t* data, std::size_t size, Frame* out,
+                          std::size_t* consumed) {
+  // Validate the fixed prefix field by field so corruption is detected at
+  // the earliest byte that can prove it — resync then costs one skip, not
+  // a wait for bytes that never arrive.
+  if (size < 1) return FrameError::kIncomplete;
+  if (data[0] != kMagic0) return FrameError::kBadMagic;
+  if (size < 2) return FrameError::kIncomplete;
+  if (data[1] != kMagic1) return FrameError::kBadMagic;
+  if (size < 3) return FrameError::kIncomplete;
+  if (data[2] != kVersion) return FrameError::kBadVersion;
+  if (size < 4) return FrameError::kIncomplete;
+  if (data[3] > static_cast<uint8_t>(FrameKind::kEndRound)) {
+    return FrameError::kBadKind;
+  }
+  if (size < kHeaderSize) return FrameError::kIncomplete;
+  const uint32_t payload_len = GetU32Le(data + kLengthOffset);
+  if (payload_len > kMaxFramePayload) return FrameError::kOversize;
+  const std::size_t total = EncodedFrameSize(payload_len);
+  if (size < total) return FrameError::kIncomplete;
+  const uint32_t stored = GetU32Le(data + total - kChecksumSize);
+  if (stored != WireChecksum(data, total - kChecksumSize)) {
+    return FrameError::kChecksumMismatch;
+  }
+  const FrameKind kind = static_cast<FrameKind>(data[3]);
+  if (kind == FrameKind::kEndRound && payload_len != 8) {
+    return FrameError::kBadControl;
+  }
+  out->session_id = GetU64Le(data + 4);
+  out->timestamp = GetU64Le(data + 12);
+  out->kind = kind;
+  out->payload.assign(data + kHeaderSize, data + kHeaderSize + payload_len);
+  *consumed = total;
+  return FrameError::kOk;
+}
+
+void FrameDecoder::Append(const uint8_t* data, std::size_t size) {
+  // Compact the consumed prefix before it dominates the buffer.
+  if (pos_ > 0 && pos_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+bool FrameDecoder::Next(Frame* out) {
+  while (pos_ < buffer_.size()) {
+    std::size_t consumed = 0;
+    const FrameError err =
+        TryDecodeFrame(buffer_.data() + pos_, buffer_.size() - pos_, out,
+                       &consumed);
+    if (err == FrameError::kOk) {
+      pos_ += consumed;
+      ++stats_.frames;
+      stats_.bytes += consumed;
+      if (out->kind == FrameKind::kData) {
+        ++stats_.data_frames;
+      } else {
+        ++stats_.end_round_frames;
+      }
+      return true;
+    }
+    if (err == FrameError::kIncomplete) return false;
+    // Hard reject at this offset: count the reason, skip one byte, rescan.
+    switch (err) {
+      case FrameError::kBadMagic: ++stats_.bad_magic; break;
+      case FrameError::kBadVersion: ++stats_.bad_version; break;
+      case FrameError::kBadKind: ++stats_.bad_kind; break;
+      case FrameError::kOversize: ++stats_.oversize; break;
+      case FrameError::kChecksumMismatch: ++stats_.checksum_mismatch; break;
+      case FrameError::kBadControl: ++stats_.bad_control; break;
+      case FrameError::kOk:
+      case FrameError::kIncomplete: break;  // unreachable
+    }
+    ++pos_;
+    ++stats_.skipped_bytes;
+  }
+  return false;
+}
+
+FrameStats& FrameStats::operator+=(const FrameStats& other) {
+  frames += other.frames;
+  data_frames += other.data_frames;
+  end_round_frames += other.end_round_frames;
+  bytes += other.bytes;
+  bad_magic += other.bad_magic;
+  bad_version += other.bad_version;
+  bad_kind += other.bad_kind;
+  oversize += other.oversize;
+  checksum_mismatch += other.checksum_mismatch;
+  bad_control += other.bad_control;
+  skipped_bytes += other.skipped_bytes;
+  return *this;
+}
+
+std::string FrameStats::ToString() const {
+  char buf[240];
+  std::snprintf(
+      buf, sizeof(buf),
+      "frames=%llu (data=%llu end_round=%llu) bytes=%llu errors=%llu "
+      "(magic=%llu version=%llu kind=%llu oversize=%llu checksum=%llu "
+      "control=%llu) skipped_bytes=%llu",
+      static_cast<unsigned long long>(frames),
+      static_cast<unsigned long long>(data_frames),
+      static_cast<unsigned long long>(end_round_frames),
+      static_cast<unsigned long long>(bytes),
+      static_cast<unsigned long long>(errors()),
+      static_cast<unsigned long long>(bad_magic),
+      static_cast<unsigned long long>(bad_version),
+      static_cast<unsigned long long>(bad_kind),
+      static_cast<unsigned long long>(oversize),
+      static_cast<unsigned long long>(checksum_mismatch),
+      static_cast<unsigned long long>(bad_control),
+      static_cast<unsigned long long>(skipped_bytes));
+  return buf;
+}
+
+}  // namespace ldpids::transport

@@ -1,0 +1,165 @@
+// Length-prefixed framing for LDP report streams.
+//
+// A wire report (fo/wire.h) is one self-contained datagram; a byte stream
+// (TCP socket, append-only log file) needs boundaries on top. A `Frame`
+// wraps one report — or one control marker — for transmission:
+//
+//   byte 0      magic 'L' (0x4C)
+//   byte 1      magic 0xDF ("LDP frame")
+//   byte 2      version (1)
+//   byte 3      kind (0 = data, 1 = end-of-round marker)
+//   bytes 4-11  session id (uint64, little-endian)
+//   bytes 12-19 timestamp (uint64, little-endian; the serving layer puts
+//               the session's round index here — a mechanism can run two
+//               FO rounds at one mechanism timestamp, so the round index,
+//               not the timestamp, is what keys reassembly)
+//   bytes 20-23 payload length (uint32, little-endian)
+//   bytes 24..  payload (data: one encoded wire report, opaque here;
+//               end-of-round: uint64 LE count of data frames the sender
+//               transmitted for the round)
+//   last 4      checksum of everything before it (fo/wire.h WireChecksum)
+//
+// Decoding is stream-oriented and defensive in the style of fo/wire.h's
+// `TryDecode*`: `TryDecodeFrame` is non-throwing and returns a typed
+// `FrameError`, and `FrameDecoder` reassembles frames from arbitrary read
+// chunks (split and merged TCP reads), resynchronizing past corrupt bytes
+// instead of crashing or trusting an unchecksummed byte.
+#ifndef LDPIDS_TRANSPORT_FRAME_H_
+#define LDPIDS_TRANSPORT_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ldpids::transport {
+
+enum class FrameKind : uint8_t {
+  kData = 0,      // payload is one encoded wire report
+  kEndRound = 1,  // payload is the round's transmitted data-frame count
+};
+
+struct Frame {
+  uint64_t session_id = 0;
+  uint64_t timestamp = 0;  // round index in the serving integration
+  FrameKind kind = FrameKind::kData;
+  std::vector<uint8_t> payload;
+};
+
+// Precise decode outcome. kOk is 0 so results can be truth-tested;
+// kIncomplete means "valid so far, feed me more bytes", every later value
+// is a hard reject at the current offset.
+enum class FrameError : uint8_t {
+  kOk = 0,
+  kIncomplete,         // prefix valid but the frame is not fully buffered
+  kBadMagic,
+  kBadVersion,
+  kBadKind,
+  kOversize,           // declared payload length above the decoder's limit
+  kChecksumMismatch,
+  kBadControl,         // end-of-round payload is not exactly 8 bytes
+};
+
+const char* FrameErrorName(FrameError error);
+
+// Hard ceiling on payload bytes a decoder will buffer for one frame; a
+// garbage length field must not turn into an unbounded allocation.
+constexpr std::size_t kMaxFramePayload = std::size_t{1} << 20;
+
+// Encoded size of a frame carrying `payload_size` payload bytes.
+std::size_t EncodedFrameSize(std::size_t payload_size);
+
+// Convenience constructors for the two kinds.
+Frame MakeDataFrame(uint64_t session_id, uint64_t timestamp,
+                    std::vector<uint8_t> payload);
+Frame MakeEndRoundFrame(uint64_t session_id, uint64_t timestamp,
+                        uint64_t expected_data_frames);
+
+// Data-frame count carried by an end-of-round marker. Throws
+// std::invalid_argument on a non-marker frame (a decoded marker is always
+// well-formed; TryDecodeFrame validates the payload shape).
+uint64_t EndRoundExpected(const Frame& frame);
+
+// Appends the encoded frame to `*out` (batched writers fill one buffer
+// with many frames before a single send/write). Throws
+// std::invalid_argument if the payload exceeds kMaxFramePayload.
+void AppendEncodedFrame(const Frame& frame, std::vector<uint8_t>* out);
+std::vector<uint8_t> EncodeFrame(const Frame& frame);
+
+// Attempts to decode one frame from the start of [data, data + size).
+// On kOk, `*out` holds the frame and `*consumed` the encoded size.
+// On kIncomplete, nothing is consumed: append more bytes and retry.
+// On any other error, the byte at offset 0 is bad; skip it and rescan.
+FrameError TryDecodeFrame(const uint8_t* data, std::size_t size, Frame* out,
+                          std::size_t* consumed);
+
+// Per-stream decode accounting (one decoder = one connection or one log).
+struct FrameStats {
+  uint64_t frames = 0;           // well-formed frames delivered
+  uint64_t data_frames = 0;
+  uint64_t end_round_frames = 0;
+  uint64_t bytes = 0;            // bytes consumed by well-formed frames
+  uint64_t bad_magic = 0;        // resync skips by first bad byte's reason
+  uint64_t bad_version = 0;
+  uint64_t bad_kind = 0;
+  uint64_t oversize = 0;
+  uint64_t checksum_mismatch = 0;
+  uint64_t bad_control = 0;
+  uint64_t skipped_bytes = 0;    // total bytes discarded while resyncing
+
+  uint64_t errors() const {
+    return bad_magic + bad_version + bad_kind + oversize +
+           checksum_mismatch + bad_control;
+  }
+  FrameStats& operator+=(const FrameStats& other);
+  std::string ToString() const;
+};
+
+// Incremental frame reassembly over a byte stream. Feed it whatever the
+// transport produced — single bytes, half frames, ten frames in one read —
+// and pull complete frames out. Corruption never throws: the decoder
+// counts the typed reason, skips one byte, and rescans for the next valid
+// frame, so one flipped byte costs at most the frame it hit.
+class FrameDecoder {
+ public:
+  FrameDecoder() = default;
+
+  void Append(const uint8_t* data, std::size_t size);
+  void Append(const std::vector<uint8_t>& bytes) {
+    Append(bytes.data(), bytes.size());
+  }
+
+  // Extracts the next complete frame, advancing past any corrupt bytes in
+  // front of it. Returns false when the buffer holds no complete frame
+  // (call Append and retry).
+  bool Next(Frame* out);
+
+  const FrameStats& stats() const { return stats_; }
+  // Bytes buffered but not yet decoded (an in-flight partial frame).
+  std::size_t pending_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  std::size_t pos_ = 0;  // consumed prefix, compacted lazily
+  FrameStats stats_;
+};
+
+// Destination of decoded frames (a RoundBuffer demux, a recorder, a test
+// probe). Invoked by transports on their own threads; implementations
+// synchronize internally.
+using FrameHandler = std::function<void(Frame&&)>;
+
+// Sender half shared by every transport: the loopback/TCP socket client,
+// the batch-file log writer, and in-process test doubles. Send may buffer;
+// Flush pushes everything to the peer/disk.
+class FrameSender {
+ public:
+  virtual ~FrameSender() = default;
+  virtual void Send(const Frame& frame) = 0;
+  virtual void Flush() {}
+};
+
+}  // namespace ldpids::transport
+
+#endif  // LDPIDS_TRANSPORT_FRAME_H_

@@ -1,0 +1,165 @@
+#include "transport/round_buffer.h"
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/ingest.h"
+
+namespace ldpids::transport {
+
+const char* DeliverResultName(DeliverResult result) {
+  switch (result) {
+    case DeliverResult::kBuffered: return "buffered";
+    case DeliverResult::kEndMarker: return "end marker";
+    case DeliverResult::kClosedRound: return "closed round";
+    case DeliverResult::kTooLate: return "too late";
+    case DeliverResult::kTooEarly: return "too early";
+  }
+  return "?";
+}
+
+std::string RoundBufferStats::ToString() const {
+  char buf[240];
+  std::snprintf(
+      buf, sizeof(buf),
+      "buffered=%llu markers=%llu drained=%llu/%llu dropped=%llu "
+      "(closed=%llu late=%llu early=%llu) deadline_flushes=%llu",
+      static_cast<unsigned long long>(buffered),
+      static_cast<unsigned long long>(end_markers),
+      static_cast<unsigned long long>(packets_drained),
+      static_cast<unsigned long long>(rounds_drained),
+      static_cast<unsigned long long>(dropped()),
+      static_cast<unsigned long long>(closed_round_drops),
+      static_cast<unsigned long long>(too_late_drops),
+      static_cast<unsigned long long>(too_early_drops),
+      static_cast<unsigned long long>(deadline_flushes));
+  return buf;
+}
+
+RoundBuffer::RoundBuffer(RoundBufferOptions options) : options_(options) {}
+
+DeliverResult RoundBuffer::Deliver(Frame&& frame) {
+  const uint64_t round = frame.timestamp;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (round < next_round_) {
+    ++stats_.closed_round_drops;
+    return DeliverResult::kClosedRound;
+  }
+  if (round + options_.max_lateness < newest_round_) {
+    ++stats_.too_late_drops;
+    return DeliverResult::kTooLate;
+  }
+  if (round >= next_round_ + options_.max_buffered_rounds) {
+    ++stats_.too_early_drops;
+    return DeliverResult::kTooEarly;
+  }
+  // Only an *admitted* frame advances the lateness clock — a single forged
+  // far-future round index must not poison the watermark and starve every
+  // legitimate round behind it.
+  if (round > newest_round_) newest_round_ = round;
+  PendingRound& pending = pending_[round];
+  if (frame.kind == FrameKind::kEndRound) {
+    ++stats_.end_markers;
+    if (!pending.marker_seen) {
+      pending.marker_seen = true;
+      pending.expected = EndRoundExpected(frame);
+    }
+    if (Complete(pending)) complete_cv_.notify_all();
+    return DeliverResult::kEndMarker;
+  }
+  pending.packets.push_back(std::move(frame.payload));
+  ++stats_.buffered;
+  if (Complete(pending)) complete_cv_.notify_all();
+  return DeliverResult::kBuffered;
+}
+
+std::vector<std::vector<uint8_t>> RoundBuffer::TakeRound(uint64_t round) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (round != next_round_) {
+    throw std::logic_error("rounds must be taken strictly in order");
+  }
+  const bool complete = complete_cv_.wait_for(
+      lock, options_.round_deadline,
+      [&] { return Complete(pending_[round]); });
+  if (!complete) ++stats_.deadline_flushes;
+  std::vector<std::vector<uint8_t>> packets =
+      std::move(pending_[round].packets);
+  pending_.erase(round);
+  next_round_ = round + 1;
+  ++stats_.rounds_drained;
+  stats_.packets_drained += packets.size();
+  return packets;
+}
+
+uint64_t RoundBuffer::next_round() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_round_;
+}
+
+RoundBufferStats RoundBuffer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FrameDemux::Register(uint64_t session_id, RoundBuffer* buffer) {
+  if (buffer == nullptr) {
+    throw std::invalid_argument("demux needs a buffer");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!buffers_.emplace(session_id, buffer).second) {
+    throw std::invalid_argument("session id already registered");
+  }
+}
+
+void FrameDemux::Deliver(Frame&& frame) {
+  RoundBuffer* buffer = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = buffers_.find(frame.session_id);
+    if (it == buffers_.end()) {
+      ++unknown_session_drops_;
+      return;
+    }
+    buffer = it->second;
+  }
+  buffer->Deliver(std::move(frame));
+}
+
+FrameHandler FrameDemux::Handler() {
+  return [this](Frame&& frame) { Deliver(std::move(frame)); };
+}
+
+uint64_t FrameDemux::unknown_session_drops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return unknown_session_drops_;
+}
+
+service::RoundTransport MakeBufferedTransport(RoundBuffer& buffer,
+                                              AnnounceFn announce,
+                                              std::size_t num_threads) {
+  return [&buffer, announce = std::move(announce), num_threads](
+             const service::RoundRequest& request,
+             service::ReportRouter& router) {
+    if (announce) announce(request);
+    router.IngestBatch(buffer.TakeRound(request.round_index), num_threads);
+  };
+}
+
+void SendRoundFrames(FrameSender& sender, uint64_t session_id,
+                     uint64_t round,
+                     const std::vector<std::vector<uint8_t>>& packets) {
+  for (const std::vector<uint8_t>& packet : packets) {
+    sender.Send(MakeDataFrame(session_id, round, packet));
+  }
+  sender.Send(MakeEndRoundFrame(session_id, round, packets.size()));
+  sender.Flush();
+}
+
+}  // namespace ldpids::transport

@@ -1,0 +1,189 @@
+// Out-of-order round reassembly between a transport and the sharded
+// ingest.
+//
+// PR 3's serving layer assumed a polite network: a round's packets arrive
+// exactly while that round is open, in order, once. Real networks deliver
+// early (the next round's reports while this one is still estimating),
+// late (stragglers after the round moved on), duplicated (retries) and
+// shuffled. The RoundBuffer absorbs all of that: transports push frames in
+// whatever order they arrive, the buffer queues them per round behind a
+// watermark policy, and the session side drains exactly one round's
+// packets when the mechanism opens that round.
+//
+// Keying: frames are keyed by Frame::timestamp, which the serving
+// integration sets to the session's *round index* (RoundRequest::
+// round_index) — a mechanism may run two FO rounds at one mechanism
+// timestamp, so the round index is the unit of reassembly. Rounds are
+// drained strictly in order.
+//
+// Completion: the sender finishes a round with an end-of-round marker
+// carrying the number of data frames it transmitted (SendRoundFrames).
+// The round is complete when the marker has been seen and that many data
+// frames have arrived — in any order; "late" packets that arrive after
+// the marker still count. If the deadline passes first, the round is
+// flushed with whatever arrived (the session decides whether a partial —
+// possibly empty — round is fatal) and a deadline flush is counted.
+//
+// Watermark policy, applied at admission (per-reason drop stats):
+//   * a frame for an already-drained round is dropped (kClosedRound);
+//   * a frame more than `max_lateness` rounds behind the newest round
+//     ever seen is dropped (kTooLate) even if its round has not drained —
+//     a straggler that far behind live traffic is noise or replay;
+//   * a frame more than `max_buffered_rounds` ahead of the next round to
+//     drain is dropped (kTooEarly) — bounds memory against a runaway or
+//     hostile sender. Batch-file replays that deliver a whole recording
+//     up front size this knob to the recording (or disable with a large
+//     value).
+//
+// Thread model: Deliver/EndRound are called from transport threads (socket
+// readers, replayers, test drivers); TakeRound blocks the session side on
+// a condition variable. All state is behind one mutex; the hot work
+// (decode, sketch folding) happens outside the buffer.
+#ifndef LDPIDS_TRANSPORT_ROUND_BUFFER_H_
+#define LDPIDS_TRANSPORT_ROUND_BUFFER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/session.h"
+#include "transport/frame.h"
+
+namespace ldpids::transport {
+
+struct RoundBufferOptions {
+  // Admission window behind the newest round seen, in rounds.
+  uint64_t max_lateness = 4;
+  // Admission window ahead of the next round to drain, in rounds.
+  uint64_t max_buffered_rounds = 1024;
+  // How long TakeRound waits for a round to complete before flushing
+  // partial.
+  std::chrono::milliseconds round_deadline{10000};
+};
+
+enum class DeliverResult : uint8_t {
+  kBuffered = 0,
+  kEndMarker,    // control frame, recorded (repeats are counted, harmless)
+  kClosedRound,  // round already drained
+  kTooLate,      // beyond max_lateness behind the newest round seen
+  kTooEarly,     // beyond max_buffered_rounds ahead of the next round
+};
+
+const char* DeliverResultName(DeliverResult result);
+
+struct RoundBufferStats {
+  uint64_t buffered = 0;          // data frames queued
+  uint64_t end_markers = 0;       // markers seen (including repeats)
+  uint64_t closed_round_drops = 0;
+  uint64_t too_late_drops = 0;
+  uint64_t too_early_drops = 0;
+  uint64_t rounds_drained = 0;
+  uint64_t packets_drained = 0;
+  uint64_t deadline_flushes = 0;  // rounds flushed incomplete
+
+  uint64_t dropped() const {
+    return closed_round_drops + too_late_drops + too_early_drops;
+  }
+  std::string ToString() const;
+};
+
+class RoundBuffer {
+ public:
+  explicit RoundBuffer(RoundBufferOptions options = {});
+
+  // Transport side (thread-safe). Data frames queue under their round;
+  // end-of-round markers arm the round's completion count. The frame's
+  // session id is not inspected — demultiplex with FrameDemux first.
+  DeliverResult Deliver(Frame&& frame);
+
+  // Session side. Blocks until round `round` is complete (marker seen and
+  // its data-frame count arrived) or options.round_deadline elapses, then
+  // drains and closes the round, returning its packets in arrival order.
+  // Rounds must be taken strictly in order (throws std::logic_error
+  // otherwise) — the session's round_index increments by one per round.
+  std::vector<std::vector<uint8_t>> TakeRound(uint64_t round);
+
+  // Next round TakeRound will accept; all earlier rounds are closed.
+  uint64_t next_round() const;
+  RoundBufferStats stats() const;
+
+ private:
+  struct PendingRound {
+    std::vector<std::vector<uint8_t>> packets;
+    bool marker_seen = false;
+    uint64_t expected = 0;  // valid once marker_seen
+  };
+  bool Complete(const PendingRound& p) const {
+    return p.marker_seen && p.packets.size() >= p.expected;
+  }
+
+  const RoundBufferOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable complete_cv_;
+  std::map<uint64_t, PendingRound> pending_;
+  uint64_t next_round_ = 0;     // lowest undrained round
+  uint64_t newest_round_ = 0;   // highest round ever seen (admission clock)
+  RoundBufferStats stats_;
+};
+
+// Routes frames to per-session RoundBuffers by Frame::session_id: one
+// listener socket (or one replayed log) can feed every session of a
+// StreamServer. Register before traffic flows; delivery is thread-safe
+// (one mutex — contention is negligible next to socket reads and sketch
+// folding).
+class FrameDemux {
+ public:
+  // Registers `buffer` for `session_id`; the buffer must outlive the
+  // demux's traffic. Throws std::invalid_argument on a duplicate id.
+  void Register(uint64_t session_id, RoundBuffer* buffer);
+
+  // Delivers one frame to its session's buffer; frames for unregistered
+  // sessions are counted and dropped.
+  void Deliver(Frame&& frame);
+
+  // Adapter for transports that want a FrameHandler.
+  FrameHandler Handler();
+
+  uint64_t unknown_session_drops() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, RoundBuffer*> buffers_;
+  uint64_t unknown_session_drops_ = 0;
+};
+
+// --- serving-layer integration -------------------------------------------
+
+// Announces a round the session just opened. In a deployment this is the
+// server's control plane: push the round descriptor (round index, epsilon,
+// oracle, cohort) to the devices so they report. In tests and demos it is
+// where the simulated fleet produces and transmits the round's packets
+// over the data plane (socket, log file, direct delivery).
+using AnnounceFn = std::function<void(const service::RoundRequest&)>;
+
+// A service::RoundTransport backed by a RoundBuffer: on each round it
+// (1) announces the request, (2) blocks in TakeRound for the round's
+// packets (out-of-order/late/duplicate delivery already absorbed), and
+// (3) feeds them to the sharded ingest. With this, a MechanismSession —
+// and therefore a whole StreamServer — runs over any byte transport that
+// can deliver frames into the buffer.
+service::RoundTransport MakeBufferedTransport(RoundBuffer& buffer,
+                                              AnnounceFn announce,
+                                              std::size_t num_threads);
+
+// Sender-side helper: transmits one round's packets as data frames
+// followed by the end-of-round marker, then flushes. `round` must be the
+// session's RoundRequest::round_index.
+void SendRoundFrames(FrameSender& sender, uint64_t session_id,
+                     uint64_t round,
+                     const std::vector<std::vector<uint8_t>>& packets);
+
+}  // namespace ldpids::transport
+
+#endif  // LDPIDS_TRANSPORT_ROUND_BUFFER_H_

@@ -38,7 +38,7 @@ std::vector<std::vector<uint8_t>> MakePackets(OracleId oracle) {
   for (uint64_t u = 0; u < kUsers; ++u) {
     Rng rng(HashCounter(5, u, static_cast<uint64_t>(oracle)));
     packets.push_back(
-        PerturbToWire(oracle, ValueOf(u), kEpsilon, kDomain, 3, rng));
+        PerturbToWire(oracle, ValueOf(u), kEpsilon, kDomain, 3, u, rng));
   }
   return packets;
 }

@@ -21,6 +21,7 @@
 #include "service/stream_server.h"
 #include "util/histogram.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace ldpids {
 namespace {
@@ -59,7 +60,7 @@ TEST(WireClientTest, WireIngestionReproducesAddUserBitForBit) {
       Rng wire_rng(HashCounter(17, u, 0));
       simulated->AddUser(value, sim_rng);
       const auto packet =
-          PerturbToWire(oracle, value, kEpsilon, kDomain, 0, wire_rng);
+          PerturbToWire(oracle, value, kEpsilon, kDomain, 0, u, wire_rng);
       DecodedReport report;
       ASSERT_EQ(TryDecodeReport(packet, kDomain, &report), WireError::kOk);
       ASSERT_TRUE(wire->AddReport(report));
@@ -79,7 +80,7 @@ std::vector<std::vector<uint8_t>> RoundPackets(OracleId oracle,
   for (uint64_t u = 0; u < n; ++u) {
     Rng rng(HashCounter(23, u, timestamp));
     packets.push_back(PerturbToWire(oracle, TruthValue(u, timestamp),
-                                    kEpsilon, kDomain, timestamp, rng));
+                                    kEpsilon, kDomain, timestamp, u, rng));
   }
   return packets;
 }
@@ -167,21 +168,88 @@ INSTANTIATE_TEST_SUITE_P(AllOracles, RouterShardingTest,
                            return std::string(OracleIdName(info.param));
                          });
 
-TEST(RouterTest, CloseIsFinalAndSerialRoundRobinWorks) {
+TEST(RouterTest, CloseIsFinalAndSerialNonceRoutingWorks) {
   const FrequencyOracle& fo = GetFrequencyOracle("GRR");
   ReportRouter router(fo, {kEpsilon, kDomain}, OracleId::kGrr, 0, 3);
   const auto packets = RoundPackets(OracleId::kGrr, 0, 9);
   for (const auto& p : packets) {
     EXPECT_EQ(router.Ingest(p), IngestResult::kAccepted);
   }
-  // Round-robin spread: 3 shards x 3 packets each.
+  // Nonce routing spreads the users over the shards deterministically.
+  std::size_t routed = 0;
   for (std::size_t s = 0; s < 3; ++s) {
-    EXPECT_EQ(router.shard(s).stats().accepted, 3u);
+    routed += router.shard(s).stats().accepted;
   }
+  EXPECT_EQ(routed, 9u);
   auto sketch = router.Close(nullptr);
   EXPECT_EQ(sketch->num_users(), 9u);
   EXPECT_THROW(router.Ingest(packets[0]), std::logic_error);
   EXPECT_THROW(router.Close(nullptr), std::logic_error);
+}
+
+TEST(RouterTest, ZeroShardsPicksTheAdaptiveHardwareDefault) {
+  const FrequencyOracle& fo = GetFrequencyOracle("GRR");
+  ReportRouter router(fo, {kEpsilon, kDomain}, OracleId::kGrr, 0, 0);
+  EXPECT_EQ(router.num_shards(), HardwareThreads());
+}
+
+TEST(IngestShardTest, SameWirePacketTwiceCountsTheUserOnce) {
+  // Regression: a duplicated packet (network retry, replayed log) used to
+  // fold into the sketch twice and double-count the user.
+  const FrequencyOracle& fo = GetFrequencyOracle("GRR");
+  IngestShard shard(fo, {kEpsilon, kDomain}, OracleId::kGrr, 0);
+  const auto packets = RoundPackets(OracleId::kGrr, 0, 2);
+  EXPECT_EQ(shard.Ingest(packets[0]), IngestResult::kAccepted);
+  EXPECT_EQ(shard.Ingest(packets[0]), IngestResult::kDuplicate);
+  EXPECT_EQ(shard.Ingest(packets[1]), IngestResult::kAccepted);
+  EXPECT_EQ(shard.stats().accepted, 2u);
+  EXPECT_EQ(shard.stats().duplicate, 1u);
+  EXPECT_EQ(shard.sketch().num_users(), 2u);
+}
+
+TEST(IngestShardTest, SketchRejectionDoesNotBurnTheNonce) {
+  // A forged OLH packet wearing user 7's nonce decodes but fails the
+  // sketch's range check; the real report with the same nonce must still
+  // be accepted afterwards.
+  const FrequencyOracle& fo = GetFrequencyOracle("OLH");
+  IngestShard shard(fo, {kEpsilon, kDomain}, OracleId::kOlh, 0);
+  const auto forged = EncodeOlhReport(123, 4000, 0, /*nonce=*/7);
+  EXPECT_EQ(shard.Ingest(forged), IngestResult::kSketchRejected);
+  Rng rng(HashCounter(23, 7, 0));
+  const auto real =
+      PerturbToWire(OracleId::kOlh, 3, kEpsilon, kDomain, 0, 7, rng);
+  EXPECT_EQ(shard.Ingest(real), IngestResult::kAccepted);
+}
+
+TEST_P(RouterShardingTest, DuplicatedDeliveryNeverChangesTheMergedSketch) {
+  // Duplicates colocate with their original (nonce partition), so the
+  // deduplicated merge is bit-identical to clean single-shard ingestion at
+  // every shard count — and regardless of where the copies sit in the
+  // batch.
+  const OracleId oracle = GetParam();
+  const FrequencyOracle& fo = GetFrequencyOracle(OracleIdName(oracle));
+  const FoParams params{kEpsilon, kDomain};
+  const auto clean = RoundPackets(oracle, 3, 200);
+
+  ReportRouter reference(fo, params, oracle, 3, 1);
+  reference.IngestBatch(clean, 1);
+  auto expected = reference.Close(nullptr);
+
+  auto noisy = clean;
+  for (std::size_t i = 0; i < clean.size(); i += 7) {
+    noisy.push_back(clean[i]);  // re-delivered copies arrive late
+  }
+  for (const std::size_t shards : {1u, 4u}) {
+    ReportRouter router(fo, params, oracle, 3, shards);
+    router.IngestBatch(noisy, 2);
+    IngestStats stats;
+    auto merged = router.Close(&stats);
+    EXPECT_EQ(stats.duplicate, (clean.size() + 6) / 7)
+        << OracleIdName(oracle) << " shards=" << shards;
+    EXPECT_EQ(merged->num_users(), expected->num_users());
+    EXPECT_EQ(merged->Estimate(), expected->Estimate())
+        << OracleIdName(oracle) << " shards=" << shards;
+  }
 }
 
 // --- mechanism sessions ---------------------------------------------------

@@ -6,14 +6,17 @@
 // Deterministically seeded, so a pass is reproducible — this is a
 // regression net over the decoder's bounds handling, not a statistical
 // test.
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "fo/client.h"
 #include "fo/wire.h"
+#include "transport/frame.h"
 #include "util/rng.h"
 
 namespace ldpids {
@@ -28,7 +31,7 @@ std::vector<std::vector<uint8_t>> SamplePackets() {
   for (OracleId oracle : AllOracleIds()) {
     for (uint32_t v : {0u, 1u, 57u, static_cast<uint32_t>(kDomain - 1)}) {
       packets.push_back(
-          PerturbToWire(oracle, v, kEpsilon, kDomain, 9, rng));
+          PerturbToWire(oracle, v, kEpsilon, kDomain, 9, v, rng));
     }
   }
   return packets;
@@ -44,16 +47,19 @@ TEST(WireFuzzTest, RoundTripIsExactForEveryOracle) {
       // Re-perturb with a recorded RNG so the expected report is known.
       Rng record(HashCounter(1, trial, static_cast<uint64_t>(oracle)));
       Rng replay(HashCounter(1, trial, static_cast<uint64_t>(oracle)));
+      const uint64_t nonce = rng.NextU64();
       const auto packet = PerturbToWire(oracle, value, kEpsilon, kDomain,
-                                        timestamp, record);
+                                        timestamp, nonce, record);
       DecodedReport report;
       ASSERT_EQ(TryDecodeReport(packet, kDomain, &report), WireError::kOk);
       EXPECT_EQ(report.oracle, oracle);
       EXPECT_EQ(report.timestamp, timestamp);
+      EXPECT_EQ(report.nonce, nonce);
       // Decoding the same client draw again must produce an identical
       // packet: encode -> decode -> re-encode is the identity.
       const auto re_encoded = PerturbToWire(oracle, value, kEpsilon,
-                                            kDomain, timestamp, replay);
+                                            kDomain, timestamp, nonce,
+                                            replay);
       EXPECT_EQ(packet, re_encoded);
       EXPECT_EQ(packet.size(), EncodedReportSize(oracle, kDomain));
     }
@@ -122,7 +128,7 @@ TEST(WireFuzzTest, ValidEnvelopeWrongDomainIsRejectedNotCrashed) {
   Rng rng(5);
   for (OracleId oracle : AllOracleIds()) {
     const auto packet =
-        PerturbToWire(oracle, 3, kEpsilon, kDomain, 0, rng);
+        PerturbToWire(oracle, 3, kEpsilon, kDomain, 0, 3, rng);
     for (std::size_t other_domain : {2u, 16u, 1000u}) {
       DecodedReport report;
       WireError err = WireError::kOk;
@@ -136,6 +142,159 @@ TEST(WireFuzzTest, ValidEnvelopeWrongDomainIsRejectedNotCrashed) {
       // sketch-level range check (AddReport) is the second line of
       // defense, covered in service_test.
     }
+  }
+}
+
+// --- frame codec (src/transport/frame.h) ----------------------------------
+// The same contract one layer up: arbitrary corruption of a framed stream
+// must never crash the streaming decoder and must never pass the checksum,
+// and split/merged TCP reads must reassemble the identical frames.
+
+std::vector<uint8_t> SampleFrameStream(
+    std::vector<transport::Frame>* frames_out = nullptr) {
+  std::vector<uint8_t> stream;
+  Rng rng(77);
+  uint64_t round = 0;
+  for (const auto& packet : SamplePackets()) {
+    transport::Frame frame =
+        transport::MakeDataFrame(rng.NextU64() % 4, round++, packet);
+    transport::AppendEncodedFrame(frame, &stream);
+    if (frames_out != nullptr) frames_out->push_back(std::move(frame));
+  }
+  transport::Frame marker = transport::MakeEndRoundFrame(1, round, 20);
+  transport::AppendEncodedFrame(marker, &stream);
+  if (frames_out != nullptr) frames_out->push_back(std::move(marker));
+  return stream;
+}
+
+TEST(FrameFuzzTest, SingleByteCorruptionNeverPassesTheChecksum) {
+  // Flip random bit patterns at every byte of a single encoded frame; the
+  // one-shot decoder must reject (or ask for more bytes), never accept.
+  Rng rng(501);
+  const auto packet = PerturbToWire(OracleId::kGrr, 1, kEpsilon, kDomain,
+                                    0, 42, rng);
+  const auto original =
+      transport::EncodeFrame(transport::MakeDataFrame(9, 3, packet));
+  for (std::size_t pos = 0; pos < original.size(); ++pos) {
+    for (int trial = 0; trial < 8; ++trial) {
+      auto corrupted = original;
+      corrupted[pos] ^= static_cast<uint8_t>(1 + rng.UniformInt(255));
+      transport::Frame frame;
+      std::size_t consumed = 0;
+      transport::FrameError err = transport::FrameError::kOk;
+      ASSERT_NO_THROW(err = transport::TryDecodeFrame(
+                          corrupted.data(), corrupted.size(), &frame,
+                          &consumed));
+      EXPECT_NE(err, transport::FrameError::kOk) << "byte " << pos;
+    }
+  }
+}
+
+TEST(FrameFuzzTest, CorruptedStreamsResyncAndNeverCrash) {
+  // Flip a byte at every position of a multi-frame stream and run the full
+  // streaming decoder over it: no crash, no bogus frame — every frame the
+  // decoder does deliver is bit-identical to one that was sent, and at
+  // most the frames overlapping the corruption are lost.
+  std::vector<transport::Frame> sent;
+  const auto stream = SampleFrameStream(&sent);
+  Rng rng(93);
+  for (std::size_t pos = 0; pos < stream.size(); ++pos) {
+    auto corrupted = stream;
+    corrupted[pos] ^= static_cast<uint8_t>(1 + rng.UniformInt(255));
+    transport::FrameDecoder decoder;
+    decoder.Append(corrupted);
+    transport::Frame frame;
+    std::size_t delivered = 0;
+    std::size_t cursor = 0;
+    while (decoder.Next(&frame)) {
+      ++delivered;
+      // Frames come out in order; find this one among the remaining sent
+      // frames (corruption may have eaten some in between).
+      bool found = false;
+      for (; cursor < sent.size(); ++cursor) {
+        if (sent[cursor].session_id == frame.session_id &&
+            sent[cursor].timestamp == frame.timestamp &&
+            sent[cursor].kind == frame.kind &&
+            sent[cursor].payload == frame.payload) {
+          ++cursor;
+          found = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(found) << "decoder fabricated a frame at byte " << pos;
+    }
+    // A flip in a length field makes the decoder wait for a frame longer
+    // than the remaining stream — everything after it stays pending until
+    // more traffic (or a connection timeout) resolves it. Otherwise at
+    // most the two frames overlapping the corruption are lost.
+    if (decoder.pending_bytes() == 0) {
+      EXPECT_GE(delivered + 2, sent.size()) << "byte " << pos;
+    }
+    EXPECT_GT(decoder.stats().errors() + decoder.pending_bytes(), 0u)
+        << "byte " << pos;
+  }
+}
+
+TEST(FrameFuzzTest, TruncatedStreamsNeverYieldAPartialFrame) {
+  std::vector<transport::Frame> sent;
+  const auto stream = SampleFrameStream(&sent);
+  // Cut the stream at every length; whole frames before the cut decode,
+  // the partial tail never does.
+  for (std::size_t len = 0; len < stream.size(); len += 3) {
+    transport::FrameDecoder decoder;
+    decoder.Append(stream.data(), len);
+    transport::Frame frame;
+    std::size_t count = 0;
+    while (decoder.Next(&frame)) {
+      ASSERT_LT(count, sent.size());
+      EXPECT_EQ(frame.payload, sent[count].payload);
+      ++count;
+    }
+    EXPECT_EQ(decoder.stats().errors(), 0u) << "length " << len;
+    // Whatever did not fit stays pending; nothing partial was delivered.
+    EXPECT_EQ(decoder.stats().bytes + decoder.pending_bytes(), len);
+  }
+}
+
+TEST(FrameFuzzTest, RandomGarbageNeverDecodesAsAFrame) {
+  Rng rng(8192);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> garbage(rng.UniformInt(200));
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng.NextU64());
+    transport::FrameDecoder decoder;
+    ASSERT_NO_THROW(decoder.Append(garbage));
+    transport::Frame frame;
+    ASSERT_FALSE(decoder.Next(&frame)) << "trial " << trial;
+  }
+}
+
+TEST(FrameFuzzTest, SplitAndMergedReadsAgreeWithOneShotDecoding) {
+  // TCP may hand the server any byte slicing of the stream; every slicing
+  // must produce the identical frame sequence.
+  std::vector<transport::Frame> sent;
+  const auto stream = SampleFrameStream(&sent);
+  Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    transport::FrameDecoder decoder;
+    std::size_t fed = 0;
+    std::size_t count = 0;
+    transport::Frame frame;
+    while (fed < stream.size()) {
+      const std::size_t n =
+          std::min(stream.size() - fed,
+                   static_cast<std::size_t>(1 + rng.UniformInt(61)));
+      decoder.Append(stream.data() + fed, n);
+      fed += n;
+      while (decoder.Next(&frame)) {
+        ASSERT_LT(count, sent.size());
+        EXPECT_EQ(frame.session_id, sent[count].session_id);
+        EXPECT_EQ(frame.timestamp, sent[count].timestamp);
+        EXPECT_EQ(frame.payload, sent[count].payload);
+        ++count;
+      }
+    }
+    EXPECT_EQ(count, sent.size()) << "trial " << trial;
+    EXPECT_EQ(decoder.stats().errors(), 0u);
   }
 }
 

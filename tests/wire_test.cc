@@ -17,6 +17,23 @@ TEST(WireTest, GrrRoundTripAcrossDomainSizes) {
   }
 }
 
+TEST(WireTest, NonceRoundTripsAndIsPeekable) {
+  const uint64_t nonce = 0x0123456789ABCDEFULL;
+  const auto packet = EncodeOlhReport(7, 1, 3, nonce);
+  EXPECT_EQ(DecodeEnvelope(packet).nonce, nonce);
+  DecodedReport report;
+  ASSERT_EQ(TryDecodeReport(packet, 16, &report), WireError::kOk);
+  EXPECT_EQ(report.nonce, nonce);
+  // The peek needs only the header prefix and never validates the payload.
+  uint64_t peeked = 0;
+  ASSERT_TRUE(PeekWireNonce(packet.data(), packet.size(), &peeked));
+  EXPECT_EQ(peeked, nonce);
+  EXPECT_FALSE(PeekWireNonce(packet.data(), 8, &peeked));
+  auto bad_magic = packet;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(PeekWireNonce(bad_magic.data(), bad_magic.size(), &peeked));
+}
+
 TEST(WireTest, GrrRejectsValueOutsideDomain) {
   EXPECT_THROW(EncodeGrrReport(5, 5, 0), std::invalid_argument);
 }
