@@ -17,7 +17,12 @@
 // state is additive, so delivery order and duplication never show.
 //
 // Other flags: --users, --timestamps, --shards (0 = one per hardware
-// thread), --log (frame log path for --transport=file).
+// thread), --log (frame log path for --transport=file), --pipeline
+// (SessionOptions::pipeline_depth; >= 2 overlaps the next round's
+// ingestion with the current round's estimation — releases are identical
+// at every depth; with --transport=socket the announce half runs on the
+// session thread via the split transport so the next round's frames are
+// in flight during the current estimate).
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -76,9 +81,11 @@ MechanismConfig DemoConfig() {
   return config;
 }
 
-// Drives one full session and collects its releases.
+// Drives one full session and collects its releases. `Transport` is
+// either a service::RoundTransport or a service::SplitRoundTransport.
+template <typename Transport>
 DemoRun RunSession(uint64_t users, std::size_t timestamps,
-                   SessionOptions options, service::RoundTransport t) {
+                   SessionOptions options, Transport t) {
   MechanismSession session(CreateMechanism("LBA", DemoConfig(), users),
                            kDomain, options, std::move(t));
   DemoRun result;
@@ -123,10 +130,16 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.GetInt("shards", 4));
   const std::string log_path =
       flags.GetString("log", "live_service_frames.log");
+  const int64_t pipeline = flags.GetInt("pipeline", 1);
   if (mode != "inproc" && mode != "socket" && mode != "file") {
     std::fprintf(stderr,
                  "unknown --transport '%s' (want inproc, socket or file)\n",
                  mode.c_str());
+    return 2;
+  }
+  if (pipeline < 1) {
+    std::fprintf(stderr, "--pipeline must be >= 1, got %lld\n",
+                 static_cast<long long>(pipeline));
     return 2;
   }
 
@@ -154,12 +167,14 @@ int main(int argc, char** argv) {
   SessionOptions options;
   options.num_shards = shards;
   options.num_threads = 1;
+  options.pipeline_depth = static_cast<std::size_t>(pipeline);
 
   std::printf(
       "online LDP-IDS serving: %llu clients, d=%zu, %zu shards%s, "
-      "LBA + OUE, w=%zu, transport=%s\n\n",
+      "LBA + OUE, w=%zu, transport=%s, pipeline_depth=%lld\n\n",
       static_cast<unsigned long long>(users), kDomain, shards,
-      shards == 0 ? " (adaptive)" : "", DemoConfig().window, mode.c_str());
+      shards == 0 ? " (adaptive)" : "", DemoConfig().window, mode.c_str(),
+      static_cast<long long>(pipeline));
 
   if (mode == "inproc") {
     const DemoRun result = RunSession(
@@ -207,9 +222,12 @@ int main(int argc, char** argv) {
     SocketClient client(listener.port());
     std::printf("loopback listener on 127.0.0.1:%u\n\n", listener.port());
 
+    // Pipelined sessions want the split transport: the announce half (the
+    // fleet answering over the socket) then runs on the session thread
+    // while the ingest worker folds the previous round.
     const DemoRun result = RunSession(
         users, timestamps, options,
-        MakeBufferedTransport(
+        transport::MakeBufferedSplitTransport(
             buffer,
             [&](const RoundRequest& request) { send_round(client, request); },
             options.num_threads));

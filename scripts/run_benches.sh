@@ -12,8 +12,11 @@
 # the bench's table output, the bench-reported [throughput] line (threads,
 # mechanism runs, runs/sec; bench_transport reports frames_per_s,
 # socket_frames_per_s and end-to-end reports_per_s into
-# BENCH_transport.json), and (where the bench supports --csv) the parsed
-# CSV rows. bench_micro uses Google Benchmark's native JSON reporter instead.
+# BENCH_transport.json; bench_pipeline reports serial_rps vs pipelined_rps
+# — end-to-end releases/sec of the serial vs pipelined serving path — and
+# their speedup into BENCH_pipeline.json), and (where the bench supports
+# --csv) the parsed CSV rows. bench_micro uses Google Benchmark's native
+# JSON reporter instead.
 set -u
 
 BUILD_DIR=build

@@ -45,6 +45,28 @@ class CollectorContext {
   virtual void Collect(std::size_t t, double epsilon,
                        const std::vector<uint32_t>* subset, uint64_t* n_out,
                        Histogram* out) = 0;
+
+  // Pipelining hint: the mechanism declares that its next Collect call —
+  // possibly at a later timestamp — will be exactly (t, epsilon, whole
+  // population). A pipelined collector (service::MechanismSession with
+  // SessionOptions::pipeline_depth > 1) announces that round immediately,
+  // so its client production, network transit and ingest folding overlap
+  // the current round's EstimateInto and the mechanism's post-processing;
+  // serial collectors ignore the hint, so offline simulation results are
+  // untouched.
+  //
+  // A plan is a commitment, not a guess: announcing a round makes real
+  // users spend real privacy budget, so a mechanism may only plan a round
+  // it will unconditionally perform, and the next Collect must match the
+  // plan exactly (a pipelined collector fails the session otherwise).
+  // Only whole-population rounds are plannable — a cohort sampled from the
+  // mechanism's RNG mid-step cannot be known ahead of the step. The
+  // budget-division mechanisms plan their fixed-budget dissimilarity (or
+  // only) round; the population-division mechanisms never plan.
+  virtual void PlanNextCollect(std::size_t t, double epsilon) {
+    (void)t;
+    (void)epsilon;
+  }
 };
 
 // Offline adapter: simulates each collection round from a StreamDataset's

@@ -38,8 +38,10 @@ StepResult LbaMechanism::DoStep(CollectorContext& ctx, std::size_t t) {
   double eps_pub_spent = 0.0;
   if (since_last <= t_nullified) {
     // Nullified: pay back the absorbed budget with a forced approximation
-    // (lines 5-6).
+    // (lines 5-6). No further round this timestamp; t+1 opens with the
+    // fixed-budget dissimilarity round.
     result.release = last_release_;
+    ctx.PlanNextCollect(t + 1, unit);
   } else {
     // Absorbable allocations since the nullification ended (line 8), capped
     // at w (line 9).
@@ -51,7 +53,11 @@ StepResult LbaMechanism::DoStep(CollectorContext& ctx, std::size_t t) {
                                           static_cast<std::int64_t>(w)));
     const double err = MeanVariance(eps_pub, num_users_);  // line 10
     if (dis > err) {
-      // Publication strategy (lines 12-14).
+      // Publication strategy (lines 12-14). The publication closes this
+      // timestamp, so t+1's fixed-budget dissimilarity round is announced
+      // first — a pipelined collector overlaps its ingestion with the
+      // publication's estimate and post-processing.
+      ctx.PlanNextCollect(t + 1, unit);
       uint64_t n_pub = 0;
       CollectViaFo(ctx, t, eps_pub, nullptr, &n_pub, &result.release);
       result.published = true;
@@ -62,6 +68,7 @@ StepResult LbaMechanism::DoStep(CollectorContext& ctx, std::size_t t) {
     } else {
       // Approximation strategy (line 16).
       result.release = last_release_;
+      ctx.PlanNextCollect(t + 1, unit);
     }
   }
   ledger_.Record(eps_dis, eps_pub_spent);

@@ -35,7 +35,11 @@ StepResult LbdMechanism::DoStep(CollectorContext& ctx, std::size_t t) {
   if (eps_pub > 0.0) {
     const double err = MeanVariance(eps_pub, num_users_);  // line 9
     if (dis > err) {
-      // Publication strategy (lines 11-13).
+      // Publication strategy (lines 11-13). The publication is the last
+      // round of this timestamp and the next round — t+1's dissimilarity
+      // estimate — has a fixed budget, so it is announced now: a pipelined
+      // collector ingests it while this publication estimates.
+      ctx.PlanNextCollect(t + 1, eps_dis);
       uint64_t n_pub = 0;
       CollectViaFo(ctx, t, eps_pub, nullptr, &n_pub, &result.release);
       result.published = true;
@@ -46,6 +50,7 @@ StepResult LbdMechanism::DoStep(CollectorContext& ctx, std::size_t t) {
   if (!result.published) {
     // Approximation strategy (line 15): r_t = r_{t-1}, eps_{t,2} = 0.
     result.release = last_release_;
+    ctx.PlanNextCollect(t + 1, eps_dis);
   }
   ledger_.Record(eps_dis, eps_pub_spent);
   return result;

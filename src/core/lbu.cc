@@ -14,6 +14,10 @@ StepResult LbuMechanism::DoStep(CollectorContext& ctx, std::size_t t) {
   const double step_epsilon =
       config_.epsilon / static_cast<double>(config_.window);
   StepResult result;
+  // LBU's schedule is static — every timestamp is one whole-population
+  // round at eps/w — so the next round can be announced before this one's
+  // estimate (the pipelined serving path overlaps the two).
+  ctx.PlanNextCollect(t + 1, step_epsilon);
   uint64_t n = 0;
   CollectViaFo(ctx, t, step_epsilon, nullptr, &n, &result.release);
   result.published = true;

@@ -13,7 +13,11 @@ LspMechanism::LspMechanism(MechanismConfig config, uint64_t num_users)
 StepResult LspMechanism::DoStep(CollectorContext& ctx, std::size_t t) {
   StepResult result;
   if (t % config_.window == 0) {
-    // Sampling timestamp: everyone reports with the full budget.
+    // Sampling timestamp: everyone reports with the full budget. The next
+    // round is the next sampling timestamp, known w steps ahead — a
+    // pipelined collector can ingest it across all w - 1 approximation
+    // steps while this round estimates.
+    ctx.PlanNextCollect(t + config_.window, config_.epsilon);
     uint64_t n = 0;
     CollectViaFo(ctx, t, config_.epsilon, nullptr, &n, &result.release);
     result.published = true;

@@ -1,10 +1,14 @@
 #include "service/session.h"
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -15,6 +19,21 @@ namespace ldpids::service {
 
 // Implements the mechanism-facing CollectorContext by opening one sharded
 // ingestion round per Collect call.
+//
+// Serial mode (pipeline_depth == 1): each round is announced, ingested
+// and estimated synchronously inside Collect.
+//
+// Pipelined mode (pipeline_depth > 1): a round becomes a RoundJob. Its
+// announce half fires on the session thread the moment the round is
+// opened; its ingest half (transport -> shard fold -> merge) runs on one
+// dedicated worker thread that executes jobs strictly in round_index
+// order (RoundBuffer::TakeRound requires in-order draining). When the
+// mechanism pre-declares its next round via PlanNextCollect, that round
+// is announced while the current round is still folding or estimating —
+// the announce/ingest stage of round r+1 overlaps the estimate stage of
+// round r. Claiming (waiting for a job, accumulating its stats, running
+// EstimateInto) always happens on the session thread in round order, so
+// results and accounting are bit-identical to the serial path.
 class MechanismSession::WireCollector final : public CollectorContext {
  public:
   WireCollector(MechanismSession& session, const FrequencyOracle& fo,
@@ -23,7 +42,25 @@ class MechanismSession::WireCollector final : public CollectorContext {
         fo_(fo),
         oracle_(oracle),
         domain_(domain),
-        num_users_(num_users) {}
+        num_users_(num_users),
+        pipelined_(session.options_.pipeline_depth > 1) {
+    if (pipelined_) {
+      worker_ = std::thread([this] { WorkerLoop(); });
+    }
+  }
+
+  ~WireCollector() override {
+    if (!pipelined_) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    // The worker drains every queued job before exiting: each was already
+    // announced, so its frames must leave the RoundBuffer deterministically
+    // (bounded by the buffer's round deadline if the packets never come).
+    worker_.join();
+  }
 
   std::size_t domain() const override { return domain_; }
   uint64_t num_users() const override { return num_users_; }
@@ -31,41 +68,172 @@ class MechanismSession::WireCollector final : public CollectorContext {
   void Collect(std::size_t t, double epsilon,
                const std::vector<uint32_t>* subset, uint64_t* n_out,
                Histogram* out) override {
-    if (t > std::numeric_limits<uint32_t>::max()) {
-      throw std::invalid_argument("timestamp does not fit the wire");
+    JobPtr job;
+    if (!prefetched_.empty()) {
+      // The mechanism planned this round and it is already announced (and
+      // possibly folded). A plan is a budget commitment, so the call must
+      // match it exactly.
+      job = std::move(prefetched_.front());
+      prefetched_.pop_front();
+      if (job->request.timestamp != t || job->request.epsilon != epsilon ||
+          subset != nullptr) {
+        throw std::logic_error(
+            "mechanism broke its pipelined round plan: the announced round "
+            "does not match this Collect call");
+      }
+    } else {
+      job = EnqueueRound(t, epsilon, subset);
     }
-    const FoParams params{epsilon, domain_};
-    ReportRouter router(fo_, params, oracle_, static_cast<uint32_t>(t),
-                        session_.options_.num_shards);
-    RoundRequest request;
-    request.timestamp = t;
-    request.epsilon = epsilon;
-    request.domain = domain_;
-    request.oracle = oracle_;
-    request.cohort = subset;
-    request.round_index = session_.rounds_++;
-    session_.transport_(request, router);
-    std::unique_ptr<FoSketch> merged = router.Close(&session_.stats_);
-    if (merged->num_users() == 0) {
+    // Announce the mechanism's next planned round (if any) before blocking:
+    // its ingestion proceeds while this round is estimated.
+    FlushPendingPlan();
+
+    if (pipelined_) {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&] { return job->done; });
+    }
+    if (job->error) std::rethrow_exception(job->error);
+    session_.stats_ += job->stats;  // claim order == round order
+    if (job->sketch->num_users() == 0) {
       throw std::runtime_error("collection round accepted zero reports");
     }
-    if (n_out != nullptr) *n_out = merged->num_users();
-    merged->EstimateInto(out);
+    if (n_out != nullptr) *n_out = job->sketch->num_users();
+    job->sketch->EstimateInto(out);
+  }
+
+  void PlanNextCollect(std::size_t t, double epsilon) override {
+    if (!pipelined_) return;  // serial collectors ignore the hint
+    if (has_plan_) {
+      throw std::logic_error(
+          "mechanism planned two rounds without collecting in between");
+    }
+    has_plan_ = true;
+    plan_t_ = t;
+    plan_epsilon_ = epsilon;
+  }
+
+  // Announces the pending plan once pipeline_depth allows another round in
+  // flight. Called inside Collect and again at the end of Advance (a step
+  // that ends without a publication plans its next round after its last
+  // Collect returned).
+  void FlushPendingPlan() {
+    if (!has_plan_) return;
+    if (prefetched_.size() + 1 >= session_.options_.pipeline_depth) return;
+    has_plan_ = false;
+    prefetched_.push_back(EnqueueRound(plan_t_, plan_epsilon_, nullptr));
   }
 
  private:
+  // One FO collection round in flight. `request.cohort` (when non-null)
+  // points at the calling mechanism's cohort vector, which outlives the
+  // job because Collect blocks until the job is done; planned rounds are
+  // always whole-population.
+  struct RoundJob {
+    RoundRequest request;
+    std::unique_ptr<FoSketch> sketch;
+    IngestStats stats;
+    std::exception_ptr error;
+    bool done = false;
+  };
+  using JobPtr = std::shared_ptr<RoundJob>;
+
+  // Session thread only: assigns the round index, fires the announce half
+  // and hands the ingest half to the worker (or runs it inline when
+  // serial).
+  JobPtr EnqueueRound(std::size_t t, double epsilon,
+                      const std::vector<uint32_t>* cohort) {
+    if (t > std::numeric_limits<uint32_t>::max()) {
+      throw std::invalid_argument("timestamp does not fit the wire");
+    }
+    auto job = std::make_shared<RoundJob>();
+    job->request.timestamp = t;
+    job->request.epsilon = epsilon;
+    job->request.domain = domain_;
+    job->request.oracle = oracle_;
+    job->request.cohort = cohort;
+    job->request.round_index = session_.rounds_++;
+    if (session_.announce_) session_.announce_(job->request);
+    if (pipelined_) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(job);
+      }
+      work_cv_.notify_all();
+    } else {
+      RunJob(*job);
+      job->done = true;
+    }
+    return job;
+  }
+
+  // The ingest stage of one round: transport -> sharded fold -> merge.
+  void RunJob(RoundJob& job) {
+    try {
+      const FoParams params{job.request.epsilon, domain_};
+      ReportRouter router(fo_, params, oracle_,
+                          static_cast<uint32_t>(job.request.timestamp),
+                          session_.options_.num_shards);
+      session_.ingest_(job.request, router);
+      job.sketch = router.Close(&job.stats);
+    } catch (...) {
+      job.error = std::current_exception();
+    }
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      JobPtr job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop requested and fully drained
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      RunJob(*job);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        job->done = true;
+      }
+      done_cv_.notify_all();
+    }
+  }
+
   MechanismSession& session_;
   const FrequencyOracle& fo_;
   const OracleId oracle_;
   const std::size_t domain_;
   const uint64_t num_users_;
+  const bool pipelined_;
+
+  // Session-thread state: the mechanism's recorded-but-unannounced plan
+  // and the announced-but-unclaimed rounds, in round order.
+  bool has_plan_ = false;
+  std::size_t plan_t_ = 0;
+  double plan_epsilon_ = 0.0;
+  std::deque<JobPtr> prefetched_;
+
+  // Worker handoff (pipelined mode only).
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<JobPtr> queue_;
+  bool stop_ = false;
+  std::thread worker_;
 };
 
 MechanismSession::MechanismSession(
     std::unique_ptr<StreamMechanism> mechanism, std::size_t domain,
     SessionOptions options, RoundTransport transport)
+    : MechanismSession(std::move(mechanism), domain, options,
+                       SplitRoundTransport{nullptr, std::move(transport)}) {}
+
+MechanismSession::MechanismSession(
+    std::unique_ptr<StreamMechanism> mechanism, std::size_t domain,
+    SessionOptions options, SplitRoundTransport transport)
     : mechanism_(std::move(mechanism)),
-      transport_(std::move(transport)),
+      announce_(std::move(transport.announce)),
+      ingest_(std::move(transport.ingest)),
       options_(options) {
   if (mechanism_ == nullptr) {
     throw std::invalid_argument("session needs a mechanism");
@@ -76,7 +244,10 @@ MechanismSession::MechanismSession(
   if (options_.num_threads == 0) {
     throw std::invalid_argument("session threads must be >= 1");
   }
-  if (!transport_) {
+  if (options_.pipeline_depth == 0) {
+    throw std::invalid_argument("session pipeline depth must be >= 1");
+  }
+  if (!ingest_) {
     throw std::invalid_argument("session needs a transport");
   }
   collector_ = std::make_unique<WireCollector>(
@@ -85,7 +256,12 @@ MechanismSession::MechanismSession(
       mechanism_->num_users());
 }
 
-MechanismSession::~MechanismSession() = default;
+MechanismSession::~MechanismSession() {
+  // Join the ingest worker before anything else dies: a prefetched round
+  // may still be running against announce_/ingest_ (and the mechanism's
+  // oracle), which are destroyed after collector_ in member order.
+  collector_.reset();
+}
 
 std::size_t MechanismSession::domain() const { return collector_->domain(); }
 
@@ -97,6 +273,10 @@ StepResult MechanismSession::Advance() {
   }
   try {
     StepResult result = mechanism_->Step(*collector_, next_t_);
+    // A step that ends without a publication records its plan after its
+    // last Collect returned; announce it now so the next timestamp's round
+    // is in flight before Advance returns.
+    collector_->FlushPendingPlan();
     ++next_t_;
     return result;
   } catch (...) {

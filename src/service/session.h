@@ -12,6 +12,16 @@
 // stub, a replay log), then closes the round and feeds the merged estimate
 // back to the mechanism. The server side only ever sees perturbed wire
 // bytes, which is the deployment model the paper assumes.
+//
+// Pipelined mode (SessionOptions::pipeline_depth > 1) splits each round at
+// the announce/ingest vs estimate/post-process seam: rounds a mechanism
+// pre-declares via CollectorContext::PlanNextCollect are announced on the
+// session thread immediately and folded on a dedicated ingest worker, so
+// round t+1's client production, network transit and IngestShard folding
+// run concurrently with round t's EstimateInto and the mechanism's
+// post-processing. Rounds are consumed strictly in round_index order and
+// the partition/merge is order-invariant, so releases are bit-identical
+// to the serial path at every depth.
 #ifndef LDPIDS_SERVICE_SESSION_H_
 #define LDPIDS_SERVICE_SESSION_H_
 
@@ -45,15 +55,51 @@ struct RoundRequest {
 };
 
 // Delivers one round's packets into the router (synchronously; typically
-// via ReportRouter::IngestBatch). Runs inside Advance().
+// via ReportRouter::IngestBatch). Runs inside Advance() — or, when the
+// session is pipelined, on the session's ingest worker thread.
 using RoundTransport = std::function<void(const RoundRequest&,
                                           ReportRouter&)>;
+
+// Announces one round to the clients (the control plane: push the round
+// descriptor so the cohort reports). Fired on the session thread the
+// moment the round is opened — for a pipelined session that is while the
+// *previous* round is still folding on the ingest worker, which is where
+// the overlap comes from: announce early, let production/transit/ingest
+// of round r+1 run under round r's estimation.
+using RoundAnnounce = std::function<void(const RoundRequest&)>;
+
+// A round transport split at the announce/ingest seam, for pipelining.
+// `announce` (optional) fires on the session thread at announcement time
+// and must return quickly — posting a descriptor, not producing packets;
+// `ingest` runs on the ingest stage (the worker thread when pipelined)
+// and delivers the round's packets into the router, typically by blocking
+// in RoundBuffer::TakeRound and folding via ReportRouter::IngestBatch
+// (see transport::MakeBufferedSplitTransport). The two halves of
+// *different* rounds run concurrently in a pipelined session, so they
+// must not share unsynchronized mutable state.
+struct SplitRoundTransport {
+  RoundAnnounce announce;
+  RoundTransport ingest;
+};
 
 struct SessionOptions {
   // Ingestion shards per round; 0 = adaptive (one per hardware thread,
   // resolved by ReportRouter).
   std::size_t num_shards = 1;
   std::size_t num_threads = 1;  // pool lanes for sharded ingestion
+  // Maximum FO rounds in flight (announced but not yet consumed by the
+  // mechanism). 1 = the serial path: each round is announced, ingested
+  // and estimated synchronously inside Advance(). >= 2 enables the
+  // pipelined path: rounds a mechanism pre-declares via
+  // CollectorContext::PlanNextCollect are announced immediately and
+  // ingested on a dedicated worker thread, overlapping the current
+  // round's EstimateInto and the mechanism's post-processing. Releases
+  // are bit-identical at every depth — pipelining reorders work, never
+  // packets (ingest is order/shard invariant and rounds are claimed
+  // strictly in round_index order). With the current mechanisms at most
+  // one round ahead is ever plannable (the next publication is decided
+  // mid-step from noisy state), so depths beyond 2 behave like 2.
+  std::size_t pipeline_depth = 1;
 };
 
 // Owns one mechanism and advances it timestamp by timestamp over wire
@@ -67,6 +113,19 @@ class MechanismSession {
   MechanismSession(std::unique_ptr<StreamMechanism> mechanism,
                    std::size_t domain, SessionOptions options,
                    RoundTransport transport);
+
+  // Split-transport form: required to get real overlap out of
+  // pipeline_depth > 1 (an opaque RoundTransport still pipelines, but its
+  // announce half is then serialized behind the previous round's fold on
+  // the worker).
+  MechanismSession(std::unique_ptr<StreamMechanism> mechanism,
+                   std::size_t domain, SessionOptions options,
+                   SplitRoundTransport transport);
+
+  // Joins the ingest worker first: every round announced by this session
+  // — including a prefetched round the mechanism never consumed — is
+  // ingested (and, if unconsumed, discarded) before destruction returns,
+  // so no announced round's frames are left pinned in a RoundBuffer.
   ~MechanismSession();
 
   // Processes the next timestamp: runs the mechanism's step logic, calling
@@ -80,6 +139,17 @@ class MechanismSession {
   // timestamp would void the privacy invariant. Every later Advance()
   // throws std::logic_error immediately (see failed()); the caller's
   // recovery unit is the session, not the round.
+  //
+  // Round-index contract on failure: a round's index is consumed when the
+  // round is announced (clients derive per-round randomness from it), so
+  // a round whose transport then fails has "burned" its index — rounds()
+  // counts it, and it is never reissued (the session is dead; a retry
+  // under the same index could double-count users). Frames already
+  // buffered for a burned index live in the caller's RoundBuffer and die
+  // with it: discard the buffer together with the failed session. The
+  // pipelined path additionally guarantees that every *announced* round
+  // is drained from the buffer (see ~MechanismSession), and that a
+  // pending plan is never announced after a failure.
   StepResult Advance();
 
   // True once an Advance() failed; the session refuses further work.
@@ -89,9 +159,12 @@ class MechanismSession {
   std::size_t domain() const;
   // Timestamp the next Advance() will process.
   std::size_t next_timestamp() const { return next_t_; }
-  // Rounds issued so far.
+  // Round indexes consumed so far: every announced round, including one
+  // whose transport later failed (see Advance) and — when pipelined — a
+  // prefetched round the mechanism has not consumed yet.
   uint64_t rounds() const { return rounds_; }
-  // Acceptance accounting accumulated over every round so far.
+  // Acceptance accounting accumulated over every round the mechanism has
+  // consumed, in round order (a prefetched round counts once claimed).
   const IngestStats& stats() const { return stats_; }
 
  private:
@@ -99,7 +172,8 @@ class MechanismSession {
 
   std::unique_ptr<StreamMechanism> mechanism_;
   std::unique_ptr<WireCollector> collector_;
-  RoundTransport transport_;
+  RoundAnnounce announce_;  // may be null (opaque-transport sessions)
+  RoundTransport ingest_;
   SessionOptions options_;
   std::size_t next_t_ = 0;
   uint64_t rounds_ = 0;

@@ -9,6 +9,15 @@
 // lane ran which session. Nested parallelism (a session's transport doing
 // sharded IngestBatch inside a pool lane) degrades to inline execution in
 // the pool, so it never deadlocks.
+//
+// Pipelined serving: sessions built with SessionOptions::pipeline_depth
+// > 1 compose directly — each owns its ingest worker, so with N pipelined
+// sessions the server overlaps round t+1 ingestion with round t
+// estimation *within* every stream on top of the across-stream
+// parallelism of AdvanceAll, and releases stay bit-identical to serial
+// sessions (pinned in pipeline_test). Successive AdvanceAll calls may run
+// one session on different pool lanes; that is safe because the pool's
+// completion barrier orders them.
 #ifndef LDPIDS_SERVICE_STREAM_SERVER_H_
 #define LDPIDS_SERVICE_STREAM_SERVER_H_
 

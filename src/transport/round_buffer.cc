@@ -8,8 +8,10 @@
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <unordered_set>
 #include <vector>
 
+#include "fo/wire.h"
 #include "service/ingest.h"
 
 namespace ldpids::transport {
@@ -26,11 +28,12 @@ const char* DeliverResultName(DeliverResult result) {
 }
 
 std::string RoundBufferStats::ToString() const {
-  char buf[240];
+  char buf[320];
   std::snprintf(
       buf, sizeof(buf),
       "buffered=%llu markers=%llu drained=%llu/%llu dropped=%llu "
-      "(closed=%llu late=%llu early=%llu) deadline_flushes=%llu",
+      "(closed=%llu late=%llu early=%llu) duplicates=%llu "
+      "deadline_flushes=%llu masked_losses=%llu",
       static_cast<unsigned long long>(buffered),
       static_cast<unsigned long long>(end_markers),
       static_cast<unsigned long long>(packets_drained),
@@ -39,14 +42,41 @@ std::string RoundBufferStats::ToString() const {
       static_cast<unsigned long long>(closed_round_drops),
       static_cast<unsigned long long>(too_late_drops),
       static_cast<unsigned long long>(too_early_drops),
-      static_cast<unsigned long long>(deadline_flushes));
+      static_cast<unsigned long long>(duplicate_frames),
+      static_cast<unsigned long long>(deadline_flushes),
+      static_cast<unsigned long long>(masked_losses));
   return buf;
+}
+
+uint64_t PacketIdentity(const uint8_t* data, std::size_t size) {
+  uint64_t nonce = 0;
+  if (PeekWireNonce(data, size, &nonce)) {
+    // Well-formed envelope prefix: the user nonce is the packet's logical
+    // identity (retransmitted copies share it even if other bytes were
+    // corrupted in one copy).
+    return nonce;
+  }
+  // Too mangled to carry a nonce: fall back to the raw bytes (FNV-1a).
+  // Byte-identical re-deliveries still collapse; distinct corrupted
+  // packets stay distinct.
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash = (hash ^ data[i]) * 0x100000001b3ull;
+  }
+  return hash;
 }
 
 RoundBuffer::RoundBuffer(RoundBufferOptions options) : options_(options) {}
 
 DeliverResult RoundBuffer::Deliver(Frame&& frame) {
   const uint64_t round = frame.timestamp;
+  // The identity depends only on the frame bytes — hash before taking the
+  // lock so concurrent transport readers don't serialize on an O(payload)
+  // scan (a wasted hash on the rare dropped frame is the cheaper side).
+  const uint64_t identity =
+      frame.kind == FrameKind::kData
+          ? PacketIdentity(frame.payload.data(), frame.payload.size())
+          : 0;
   std::lock_guard<std::mutex> lock(mu_);
   if (round < next_round_) {
     ++stats_.closed_round_drops;
@@ -74,6 +104,12 @@ DeliverResult RoundBuffer::Deliver(Frame&& frame) {
     if (Complete(pending)) complete_cv_.notify_all();
     return DeliverResult::kEndMarker;
   }
+  if (!pending.identities.insert(identity).second) {
+    ++stats_.duplicate_frames;
+  }
+  // Duplicates are still buffered — the ingest edge owns exact per-round
+  // duplicate rejection (by nonce) and its acceptance accounting — but
+  // only the first copy advanced the completion count above.
   pending.packets.push_back(std::move(frame.payload));
   ++stats_.buffered;
   if (Complete(pending)) complete_cv_.notify_all();
@@ -88,7 +124,16 @@ std::vector<std::vector<uint8_t>> RoundBuffer::TakeRound(uint64_t round) {
   const bool complete = complete_cv_.wait_for(
       lock, options_.round_deadline,
       [&] { return Complete(pending_[round]); });
-  if (!complete) ++stats_.deadline_flushes;
+  if (!complete) {
+    ++stats_.deadline_flushes;
+    const PendingRound& p = pending_[round];
+    if (p.marker_seen && p.packets.size() >= p.expected) {
+      // Raw arrivals reached the announced count but distinct ones did
+      // not: a duplicate masked a genuine loss. The pre-distinct
+      // accounting released this round as "complete".
+      ++stats_.masked_losses;
+    }
+  }
   std::vector<std::vector<uint8_t>> packets =
       std::move(pending_[round].packets);
   pending_.erase(round);
@@ -101,6 +146,11 @@ std::vector<std::vector<uint8_t>> RoundBuffer::TakeRound(uint64_t round) {
 uint64_t RoundBuffer::next_round() const {
   std::lock_guard<std::mutex> lock(mu_);
   return next_round_;
+}
+
+std::size_t RoundBuffer::pending_rounds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
 }
 
 RoundBufferStats RoundBuffer::stats() const {
@@ -152,13 +202,27 @@ service::RoundTransport MakeBufferedTransport(RoundBuffer& buffer,
   };
 }
 
+service::SplitRoundTransport MakeBufferedSplitTransport(
+    RoundBuffer& buffer, AnnounceFn announce, std::size_t num_threads) {
+  service::SplitRoundTransport split;
+  split.announce = std::move(announce);
+  split.ingest = [&buffer, num_threads](const service::RoundRequest& request,
+                                        service::ReportRouter& router) {
+    router.IngestBatch(buffer.TakeRound(request.round_index), num_threads);
+  };
+  return split;
+}
+
 void SendRoundFrames(FrameSender& sender, uint64_t session_id,
                      uint64_t round,
                      const std::vector<std::vector<uint8_t>>& packets) {
+  std::unordered_set<uint64_t> identities;
+  identities.reserve(packets.size());
   for (const std::vector<uint8_t>& packet : packets) {
+    identities.insert(PacketIdentity(packet.data(), packet.size()));
     sender.Send(MakeDataFrame(session_id, round, packet));
   }
-  sender.Send(MakeEndRoundFrame(session_id, round, packets.size()));
+  sender.Send(MakeEndRoundFrame(session_id, round, identities.size()));
   sender.Flush();
 }
 

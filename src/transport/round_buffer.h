@@ -17,12 +17,22 @@
 // drained strictly in order.
 //
 // Completion: the sender finishes a round with an end-of-round marker
-// carrying the number of data frames it transmitted (SendRoundFrames).
-// The round is complete when the marker has been seen and that many data
-// frames have arrived — in any order; "late" packets that arrive after
-// the marker still count. If the deadline passes first, the round is
-// flushed with whatever arrived (the session decides whether a partial —
-// possibly empty — round is fatal) and a deadline flush is counted.
+// carrying the number of *distinct* packets it transmitted for the round
+// (SendRoundFrames computes that count itself via PacketIdentity). The
+// round is complete when the marker has been seen and that many distinct
+// packets have arrived — in any order; "late" packets that arrive after
+// the marker still count. Distinctness matters: completion used to count
+// raw arrivals, so a frame duplicated in flight could mask a lost frame —
+// the round was released as "complete" while silently missing a real
+// packet (the duplicate was only rejected later by the ingest nonce
+// check). Duplicates are still buffered (the ingest edge owns per-round
+// duplicate accounting) but no longer advance completion; they are counted
+// in `duplicate_frames`, and a deadline flush whose raw arrivals reached
+// the marker's count while distinct ones did not is counted in
+// `masked_losses` — the exact case the old accounting released silently.
+// If the deadline passes first, the round is flushed with whatever arrived
+// (the session decides whether a partial — possibly empty — round is
+// fatal) and a deadline flush is counted.
 //
 // Watermark policy, applied at admission (per-reason drop stats):
 //   * a frame for an already-drained round is dropped (kClosedRound);
@@ -34,6 +44,12 @@
 //     hostile sender. Batch-file replays that deliver a whole recording
 //     up front size this knob to the recording (or disable with a large
 //     value).
+// The admission checks run before any per-round state is touched and apply
+// to end-of-round markers exactly as to data frames: a marker for an
+// already-drained round is a kClosedRound drop and a marker outside the
+// admission window is a kTooLate/kTooEarly drop — never a fresh
+// PendingRound that could pin memory for a round that will never drain
+// (regression-tested via pending_rounds()).
 //
 // Thread model: Deliver/EndRound are called from transport threads (socket
 // readers, replayers, test drivers); TakeRound blocks the session side on
@@ -50,6 +66,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "service/session.h"
@@ -86,6 +103,13 @@ struct RoundBufferStats {
   uint64_t rounds_drained = 0;
   uint64_t packets_drained = 0;
   uint64_t deadline_flushes = 0;  // rounds flushed incomplete
+  // Buffered data frames whose identity (PacketIdentity) was already seen
+  // in their round: re-deliveries that must not advance completion.
+  uint64_t duplicate_frames = 0;
+  // Deadline flushes where raw arrivals had reached the marker's count but
+  // distinct ones had not — a duplicate masking a genuine loss, which the
+  // pre-distinct accounting would have released as "complete".
+  uint64_t masked_losses = 0;
 
   uint64_t dropped() const {
     return closed_round_drops + too_late_drops + too_early_drops;
@@ -111,16 +135,23 @@ class RoundBuffer {
 
   // Next round TakeRound will accept; all earlier rounds are closed.
   uint64_t next_round() const;
+  // Rounds currently buffered (undrained state). Out-of-window markers and
+  // data must never arm state here — regression-tested against pinning
+  // memory for rounds that can never drain.
+  std::size_t pending_rounds() const;
   RoundBufferStats stats() const;
 
  private:
   struct PendingRound {
     std::vector<std::vector<uint8_t>> packets;
+    // Identities of the packets buffered so far; completion counts these,
+    // not raw arrivals, so a duplicate cannot mask a loss.
+    std::unordered_set<uint64_t> identities;
     bool marker_seen = false;
-    uint64_t expected = 0;  // valid once marker_seen
+    uint64_t expected = 0;  // distinct packets announced; valid once marker_seen
   };
   bool Complete(const PendingRound& p) const {
-    return p.marker_seen && p.packets.size() >= p.expected;
+    return p.marker_seen && p.identities.size() >= p.expected;
   }
 
   const RoundBufferOptions options_;
@@ -177,9 +208,32 @@ service::RoundTransport MakeBufferedTransport(RoundBuffer& buffer,
                                               AnnounceFn announce,
                                               std::size_t num_threads);
 
+// The same transport split at the announce/ingest seam for pipelined
+// sessions (SessionOptions::pipeline_depth > 1): `announce` fires on the
+// session thread the moment a round is opened — including a pre-announced
+// planned round — while the TakeRound + IngestBatch half runs on the
+// session's ingest worker. With this, round t+1's packets are produced,
+// transmitted and folded while round t is still estimating. The announce
+// callback may run concurrently with the ingest half of an *earlier*
+// round, so it must not share unsynchronized state with it (delivering
+// into the RoundBuffer is always safe; the buffer locks internally).
+service::SplitRoundTransport MakeBufferedSplitTransport(
+    RoundBuffer& buffer, AnnounceFn announce, std::size_t num_threads);
+
+// Identity of one data payload for completion accounting: the wire user
+// nonce when the payload carries a readable one (PeekWireNonce), else a
+// 64-bit hash of the raw bytes. Re-deliveries of one packet — and sender
+// retransmissions of one user's report — share an identity, so they count
+// once toward a round's completion. Both ends of the protocol use this
+// same function: RoundBuffer to count distinct arrivals, SendRoundFrames
+// to compute the distinct count its end-of-round marker announces.
+uint64_t PacketIdentity(const uint8_t* data, std::size_t size);
+
 // Sender-side helper: transmits one round's packets as data frames
 // followed by the end-of-round marker, then flushes. `round` must be the
-// session's RoundRequest::round_index.
+// session's RoundRequest::round_index. The marker announces the number of
+// *distinct* packets (PacketIdentity) in `packets`, so callers may include
+// deliberate duplicates without wedging the receiver's completion count.
 void SendRoundFrames(FrameSender& sender, uint64_t session_id,
                      uint64_t round,
                      const std::vector<std::vector<uint8_t>>& packets);

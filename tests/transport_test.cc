@@ -222,16 +222,92 @@ TEST(RoundBufferTest, EarlyRoundsAreHeldUntilTheirTurn) {
 }
 
 TEST(RoundBufferTest, StragglersAfterTheMarkerStillCount) {
-  // The marker announces 3 data frames but arrives first; the round is
-  // complete only once all 3 land.
+  // The marker announces 3 distinct packets but arrives first
+  // (marker-before-data); the round is complete only once all 3 land.
   RoundBuffer buffer;
-  buffer.Deliver(MakeEndRoundFrame(0, 0, 3));
+  EXPECT_EQ(buffer.Deliver(MakeEndRoundFrame(0, 0, 3)),
+            DeliverResult::kEndMarker);
+  EXPECT_EQ(buffer.pending_rounds(), 1u);
   auto packets = FakePackets(3, 0);
   for (auto& p : packets) {
     buffer.Deliver(MakeDataFrame(0, 0, std::move(p)));
   }
   EXPECT_EQ(buffer.TakeRound(0), FakePackets(3, 0));
   EXPECT_EQ(buffer.stats().deadline_flushes, 0u);
+  EXPECT_EQ(buffer.pending_rounds(), 0u);
+}
+
+TEST(RoundBufferTest, DuplicateCannotMaskALostPacket) {
+  // Regression for the completion accounting: the sender announces 3
+  // distinct packets; the network duplicates one and loses another, so 3
+  // raw frames arrive but only 2 distinct packets. Counting raw arrivals
+  // (the old logic) released the round as "complete" while silently
+  // missing a real packet — completion must count identities.
+  RoundBufferOptions options;
+  options.round_deadline = std::chrono::milliseconds(50);
+  RoundBuffer buffer(options);
+  auto packets = FakePackets(3, 0);  // A, B, C
+  buffer.Deliver(MakeEndRoundFrame(0, 0, 3));
+  buffer.Deliver(MakeDataFrame(0, 0, std::vector<uint8_t>(packets[0])));
+  buffer.Deliver(MakeDataFrame(0, 0, std::vector<uint8_t>(packets[0])));
+  buffer.Deliver(MakeDataFrame(0, 0, std::vector<uint8_t>(packets[1])));
+  // C never arrives. The round must NOT complete; the deadline flush hands
+  // back the partial round and counts the masked loss.
+  const auto drained = buffer.TakeRound(0);
+  EXPECT_EQ(drained.size(), 3u);  // A, dup(A), B — all buffered frames
+  EXPECT_EQ(buffer.stats().deadline_flushes, 1u);
+  EXPECT_EQ(buffer.stats().masked_losses, 1u);
+  EXPECT_EQ(buffer.stats().duplicate_frames, 1u);
+
+  // Same delivery plus the "lost" packet: completes without any flush.
+  buffer.Deliver(MakeEndRoundFrame(0, 1, 3));
+  for (int copy = 0; copy < 2; ++copy) {
+    buffer.Deliver(MakeDataFrame(0, 1, std::vector<uint8_t>(packets[0])));
+  }
+  buffer.Deliver(MakeDataFrame(0, 1, std::vector<uint8_t>(packets[1])));
+  buffer.Deliver(MakeDataFrame(0, 1, std::vector<uint8_t>(packets[2])));
+  EXPECT_EQ(buffer.TakeRound(1).size(), 4u);
+  EXPECT_EQ(buffer.stats().deadline_flushes, 1u);  // unchanged
+  EXPECT_EQ(buffer.stats().masked_losses, 1u);     // unchanged
+}
+
+TEST(RoundBufferTest, MarkerForClosedRoundIsATypedDropNotAFreshRound) {
+  // Regression: an end-of-round marker for an already-drained round must
+  // be counted as kClosedRound, never armed as a fresh PendingRound that
+  // pins memory forever.
+  RoundBuffer buffer;
+  buffer.Deliver(MakeDataFrame(0, 0, {1}));
+  buffer.Deliver(MakeEndRoundFrame(0, 0, 1));
+  EXPECT_EQ(buffer.TakeRound(0).size(), 1u);
+  EXPECT_EQ(buffer.pending_rounds(), 0u);
+
+  EXPECT_EQ(buffer.Deliver(MakeEndRoundFrame(0, 0, 7)),
+            DeliverResult::kClosedRound);
+  EXPECT_EQ(buffer.stats().closed_round_drops, 1u);
+  EXPECT_EQ(buffer.pending_rounds(), 0u);
+}
+
+TEST(RoundBufferTest, MarkerOutsideTheAdmissionWindowArmsNoState) {
+  RoundBufferOptions options;
+  options.max_lateness = 2;
+  options.max_buffered_rounds = 8;
+  RoundBuffer buffer(options);
+
+  // A marker beyond max_buffered_rounds is a typed drop, not a pinned
+  // pending round.
+  EXPECT_EQ(buffer.Deliver(MakeEndRoundFrame(0, 8, 5)),
+            DeliverResult::kTooEarly);
+  EXPECT_EQ(buffer.stats().too_early_drops, 1u);
+  EXPECT_EQ(buffer.pending_rounds(), 0u);
+
+  // Establish round 5 as the newest traffic, then a marker too far behind
+  // it is a kTooLate drop with no state armed for its round.
+  EXPECT_EQ(buffer.Deliver(MakeDataFrame(0, 5, {1})),
+            DeliverResult::kBuffered);
+  EXPECT_EQ(buffer.Deliver(MakeEndRoundFrame(0, 2, 1)),
+            DeliverResult::kTooLate);
+  EXPECT_EQ(buffer.stats().too_late_drops, 1u);
+  EXPECT_EQ(buffer.pending_rounds(), 1u);  // only round 5's data
 }
 
 TEST(RoundBufferTest, WatermarkPolicyDropsWithTypedReasons) {
@@ -480,21 +556,24 @@ TEST_P(TransportEquivalenceTest,
         dupes.push_back(packets[i]);
       }
       dupes_sent += dupes.size();
-      const uint64_t total = packets.size() + dupes.size();
       const std::size_t early = packets.size() * 2 / 3;
       for (std::size_t i = 0; i < early; ++i) {
         network.Send(MakeDataFrame(kSessionId, request.round_index,
                                    packets[i]));
       }
-      // The marker overtakes the stragglers and the duplicates.
-      network.Send(
-          MakeEndRoundFrame(kSessionId, request.round_index, total));
+      // The duplicates land mid-round (some of them *before* their
+      // original — a retry overtaking the first copy), and the marker
+      // overtakes the stragglers. It announces the distinct packet count:
+      // completion must ride on identities, not raw arrivals, so the round
+      // closes exactly when the last straggler lands.
+      for (const auto& dupe : dupes) {
+        network.Send(MakeDataFrame(kSessionId, request.round_index, dupe));
+      }
+      network.Send(MakeEndRoundFrame(kSessionId, request.round_index,
+                                     packets.size()));
       for (std::size_t i = early; i < packets.size(); ++i) {
         network.Send(MakeDataFrame(kSessionId, request.round_index,
                                    packets[i]));
-      }
-      for (const auto& dupe : dupes) {
-        network.Send(MakeDataFrame(kSessionId, request.round_index, dupe));
       }
       network.Flush();
     };
@@ -508,6 +587,8 @@ TEST_P(TransportEquivalenceTest,
 
     EXPECT_EQ(session.stats().duplicate, dupes_sent) << fo_name;
     EXPECT_EQ(session.stats().malformed, 0u);
+    EXPECT_EQ(buffer.stats().duplicate_frames, dupes_sent) << fo_name;
+    EXPECT_EQ(buffer.stats().masked_losses, 0u);
     EXPECT_EQ(buffer.stats().deadline_flushes, 0u);
     EXPECT_EQ(buffer.stats().dropped(), 0u);
     recorder.Close();
