@@ -8,7 +8,9 @@
 #include "core/factory.h"
 #include "datagen/synthetic.h"
 #include "fo/client.h"
+#include "fo/fo_kernels.h"
 #include "fo/frequency_oracle.h"
+#include "fo/report_arena.h"
 #include "util/distributions.h"
 #include "util/rng.h"
 #include "util/sampling.h"
@@ -132,6 +134,89 @@ BENCHMARK(BM_FoIngestBatched)
     ->Args({0, 1024})
     ->Args({2, 1024})
     ->Args({2, 4096});
+
+void BM_ArenaDecode(benchmark::State& state) {
+  // Columnar staging cost: batch-decode one round's packets into the
+  // ReportArena's SoA columns (envelope validation, checksum, payload
+  // repack) without folding anything. items/sec is packets/sec.
+  static const std::vector<std::string> kNames = AllFrequencyOracleNames();
+  const std::string name = kNames[static_cast<std::size_t>(state.range(0))];
+  const OracleId oracle = OracleIdFromName(name);
+  const std::size_t d = static_cast<std::size_t>(state.range(1));
+  const std::size_t n = 2000;
+  Rng rng(21);
+  std::vector<std::vector<uint8_t>> packets;
+  packets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    packets.push_back(PerturbToWire(oracle, static_cast<uint32_t>(i % d),
+                                    1.0, d, 0, i + 1, rng));
+  }
+  ReportArena arena;
+  for (auto _ : state) {
+    arena.BeginRound(oracle, 0, {1.0, d});
+    arena.AppendBatch(packets);
+    benchmark::DoNotOptimize(arena.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.SetLabel(name + "/d=" + std::to_string(d));
+}
+BENCHMARK(BM_ArenaDecode)
+    ->Args({0, 64})     // GRR
+    ->Args({0, 1024})
+    ->Args({1, 1024})   // OUE: payload scales with d
+    ->Args({1, 4096})
+    ->Args({2, 1024})   // OLH
+    ->Args({4, 1024});  // HR
+
+void BM_FoKernel(benchmark::State& state) {
+  // Vectorized fold + estimate over pre-staged arena rows: the pure
+  // server-side kernel cost (FoSketch::AddReports + EstimateInto), with
+  // decode and dedup factored out. items/sec is reports/sec.
+  static const std::vector<std::string> kNames = AllFrequencyOracleNames();
+  const std::string name = kNames[static_cast<std::size_t>(state.range(0))];
+  const OracleId oracle = OracleIdFromName(name);
+  const std::size_t d = static_cast<std::size_t>(state.range(1));
+  const std::size_t n = 2000;
+  Rng rng(22);
+  std::vector<std::vector<uint8_t>> packets;
+  packets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    packets.push_back(PerturbToWire(oracle, static_cast<uint32_t>(i % d),
+                                    1.0, d, 0, i + 1, rng));
+  }
+  ReportArena arena;
+  arena.BeginRound(oracle, 0, {1.0, d});
+  arena.AppendBatch(packets);
+  std::vector<uint32_t> indices(arena.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = static_cast<uint32_t>(i);
+  }
+  const ArenaSlice slice{&arena, indices.data(), indices.size()};
+  const auto& fo = GetFrequencyOracle(name);
+  Histogram est;
+  for (auto _ : state) {
+    auto sketch = fo.CreateSketch({1.0, d});
+    sketch->AddReports(slice);
+    sketch->EstimateInto(&est);
+    benchmark::DoNotOptimize(est.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.SetLabel(name + "/d=" + std::to_string(d) + "/backend=" +
+                 fokernels::BackendName());
+}
+BENCHMARK(BM_FoKernel)
+    ->Args({0, 64})     // GRR
+    ->Args({0, 1024})
+    ->Args({0, 4096})
+    ->Args({1, 64})     // OUE bit columns
+    ->Args({1, 1024})
+    ->Args({1, 4096})
+    ->Args({2, 64})     // OLH support scan
+    ->Args({2, 1024})
+    ->Args({2, 4096})
+    ->Args({4, 64})     // HR column histogram + FWHT
+    ->Args({4, 1024})
+    ->Args({4, 4096});
 
 void BM_FoOracleThroughput(benchmark::State& state) {
   // Sustained oracle ingestion throughput (users/sec) for every oracle at a

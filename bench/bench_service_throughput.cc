@@ -48,7 +48,9 @@ using service::RoundRequest;
 using service::SessionOptions;
 using service::StreamServer;
 
-constexpr std::size_t kDomain = 64;
+// --domain flag (default 64, the historical shape); d=1024 is the columnar
+// ingest acceptance configuration recorded in BENCH_ingest_columnar.json.
+std::size_t g_domain = 64;
 constexpr double kEpsilon = 1.0;
 
 double Seconds(std::chrono::steady_clock::time_point start) {
@@ -58,7 +60,7 @@ double Seconds(std::chrono::steady_clock::time_point start) {
 }
 
 uint32_t TruthValue(uint64_t user, std::size_t t) {
-  return static_cast<uint32_t>(HashCounter(13, user, t) % kDomain);
+  return static_cast<uint32_t>(HashCounter(13, user, t) % g_domain);
 }
 
 struct IngestCell {
@@ -74,13 +76,13 @@ struct IngestCell {
 IngestCell BenchIngest(OracleId oracle, std::size_t num_reports,
                        std::size_t shards, std::size_t threads, int reps) {
   const FrequencyOracle& fo = GetFrequencyOracle(OracleIdName(oracle));
-  const FoParams params{kEpsilon, kDomain};
+  const FoParams params{kEpsilon, g_domain};
 
   const ClientFleet fleet(num_reports, TruthValue, 97);
   RoundRequest request;
   request.timestamp = 0;
   request.epsilon = kEpsilon;
-  request.domain = kDomain;
+  request.domain = g_domain;
   request.oracle = oracle;
   const auto packets = fleet.ProduceRound(request, threads);
 
@@ -96,7 +98,7 @@ IngestCell BenchIngest(OracleId oracle, std::size_t num_reports,
     IngestStats stats;
     auto sketch = router.Close(&stats);
     const double wall = Seconds(start);
-    if (stats.accepted != num_reports) {
+    if (stats.accepted != num_reports || stats.total() != num_reports) {
       std::fprintf(stderr, "ingest dropped packets: %s\n",
                    stats.ToString().c_str());
       std::exit(1);
@@ -110,7 +112,7 @@ IngestCell BenchIngest(OracleId oracle, std::size_t num_reports,
 
 struct ServeResult {
   uint64_t releases = 0;
-  uint64_t reports = 0;
+  IngestStats ingest;  // summed over sessions via IngestStats::operator+=
   double wall_s = 0.0;
 };
 
@@ -135,7 +137,7 @@ ServeResult BenchServe(const std::vector<std::string>& mechanisms,
         mechanisms[i],
         std::make_unique<MechanismSession>(
             CreateMechanism(mechanisms[i], config, users_per_stream),
-            kDomain, options, fleets[i]->Transport(threads)));
+            g_domain, options, fleets[i]->Transport(threads)));
   }
 
   const auto start = std::chrono::steady_clock::now();
@@ -144,7 +146,7 @@ ServeResult BenchServe(const std::vector<std::string>& mechanisms,
   result.wall_s = Seconds(start);
   result.releases = mechanisms.size() * timestamps;
   for (std::size_t i = 0; i < server.num_sessions(); ++i) {
-    result.reports += server.session(i).stats().accepted;
+    result.ingest += server.session(i).stats();
   }
   return result;
 }
@@ -162,6 +164,8 @@ int main(int argc, char** argv) {
   const std::size_t threads = BenchThreads(flags);
   const int reps = RepsFlag(flags, 3);
   const std::string csv_path = flags.GetString("csv", "");
+  g_domain = static_cast<std::size_t>(
+      std::max<int64_t>(2, flags.GetInt("domain", 64)));
 
   PrintHeader("Service throughput (reports/sec)", scale);
 
@@ -188,7 +192,7 @@ int main(int argc, char** argv) {
   // count inside ReportRouter): the curve's knee sits at the core count.
   {
     const FrequencyOracle& fo = GetFrequencyOracle("GRR");
-    ReportRouter adaptive(fo, {kEpsilon, kDomain}, OracleId::kGrr, 0, 0);
+    ReportRouter adaptive(fo, {kEpsilon, g_domain}, OracleId::kGrr, 0, 0);
     std::printf(
         "\nadaptive default: num_shards=0 -> %zu shards "
         "(hardware threads: %zu)\n",
@@ -214,10 +218,13 @@ int main(int argc, char** argv) {
               serve.wall_s > 0.0
                   ? static_cast<double>(serve.releases) / serve.wall_s
                   : 0.0,
-              static_cast<unsigned long long>(serve.reports),
+              static_cast<unsigned long long>(serve.ingest.accepted),
               serve.wall_s > 0.0
-                  ? static_cast<double>(serve.reports) / serve.wall_s
+                  ? static_cast<double>(serve.ingest.accepted) / serve.wall_s
                   : 0.0);
+  std::printf("  session ingest totals: %s (%llu packets)\n",
+              serve.ingest.ToString().c_str(),
+              static_cast<unsigned long long>(serve.ingest.total()));
 
   if (!csv_path.empty()) {
     CsvWriter csv(csv_path,
@@ -237,12 +244,13 @@ int main(int argc, char** argv) {
         return a.reports_per_s < b.reports_per_s;
       });
   std::printf(
-      "\n[throughput] threads=%zu shards=%zu oracle=%s reports=%llu "
+      "\n[throughput] threads=%zu shards=%zu domain=%zu oracle=%s reports=%llu "
       "reports_per_s=%.0f serve_reports_per_s=%.0f wall_s=%.3f\n",
-      threads, best->shards, best->oracle.c_str(),
+      threads, best->shards, g_domain, best->oracle.c_str(),
       static_cast<unsigned long long>(best->reports), best->reports_per_s,
-      serve.wall_s > 0.0 ? static_cast<double>(serve.reports) / serve.wall_s
-                         : 0.0,
+      serve.wall_s > 0.0
+          ? static_cast<double>(serve.ingest.accepted) / serve.wall_s
+          : 0.0,
       serve.wall_s);
   return 0;
 }

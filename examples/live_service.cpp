@@ -48,6 +48,7 @@ namespace {
 
 using namespace ldpids;
 using service::ClientFleet;
+using service::IngestStats;
 using service::MechanismSession;
 using service::RoundRequest;
 using service::SessionOptions;
@@ -302,5 +303,10 @@ int main(int argc, char** argv) {
               "(%zu timestamps, %llu rounds)\n",
               replayed.steps.size(),
               static_cast<unsigned long long>(replayed.rounds));
+  IngestStats combined = live.ingest;
+  combined += replayed.ingest;
+  std::printf("combined ingest over both runs: %s (%llu packets)\n",
+              combined.ToString().c_str(),
+              static_cast<unsigned long long>(combined.total()));
   return 0;
 }

@@ -12,9 +12,23 @@
 #include "fo/hr.h"
 #include "fo/olh.h"
 #include "fo/oue.h"
+#include "fo/report_arena.h"
 #include "fo/sue.h"
 
 namespace ldpids {
+
+void FoSketch::AddReports(const ArenaSlice& slice) {
+  // Scalar reference: reconstruct each staged row and fold it through the
+  // single-report path. Oracles override this with vectorized column
+  // kernels; fo_kernel_test pins those overrides against this loop.
+  DecodedReport scratch;
+  for (std::size_t i = 0; i < slice.count; ++i) {
+    slice.arena->ReportAt(slice.indices[i], &scratch);
+    if (!AddReport(scratch)) {
+      throw std::logic_error("AddReports: slice row rejected by the sketch");
+    }
+  }
+}
 
 void FoSketch::AddUsers(const std::vector<uint32_t>& values, Rng& rng) {
   // Batches too small to be worth a d-sized tally always take the exact

@@ -34,6 +34,8 @@
 
 namespace ldpids {
 
+struct ArenaSlice;  // fo/report_arena.h
+
 // Perturbation/aggregation parameters of one FO collection round.
 struct FoParams {
   double epsilon = 1.0;    // LDP budget of each participating user
@@ -69,6 +71,17 @@ class FoSketch {
   // oracle, wrong bit-vector width, bucket/column out of range); the
   // serving layer counts such rejects instead of crashing or throwing.
   virtual bool AddReport(const DecodedReport& report) = 0;
+
+  // Batched online ingestion over columnar-staged rows (fo/report_arena.h):
+  // folds the slice's rows in order, with results bit-identical to calling
+  // AddReport on each row's reconstructed report. The caller must pass only
+  // rows this sketch accepts — matching oracle and in_range payloads; the
+  // ingest edge guarantees that by filtering on the arena's in_range column
+  // after duplicate rejection — so every row is folded unconditionally
+  // (std::logic_error if a row violates the contract). The base
+  // implementation is the scalar reference loop; the oracles override it
+  // with vectorized column kernels pinned against it in fo_kernel_test.
+  virtual void AddReports(const ArenaSlice& slice);
 
   // Shard-reduce: folds another sketch of the same oracle and parameters
   // into this one, as if its users had reported here directly. Because all

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fo/fo_kernels.h"
+#include "fo/report_arena.h"
 #include "fo/wire.h"
 #include "util/distributions.h"
 
@@ -69,6 +71,17 @@ class GrrSketch final : public FoSketch {
     return true;
   }
 
+  void AddReports(const ArenaSlice& slice) override {
+    // Decode already bounds GRR values to the domain, so the slice rows
+    // scatter straight into the histogram. Data-dependent indices keep this
+    // scalar; the win over AddReport is skipping the DecodedReport rebuild.
+    const uint32_t* values = slice.arena->values();
+    for (std::size_t i = 0; i < slice.count; ++i) {
+      ++report_counts_[values[slice.indices[i]]];
+    }
+    num_users_ += slice.count;
+  }
+
   void MergeFrom(const FoSketch& other) override {
     const auto* peer = dynamic_cast<const GrrSketch*>(&other);
     if (peer == nullptr || peer == this || peer->d_ != d_ ||
@@ -86,11 +99,8 @@ class GrrSketch final : public FoSketch {
     out->resize(d_);
     Histogram& est = *out;
     const double inv_n = 1.0 / static_cast<double>(num_users_);
-    const double denom = p_ - q_;
-    for (std::size_t k = 0; k < d_; ++k) {
-      const double reported = static_cast<double>(report_counts_[k]) * inv_n;
-      est[k] = (reported - q_) / denom;
-    }
+    fokernels::EstimateAffine(report_counts_.data(), d_, inv_n, q_, p_ - q_,
+                              est.data());
   }
 
   std::size_t domain() const override { return d_; }

@@ -1,12 +1,16 @@
 #include "fo/hr.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
+#include <vector>
 
+#include "fo/fo_kernels.h"
+#include "fo/report_arena.h"
 #include "fo/wire.h"
 #include "util/distributions.h"
 
@@ -25,7 +29,8 @@ class HrSketch final : public FoSketch {
       : d_(params.domain),
         k_(HrOracle::HadamardSize(params.domain)),
         p_(HrOracle::KeepProbability(params.epsilon)),
-        support_counts_(params.domain, 0) {}
+        support_counts_(params.domain, 0),
+        pending_columns_(k_, 0) {}
 
   void AddUser(uint32_t true_value, Rng& rng) override {
     if (true_value >= d_) throw std::out_of_range("HR value out of domain");
@@ -38,12 +43,11 @@ class HrSketch final : public FoSketch {
     do {
       y = rng.UniformInt(k_);
     } while (HadamardPositive(row, y) != want_positive);
-    // Server side: tally all domain values whose row is positive at y.
-    for (uint32_t v = 0; v < d_; ++v) {
-      if (HadamardPositive(static_cast<uint64_t>(v) + 1, y)) {
-        ++support_counts_[v];
-      }
-    }
+    // Server side: O(1) — just count the column. The per-value support
+    // ("all v whose row is positive at y", formerly an O(d) popcount sweep
+    // per report) falls out of one Walsh–Hadamard transform of the column
+    // histogram at resolve time; see ResolvePending.
+    TallyColumn(y);
     ++num_users_;
   }
 
@@ -65,13 +69,19 @@ class HrSketch final : public FoSketch {
   bool AddReport(const DecodedReport& report) override {
     if (report.oracle != OracleId::kHr) return false;
     if (report.hr.column >= k_) return false;
-    for (uint32_t v = 0; v < d_; ++v) {
-      if (HadamardPositive(static_cast<uint64_t>(v) + 1, report.hr.column)) {
-        ++support_counts_[v];
-      }
-    }
+    TallyColumn(report.hr.column);
     ++num_users_;
     return true;
+  }
+
+  void AddReports(const ArenaSlice& slice) override {
+    // Columns arrive pre-checked (< K) via the arena's in_range flag.
+    const uint32_t* columns = slice.arena->hr_columns();
+    for (std::size_t i = 0; i < slice.count; ++i) {
+      ++pending_columns_[columns[slice.indices[i]]];
+    }
+    pending_count_ += slice.count;
+    num_users_ += slice.count;
   }
 
   void MergeFrom(const FoSketch& other) override {
@@ -80,6 +90,8 @@ class HrSketch final : public FoSketch {
         peer->k_ != k_ || peer->p_ != p_) {
       throw std::invalid_argument("HR merge: incompatible sketch");
     }
+    ResolvePending();
+    peer->ResolvePending();
     for (std::size_t v = 0; v < d_; ++v) {
       support_counts_[v] += peer->support_counts_[v];
     }
@@ -88,23 +100,51 @@ class HrSketch final : public FoSketch {
 
   void EstimateInto(Histogram* out) const override {
     if (num_users_ == 0) throw std::logic_error("HR sketch has no users");
+    ResolvePending();
     out->resize(d_);
     Histogram& est = *out;
     const double inv_n = 1.0 / static_cast<double>(num_users_);
-    const double denom = p_ - 0.5;
-    for (std::size_t v = 0; v < d_; ++v) {
-      est[v] =
-          (static_cast<double>(support_counts_[v]) * inv_n - 0.5) / denom;
-    }
+    fokernels::EstimateAffine(support_counts_.data(), d_, inv_n, 0.5,
+                              p_ - 0.5, est.data());
   }
 
   std::size_t domain() const override { return d_; }
 
  private:
+  void TallyColumn(uint64_t column) {
+    ++pending_columns_[column];
+    ++pending_count_;
+  }
+
+  // Folds the pending column histogram into support_counts_ via one
+  // unnormalized Walsh–Hadamard transform. For a batch of m reported
+  // columns with histogram a[], W = FWHT(a) gives
+  //   W[r] = sum_c a[c] * (-1)^popcount(r & c) = (#positive) - (#negative)
+  // at row r, so the support gained by value v (#columns where row v+1 is
+  // positive) is exactly (m + W[v+1]) / 2 — an integer, since m and W[r]
+  // always share parity. This replaces m O(d) per-report sweeps with one
+  // O(K log K) transform, exactly, in int64 (|W[r]| <= m).
+  void ResolvePending() const {
+    if (pending_count_ == 0) return;
+    fwht_scratch_ = pending_columns_;
+    fokernels::Fwht(fwht_scratch_.data(), k_);
+    const int64_t m = static_cast<int64_t>(pending_count_);
+    for (std::size_t v = 0; v < d_; ++v) {
+      support_counts_[v] += static_cast<uint64_t>((m + fwht_scratch_[v + 1]) / 2);
+    }
+    std::fill(pending_columns_.begin(), pending_columns_.end(), int64_t{0});
+    pending_count_ = 0;
+  }
+
   std::size_t d_;
   uint64_t k_;
   double p_;
-  Counts support_counts_;
+  // Mutable: resolution from the const Estimate path is caching, not
+  // observable behaviour (same justification as OlhSketch's pending batch).
+  mutable Counts support_counts_;
+  mutable std::vector<int64_t> pending_columns_;
+  mutable uint64_t pending_count_ = 0;
+  mutable std::vector<int64_t> fwht_scratch_;
 };
 
 }  // namespace

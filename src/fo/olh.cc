@@ -1,5 +1,6 @@
 #include "fo/olh.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -7,6 +8,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fo/fo_kernels.h"
+#include "fo/report_arena.h"
 #include "fo/wire.h"
 #include "util/distributions.h"
 
@@ -39,8 +42,9 @@ class OlhSketch final : public FoSketch {
     // The server-side support scan is deferred: reports accumulate per seed
     // and are resolved in value-major batches (ResolvePending), instead of
     // one O(d) hash sweep per user interleaved with the client sampling.
-    pending_.push_back({seed, report});
-    if (pending_.size() >= kResolveBatch) ResolvePending();
+    pending_seeds_.push_back(seed);
+    pending_reports_.push_back(report);
+    if (pending_seeds_.size() >= kResolveBatch) ResolvePending();
     ++num_users_;
   }
 
@@ -63,10 +67,26 @@ class OlhSketch final : public FoSketch {
     if (report.olh.bucket >= g_) return false;
     // Same deferred value-major resolution as AddUser — resolution is pure
     // bookkeeping, so batching does not change any count.
-    pending_.push_back({report.olh.seed, report.olh.bucket});
-    if (pending_.size() >= kResolveBatch) ResolvePending();
+    pending_seeds_.push_back(report.olh.seed);
+    pending_reports_.push_back(report.olh.bucket);
+    if (pending_seeds_.size() >= kResolveBatch) ResolvePending();
     ++num_users_;
     return true;
+  }
+
+  void AddReports(const ArenaSlice& slice) override {
+    // Rows arrive with bucket < g already checked (the arena's in_range
+    // column), so they go straight into the pending columns. One resolve
+    // sweep then covers the whole slice plus whatever was already pending.
+    const uint64_t* seeds = slice.arena->olh_seeds();
+    const uint32_t* buckets = slice.arena->olh_buckets();
+    for (std::size_t i = 0; i < slice.count; ++i) {
+      const uint32_t row = slice.indices[i];
+      pending_seeds_.push_back(seeds[row]);
+      pending_reports_.push_back(buckets[row]);
+    }
+    num_users_ += slice.count;
+    if (pending_seeds_.size() >= kResolveBatch) ResolvePending();
   }
 
   void MergeFrom(const FoSketch& other) override {
@@ -89,41 +109,39 @@ class OlhSketch final : public FoSketch {
     Histogram& est = *out;
     const double inv_n = 1.0 / static_cast<double>(num_users_);
     const double q = 1.0 / static_cast<double>(g_);
-    const double denom = p_ - q;
-    for (std::size_t k = 0; k < d_; ++k) {
-      est[k] = (static_cast<double>(support_counts_[k]) * inv_n - q) / denom;
-    }
+    fokernels::EstimateAffine(support_counts_.data(), d_, inv_n, q, p_ - q,
+                              est.data());
   }
 
   std::size_t domain() const override { return d_; }
 
  private:
-  // One not-yet-resolved client report: the hash seed and the perturbed
-  // bucket the user sent.
-  struct PendingReport {
-    uint64_t seed;
-    uint64_t report;
-  };
-
   // Batch size for deferred resolution: large enough to amortize the sweep
-  // setup, small enough that the pending array (16 B each) stays in L1.
+  // setup, small enough that the pending columns (16 B per report) stay in
+  // L1 while every one of the d value sweeps re-reads them. AddReports may
+  // grow the batch past this before resolving; ResolvePending re-chunks the
+  // scan to this window so the streamed columns never fall out of L1.
+  // Counts are plain integer adds, so the chunking never changes a count.
   static constexpr std::size_t kResolveBatch = 512;
 
   // Tallies the pending reports into support_counts_ value-major: the
-  // per-value count accumulates in a register while the compact report
-  // array is streamed, instead of walking the d-sized count array once per
-  // user. Resolution is pure bookkeeping (no RNG), so deferring it does not
-  // change any sampled stream.
+  // per-value count accumulates in a register while the compact seed/bucket
+  // columns are streamed, instead of walking the d-sized count array once
+  // per user. The scan itself (4-lane hash + exact `% g` + match count)
+  // lives in fokernels::OlhSupportScan and computes precisely
+  // HashToBucket(seed, k, g) == bucket per pair. Resolution is pure
+  // bookkeeping (no RNG), so deferring it does not change any count.
   void ResolvePending() const {
-    if (pending_.empty()) return;
-    for (uint32_t k = 0; k < d_; ++k) {
-      uint64_t supports = 0;
-      for (const PendingReport& r : pending_) {
-        supports += HashToBucket(r.seed, k, g_) == r.report ? 1 : 0;
-      }
-      support_counts_[k] += supports;
+    for (std::size_t off = 0; off < pending_seeds_.size();
+         off += kResolveBatch) {
+      const std::size_t n =
+          std::min(kResolveBatch, pending_seeds_.size() - off);
+      fokernels::OlhSupportScan(pending_seeds_.data() + off,
+                                pending_reports_.data() + off, n, d_, g_,
+                                support_counts_.data());
     }
-    pending_.clear();
+    pending_seeds_.clear();
+    pending_reports_.clear();
   }
 
   std::size_t d_;
@@ -132,7 +150,10 @@ class OlhSketch final : public FoSketch {
   // Mutable: resolution from the const Estimate path is caching, not
   // observable behaviour (same justification as StreamDataset's count cache).
   mutable Counts support_counts_;
-  mutable std::vector<PendingReport> pending_;
+  // Not-yet-resolved client reports, struct-of-arrays so the resolve scan
+  // streams plain u64 columns.
+  mutable std::vector<uint64_t> pending_seeds_;
+  mutable std::vector<uint64_t> pending_reports_;
 };
 
 }  // namespace

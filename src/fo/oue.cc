@@ -6,6 +6,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "fo/fo_kernels.h"
+#include "fo/report_arena.h"
 #include "fo/wire.h"
 #include "util/distributions.h"
 
@@ -54,6 +56,16 @@ class OueSketch final : public FoSketch {
     return true;
   }
 
+  void AddReports(const ArenaSlice& slice) override {
+    // Slice rows stream straight from the arena's packed bit columns; the
+    // kernel spreads four bins per step instead of testing one bool at a
+    // time through a rebuilt std::vector<bool>.
+    fokernels::FoldBitColumns(slice.arena->bit_words(),
+                              slice.arena->words_per_report(), slice.indices,
+                              slice.count, d_, one_counts_.data());
+    num_users_ += slice.count;
+  }
+
   void MergeFrom(const FoSketch& other) override {
     const auto* peer = dynamic_cast<const OueSketch*>(&other);
     if (peer == nullptr || peer == this || peer->d_ != d_ ||
@@ -71,10 +83,8 @@ class OueSketch final : public FoSketch {
     out->resize(d_);
     Histogram& est = *out;
     const double inv_n = 1.0 / static_cast<double>(num_users_);
-    const double denom = 0.5 - q_;
-    for (std::size_t k = 0; k < d_; ++k) {
-      est[k] = (static_cast<double>(one_counts_[k]) * inv_n - q_) / denom;
-    }
+    fokernels::EstimateAffine(one_counts_.data(), d_, inv_n, q_, 0.5 - q_,
+                              est.data());
   }
 
   std::size_t domain() const override { return d_; }

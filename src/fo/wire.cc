@@ -71,19 +71,33 @@ std::vector<uint8_t> BuildEnvelope(OracleId oracle, uint32_t timestamp,
   throw std::runtime_error(std::string("wire: ") + WireErrorName(error));
 }
 
-// Zero-copy envelope view into the caller's packet buffer: the ingest hot
-// path (TryDecodeReport) validates and decodes without materializing the
-// payload into a WireEnvelope's heap vector.
-struct EnvelopeView {
-  OracleId oracle = OracleId::kGrr;
-  uint32_t timestamp = 0;
-  uint64_t nonce = 0;
-  const uint8_t* payload = nullptr;
-  std::size_t payload_size = 0;
-};
+// Legacy alias kept for the envelope-based code below; the view itself is
+// public now (WireEnvelopeView) so the batch staging path (report_arena)
+// decodes headers through exactly the same validation.
+using EnvelopeView = WireEnvelopeView;
 
 WireError ViewEnvelope(const uint8_t* data, std::size_t size,
                        EnvelopeView* out) {
+  return ViewWireEnvelope(data, size, out);
+}
+
+WireError BitVectorPayloadFromBytes(const uint8_t* payload, std::size_t size,
+                                    std::size_t domain,
+                                    BitVectorWireReport* out) {
+  if (!BitVectorPayloadSizeOk(size, domain)) return WireError::kPayloadSize;
+  // assign reuses the caller's bit buffer, so a reused DecodedReport
+  // scratch makes this allocation-free after the first packet.
+  out->bits.assign(domain, false);
+  for (std::size_t k = 0; k < domain; ++k) {
+    out->bits[k] = (payload[k / 8] >> (k % 8)) & 1u;
+  }
+  return WireError::kOk;
+}
+
+}  // namespace
+
+WireError ViewWireEnvelope(const uint8_t* data, std::size_t size,
+                           WireEnvelopeView* out) {
   if (size < kHeaderSize + kChecksumSize) return WireError::kTooShort;
   if (data[0] != kMagic) return WireError::kBadMagic;
   if (data[1] != kVersion) return WireError::kBadVersion;
@@ -105,8 +119,6 @@ WireError ViewEnvelope(const uint8_t* data, std::size_t size,
   return WireError::kOk;
 }
 
-// Payload decoders over raw bytes, shared by the envelope-based Try* API
-// and the zero-copy TryDecodeReport path.
 WireError GrrPayloadFromBytes(const uint8_t* payload, std::size_t size,
                               std::size_t domain, GrrWireReport* out) {
   const std::size_t bytes = GrrValueBytes(domain);
@@ -117,19 +129,6 @@ WireError GrrPayloadFromBytes(const uint8_t* payload, std::size_t size,
   }
   if (value >= domain) return WireError::kValueOutOfDomain;
   out->value = value;
-  return WireError::kOk;
-}
-
-WireError BitVectorPayloadFromBytes(const uint8_t* payload, std::size_t size,
-                                    std::size_t domain,
-                                    BitVectorWireReport* out) {
-  if (size != (domain + 7) / 8) return WireError::kPayloadSize;
-  // assign reuses the caller's bit buffer, so a reused DecodedReport
-  // scratch makes this allocation-free after the first packet.
-  out->bits.assign(domain, false);
-  for (std::size_t k = 0; k < domain; ++k) {
-    out->bits[k] = (payload[k / 8] >> (k % 8)) & 1u;
-  }
   return WireError::kOk;
 }
 
@@ -148,7 +147,13 @@ WireError HrPayloadFromBytes(const uint8_t* payload, std::size_t size,
   return WireError::kOk;
 }
 
-}  // namespace
+bool BitVectorPayloadSizeOk(std::size_t size, std::size_t domain) {
+  return size == (domain + 7) / 8;
+}
+
+std::size_t GrrWireValueBytes(std::size_t domain) {
+  return GrrValueBytes(domain);
+}
 
 std::vector<OracleId> AllOracleIds() {
   return {OracleId::kGrr, OracleId::kOue, OracleId::kOlh, OracleId::kSue,

@@ -79,6 +79,10 @@ enum class WireError : uint8_t {
   kValueOutOfDomain,   // decoded value does not fit the domain
 };
 
+// Number of WireError enumerators (for per-reason counters indexed by the
+// enum value; kOk is index 0).
+inline constexpr std::size_t kWireErrorCount = 10;
+
 // Human-readable reason, for logs and rejection reports.
 const char* WireErrorName(WireError error);
 
@@ -147,6 +151,41 @@ std::vector<uint8_t> EncodeHrReport(uint32_t column, uint32_t timestamp,
 // for the full decode; returns false for anything too mangled to carry a
 // nonce — such packets are rejected downstream wherever they land.
 bool PeekWireNonce(const uint8_t* data, std::size_t size, uint64_t* nonce);
+
+// --- zero-copy decoding (batch staging path) ---
+// A validated envelope viewing the caller's packet buffer: no payload
+// materialization. This is what ReportArena (fo/report_arena.h) builds its
+// columns from — the envelope is decoded exactly once per packet and the
+// nonce column carried through routing, dedup and fold.
+struct WireEnvelopeView {
+  OracleId oracle = OracleId::kGrr;
+  uint32_t timestamp = 0;
+  uint64_t nonce = 0;
+  const uint8_t* payload = nullptr;
+  std::size_t payload_size = 0;
+};
+
+// Validates magic/version/oracle-range/length/checksum and fills the view.
+// The view borrows `data`; it is valid only while the packet buffer lives.
+WireError ViewWireEnvelope(const uint8_t* data, std::size_t size,
+                           WireEnvelopeView* out);
+
+// Payload decoders over raw bytes, shared by the envelope-based Try* API
+// and the batch staging path. Validation and outputs are identical to the
+// corresponding TryDecode*Payload.
+WireError GrrPayloadFromBytes(const uint8_t* payload, std::size_t size,
+                              std::size_t domain, GrrWireReport* out);
+WireError OlhPayloadFromBytes(const uint8_t* payload, std::size_t size,
+                              OlhWireReport* out);
+WireError HrPayloadFromBytes(const uint8_t* payload, std::size_t size,
+                             HrWireReport* out);
+// Bit-vector payloads validate by size only ((domain+7)/8 bytes, LSB-first
+// packing); the batch path copies the raw bytes into 64-bit word columns
+// instead of a vector<bool>, so there is no FromBytes materializer here.
+bool BitVectorPayloadSizeOk(std::size_t size, std::size_t domain);
+
+// Bytes of one encoded GRR value for `domain` (1, 2 or 4).
+std::size_t GrrWireValueBytes(std::size_t domain);
 
 // --- non-throwing decoding (serving hot path) ---
 // Each validates fully and writes `*out` only on kOk; on error the output

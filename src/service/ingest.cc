@@ -1,5 +1,6 @@
 #include "service/ingest.h"
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -73,7 +74,7 @@ IngestResult IngestShard::Ingest(const uint8_t* data, std::size_t size) {
     ++stats_.wrong_timestamp;
     return IngestResult::kWrongTimestamp;
   }
-  if (seen_.count(scratch_.nonce) != 0) {
+  if (seen_.Contains(scratch_.nonce)) {
     ++stats_.duplicate;
     return IngestResult::kDuplicate;
   }
@@ -83,14 +84,47 @@ IngestResult IngestShard::Ingest(const uint8_t* data, std::size_t size) {
   }
   // Burn the nonce only on acceptance: a forged packet that decoded but
   // failed the sketch's range check must not lock its user out.
-  seen_.insert(scratch_.nonce);
+  seen_.Insert(scratch_.nonce);
   ++stats_.accepted;
   return IngestResult::kAccepted;
 }
 
+void IngestShard::IngestSlice(const ReportArena& arena,
+                              const uint32_t* indices, std::size_t count) {
+  if (sketch_ == nullptr) {
+    throw std::logic_error("ingest shard already closed");
+  }
+  const uint64_t* nonces = arena.nonces();
+  const uint8_t* in_range = arena.in_range();
+  accept_scratch_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    const uint32_t row = indices[i];
+    const uint64_t nonce = nonces[row];
+    // Same outcome order as Ingest: a re-delivered nonce is a duplicate
+    // even when its payload is out of range, and an out-of-range row does
+    // not burn its nonce.
+    if (seen_.Contains(nonce)) {
+      ++stats_.duplicate;
+      continue;
+    }
+    if (in_range[row] == 0) {
+      ++stats_.sketch_rejected;
+      continue;
+    }
+    seen_.Insert(nonce);
+    accept_scratch_.push_back(row);
+  }
+  if (!accept_scratch_.empty()) {
+    sketch_->AddReports(
+        ArenaSlice{&arena, accept_scratch_.data(), accept_scratch_.size()});
+    stats_.accepted += accept_scratch_.size();
+  }
+}
+
 ReportRouter::ReportRouter(const FrequencyOracle& fo, const FoParams& params,
                            OracleId oracle, uint32_t timestamp,
-                           std::size_t num_shards) {
+                           std::size_t num_shards)
+    : params_(params), oracle_(oracle), timestamp_(timestamp) {
   if (num_shards == 0) num_shards = HardwareThreads();
   shards_.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
@@ -119,18 +153,55 @@ void ReportRouter::IngestBatch(
     std::size_t num_threads) {
   if (closed_) throw std::logic_error("router already closed");
   const std::size_t k = shards_.size();
-  // Deterministic nonce partition, computed serially (a header peek per
-  // packet) so every copy of one user's report lands on the same shard and
-  // the per-shard index lists are in global packet order.
-  std::vector<std::vector<uint32_t>> slices(k);
-  for (std::size_t i = 0; i < packets.size(); ++i) {
-    slices[ShardOf(packets[i].data(), packets[i].size(), i)].push_back(
-        static_cast<uint32_t>(i));
+  const std::size_t n = packets.size();
+  // Minimum packets per decode chunk: below this the pool hand-off costs
+  // more than the decode itself.
+  constexpr std::size_t kDecodeChunk = 4096;
+
+  // Stage 1: decode and checksum every packet exactly once into the
+  // columnar arena. Rows keep global packet order (Concat preserves chunk
+  // order), so dedup outcomes do not depend on the chunking.
+  arena_.BeginRound(oracle_, timestamp_, params_);
+  const std::size_t chunks =
+      (num_threads > 1 && n >= 2 * kDecodeChunk)
+          ? std::min(num_threads, (n + kDecodeChunk - 1) / kDecodeChunk)
+          : 1;
+  if (chunks <= 1) {
+    arena_.AppendBatch(packets);
+  } else {
+    decode_chunks_.resize(chunks);
+    const std::size_t per = (n + chunks - 1) / chunks;
+    ParallelFor(num_threads, chunks, [&](std::size_t c) {
+      ReportArena& chunk = decode_chunks_[c];
+      chunk.BeginRound(oracle_, timestamp_, params_);
+      chunk.AppendRange(packets, c * per, std::min(n, (c + 1) * per));
+    });
+    for (const ReportArena& chunk : decode_chunks_) arena_.Concat(chunk);
   }
-  ParallelFor(num_threads, k, [&](std::size_t shard) {
-    for (const uint32_t i : slices[shard]) {
-      shards_[shard].Ingest(packets[i]);
+  decode_stats_ += arena_.stats();
+
+  // Stage 2: deterministic nonce partition straight off the staged nonce
+  // column — no second envelope peek.
+  slices_.resize(k);
+  for (std::vector<uint32_t>& s : slices_) s.clear();
+  const uint64_t* nonces = arena_.nonces();
+  const std::size_t rows = arena_.size();
+  if (k == 1) {
+    slices_[0].reserve(rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+      slices_[0].push_back(static_cast<uint32_t>(i));
     }
+  } else {
+    for (std::size_t i = 0; i < rows; ++i) {
+      slices_[static_cast<std::size_t>(Mix64(nonces[i])) % k].push_back(
+          static_cast<uint32_t>(i));
+    }
+  }
+
+  // Stage 3: per-shard dedup + one vectorized fold per shard.
+  ParallelFor(num_threads, k, [&](std::size_t shard) {
+    shards_[shard].IngestSlice(arena_, slices_[shard].data(),
+                               slices_[shard].size());
   });
 }
 
@@ -142,6 +213,14 @@ std::unique_ptr<FoSketch> ReportRouter::Close(IngestStats* stats) {
   for (std::size_t i = 1; i < shards_.size(); ++i) {
     merged->MergeFrom(shards_[i].sketch());
     if (stats != nullptr) *stats += shards_[i].stats();
+  }
+  if (stats != nullptr) {
+    // Wire-level rejects from the batch path are counted once at the
+    // router (the arena classifies them before rows exist), so the summed
+    // stats stay identical to the per-packet path.
+    stats->malformed += decode_stats_.malformed;
+    stats->wrong_oracle += decode_stats_.wrong_oracle;
+    stats->wrong_timestamp += decode_stats_.wrong_timestamp;
   }
   return merged;
 }

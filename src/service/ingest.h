@@ -10,13 +10,22 @@
 // bit-identical to single-shard ingestion of the same packets — sketch
 // state is additive integer counts, so the partition never shows.
 //
+// Batch path: `IngestBatch` stages the whole batch through a columnar
+// ReportArena (fo/report_arena.h) — every packet is decoded and
+// checksummed exactly once (the old path peeked the envelope for routing
+// and decoded it again inside the shard), malformed/wrong-round packets
+// are counted at the router, and the surviving rows are partitioned by the
+// staged nonce column. Each shard then deduplicates its rows against its
+// flat nonce set and folds the survivors in one vectorized
+// `FoSketch::AddReports` call.
+//
 // Thread model: one shard is single-threaded; different shards are
-// independent, so `IngestBatch` fans the K shard slices across the shared
-// thread pool (util/thread_pool.h). Packets are partitioned by their wire
-// nonce (hash(nonce) mod K; packets too mangled to carry a nonce fall back
-// to index mod K) — deterministic, and it keeps every copy of one user's
-// report on the same shard, so per-round duplicate rejection is exact and
-// merged results are reproducible at every shard and thread count.
+// independent, so `IngestBatch` fans the decode chunks and the K shard
+// slices across the shared thread pool (util/thread_pool.h). Rows are
+// partitioned by their wire nonce (hash(nonce) mod K) — deterministic, and
+// it keeps every copy of one user's report on the same shard, so per-round
+// duplicate rejection is exact and merged results are reproducible at
+// every shard and thread count.
 #ifndef LDPIDS_SERVICE_INGEST_H_
 #define LDPIDS_SERVICE_INGEST_H_
 
@@ -24,11 +33,12 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "fo/frequency_oracle.h"
+#include "fo/report_arena.h"
 #include "fo/wire.h"
+#include "util/u64_set.h"
 
 namespace ldpids::service {
 
@@ -79,6 +89,16 @@ class IngestShard {
     return Ingest(packet.data(), packet.size());
   }
 
+  // Batch path: deduplicates `indices[0..count)` (rows of `arena`, in
+  // order) against this shard's seen nonces, counts out-of-range rows as
+  // sketch-rejected, and folds the survivors in one FoSketch::AddReports
+  // call. Classification order per row matches Ingest exactly: duplicate
+  // before sketch-rejected, and a nonce is burned only on acceptance.
+  // The arena rows must already be valid for this round (the arena's
+  // decode handles malformed/wrong-oracle/wrong-timestamp classification).
+  void IngestSlice(const ReportArena& arena, const uint32_t* indices,
+                   std::size_t count);
+
   const IngestStats& stats() const { return stats_; }
   const FoSketch& sketch() const { return *sketch_; }
 
@@ -95,7 +115,9 @@ class IngestShard {
   DecodedReport scratch_;  // reused across packets; no per-packet alloc
   // Nonces accepted this round: a re-delivered packet (retry, duplicating
   // network, replayed log) must not double-count its user.
-  std::unordered_set<uint64_t> seen_;
+  U64Set seen_;
+  // Accepted arena rows of the current IngestSlice call; reused.
+  std::vector<uint32_t> accept_scratch_;
 };
 
 // Routes one round's packets across K shards and shard-reduces at close.
@@ -111,10 +133,14 @@ class ReportRouter {
   // Serial single-packet path: routes the packet by its wire nonce.
   IngestResult Ingest(const std::vector<uint8_t>& packet);
 
-  // Batch path: packets are partitioned by nonce and the K shard slices
-  // are ingested concurrently across up to `num_threads` pool lanes. The
-  // assignment is deterministic and order-independent, so results are
-  // identical at every thread and shard count.
+  // Batch path: stages the packets through the columnar arena (decoding
+  // each exactly once, chunk-parallel for large batches), partitions the
+  // staged rows by nonce, and ingests the K shard slices concurrently
+  // across up to `num_threads` pool lanes. The assignment is deterministic
+  // and order-independent, so results are identical at every thread and
+  // shard count. Wire-level rejects (malformed / wrong oracle / wrong
+  // timestamp) are accounted at the router and folded into Close()'s
+  // stats; per-shard stats carry only row-level outcomes on this path.
   void IngestBatch(const std::vector<std::vector<uint8_t>>& packets,
                    std::size_t num_threads);
 
@@ -132,7 +158,18 @@ class ReportRouter {
                       std::size_t fallback) const;
 
   std::vector<IngestShard> shards_;
+  // Round configuration, kept so IngestBatch can stage arenas.
+  FoParams params_;
+  OracleId oracle_;
+  uint32_t timestamp_;
   bool closed_ = false;
+  // Batch staging state, reused across IngestBatch calls (capacity
+  // persists, so steady-state batches do not allocate).
+  ReportArena arena_;
+  std::vector<ReportArena> decode_chunks_;
+  std::vector<std::vector<uint32_t>> slices_;
+  // Wire-level rejects summed over this round's batches.
+  ArenaDecodeStats decode_stats_;
 };
 
 }  // namespace ldpids::service

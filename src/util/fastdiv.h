@@ -1,0 +1,101 @@
+// Exact division/modulo by a runtime-invariant u64 divisor.
+//
+// The OLH support scan evaluates HashToBucket — a 64-bit hash followed by
+// `% g` — for every (report, value) pair, and the hardware 64-bit divide
+// is the single most expensive instruction in that loop. A divisor that is
+// fixed for the whole scan can be replaced by a multiply-and-shift with a
+// precomputed magic number (Granlund & Montgomery, "Division by invariant
+// integers using multiplication", PLDI '94; the scheme used by compilers
+// for constant divisors and by libdivide for runtime ones).
+//
+// Exactness is the point, not just speed: HashToBucket's result feeds a
+// deterministic protocol, so Div/Mod here must equal the machine `/` and
+// `%` for EVERY uint64_t x, not approximately-for-most. The magic is
+// chosen per Granlund–Montgomery so that either
+//   q = (x * m) >> (64 + s)                      (round-up magic fits), or
+//   q = ((x - hi) >> 1 + hi) >> s, hi = mulhi(x, m)   (add-and-halve fixup)
+// is exact for all x; tests/simd_test.cc checks Div/Mod against `/` and
+// `%` exhaustively over divisor ranges and adversarial x.
+#ifndef LDPIDS_UTIL_FASTDIV_H_
+#define LDPIDS_UTIL_FASTDIV_H_
+
+#include <cstdint>
+
+namespace ldpids {
+
+class U64Divisor {
+ public:
+  // `d` must be >= 1.
+  explicit U64Divisor(uint64_t d) : d_(d) {
+    // floor(log2(d)).
+    unsigned log2d = 63u - static_cast<unsigned>(__builtin_clzll(d));
+    if ((d & (d - 1)) == 0) {
+      // Power of two: a plain shift is exact.
+      magic_ = 0;
+      shift_ = log2d;
+      add_ = false;
+      return;
+    }
+    // proposed_m = floor(2^(64 + log2d) / d), exact via 128-bit arithmetic
+    // (64 + log2d <= 126 here since d is not a power of two).
+    const unsigned __int128 one = 1;
+    unsigned __int128 num = one << (64 + log2d);
+    uint64_t proposed_m = static_cast<uint64_t>(num / d);
+    uint64_t rem = static_cast<uint64_t>(num % d);
+    uint64_t e = d - rem;
+    if (e < (uint64_t{1} << log2d)) {
+      // The rounded-up magic 1 + proposed_m keeps q exact with a plain
+      // mulhi-and-shift.
+      magic_ = proposed_m + 1;
+      shift_ = log2d;
+      add_ = false;
+    } else {
+      // Magic would need 65 bits; use the doubled magic with the
+      // add-and-halve fixup, which recovers the missing bit.
+      uint64_t twice_rem = rem + rem;
+      proposed_m += proposed_m;
+      if (twice_rem >= d || twice_rem < rem) ++proposed_m;
+      magic_ = proposed_m + 1;
+      shift_ = log2d;
+      add_ = true;
+    }
+  }
+
+  uint64_t divisor() const { return d_; }
+
+  // The raw recipe, for vectorized callers that replicate Div across SIMD
+  // lanes (src/fo/fo_kernels.cc). magic() == 0 means d_ is a power of two
+  // and Div is the plain shift; add_fixup() selects the add-and-halve path.
+  uint64_t magic() const { return magic_; }
+  unsigned shift() const { return shift_; }
+  bool add_fixup() const { return add_; }
+
+  // Exactly x / d_ for every x.
+  uint64_t Div(uint64_t x) const {
+    if (magic_ == 0) return x >> shift_;
+    uint64_t hi = MulHi(x, magic_);
+    if (add_) {
+      uint64_t t = ((x - hi) >> 1) + hi;
+      return t >> shift_;
+    }
+    return hi >> shift_;
+  }
+
+  // Exactly x % d_ for every x.
+  uint64_t Mod(uint64_t x) const { return x - Div(x) * d_; }
+
+  static uint64_t MulHi(uint64_t a, uint64_t b) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(a) * b) >> 64);
+  }
+
+ private:
+  uint64_t d_;
+  uint64_t magic_;
+  unsigned shift_;
+  bool add_;
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_UTIL_FASTDIV_H_

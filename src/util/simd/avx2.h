@@ -1,0 +1,174 @@
+// AVX2 backend for the SIMD abstraction (see simd.h).
+//
+// Four 64-bit lanes on __m256i / __m256d. Only selected when the TU is
+// compiled with AVX2 enabled (__AVX2__), which the build gates on compiler
+// support for -mavx2 on x86-64 (CMake option LDPIDS_AVX2). Lane semantics
+// are pinned bit-identical to generic.h in tests/simd_test.cc; the notes
+// on each op call out the non-obvious equivalences.
+#ifndef LDPIDS_UTIL_SIMD_AVX2_H_
+#define LDPIDS_UTIL_SIMD_AVX2_H_
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace ldpids::simd {
+
+inline constexpr std::size_t kLanes = 4;
+inline constexpr const char* kBackendName = "avx2";
+
+struct U64x {
+  __m256i v;
+};
+
+struct F64x {
+  __m256d v;
+};
+
+// ---- u64 lanes ----------------------------------------------------------
+
+inline U64x LoadU64(const uint64_t* p) {
+  return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+}
+
+inline void StoreU64(uint64_t* p, U64x v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v.v);
+}
+
+inline U64x BroadcastU64(uint64_t x) {
+  return {_mm256_set1_epi64x(static_cast<long long>(x))};
+}
+
+inline U64x ZeroU64() { return {_mm256_setzero_si256()}; }
+
+inline U64x AddU64(U64x a, U64x b) { return {_mm256_add_epi64(a.v, b.v)}; }
+inline U64x SubU64(U64x a, U64x b) { return {_mm256_sub_epi64(a.v, b.v)}; }
+inline U64x XorU64(U64x a, U64x b) { return {_mm256_xor_si256(a.v, b.v)}; }
+inline U64x AndU64(U64x a, U64x b) { return {_mm256_and_si256(a.v, b.v)}; }
+inline U64x OrU64(U64x a, U64x b) { return {_mm256_or_si256(a.v, b.v)}; }
+
+// Uniform shifts; `k` must be < 64. The count goes through an xmm register
+// (_mm256_srl_epi64) so it need not be a compile-time immediate.
+inline U64x ShrU64(U64x v, unsigned k) {
+  return {_mm256_srl_epi64(v.v, _mm_cvtsi32_si128(static_cast<int>(k)))};
+}
+
+inline U64x ShlU64(U64x v, unsigned k) {
+  return {_mm256_sll_epi64(v.v, _mm_cvtsi32_si128(static_cast<int>(k)))};
+}
+
+// Per-lane variable right shift; vpsrlvq yields 0 for counts >= 64, which
+// the generic backend mirrors.
+inline U64x ShrVarU64(U64x v, U64x counts) {
+  return {_mm256_srlv_epi64(v.v, counts.v)};
+}
+
+// Low 64 bits of the per-lane product (wrapping). AVX2 has no 64x64 low
+// multiply, so compose it from 32x32->64 partial products:
+//   a*b mod 2^64 = lo(a)*lo(b) + ((lo(a)*hi(b) + hi(a)*lo(b)) << 32).
+inline U64x MulLoU64(U64x a, U64x b) {
+  __m256i lo_lo = _mm256_mul_epu32(a.v, b.v);
+  __m256i a_hi = _mm256_srli_epi64(a.v, 32);
+  __m256i b_hi = _mm256_srli_epi64(b.v, 32);
+  __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(a_hi, b.v),
+                                   _mm256_mul_epu32(a.v, b_hi));
+  return {_mm256_add_epi64(lo_lo, _mm256_slli_epi64(cross, 32))};
+}
+
+// High 64 bits of the per-lane full 128-bit product, by schoolbook
+// composition of 32x32->64 partials. With a = ah*2^32 + al, b = bh*2^32 + bl:
+//   hi(a*b) = ah*bh + carry(al*bl, cross terms).
+// The partial sums below cannot overflow 64 bits: each term is at most
+// (2^32-1)^2 and the carries are at most 2^32-1.
+inline U64x MulHiU64(U64x a, U64x b) {
+  __m256i a_hi = _mm256_srli_epi64(a.v, 32);
+  __m256i b_hi = _mm256_srli_epi64(b.v, 32);
+  __m256i lo_lo = _mm256_mul_epu32(a.v, b.v);
+  __m256i hi_lo = _mm256_mul_epu32(a_hi, b.v);
+  __m256i lo_hi = _mm256_mul_epu32(a.v, b_hi);
+  __m256i hi_hi = _mm256_mul_epu32(a_hi, b_hi);
+  __m256i low32 = _mm256_set1_epi64x(0xFFFFFFFFLL);
+  __m256i t = _mm256_add_epi64(hi_lo, _mm256_srli_epi64(lo_lo, 32));
+  __m256i u = _mm256_add_epi64(lo_hi, _mm256_and_si256(t, low32));
+  return {_mm256_add_epi64(_mm256_add_epi64(hi_hi, _mm256_srli_epi64(t, 32)),
+                           _mm256_srli_epi64(u, 32))};
+}
+
+inline U64x CmpEqU64(U64x a, U64x b) {
+  return {_mm256_cmpeq_epi64(a.v, b.v)};
+}
+
+// Lane-wise mask ? a : b. blendv selects per byte, which equals the lane
+// select because mask lanes are all-ones or all-zero.
+inline U64x SelectU64(U64x mask, U64x a, U64x b) {
+  return {_mm256_blendv_epi8(b.v, a.v, mask.v)};
+}
+
+inline uint64_t GetU64(U64x v, std::size_t i) {
+  alignas(32) uint64_t tmp[kLanes];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), v.v);
+  return tmp[i];
+}
+
+// Fixed combination order so every backend reduces to the same value.
+inline uint64_t ReduceAddU64(U64x v) {
+  alignas(32) uint64_t tmp[kLanes];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), v.v);
+  return (tmp[0] + tmp[1]) + (tmp[2] + tmp[3]);
+}
+
+// ---- f64 lanes ----------------------------------------------------------
+
+inline F64x LoadF64(const double* p) { return {_mm256_loadu_pd(p)}; }
+inline void StoreF64(double* p, F64x v) { _mm256_storeu_pd(p, v.v); }
+inline F64x BroadcastF64(double x) { return {_mm256_set1_pd(x)}; }
+
+inline F64x AddF64(F64x a, F64x b) { return {_mm256_add_pd(a.v, b.v)}; }
+inline F64x SubF64(F64x a, F64x b) { return {_mm256_sub_pd(a.v, b.v)}; }
+inline F64x MulF64(F64x a, F64x b) { return {_mm256_mul_pd(a.v, b.v)}; }
+inline F64x DivF64(F64x a, F64x b) { return {_mm256_div_pd(a.v, b.v)}; }
+
+// Single-rounding fused multiply-add per lane (a * b + c). vfmadd when the
+// TU has FMA enabled, else scalar std::fma — same rounding either way.
+inline F64x FmaF64(F64x a, F64x b, F64x c) {
+#if defined(__FMA__)
+  return {_mm256_fmadd_pd(a.v, b.v, c.v)};
+#else
+  alignas(32) double ta[kLanes], tb[kLanes], tc[kLanes];
+  _mm256_store_pd(ta, a.v);
+  _mm256_store_pd(tb, b.v);
+  _mm256_store_pd(tc, c.v);
+  for (std::size_t i = 0; i < kLanes; ++i) ta[i] = std::fma(ta[i], tb[i], tc[i]);
+  return {_mm256_load_pd(ta)};
+#endif
+}
+
+// Exact (correctly rounded) per-lane u64 -> f64 conversion. AVX2 has no
+// packed u64 -> f64 instruction (that is AVX-512DQ), so route through
+// scalar converts — identical to the generic backend by construction.
+inline F64x U64ToF64(U64x v) {
+  alignas(32) uint64_t tmp[kLanes];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), v.v);
+  return {_mm256_set_pd(
+      static_cast<double>(tmp[3]), static_cast<double>(tmp[2]),
+      static_cast<double>(tmp[1]), static_cast<double>(tmp[0]))};
+}
+
+// Fixed combination order so every backend reduces to the same value.
+inline double ReduceAddF64(F64x v) {
+  alignas(32) double tmp[kLanes];
+  _mm256_store_pd(tmp, v.v);
+  return (tmp[0] + tmp[1]) + (tmp[2] + tmp[3]);
+}
+
+inline double GetF64(F64x v, std::size_t i) {
+  alignas(32) double tmp[kLanes];
+  _mm256_store_pd(tmp, v.v);
+  return tmp[i];
+}
+
+}  // namespace ldpids::simd
+
+#endif  // LDPIDS_UTIL_SIMD_AVX2_H_

@@ -1,0 +1,209 @@
+// Generic scalar backend for the SIMD abstraction (see simd.h).
+//
+// Four lanes held in plain arrays, every op a four-iteration loop. This is
+// the portable fallback (non-x86, pre-AVX2 x86) and the reference the AVX2
+// backend is pinned against in tests/simd_test.cc; it is also what a
+// -DLDPIDS_FORCE_SCALAR=ON build compiles everywhere, keeping these bodies
+// exercised in CI. The fixed 4-lane shape gives autovectorizers on other
+// ISAs (NEON, SVE, RVV) a clean unroll to chew on.
+#ifndef LDPIDS_UTIL_SIMD_GENERIC_H_
+#define LDPIDS_UTIL_SIMD_GENERIC_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace ldpids::simd {
+
+inline constexpr std::size_t kLanes = 4;
+inline constexpr const char* kBackendName = "generic";
+
+struct U64x {
+  uint64_t lane[kLanes];
+};
+
+struct F64x {
+  double lane[kLanes];
+};
+
+// ---- u64 lanes ----------------------------------------------------------
+
+inline U64x LoadU64(const uint64_t* p) {
+  U64x r;
+  for (std::size_t i = 0; i < kLanes; ++i) r.lane[i] = p[i];
+  return r;
+}
+
+inline void StoreU64(uint64_t* p, U64x v) {
+  for (std::size_t i = 0; i < kLanes; ++i) p[i] = v.lane[i];
+}
+
+inline U64x BroadcastU64(uint64_t x) {
+  U64x r;
+  for (std::size_t i = 0; i < kLanes; ++i) r.lane[i] = x;
+  return r;
+}
+
+inline U64x ZeroU64() { return BroadcastU64(0); }
+
+inline U64x AddU64(U64x a, U64x b) {
+  U64x r;
+  for (std::size_t i = 0; i < kLanes; ++i) r.lane[i] = a.lane[i] + b.lane[i];
+  return r;
+}
+
+inline U64x SubU64(U64x a, U64x b) {
+  U64x r;
+  for (std::size_t i = 0; i < kLanes; ++i) r.lane[i] = a.lane[i] - b.lane[i];
+  return r;
+}
+
+inline U64x XorU64(U64x a, U64x b) {
+  U64x r;
+  for (std::size_t i = 0; i < kLanes; ++i) r.lane[i] = a.lane[i] ^ b.lane[i];
+  return r;
+}
+
+inline U64x AndU64(U64x a, U64x b) {
+  U64x r;
+  for (std::size_t i = 0; i < kLanes; ++i) r.lane[i] = a.lane[i] & b.lane[i];
+  return r;
+}
+
+inline U64x OrU64(U64x a, U64x b) {
+  U64x r;
+  for (std::size_t i = 0; i < kLanes; ++i) r.lane[i] = a.lane[i] | b.lane[i];
+  return r;
+}
+
+// Uniform shifts; `k` must be < 64.
+inline U64x ShrU64(U64x v, unsigned k) {
+  U64x r;
+  for (std::size_t i = 0; i < kLanes; ++i) r.lane[i] = v.lane[i] >> k;
+  return r;
+}
+
+inline U64x ShlU64(U64x v, unsigned k) {
+  U64x r;
+  for (std::size_t i = 0; i < kLanes; ++i) r.lane[i] = v.lane[i] << k;
+  return r;
+}
+
+// Per-lane variable right shift; counts >= 64 yield 0 (matches vpsrlvq).
+inline U64x ShrVarU64(U64x v, U64x counts) {
+  U64x r;
+  for (std::size_t i = 0; i < kLanes; ++i)
+    r.lane[i] = counts.lane[i] < 64 ? v.lane[i] >> counts.lane[i] : 0;
+  return r;
+}
+
+// Low 64 bits of the per-lane product (wrapping).
+inline U64x MulLoU64(U64x a, U64x b) {
+  U64x r;
+  for (std::size_t i = 0; i < kLanes; ++i) r.lane[i] = a.lane[i] * b.lane[i];
+  return r;
+}
+
+// High 64 bits of the per-lane full 128-bit product.
+inline U64x MulHiU64(U64x a, U64x b) {
+  U64x r;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    r.lane[i] = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(a.lane[i]) * b.lane[i]) >> 64);
+  }
+  return r;
+}
+
+// All-ones lane where equal, zero lane where not.
+inline U64x CmpEqU64(U64x a, U64x b) {
+  U64x r;
+  for (std::size_t i = 0; i < kLanes; ++i)
+    r.lane[i] = a.lane[i] == b.lane[i] ? ~uint64_t{0} : 0;
+  return r;
+}
+
+// Lane-wise mask ? a : b. Mask lanes must be all-ones or all-zero
+// (as produced by CmpEqU64).
+inline U64x SelectU64(U64x mask, U64x a, U64x b) {
+  U64x r;
+  for (std::size_t i = 0; i < kLanes; ++i)
+    r.lane[i] = (a.lane[i] & mask.lane[i]) | (b.lane[i] & ~mask.lane[i]);
+  return r;
+}
+
+// Fixed combination order so every backend reduces to the same value.
+inline uint64_t ReduceAddU64(U64x v) {
+  return (v.lane[0] + v.lane[1]) + (v.lane[2] + v.lane[3]);
+}
+
+inline uint64_t GetU64(U64x v, std::size_t i) { return v.lane[i]; }
+
+// ---- f64 lanes ----------------------------------------------------------
+
+inline F64x LoadF64(const double* p) {
+  F64x r;
+  for (std::size_t i = 0; i < kLanes; ++i) r.lane[i] = p[i];
+  return r;
+}
+
+inline void StoreF64(double* p, F64x v) {
+  for (std::size_t i = 0; i < kLanes; ++i) p[i] = v.lane[i];
+}
+
+inline F64x BroadcastF64(double x) {
+  F64x r;
+  for (std::size_t i = 0; i < kLanes; ++i) r.lane[i] = x;
+  return r;
+}
+
+inline F64x AddF64(F64x a, F64x b) {
+  F64x r;
+  for (std::size_t i = 0; i < kLanes; ++i) r.lane[i] = a.lane[i] + b.lane[i];
+  return r;
+}
+
+inline F64x SubF64(F64x a, F64x b) {
+  F64x r;
+  for (std::size_t i = 0; i < kLanes; ++i) r.lane[i] = a.lane[i] - b.lane[i];
+  return r;
+}
+
+inline F64x MulF64(F64x a, F64x b) {
+  F64x r;
+  for (std::size_t i = 0; i < kLanes; ++i) r.lane[i] = a.lane[i] * b.lane[i];
+  return r;
+}
+
+inline F64x DivF64(F64x a, F64x b) {
+  F64x r;
+  for (std::size_t i = 0; i < kLanes; ++i) r.lane[i] = a.lane[i] / b.lane[i];
+  return r;
+}
+
+// Single-rounding fused multiply-add per lane (a * b + c).
+inline F64x FmaF64(F64x a, F64x b, F64x c) {
+  F64x r;
+  for (std::size_t i = 0; i < kLanes; ++i)
+    r.lane[i] = std::fma(a.lane[i], b.lane[i], c.lane[i]);
+  return r;
+}
+
+// Exact (correctly rounded) per-lane u64 -> f64 conversion; both backends
+// route through scalar converts, so this is identical everywhere.
+inline F64x U64ToF64(U64x v) {
+  F64x r;
+  for (std::size_t i = 0; i < kLanes; ++i)
+    r.lane[i] = static_cast<double>(v.lane[i]);
+  return r;
+}
+
+// Fixed combination order so every backend reduces to the same value.
+inline double ReduceAddF64(F64x v) {
+  return (v.lane[0] + v.lane[1]) + (v.lane[2] + v.lane[3]);
+}
+
+inline double GetF64(F64x v, std::size_t i) { return v.lane[i]; }
+
+}  // namespace ldpids::simd
+
+#endif  // LDPIDS_UTIL_SIMD_GENERIC_H_

@@ -1,0 +1,43 @@
+// Portable SIMD abstraction for the frequency-oracle hot kernels.
+//
+// One small vector-type-and-ops layer in the style of arbor's simd
+// headers: kernel bodies (src/fo/fo_kernels.cc) are written once against
+// the ops declared here, and a backend supplies the lanes —
+//
+//   * avx2.h    — 4 x 64-bit integer / 4 x double lanes on __m256i/__m256d
+//                 (selected when the translation unit is compiled with
+//                 AVX2 enabled, i.e. __AVX2__ is defined);
+//   * generic.h — the same 4 lanes as plain arrays with scalar loops
+//                 (every other target, and the -DLDPIDS_FORCE_SCALAR=ON
+//                 build that keeps the scalar bodies exercised in CI).
+//
+// The contract that makes the backends interchangeable is *bit-identical
+// lane semantics* (pinned in tests/simd_test.cc):
+//
+//   * integer ops are exact, so any backend trivially agrees;
+//   * every f64 op is a single correctly-rounded IEEE-754 operation per
+//     lane (add/sub/mul/div map to one vector instruction; Fma is a
+//     single-rounding fused multiply-add on both backends — std::fma in
+//     generic, vfmadd when the ISA has it);
+//   * horizontal reductions fix their combination order explicitly
+//     ((lane0 + lane1) + (lane2 + lane3)), so a reduce is the same value
+//     everywhere, not "whatever the ISA's hadd does".
+//
+// Kernels that must match a *scalar* reference loop bit-for-bit (the
+// estimate kernels are pinned against the pre-SIMD per-element loops)
+// additionally avoid Fma: a fused a*b+c rounds once where mul-then-add
+// rounds twice, so such kernels spell Mul/Add/Sub/Div explicitly.
+//
+// Width is fixed at 4 lanes (kLanes): wide enough for AVX2, small enough
+// that the generic backend's unrolled loops still vectorize reasonably on
+// NEON/SVE autovectorizers. All loads/stores are unaligned.
+#ifndef LDPIDS_UTIL_SIMD_SIMD_H_
+#define LDPIDS_UTIL_SIMD_SIMD_H_
+
+#if !defined(LDPIDS_SIMD_FORCE_GENERIC) && defined(__AVX2__)
+#include "util/simd/avx2.h"
+#else
+#include "util/simd/generic.h"
+#endif
+
+#endif  // LDPIDS_UTIL_SIMD_SIMD_H_

@@ -1,0 +1,77 @@
+// Flat open-addressing set of uint64 keys — the ingest shards' per-round
+// duplicate-nonce filter.
+//
+// std::unordered_set spends the dedup budget on a pointer chase per probe
+// (node allocation, bucket list walk). Report nonces are plain u64s that
+// are only ever probed and inserted, never erased, and the whole set dies
+// with the round — exactly the shape a linear-probing table with a
+// power-of-two capacity handles in one or two cache lines per lookup.
+// Keys are scattered with Mix64 so adversarially sequential nonces do not
+// cluster; 0 is the empty-slot sentinel and gets a dedicated flag.
+#ifndef LDPIDS_UTIL_U64_SET_H_
+#define LDPIDS_UTIL_U64_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ldpids {
+
+class U64Set {
+ public:
+  bool Contains(uint64_t x) const {
+    if (x == 0) return has_zero_;
+    if (slots_.empty()) return false;
+    std::size_t i = static_cast<std::size_t>(Mix64(x)) & mask_;
+    while (slots_[i] != 0) {
+      if (slots_[i] == x) return true;
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  // Inserts `x`; a no-op if already present.
+  void Insert(uint64_t x) {
+    if (x == 0) {
+      count_ += has_zero_ ? 0 : 1;
+      has_zero_ = true;
+      return;
+    }
+    // Grow at 3/4 load; linear probing degrades fast beyond that.
+    if ((count_ + 1) * 4 > slots_.size() * 3) Grow();
+    std::size_t i = static_cast<std::size_t>(Mix64(x)) & mask_;
+    while (slots_[i] != 0) {
+      if (slots_[i] == x) return;
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = x;
+    ++count_;
+  }
+
+  std::size_t size() const { return count_; }
+
+ private:
+  void Grow() {
+    const std::size_t new_cap = slots_.empty() ? 64 : slots_.size() * 2;
+    std::vector<uint64_t> old = std::move(slots_);
+    slots_.assign(new_cap, 0);
+    mask_ = new_cap - 1;
+    for (uint64_t x : old) {
+      if (x == 0) continue;
+      std::size_t i = static_cast<std::size_t>(Mix64(x)) & mask_;
+      while (slots_[i] != 0) i = (i + 1) & mask_;
+      slots_[i] = x;
+    }
+  }
+
+  std::vector<uint64_t> slots_;
+  std::size_t mask_ = 0;
+  std::size_t count_ = 0;  // includes the zero key when present
+  bool has_zero_ = false;
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_UTIL_U64_SET_H_

@@ -1,0 +1,259 @@
+// Pins the SIMD abstraction's lane semantics (src/util/simd/) and the
+// exact invariant-divisor arithmetic (src/util/fastdiv.h).
+//
+// The FO kernels are only allowed to be fast because every backend
+// computes the same bits: these tests compare each vector op lane-by-lane
+// against a plain scalar evaluation of the documented semantics, on
+// whichever backend this build selected. CI runs them under the default
+// (AVX2 where available) and the -DLDPIDS_FORCE_SCALAR=ON build, so both
+// backends are held to the same reference.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/fastdiv.h"
+#include "util/rng.h"
+#include "util/simd/simd.h"
+
+namespace ldpids {
+namespace {
+
+namespace s = ldpids::simd;
+
+// Bitwise equality for doubles: distinguishes -0.0 from 0.0 and pins NaN
+// payloads, which value comparison would not.
+bool SameBits(double a, double b) {
+  uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+std::vector<uint64_t> RandomU64(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> out(n);
+  for (auto& x : out) x = rng.NextU64();
+  return out;
+}
+
+TEST(SimdTest, BackendReportsFourLanes) {
+  static_assert(s::kLanes == 4);
+  SCOPED_TRACE(s::kBackendName);
+#if defined(LDPIDS_SIMD_FORCE_GENERIC)
+  EXPECT_STREQ(s::kBackendName, "generic");
+#elif defined(__AVX2__)
+  EXPECT_STREQ(s::kBackendName, "avx2");
+#else
+  EXPECT_STREQ(s::kBackendName, "generic");
+#endif
+}
+
+TEST(SimdTest, U64LoadStoreRoundTrips) {
+  auto in = RandomU64(s::kLanes, 1);
+  uint64_t out[s::kLanes];
+  s::StoreU64(out, s::LoadU64(in.data()));
+  for (std::size_t i = 0; i < s::kLanes; ++i) {
+    EXPECT_EQ(out[i], in[i]);
+    EXPECT_EQ(s::GetU64(s::LoadU64(in.data()), i), in[i]);
+  }
+}
+
+TEST(SimdTest, U64ArithmeticMatchesScalarLanes) {
+  auto a = RandomU64(s::kLanes, 2);
+  auto b = RandomU64(s::kLanes, 3);
+  auto va = s::LoadU64(a.data());
+  auto vb = s::LoadU64(b.data());
+  uint64_t out[s::kLanes];
+
+  s::StoreU64(out, s::AddU64(va, vb));
+  for (std::size_t i = 0; i < s::kLanes; ++i) EXPECT_EQ(out[i], a[i] + b[i]);
+  s::StoreU64(out, s::SubU64(va, vb));
+  for (std::size_t i = 0; i < s::kLanes; ++i) EXPECT_EQ(out[i], a[i] - b[i]);
+  s::StoreU64(out, s::XorU64(va, vb));
+  for (std::size_t i = 0; i < s::kLanes; ++i) EXPECT_EQ(out[i], a[i] ^ b[i]);
+  s::StoreU64(out, s::AndU64(va, vb));
+  for (std::size_t i = 0; i < s::kLanes; ++i) EXPECT_EQ(out[i], a[i] & b[i]);
+  s::StoreU64(out, s::OrU64(va, vb));
+  for (std::size_t i = 0; i < s::kLanes; ++i) EXPECT_EQ(out[i], a[i] | b[i]);
+  // Wrapping low-64 product, including lanes that overflow.
+  s::StoreU64(out, s::MulLoU64(va, vb));
+  for (std::size_t i = 0; i < s::kLanes; ++i) EXPECT_EQ(out[i], a[i] * b[i]);
+}
+
+TEST(SimdTest, U64ShiftsMatchScalarLanes) {
+  auto a = RandomU64(s::kLanes, 4);
+  auto va = s::LoadU64(a.data());
+  uint64_t out[s::kLanes];
+  for (unsigned k : {0u, 1u, 7u, 31u, 32u, 33u, 63u}) {
+    s::StoreU64(out, s::ShrU64(va, k));
+    for (std::size_t i = 0; i < s::kLanes; ++i) EXPECT_EQ(out[i], a[i] >> k);
+    s::StoreU64(out, s::ShlU64(va, k));
+    for (std::size_t i = 0; i < s::kLanes; ++i) EXPECT_EQ(out[i], a[i] << k);
+  }
+  // Per-lane variable shift; counts >= 64 must give 0 (vpsrlvq semantics).
+  uint64_t counts[s::kLanes] = {0, 13, 63, 64};
+  s::StoreU64(out, s::ShrVarU64(va, s::LoadU64(counts)));
+  for (std::size_t i = 0; i < s::kLanes; ++i)
+    EXPECT_EQ(out[i], counts[i] < 64 ? a[i] >> counts[i] : 0u);
+}
+
+TEST(SimdTest, CmpEqAndSelect) {
+  uint64_t a[s::kLanes] = {5, 6, 7, 0};
+  uint64_t b[s::kLanes] = {5, 9, 7, 1};
+  auto mask = s::CmpEqU64(s::LoadU64(a), s::LoadU64(b));
+  uint64_t m[s::kLanes];
+  s::StoreU64(m, mask);
+  for (std::size_t i = 0; i < s::kLanes; ++i)
+    EXPECT_EQ(m[i], a[i] == b[i] ? ~uint64_t{0} : 0u);
+
+  auto x = RandomU64(s::kLanes, 5);
+  auto y = RandomU64(s::kLanes, 6);
+  uint64_t sel[s::kLanes];
+  s::StoreU64(sel, s::SelectU64(mask, s::LoadU64(x.data()), s::LoadU64(y.data())));
+  for (std::size_t i = 0; i < s::kLanes; ++i)
+    EXPECT_EQ(sel[i], a[i] == b[i] ? x[i] : y[i]);
+
+  // The match-counting idiom the OLH scan uses: acc -= mask adds one per
+  // matching lane (mask lanes are the two's-complement -1).
+  auto acc = s::SubU64(s::ZeroU64(), mask);
+  EXPECT_EQ(s::ReduceAddU64(acc), 2u);
+}
+
+TEST(SimdTest, ReduceAddU64UsesFixedOrder) {
+  uint64_t a[s::kLanes] = {1, 10, 100, 1000};
+  EXPECT_EQ(s::ReduceAddU64(s::LoadU64(a)), 1111u);
+  // Wrapping is well-defined.
+  uint64_t big[s::kLanes] = {~uint64_t{0}, 2, 0, 0};
+  EXPECT_EQ(s::ReduceAddU64(s::LoadU64(big)), 1u);
+}
+
+TEST(SimdTest, F64OpsAreSingleRoundedPerLane) {
+  Rng rng(7);
+  double a[s::kLanes], b[s::kLanes], out[s::kLanes];
+  for (int iter = 0; iter < 256; ++iter) {
+    for (std::size_t i = 0; i < s::kLanes; ++i) {
+      // Mix magnitudes so rounding actually happens.
+      a[i] = (rng.NextDouble() - 0.5) * std::ldexp(1.0, int(rng.UniformInt(80)) - 40);
+      b[i] = (rng.NextDouble() - 0.5) * std::ldexp(1.0, int(rng.UniformInt(80)) - 40);
+    }
+    auto va = s::LoadF64(a);
+    auto vb = s::LoadF64(b);
+    s::StoreF64(out, s::AddF64(va, vb));
+    for (std::size_t i = 0; i < s::kLanes; ++i)
+      EXPECT_TRUE(SameBits(out[i], a[i] + b[i]));
+    s::StoreF64(out, s::SubF64(va, vb));
+    for (std::size_t i = 0; i < s::kLanes; ++i)
+      EXPECT_TRUE(SameBits(out[i], a[i] - b[i]));
+    s::StoreF64(out, s::MulF64(va, vb));
+    for (std::size_t i = 0; i < s::kLanes; ++i)
+      EXPECT_TRUE(SameBits(out[i], a[i] * b[i]));
+    s::StoreF64(out, s::DivF64(va, vb));
+    for (std::size_t i = 0; i < s::kLanes; ++i)
+      EXPECT_TRUE(SameBits(out[i], a[i] / b[i]));
+  }
+}
+
+TEST(SimdTest, FmaMatchesStdFma) {
+  Rng rng(8);
+  double a[s::kLanes], b[s::kLanes], c[s::kLanes], out[s::kLanes];
+  for (int iter = 0; iter < 256; ++iter) {
+    for (std::size_t i = 0; i < s::kLanes; ++i) {
+      a[i] = rng.NextDouble() * 3.0 - 1.5;
+      b[i] = rng.NextDouble() * 3.0 - 1.5;
+      c[i] = rng.NextDouble() * 1e-8;  // small addend exposes fused rounding
+    }
+    s::StoreF64(out, s::FmaF64(s::LoadF64(a), s::LoadF64(b), s::LoadF64(c)));
+    for (std::size_t i = 0; i < s::kLanes; ++i)
+      EXPECT_TRUE(SameBits(out[i], std::fma(a[i], b[i], c[i])));
+  }
+}
+
+TEST(SimdTest, U64ToF64IsExactConversion) {
+  uint64_t edge[s::kLanes] = {0, 1, (uint64_t{1} << 53) + 1, ~uint64_t{0}};
+  double out[s::kLanes];
+  s::StoreF64(out, s::U64ToF64(s::LoadU64(edge)));
+  for (std::size_t i = 0; i < s::kLanes; ++i)
+    EXPECT_TRUE(SameBits(out[i], static_cast<double>(edge[i])));
+  auto rnd = RandomU64(s::kLanes, 9);
+  s::StoreF64(out, s::U64ToF64(s::LoadU64(rnd.data())));
+  for (std::size_t i = 0; i < s::kLanes; ++i)
+    EXPECT_TRUE(SameBits(out[i], static_cast<double>(rnd[i])));
+}
+
+TEST(SimdTest, ReduceAddF64UsesFixedOrder) {
+  // Chosen so (l0+l1)+(l2+l3) differs from left-to-right accumulation.
+  double v[s::kLanes] = {1.0, std::ldexp(1.0, -60), std::ldexp(1.0, -60), -1.0};
+  double expected = (v[0] + v[1]) + (v[2] + v[3]);
+  EXPECT_TRUE(SameBits(s::ReduceAddF64(s::LoadF64(v)), expected));
+}
+
+// ---- fastdiv ------------------------------------------------------------
+
+void CheckDivisor(uint64_t d, const std::vector<uint64_t>& xs) {
+  U64Divisor div(d);
+  ASSERT_EQ(div.divisor(), d);
+  for (uint64_t x : xs) {
+    ASSERT_EQ(div.Div(x), x / d) << "d=" << d << " x=" << x;
+    ASSERT_EQ(div.Mod(x), x % d) << "d=" << d << " x=" << x;
+  }
+}
+
+std::vector<uint64_t> AdversarialX(uint64_t d) {
+  const uint64_t max = std::numeric_limits<uint64_t>::max();
+  std::vector<uint64_t> xs = {0, 1, 2, d - 1, d, d + 1, 2 * d - 1, 2 * d,
+                              max, max - 1, max - d, max - d + 1};
+  // Multiples of d and their neighbours near the top of the range, where
+  // an off-by-one magic would first show.
+  uint64_t top_multiple = max - max % d;
+  xs.push_back(top_multiple);
+  xs.push_back(top_multiple - 1);
+  if (top_multiple >= d) xs.push_back(top_multiple - d);
+  return xs;
+}
+
+TEST(FastDivTest, ExactForSmallDivisorsExhaustiveEdges) {
+  auto rand_xs = RandomU64(512, 10);
+  // Covers every OLH hash range g = round(e^eps)+1 up to eps ~ 8.5, all
+  // small powers of two, and the odd/even mix around them.
+  for (uint64_t d = 1; d <= 5000; ++d) {
+    auto xs = AdversarialX(d);
+    xs.insert(xs.end(), rand_xs.begin(), rand_xs.end());
+    CheckDivisor(d, xs);
+  }
+}
+
+TEST(FastDivTest, ExactForLargeAndPowerOfTwoDivisors) {
+  auto rand_xs = RandomU64(512, 11);
+  std::vector<uint64_t> divisors;
+  for (unsigned k = 0; k < 64; ++k) {
+    divisors.push_back(uint64_t{1} << k);                  // powers of two
+    if (k >= 1) divisors.push_back((uint64_t{1} << k) + 1);  // just above
+    if (k >= 2) divisors.push_back((uint64_t{1} << k) - 1);  // just below
+  }
+  Rng rng(12);
+  for (int i = 0; i < 64; ++i) divisors.push_back(rng.NextU64() | 1);
+  for (uint64_t d : divisors) {
+    auto xs = AdversarialX(d);
+    xs.insert(xs.end(), rand_xs.begin(), rand_xs.end());
+    CheckDivisor(d, xs);
+  }
+}
+
+TEST(FastDivTest, RandomDivisorsRandomOperands) {
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t d = rng.UniformInt(1u << 20) + 1;
+    uint64_t x = rng.NextU64();
+    U64Divisor div(d);
+    ASSERT_EQ(div.Div(x), x / d) << "d=" << d << " x=" << x;
+    ASSERT_EQ(div.Mod(x), x % d) << "d=" << d << " x=" << x;
+  }
+}
+
+}  // namespace
+}  // namespace ldpids

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "fo/client.h"
+#include "fo/report_arena.h"
 #include "fo/wire.h"
 #include "transport/frame.h"
 #include "util/rng.h"
@@ -296,6 +297,101 @@ TEST(FrameFuzzTest, SplitAndMergedReadsAgreeWithOneShotDecoding) {
     EXPECT_EQ(count, sent.size()) << "trial " << trial;
     EXPECT_EQ(decoder.stats().errors(), 0u);
   }
+}
+
+// --- columnar batch decoder (fo/report_arena.h) ---------------------------
+// The arena ingests the same byte soup the per-report decoders face, so it
+// gets the same net: arbitrary corruption must never crash it (the suite
+// runs under ASan+UBSan in CI), every packet must land in exactly one
+// stats bucket, and its accept/reject classification must equal the
+// per-report TryDecodeReport path packet for packet.
+
+TEST(ArenaFuzzTest, CorruptedBatchesClassifyExactlyLikePerReportDecode) {
+  Rng rng(617);
+  for (OracleId oracle : AllOracleIds()) {
+    // Valid packets for the round, plus heavy mutation: bit flips at
+    // random positions, truncations, extensions, pure garbage.
+    std::vector<std::vector<uint8_t>> packets;
+    uint64_t nonce = 1;
+    for (int i = 0; i < 40; ++i) {
+      const uint32_t v = static_cast<uint32_t>(rng.UniformInt(kDomain));
+      const uint32_t ts = rng.Bernoulli(0.8) ? 5u : 6u;
+      packets.push_back(
+          PerturbToWire(oracle, v, kEpsilon, kDomain, ts, nonce++, rng));
+    }
+    const std::size_t valid_count = packets.size();
+    for (std::size_t i = 0; i < valid_count; ++i) {
+      auto mutated = packets[i];
+      switch (rng.UniformInt(4)) {
+        case 0:
+          mutated[rng.UniformInt(mutated.size())] ^=
+              static_cast<uint8_t>(1 + rng.UniformInt(255));
+          break;
+        case 1:
+          mutated.resize(rng.UniformInt(mutated.size()));
+          break;
+        case 2:
+          mutated.push_back(static_cast<uint8_t>(rng.NextU64()));
+          break;
+        default:
+          mutated.assign(rng.UniformInt(48),
+                         static_cast<uint8_t>(rng.NextU64()));
+          break;
+      }
+      packets.push_back(std::move(mutated));
+    }
+
+    ReportArena arena;
+    arena.BeginRound(oracle, 5, {kEpsilon, kDomain});
+    ASSERT_NO_THROW(arena.AppendBatch(packets));
+
+    // Every packet lands in exactly one bucket.
+    EXPECT_EQ(arena.stats().total(), packets.size());
+
+    // Reference classification via the per-report decoder, in the ingest
+    // shard's order.
+    std::size_t want_rows = 0;
+    ArenaDecodeStats want;
+    for (const auto& p : packets) {
+      DecodedReport report;
+      WireError err = WireError::kOk;
+      ASSERT_NO_THROW(err = TryDecodeReport(p, kDomain, &report));
+      if (err != WireError::kOk) {
+        ++want.malformed;
+        ++want.wire_errors[static_cast<std::size_t>(err)];
+      } else if (report.oracle != oracle) {
+        ++want.wrong_oracle;
+      } else if (report.timestamp != 5) {
+        ++want.wrong_timestamp;
+      } else {
+        ++want_rows;
+      }
+    }
+    EXPECT_EQ(arena.size(), want_rows);
+    EXPECT_EQ(arena.stats().decoded, want_rows);
+    EXPECT_EQ(arena.stats().malformed, want.malformed);
+    EXPECT_EQ(arena.stats().wrong_oracle, want.wrong_oracle);
+    EXPECT_EQ(arena.stats().wrong_timestamp, want.wrong_timestamp);
+    for (std::size_t e = 0; e < kWireErrorCount; ++e) {
+      EXPECT_EQ(arena.stats().wire_errors[e], want.wire_errors[e])
+          << WireErrorName(static_cast<WireError>(e));
+    }
+  }
+}
+
+TEST(ArenaFuzzTest, RandomGarbageBatchesNeverProduceRows) {
+  Rng rng(3131);
+  ReportArena arena;
+  arena.BeginRound(OracleId::kOue, 0, {kEpsilon, kDomain});
+  std::vector<std::vector<uint8_t>> garbage(500);
+  for (auto& p : garbage) {
+    p.resize(rng.UniformInt(96));
+    for (auto& b : p) b = static_cast<uint8_t>(rng.NextU64());
+  }
+  ASSERT_NO_THROW(arena.AppendBatch(garbage));
+  EXPECT_EQ(arena.size(), 0u);
+  EXPECT_EQ(arena.stats().total(), garbage.size());
+  EXPECT_EQ(arena.stats().malformed, garbage.size());
 }
 
 TEST(WireFuzzTest, ThrowingDecodersCarryTypedReasons) {
