@@ -4,6 +4,9 @@
 // are visible.
 #include <benchmark/benchmark.h>
 
+#include <bit>
+#include <cstring>
+
 #include "analysis/runner.h"
 #include "core/factory.h"
 #include "datagen/synthetic.h"
@@ -11,6 +14,9 @@
 #include "fo/fo_kernels.h"
 #include "fo/frequency_oracle.h"
 #include "fo/report_arena.h"
+#include "fo/wire.h"
+#include "fo/wire_internal.h"
+#include "transport/frame.h"
 #include "util/distributions.h"
 #include "util/rng.h"
 #include "util/sampling.h"
@@ -167,6 +173,161 @@ BENCHMARK(BM_ArenaDecode)
     ->Args({1, 4096})
     ->Args({2, 1024})   // OLH
     ->Args({4, 1024});  // HR
+
+// Plain-scalar reference of the wire checksum (same recurrence, no SIMD):
+// the baseline BM_WireChecksum compares the vectorized fo/wire.cc kernel
+// against. Parity with WireChecksum is pinned by wire_fuzz_test; the setup
+// below still cross-checks once so the two benches never time different
+// functions.
+uint32_t ScalarWireChecksum(const uint8_t* data, std::size_t size) {
+  using namespace ldpids::wire_internal;
+  uint64_t lanes[4] = {kChecksumSeed0 ^ static_cast<uint64_t>(size),
+                       kChecksumSeed1, kChecksumSeed2, kChecksumSeed3};
+  for (std::size_t off = 0; off < size; off += 32) {
+    uint8_t block[32] = {};
+    std::memcpy(block, data + off,
+                size - off < 32 ? size - off : std::size_t{32});
+    for (std::size_t j = 0; j < 4; ++j) {
+      uint64_t word;
+      std::memcpy(&word, block + 8 * j, 8);
+      lanes[j] = Mix64(lanes[j] ^ word);
+    }
+  }
+  const uint64_t folded = static_cast<uint64_t>(size) ^ lanes[0] ^
+                          std::rotl(lanes[1], 17) ^ std::rotl(lanes[2], 34) ^
+                          std::rotl(lanes[3], 51);
+  return static_cast<uint32_t>(Mix64(folded));
+}
+
+void BM_WireChecksum(benchmark::State& state) {
+  // One checksum over `size` bytes at byte offset `misalign` from a fresh
+  // allocation: arg 0 sweeps packet-sized through bulk inputs, arg 1
+  // exercises the unaligned loads every real packet position hits inside a
+  // batch buffer. bytes/sec is the headline; compare against
+  // BM_WireChecksumScalar at the same args for the SIMD win.
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  const std::size_t misalign = static_cast<std::size_t>(state.range(1));
+  const bool scalar = state.range(2) != 0;
+  std::vector<uint8_t> buf(size + misalign + 64);
+  Rng rng(0xC0FFEE ^ size);
+  for (auto& b : buf) b = static_cast<uint8_t>(rng.NextU64());
+  const uint8_t* data = buf.data() + misalign;
+  if (ScalarWireChecksum(data, size) != WireChecksum(data, size)) {
+    state.SkipWithError("scalar reference diverged from WireChecksum");
+    return;
+  }
+  if (scalar) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(ScalarWireChecksum(data, size));
+    }
+  } else {
+    for (auto _ : state) benchmark::DoNotOptimize(WireChecksum(data, size));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(size));
+  state.SetLabel(std::string(scalar ? "scalar" : fokernels::BackendName()) +
+                 "/size=" + std::to_string(size) +
+                 "/misalign=" + std::to_string(misalign));
+}
+BENCHMARK(BM_WireChecksum)
+    ->Args({24, 0, 0})    // GRR packet, aligned
+    ->Args({24, 0, 1})
+    ->Args({151, 0, 0})   // OUE/SUE packet at d=1024
+    ->Args({151, 0, 1})
+    ->Args({151, 3, 0})   // unaligned packet position in a batch buffer
+    ->Args({151, 3, 1})
+    ->Args({4096, 0, 0})  // bulk (amortizes setup/finalizer entirely)
+    ->Args({4096, 0, 1});
+
+void BM_VerifyChecksums(benchmark::State& state) {
+  // Batched checksum verification over a run of uniform-size packets — the
+  // decode-plane entry ReportArena and FrameDecoder funnel through. arg 1
+  // toggles the baseline: a per-packet WireChecksum loop over the same
+  // packets. The gap is the 8-packet-wide AVX-512 batch win (zero on
+  // machines without it, where VerifyChecksums degrades to the loop).
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  const bool serial = state.range(1) != 0;
+  const std::size_t n = 1024;
+  Rng rng(0xBA7C4 ^ size);
+  std::vector<std::vector<uint8_t>> packets(n);
+  std::vector<const uint8_t*> datas(n);
+  std::vector<std::size_t> sizes(n, size);
+  std::vector<uint8_t> ok(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    packets[i].resize(size);
+    for (auto& b : packets[i]) b = static_cast<uint8_t>(rng.NextU64());
+    const uint32_t sum = WireChecksum(packets[i].data(), size - 4);
+    std::memcpy(packets[i].data() + size - 4, &sum, 4);
+    datas[i] = packets[i].data();
+  }
+  if (serial) {
+    for (auto _ : state) {
+      for (std::size_t i = 0; i < n; ++i) {
+        uint32_t stored;
+        std::memcpy(&stored, datas[i] + size - 4, 4);
+        ok[i] = WireChecksum(datas[i], size - 4) == stored ? 1 : 0;
+      }
+      benchmark::DoNotOptimize(ok.data());
+    }
+  } else {
+    for (auto _ : state) {
+      VerifyChecksums(datas.data(), sizes.data(), n, ok.data());
+      benchmark::DoNotOptimize(ok.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.SetLabel(std::string(serial ? "per-packet" : "batched") +
+                 "/size=" + std::to_string(size));
+}
+BENCHMARK(BM_VerifyChecksums)
+    ->Args({24, 0})   // GRR packets
+    ->Args({24, 1})
+    ->Args({151, 0})  // OUE/SUE packets at d=1024
+    ->Args({151, 1});
+
+void BM_FrameRoundTrip(benchmark::State& state) {
+  // Full transport framing loop: encode one round's report packets into a
+  // byte stream, then reassemble and checksum-verify every frame through
+  // FrameDecoder (pooled blocks, batched verification). items/sec is
+  // frames/sec for the whole round trip.
+  static const std::vector<std::string> kNames = AllFrequencyOracleNames();
+  const std::string name = kNames[static_cast<std::size_t>(state.range(0))];
+  const OracleId oracle = OracleIdFromName(name);
+  const std::size_t d = 1024;
+  const std::size_t n = 512;
+  Rng rng(23);
+  std::vector<transport::Frame> frames;
+  frames.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    frames.push_back(transport::MakeDataFrame(
+        7, 0,
+        PayloadRef(PerturbToWire(oracle, static_cast<uint32_t>(i % d), 1.0, d,
+                                 0, i + 1, rng))));
+  }
+  std::vector<uint8_t> encoded;
+  transport::FrameDecoder decoder;
+  transport::Frame out;
+  for (auto _ : state) {
+    encoded.clear();
+    for (const transport::Frame& frame : frames) {
+      transport::AppendEncodedFrame(frame, &encoded);
+    }
+    decoder.Append(encoded);
+    std::size_t delivered = 0;
+    while (decoder.Next(&out)) ++delivered;
+    if (delivered != n) {
+      state.SkipWithError("frame loss in round trip");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(encoded.size()));
+  state.SetLabel(name + "/d=" + std::to_string(d));
+}
+BENCHMARK(BM_FrameRoundTrip)
+    ->Arg(0)   // GRR: 25-byte packets, framing overhead dominated
+    ->Arg(1)   // OUE: 151-byte packets
+    ->Arg(2);  // OLH
 
 void BM_FoKernel(benchmark::State& state) {
   // Vectorized fold + estimate over pre-staged arena rows: the pure

@@ -15,9 +15,13 @@
 // hardware thread the two stages share one core, so expect parity there,
 // not speedup).
 //
-// Flags: --scale, --reps (best rep kept), --threads, --rtt-us, --csv,
-// --help. The "[throughput]" line records serial vs pipelined releases/sec
-// (and reports/sec under overlap) for BENCH_pipeline.json.
+// Flags: --scale, --reps (best rep kept), --threads, --rtt-us,
+// --connections (highest K of the {1,2,4} sweep: the fleet stripes each
+// round's frames across K senders feeding the same RoundBuffer, modeling
+// multi-connection delivery; releases stay bit-identical at every K),
+// --csv, --help. The "[throughput]" line records serial vs pipelined
+// releases/sec (and reports/sec under overlap) plus the pipelined rate at
+// each swept connection count for BENCH_pipeline.json.
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
@@ -93,8 +97,12 @@ class BufferSender final : public transport::FrameSender {
 class LatentFleet {
  public:
   LatentFleet(const ClientFleet& fleet, RoundBuffer& buffer,
-              std::chrono::microseconds rtt)
-      : fleet_(fleet), sender_(buffer), rtt_(rtt) {
+              std::chrono::microseconds rtt, std::size_t connections)
+      : fleet_(fleet), rtt_(rtt) {
+    for (std::size_t c = 0; c < std::max<std::size_t>(1, connections); ++c) {
+      senders_.push_back(std::make_unique<BufferSender>(buffer));
+      sender_ptrs_.push_back(senders_.back().get());
+    }
     worker_ = std::thread([this] { Loop(); });
   }
 
@@ -137,13 +145,14 @@ class LatentFleet {
         queue_.pop_front();
       }
       std::this_thread::sleep_until(pending.deadline);
-      SendRoundFrames(sender_, kSessionId, pending.request.round_index,
+      SendRoundFrames(sender_ptrs_, kSessionId, pending.request.round_index,
                       fleet_.ProduceRound(pending.request, 1));
     }
   }
 
   const ClientFleet& fleet_;
-  BufferSender sender_;
+  std::vector<std::unique_ptr<BufferSender>> senders_;
+  std::vector<transport::FrameSender*> sender_ptrs_;
   const std::chrono::microseconds rtt_;
   std::mutex mu_;
   std::condition_variable cv_;
@@ -169,12 +178,12 @@ struct PipeRun {
 // One full session run at the given pipeline depth; best of `reps`.
 PipeRun RunOnce(uint64_t users, std::size_t timestamps, std::size_t depth,
                 std::chrono::microseconds rtt, std::size_t shards,
-                std::size_t threads) {
+                std::size_t threads, std::size_t connections) {
   const ClientFleet fleet(users, TruthValue, 2026);
   // The whole recording fits the default admission window comfortably,
   // but a prefetched round is one ahead of the drain point by design.
   RoundBuffer buffer;
-  LatentFleet edge(fleet, buffer, rtt);
+  LatentFleet edge(fleet, buffer, rtt, connections);
 
   SessionOptions options;
   options.num_shards = shards;
@@ -207,10 +216,12 @@ PipeRun RunOnce(uint64_t users, std::size_t timestamps, std::size_t depth,
 
 PipeRun BestOf(int reps, uint64_t users, std::size_t timestamps,
                std::size_t depth, std::chrono::microseconds rtt,
-               std::size_t shards, std::size_t threads) {
+               std::size_t shards, std::size_t threads,
+               std::size_t connections = 1) {
   PipeRun best;
   for (int rep = 0; rep < std::max(1, reps); ++rep) {
-    PipeRun run = RunOnce(users, timestamps, depth, rtt, shards, threads);
+    PipeRun run = RunOnce(users, timestamps, depth, rtt, shards, threads,
+                          connections);
     if (best.depth == 0 || run.wall_s < best.wall_s) best = run;
   }
   return best;
@@ -234,6 +245,12 @@ int main(int argc, char** argv) {
   if (rtt_us_flag < 0) {
     std::fprintf(stderr, "error: --rtt-us must be >= 0, got %lld\n",
                  static_cast<long long>(rtt_us_flag));
+    return 2;
+  }
+  const int64_t connections_flag = flags.GetInt("connections", 4);
+  if (connections_flag < 1) {
+    std::fprintf(stderr, "error: --connections must be >= 1, got %lld\n",
+                 static_cast<long long>(connections_flag));
     return 2;
   }
   const auto rtt = std::chrono::microseconds(rtt_us_flag);
@@ -276,6 +293,26 @@ int main(int argc, char** argv) {
                   : 0.0,
               serial.releases_per_s(), pipelined.releases_per_s());
 
+  // Multi-connection sweep at the pipelined depth: the fleet stripes each
+  // round across K senders; rates should hold and releases are pinned
+  // bit-identical by transport_test, so this only records the cost curve.
+  std::vector<std::size_t> sweep;
+  for (const std::size_t k : {std::size_t{2}, std::size_t{4}}) {
+    if (k <= static_cast<std::size_t>(connections_flag)) sweep.push_back(k);
+  }
+  std::vector<PipeRun> sweep_runs;
+  if (!sweep.empty()) {
+    std::printf("\npipelined (depth 2) across striped connections:\n");
+    std::printf("  conns=1: %13.1f releases/sec\n",
+                pipelined.releases_per_s());
+    for (const std::size_t k : sweep) {
+      sweep_runs.push_back(BestOf(reps, users, timestamps, /*depth=*/2, rtt,
+                                  shards, threads, k));
+      std::printf("  conns=%zu: %13.1f releases/sec\n", k,
+                  sweep_runs.back().releases_per_s());
+    }
+  }
+
   if (!csv_path.empty()) {
     CsvWriter csv(csv_path, {"rtt_us", "depth", "wall_s", "releases_per_s",
                              "reports_per_s"});
@@ -286,17 +323,26 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::string per_connection;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    char key[64];
+    std::snprintf(key, sizeof(key), " pipelined_rps_c%zu=%.1f", sweep[i],
+                  sweep_runs[i].releases_per_s());
+    per_connection += key;
+  }
   std::printf(
-      "\n[throughput] threads=%zu rtt_us=%lld serial_rps=%.1f "
-      "pipelined_rps=%.1f speedup=%.3f serial_reports_per_s=%.0f "
-      "pipelined_reports_per_s=%.0f serial_rps_rtt0=%.1f "
-      "pipelined_rps_rtt0=%.1f\n",
-      threads, static_cast<long long>(rtt_us_flag),
-      serial.releases_per_s(), pipelined.releases_per_s(),
+      "\n[throughput] threads=%zu connections=%lld rtt_us=%lld "
+      "serial_rps=%.1f pipelined_rps=%.1f speedup=%.3f "
+      "serial_reports_per_s=%.0f pipelined_reports_per_s=%.0f "
+      "serial_rps_rtt0=%.1f pipelined_rps_rtt0=%.1f%s\n",
+      threads, static_cast<long long>(connections_flag),
+      static_cast<long long>(rtt_us_flag), serial.releases_per_s(),
+      pipelined.releases_per_s(),
       serial.releases_per_s() > 0.0
           ? pipelined.releases_per_s() / serial.releases_per_s()
           : 0.0,
       serial.reports_per_s(), pipelined.reports_per_s(),
-      serial_nortt.releases_per_s(), pipelined_nortt.releases_per_s());
+      serial_nortt.releases_per_s(), pipelined_nortt.releases_per_s(),
+      per_connection.c_str());
   return 0;
 }

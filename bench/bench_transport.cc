@@ -13,9 +13,12 @@
 //      measuring reports/sec of the whole networked path.
 //
 // Flags: --scale (population multiplier), --reps (best rep reported),
-// --threads, --csv, --help. The "[throughput]" line records frames/sec
-// (codec decode), socket frames/sec and end-to-end reports/sec for
-// BENCH_transport.json (scripts/run_benches.sh).
+// --threads, --connections (highest K of the {1,2,4} socket-connection
+// sweep; the round's frames are striped across K loopback connections and
+// reassembled by the RoundBuffer's distinct-packet accounting), --csv,
+// --help. The "[throughput]" line records frames/sec (codec decode),
+// socket frames/sec at each swept connection count and end-to-end
+// reports/sec for BENCH_transport.json (scripts/run_benches.sh).
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
@@ -140,8 +143,10 @@ struct SocketCell {
 
 // Pushes one round's frames through the real loopback socket into a
 // RoundBuffer and waits for full delivery (the end-of-round marker plus
-// count is the flow control, exactly like serving).
-SocketCell BenchSocketLoopback(std::size_t num_frames, int reps) {
+// count is the flow control, exactly like serving). With `connections` > 1
+// the frames are striped round-robin across that many client connections.
+SocketCell BenchSocketLoopback(std::size_t num_frames, int reps,
+                               std::size_t connections) {
   const ClientFleet fleet(num_frames, TruthValue, 98);
   RoundRequest request;
   request.epsilon = kEpsilon;
@@ -158,14 +163,21 @@ SocketCell BenchSocketLoopback(std::size_t num_frames, int reps) {
     FrameDemux demux;
     demux.Register(kSessionId, &buffer);
     SocketListener listener(0, demux.Handler());
-    SocketClient client(listener.port());
+    std::vector<std::unique_ptr<SocketClient>> clients;
+    std::vector<transport::FrameSender*> senders;
+    for (std::size_t c = 0; c < connections; ++c) {
+      clients.push_back(std::make_unique<SocketClient>(listener.port()));
+      senders.push_back(clients.back().get());
+    }
     uint64_t bytes = 0;
     const auto start = std::chrono::steady_clock::now();
-    SendRoundFrames(client, kSessionId, 0, packets);
+    SendRoundFrames(senders, kSessionId, 0, packets);
     const auto delivered = buffer.TakeRound(0);
     const double wall = Seconds(start);
-    bytes = client.bytes_sent();
-    client.Close();
+    for (auto& client : clients) {
+      bytes += client->bytes_sent();
+      client->Close();
+    }
     listener.Stop();
     if (delivered.size() != num_frames) {
       std::fprintf(stderr, "socket bench lost frames: %zu of %zu\n",
@@ -243,6 +255,14 @@ int main(int argc, char** argv) {
   const std::size_t threads = BenchThreads(flags);
   const int reps = RepsFlag(flags, 3);
   const std::string csv_path = flags.GetString("csv", "");
+  const int64_t connections_flag = flags.GetInt("connections", 4);
+  if (connections_flag < 1) {
+    std::fprintf(stderr, "error: --connections must be >= 1, got %lld\n",
+                 static_cast<long long>(connections_flag));
+    return 2;
+  }
+  const std::size_t max_connections =
+      static_cast<std::size_t>(connections_flag);
 
   PrintHeader("Transport throughput", scale);
 
@@ -262,14 +282,23 @@ int main(int argc, char** argv) {
               codec.decode_frames_per_s,
               codec.decode_frames_per_s * frame_bytes / (1024.0 * 1024.0));
 
-  // --- section 2: socket loopback ---
+  // --- section 2: socket loopback, swept over connection counts ---
   const std::size_t socket_frames = ScaledUsers(scale, 200000);
-  const SocketCell socket_cell = BenchSocketLoopback(socket_frames, reps);
+  std::vector<std::size_t> sweep;
+  for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    if (k <= max_connections) sweep.push_back(k);
+  }
+  std::vector<SocketCell> socket_cells;
   std::printf(
-      "\nsocket loopback (%llu frames through 127.0.0.1, round-buffered):\n"
-      "  deliver: %12.0f frames/s  (%7.1f MB/s)\n",
-      static_cast<unsigned long long>(socket_cell.frames),
-      socket_cell.frames_per_s, socket_cell.mb_per_s);
+      "\nsocket loopback (%llu frames through 127.0.0.1, round-buffered):\n",
+      static_cast<unsigned long long>(socket_frames));
+  for (const std::size_t k : sweep) {
+    socket_cells.push_back(BenchSocketLoopback(socket_frames, reps, k));
+    std::printf("  deliver (%zu conn): %12.0f frames/s  (%7.1f MB/s)\n", k,
+                socket_cells.back().frames_per_s,
+                socket_cells.back().mb_per_s);
+  }
+  const SocketCell& socket_cell = socket_cells.front();
 
   // --- section 3: end-to-end networked serving ---
   const uint64_t users = std::max<uint64_t>(400, ScaledUsers(scale, 50000));
@@ -292,18 +321,29 @@ int main(int argc, char** argv) {
     csv.WriteRow("codec_decode",
                  {static_cast<double>(codec.frames),
                   codec.decode_frames_per_s});
-    csv.WriteRow("socket_deliver",
-                 {static_cast<double>(socket_cell.frames),
-                  socket_cell.frames_per_s});
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      csv.WriteRow("socket_deliver_c" + std::to_string(sweep[i]),
+                   {static_cast<double>(socket_cells[i].frames),
+                    socket_cells[i].frames_per_s});
+    }
     csv.WriteRow("serve_reports",
                  {static_cast<double>(serve.reports), serve.reports_per_s});
   }
 
+  std::string per_connection;
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    char key[64];
+    std::snprintf(key, sizeof(key), " socket_frames_per_s_c%zu=%.0f",
+                  sweep[i], socket_cells[i].frames_per_s);
+    per_connection += key;
+  }
   std::printf(
-      "\n[throughput] threads=%zu frames=%llu frames_per_s=%.0f "
-      "socket_frames_per_s=%.0f reports_per_s=%.0f wall_s=%.3f\n",
-      threads, static_cast<unsigned long long>(codec.frames),
+      "\n[throughput] threads=%zu connections=%zu frames=%llu "
+      "frames_per_s=%.0f socket_frames_per_s=%.0f%s reports_per_s=%.0f "
+      "wall_s=%.3f\n",
+      threads, max_connections,
+      static_cast<unsigned long long>(codec.frames),
       codec.decode_frames_per_s, socket_cell.frames_per_s,
-      serve.reports_per_s, serve.wall_s);
+      per_connection.c_str(), serve.reports_per_s, serve.wall_s);
   return 0;
 }

@@ -22,7 +22,10 @@
 // ingestion with the current round's estimation — releases are identical
 // at every depth; with --transport=socket the announce half runs on the
 // session thread via the split transport so the next round's frames are
-// in flight during the current estimate).
+// in flight during the current estimate), --connections (socket mode
+// only: stripe each round's frames across K loopback TCP connections;
+// the RoundBuffer reassembles by distinct-packet count, so the releases
+// are bit-identical at every K).
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -132,6 +135,7 @@ int main(int argc, char** argv) {
   const std::string log_path =
       flags.GetString("log", "live_service_frames.log");
   const int64_t pipeline = flags.GetInt("pipeline", 1);
+  const int64_t connections = flags.GetInt("connections", 1);
   if (mode != "inproc" && mode != "socket" && mode != "file") {
     std::fprintf(stderr,
                  "unknown --transport '%s' (want inproc, socket or file)\n",
@@ -141,6 +145,11 @@ int main(int argc, char** argv) {
   if (pipeline < 1) {
     std::fprintf(stderr, "--pipeline must be >= 1, got %lld\n",
                  static_cast<long long>(pipeline));
+    return 2;
+  }
+  if (connections < 1) {
+    std::fprintf(stderr, "--connections must be >= 1, got %lld\n",
+                 static_cast<long long>(connections));
     return 2;
   }
 
@@ -197,7 +206,7 @@ int main(int argc, char** argv) {
   // RoundBuffer on the server side.
   Rng delivery_rng(13);
   uint64_t frames_duplicated = 0;
-  auto send_round = [&](transport::FrameSender& sender,
+  auto send_round = [&](const std::vector<transport::FrameSender*>& senders,
                         const RoundRequest& request) {
     auto packets = fleet.ProduceRound(request, 1);
     for (auto& packet : packets) mangle(packet);
@@ -212,7 +221,7 @@ int main(int argc, char** argv) {
         ++frames_duplicated;
       }
     }
-    SendRoundFrames(sender, kSessionId, request.round_index, packets);
+    SendRoundFrames(senders, kSessionId, request.round_index, packets);
   };
 
   if (mode == "socket") {
@@ -220,8 +229,15 @@ int main(int argc, char** argv) {
     FrameDemux demux;
     demux.Register(kSessionId, &buffer);
     SocketListener listener(0, demux.Handler());
-    SocketClient client(listener.port());
-    std::printf("loopback listener on 127.0.0.1:%u\n\n", listener.port());
+    std::vector<std::unique_ptr<SocketClient>> clients;
+    std::vector<transport::FrameSender*> senders;
+    for (int64_t c = 0; c < connections; ++c) {
+      clients.push_back(std::make_unique<SocketClient>(listener.port()));
+      senders.push_back(clients.back().get());
+    }
+    std::printf("loopback listener on 127.0.0.1:%u, %lld connection%s\n\n",
+                listener.port(), static_cast<long long>(connections),
+                connections == 1 ? "" : "s");
 
     // Pipelined sessions want the split transport: the announce half (the
     // fleet answering over the socket) then runs on the session thread
@@ -230,9 +246,9 @@ int main(int argc, char** argv) {
         users, timestamps, options,
         transport::MakeBufferedSplitTransport(
             buffer,
-            [&](const RoundRequest& request) { send_round(client, request); },
+            [&](const RoundRequest& request) { send_round(senders, request); },
             options.num_threads));
-    client.Close();
+    for (auto& client : clients) client->Close();
     listener.Stop();
     PrintReleases(result);
     std::printf("frames duplicated in flight: %llu (rejected by nonce "
@@ -271,7 +287,7 @@ int main(int argc, char** argv) {
         users, timestamps, options,
         MakeBufferedTransport(
             buffer,
-            [&](const RoundRequest& request) { send_round(tee, request); },
+            [&](const RoundRequest& request) { send_round({&tee}, request); },
             options.num_threads));
     recorder.Close();
     std::printf("recorded %llu frames (%llu bytes) -> %s\n\n",

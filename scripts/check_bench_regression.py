@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Fail if any curated BENCH_*.json records a min_speedup below 1.0.
+
+The curated BENCH files committed at the repo root are the performance
+trajectory: bench_ingest_columnar's [throughput] line carries a
+`min_speedup` field (the worst columnar-vs-per-report ratio over the
+d=1024 oracle cells), and the batch path regressing below the serial
+path anywhere is a regression this gate refuses. Any other bench that
+grows a min_speedup field is picked up automatically.
+
+Usage:
+    scripts/check_bench_regression.py [FILE_OR_DIR ...]
+
+With no arguments, checks every BENCH_*.json next to the repo root
+(the directory above this script). A directory argument is scanned for
+BENCH_*.json files. Exits non-zero on any min_speedup < 1.0, on a
+bench recorded with a failing exit code, or when nothing was checked.
+"""
+
+import glob
+import json
+import os
+import sys
+
+
+def collect(args):
+    if not args:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        return sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    files = []
+    for arg in args:
+        if os.path.isdir(arg):
+            files.extend(sorted(glob.glob(os.path.join(arg, "BENCH_*.json"))))
+        else:
+            files.append(arg)
+    return files
+
+
+def main(argv):
+    files = collect(argv[1:])
+    if not files:
+        print("check_bench_regression: no BENCH_*.json files found",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    checked = 0
+    for path in files:
+        with open(path) as f:
+            record = json.load(f)
+        name = record.get("bench", os.path.basename(path))
+        if record.get("exit_code", 0) != 0:
+            print(f"FAIL {name}: recorded exit_code "
+                  f"{record['exit_code']} ({path})")
+            failures += 1
+            continue
+        min_speedup = record.get("throughput", {}).get("min_speedup")
+        if min_speedup is None:
+            continue
+        checked += 1
+        if float(min_speedup) < 1.0:
+            print(f"FAIL {name}: min_speedup={min_speedup} < 1.0 ({path})")
+            failures += 1
+        else:
+            print(f"ok   {name}: min_speedup={min_speedup}")
+    if checked == 0 and failures == 0:
+        print("check_bench_regression: no min_speedup fields found",
+              file=sys.stderr)
+        return 2
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

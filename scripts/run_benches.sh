@@ -5,6 +5,7 @@
 # Usage:
 #   scripts/run_benches.sh [--build-dir DIR] [--out-dir DIR]
 #                          [--scale S] [--reps R] [--threads K]
+#                          [--connections C]
 #
 # Defaults run a fast smoke sweep (scale 0.05, 1 rep, all hardware threads).
 # Pass --scale 1 for the full paper-sized experiments. Each JSON records the
@@ -16,7 +17,13 @@
 # — end-to-end releases/sec of the serial vs pipelined serving path — and
 # their speedup into BENCH_pipeline.json), and (where the bench supports
 # --csv) the parsed CSV rows. bench_micro uses Google Benchmark's native
-# JSON reporter instead.
+# JSON reporter instead (its BM_WireChecksum / BM_VerifyChecksums /
+# BM_FrameRoundTrip entries are the checksum-kernel trajectory).
+#
+# --connections caps the multi-connection socket sweep of bench_transport
+# and bench_pipeline (their [throughput] lines carry a connections=K field
+# plus per-K socket_frames_per_s_cK / pipelined_rps_cK keys, all parsed
+# into the JSON); other benches do not take the flag.
 set -u
 
 BUILD_DIR=build
@@ -24,14 +31,16 @@ OUT_DIR=bench_results
 SCALE=0.05
 REPS=1
 THREADS=$(nproc 2>/dev/null || echo 1)
+CONNECTIONS=4
 
 while [ $# -gt 0 ]; do
   case "$1" in
-    --build-dir) BUILD_DIR=$2; shift 2 ;;
-    --out-dir)   OUT_DIR=$2;   shift 2 ;;
-    --scale)     SCALE=$2;     shift 2 ;;
-    --reps)      REPS=$2;      shift 2 ;;
-    --threads)   THREADS=$2;   shift 2 ;;
+    --build-dir)   BUILD_DIR=$2;   shift 2 ;;
+    --out-dir)     OUT_DIR=$2;     shift 2 ;;
+    --scale)       SCALE=$2;       shift 2 ;;
+    --reps)        REPS=$2;        shift 2 ;;
+    --threads)     THREADS=$2;     shift 2 ;;
+    --connections) CONNECTIONS=$2; shift 2 ;;
     -h|--help)
       sed -n '2,14p' "$0" | sed 's/^# \{0,1\}//'
       exit 0 ;;
@@ -48,6 +57,15 @@ case "$THREADS" in
 esac
 if [ "$THREADS" -lt 1 ]; then
   echo "error: --threads expects a positive integer, got '$THREADS'" >&2
+  exit 2
+fi
+case "$CONNECTIONS" in
+  ''|*[!0-9]*)
+    echo "error: --connections expects a positive integer, got '$CONNECTIONS'" >&2
+    exit 2 ;;
+esac
+if [ "$CONNECTIONS" -lt 1 ]; then
+  echo "error: --connections expects a positive integer, got '$CONNECTIONS'" >&2
   exit 2
 fi
 
@@ -77,16 +95,23 @@ for bench in "$BUILD_DIR"/bench_*; do
   csv="$OUT_DIR/${name}.csv"
   txt="$OUT_DIR/${name}.txt"
   rm -f "$csv"
-  echo "== $name (scale=$SCALE reps=$REPS threads=$THREADS) -> $json"
+  # Only the socket-capable benches take the multi-connection sweep cap.
+  conn_args=""
+  case "$name" in
+    bench_transport|bench_pipeline) conn_args="--connections=$CONNECTIONS" ;;
+  esac
+  echo "== $name (scale=$SCALE reps=$REPS threads=$THREADS${conn_args:+ connections=$CONNECTIONS}) -> $json"
   start=$(date +%s.%N)
+  # shellcheck disable=SC2086  # conn_args is one optional flag
   "$bench" --scale="$SCALE" --reps="$REPS" --threads="$THREADS" \
-    --csv="$csv" > "$txt" 2>&1
+    $conn_args --csv="$csv" > "$txt" 2>&1
   status=$?
   end=$(date +%s.%N)
   [ $status -ne 0 ] && failures=$((failures + 1))
 
   if ! BENCH_NAME=$name BENCH_SCALE=$SCALE BENCH_REPS=$REPS \
        BENCH_THREADS=$THREADS BENCH_STATUS=$status \
+       BENCH_CONNECTIONS="${conn_args:+$CONNECTIONS}" \
        BENCH_START=$start BENCH_END=$end \
        BENCH_TXT=$txt BENCH_CSV=$csv python3 - "$json" <<'PYEOF'
 import csv, json, os, sys
@@ -119,6 +144,11 @@ record = {
     "reps": int(os.environ["BENCH_REPS"]),
     "threads": int(os.environ["BENCH_THREADS"]),
     "exit_code": int(os.environ["BENCH_STATUS"]),
+}
+# Socket-capable benches record their multi-connection sweep cap.
+if os.environ.get("BENCH_CONNECTIONS"):
+    record["connections"] = int(os.environ["BENCH_CONNECTIONS"])
+record |= {
     "wall_seconds": round(
         float(os.environ["BENCH_END"]) - float(os.environ["BENCH_START"]), 3),
     "throughput": throughput,

@@ -4,32 +4,24 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "fo/fo_kernels_internal.h"
 #include "util/fastdiv.h"
 #include "util/rng.h"
+#include "util/simd/mix64.h"
 #include "util/simd/simd.h"
 
 namespace ldpids::fokernels {
 namespace {
 
-// HashCounter's mixing constants (util/rng.cc), replicated per lane. The
-// vector hash below must stay the exact SplitMix64 finalizer sequence —
-// any drift breaks protocol compatibility with clients using the scalar
-// HashToBucket, and fo_kernel_test's pinning would catch it.
-constexpr uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
-constexpr uint64_t kStreamA = 0x165667B19E3779F9ULL;
-constexpr uint64_t kMulB = 0xC2B2AE3D27D4EB4FULL;
-constexpr uint64_t kStreamB = 0x27D4EB2F165667C5ULL;
-constexpr uint64_t kOlhHashStream = 0x01F;  // olh.cc's HashToBucket stream id
+// HashCounter's mixing constants live in fo_kernels_internal.h, shared
+// with the AVX-512 kernel TU so the two hash constructions cannot drift.
+using internal::kGolden;
+using internal::kMulB;
+using internal::kOlhHashStream;
+using internal::kStreamA;
+using internal::kStreamB;
 
-// Mix64 (= SplitMix64 finalizer) on four lanes.
-inline simd::U64x Mix64V(simd::U64x x) {
-  simd::U64x z = simd::AddU64(x, simd::BroadcastU64(kGolden));
-  z = simd::MulLoU64(simd::XorU64(z, simd::ShrU64(z, 30)),
-                     simd::BroadcastU64(0xBF58476D1CE4E5B9ULL));
-  z = simd::MulLoU64(simd::XorU64(z, simd::ShrU64(z, 27)),
-                     simd::BroadcastU64(0x94D049BB133111EBULL));
-  return simd::XorU64(z, simd::ShrU64(z, 31));
-}
+using simd::Mix64V;
 
 }  // namespace
 
@@ -59,8 +51,8 @@ void FoldBitColumns(const uint64_t* bit_words, std::size_t words_per_report,
   const simd::U64x iota = simd::LoadU64(kIota);
   const simd::U64x one = simd::BroadcastU64(1);
   for (std::size_t r = 0; r < count; ++r) {
-    const uint64_t* words =
-        bit_words + static_cast<std::size_t>(indices[r]) * words_per_report;
+    const std::size_t row = indices != nullptr ? indices[r] : r;
+    const uint64_t* words = bit_words + row * words_per_report;
     for (std::size_t w = 0; w < words_per_report; ++w) {
       const std::size_t nbits = std::min<std::size_t>(64, d - w * 64);
       const simd::U64x word_v = simd::BroadcastU64(words[w]);
@@ -82,6 +74,12 @@ void FoldBitColumns(const uint64_t* bit_words, std::size_t words_per_report,
 void OlhSupportScan(const uint64_t* seeds, const uint64_t* buckets,
                     std::size_t count, std::size_t d, uint64_t g,
                     uint64_t* support_counts) {
+  // 8-lane AVX-512 pass when compiled in, the CPU has it and g is a power
+  // of two; bit-identical, so the dispatch never shows in results.
+  if (internal::OlhSupportScanAvx512(seeds, buckets, count, d, g,
+                                     support_counts)) {
+    return;
+  }
   const U64Divisor div(g);
   const bool pow2 = div.magic() == 0;
   const bool add_fixup = div.add_fixup();

@@ -34,7 +34,8 @@ void EstimateAffine(const uint64_t* counts, std::size_t d, double inv_n,
 // Unary-encoding fold (OUE/SUE): for each staged row r in indices[0..count),
 // add bit k of its packed LSB-first bit vector to counts[k], for k < d.
 // bit_words is the arena's row-major column block, words_per_report u64
-// words per row; padding bits past d are never read.
+// words per row; padding bits past d are never read. indices == nullptr
+// folds rows 0..count contiguously (the identity ArenaSlice shape).
 void FoldBitColumns(const uint64_t* bit_words, std::size_t words_per_report,
                     const uint32_t* indices, std::size_t count, std::size_t d,
                     uint64_t* counts);

@@ -1,0 +1,65 @@
+// AVX-512 OLH support scan: the d x count double loop of pairwise hashes
+// is the single hottest estimate-side kernel (every OLH release hashes
+// every report's seed against every domain value). The 4-lane AVX2 path
+// emulates 64-bit multiplies in 8+ instructions; AVX-512DQ has a native
+// _mm512_mullo_epi64, so 8 lanes cost less than 4 did. Power-of-two bucket
+// counts only (the epsilon grid's g is a power of two; anything else falls
+// back) — the per-report hash sequence is the exact scalar HashCounter, and
+// the accumulation is order-free integer counts, so results stay
+// bit-identical (pinned by fo_kernel_test).
+#include "fo/fo_kernels_internal.h"
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/simd/avx512.h"
+
+namespace ldpids::fokernels::internal {
+
+#if defined(LDPIDS_AVX512_COMPILED) && defined(__AVX512F__) && \
+    defined(__AVX512DQ__)
+
+bool OlhSupportScanAvx512(const uint64_t* seeds, const uint64_t* buckets,
+                          std::size_t count, std::size_t d, uint64_t g,
+                          uint64_t* support_counts) {
+  if (!simd::Avx512Available()) return false;
+  if (g == 0 || (g & (g - 1)) != 0) return false;
+
+  using simd::Broadcast8;
+  using simd::Mix64V8;
+  const __m512i g_mask = Broadcast8(g - 1);
+  const __m512i b_term = Broadcast8(kOlhHashStream * kMulB + kStreamB);
+  const std::size_t vec_count = count & ~std::size_t{7};
+  for (std::size_t k = 0; k < d; ++k) {
+    const uint64_t a_term = static_cast<uint64_t>(k) * kGolden + kStreamA;
+    const __m512i a_v = Broadcast8(a_term);
+    uint64_t supports = 0;
+    for (std::size_t i = 0; i < vec_count; i += 8) {
+      __m512i x = _mm512_loadu_si512(seeds + i);
+      x = Mix64V8(_mm512_xor_si512(x, a_v));
+      x = Mix64V8(_mm512_xor_si512(x, b_term));
+      const __mmask8 hit = _mm512_cmpeq_epu64_mask(
+          _mm512_and_si512(x, g_mask), _mm512_loadu_si512(buckets + i));
+      supports += static_cast<unsigned>(__builtin_popcount(hit));
+    }
+    for (std::size_t i = vec_count; i < count; ++i) {
+      const uint64_t h =
+          HashCounter(seeds[i], static_cast<uint64_t>(k), kOlhHashStream);
+      supports += (h & (g - 1)) == buckets[i] ? 1 : 0;
+    }
+    support_counts[k] += supports;
+  }
+  return true;
+}
+
+#else  // !LDPIDS_AVX512_COMPILED
+
+bool OlhSupportScanAvx512(const uint64_t*, const uint64_t*, std::size_t,
+                          std::size_t, uint64_t, uint64_t*) {
+  return false;
+}
+
+#endif
+
+}  // namespace ldpids::fokernels::internal

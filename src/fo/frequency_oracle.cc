@@ -23,7 +23,8 @@ void FoSketch::AddReports(const ArenaSlice& slice) {
   // kernels; fo_kernel_test pins those overrides against this loop.
   DecodedReport scratch;
   for (std::size_t i = 0; i < slice.count; ++i) {
-    slice.arena->ReportAt(slice.indices[i], &scratch);
+    slice.arena->ReportAt(slice.indices != nullptr ? slice.indices[i] : i,
+                          &scratch);
     if (!AddReport(scratch)) {
       throw std::logic_error("AddReports: slice row rejected by the sketch");
     }

@@ -76,8 +76,14 @@ class GrrSketch final : public FoSketch {
     // scatter straight into the histogram. Data-dependent indices keep this
     // scalar; the win over AddReport is skipping the DecodedReport rebuild.
     const uint32_t* values = slice.arena->values();
-    for (std::size_t i = 0; i < slice.count; ++i) {
-      ++report_counts_[values[slice.indices[i]]];
+    if (slice.indices == nullptr) {
+      for (std::size_t i = 0; i < slice.count; ++i) {
+        ++report_counts_[values[i]];
+      }
+    } else {
+      for (std::size_t i = 0; i < slice.count; ++i) {
+        ++report_counts_[values[slice.indices[i]]];
+      }
     }
     num_users_ += slice.count;
   }

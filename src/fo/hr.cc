@@ -77,8 +77,14 @@ class HrSketch final : public FoSketch {
   void AddReports(const ArenaSlice& slice) override {
     // Columns arrive pre-checked (< K) via the arena's in_range flag.
     const uint32_t* columns = slice.arena->hr_columns();
-    for (std::size_t i = 0; i < slice.count; ++i) {
-      ++pending_columns_[columns[slice.indices[i]]];
+    if (slice.indices == nullptr) {
+      for (std::size_t i = 0; i < slice.count; ++i) {
+        ++pending_columns_[columns[i]];
+      }
+    } else {
+      for (std::size_t i = 0; i < slice.count; ++i) {
+        ++pending_columns_[columns[slice.indices[i]]];
+      }
     }
     pending_count_ += slice.count;
     num_users_ += slice.count;

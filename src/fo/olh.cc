@@ -80,10 +80,18 @@ class OlhSketch final : public FoSketch {
     // sweep then covers the whole slice plus whatever was already pending.
     const uint64_t* seeds = slice.arena->olh_seeds();
     const uint32_t* buckets = slice.arena->olh_buckets();
-    for (std::size_t i = 0; i < slice.count; ++i) {
-      const uint32_t row = slice.indices[i];
-      pending_seeds_.push_back(seeds[row]);
-      pending_reports_.push_back(buckets[row]);
+    if (slice.indices == nullptr) {
+      // Contiguous slice: the arena columns ARE the pending layout, so the
+      // append is two bulk copies instead of a per-row gather.
+      pending_seeds_.insert(pending_seeds_.end(), seeds, seeds + slice.count);
+      pending_reports_.insert(pending_reports_.end(), buckets,
+                              buckets + slice.count);
+    } else {
+      for (std::size_t i = 0; i < slice.count; ++i) {
+        const uint32_t row = slice.indices[i];
+        pending_seeds_.push_back(seeds[row]);
+        pending_reports_.push_back(buckets[row]);
+      }
     }
     num_users_ += slice.count;
     if (pending_seeds_.size() >= kResolveBatch) ResolvePending();

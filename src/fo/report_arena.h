@@ -45,6 +45,7 @@
 
 #include "fo/frequency_oracle.h"
 #include "fo/wire.h"
+#include "util/buffer_pool.h"
 
 namespace ldpids {
 
@@ -78,10 +79,19 @@ class ReportArena {
   void Append(const std::vector<uint8_t>& packet) {
     Append(packet.data(), packet.size());
   }
+  // Batch decode. Checksums are verified for the whole batch in one
+  // batched VerifyChecksums pass (fo/wire.h) before the per-packet
+  // classification loop; the classification itself — order, per-reason
+  // stats, rows — is identical to calling Append per packet. The
+  // PayloadRef overloads consume transport frame payloads in place (no
+  // per-packet copy between the socket and the columns).
   void AppendBatch(const std::vector<std::vector<uint8_t>>& packets);
+  void AppendBatch(const std::vector<PayloadRef>& packets);
   // Contiguous sub-range [begin, end) of a batch, for chunked decode.
   void AppendRange(const std::vector<std::vector<uint8_t>>& packets,
                    std::size_t begin, std::size_t end);
+  void AppendRange(const std::vector<PayloadRef>& packets, std::size_t begin,
+                   std::size_t end);
 
   // Ordered concatenation of another arena staged with the same BeginRound
   // configuration (throws std::invalid_argument otherwise): rows keep
@@ -111,11 +121,26 @@ class ReportArena {
   void ReportAt(std::size_t i, DecodedReport* out) const;
 
  private:
+  // Append with the checksum verdict precomputed by the batched pass.
+  void AppendVerified(const uint8_t* data, std::size_t size,
+                      bool checksum_ok);
+  // Shared batch body over any packet container exposing data()/size().
+  template <typename Packet>
+  void AppendRangeImpl(const std::vector<Packet>& packets, std::size_t begin,
+                       std::size_t end);
+  // Classification + row append shared by the lazy and prechecked paths.
+  void AppendClassified(const WireEnvelopeView& view, WireError err);
+
   OracleId oracle_ = OracleId::kGrr;
   uint32_t timestamp_ = 0;
   std::size_t domain_ = 0;
   std::size_t words_per_report_ = 0;
   uint64_t range_bound_ = 0;  // OLH: g; HR: K; others unused
+
+  // Scratch for the batched checksum pass; reused across batches.
+  std::vector<const uint8_t*> verify_datas_;
+  std::vector<std::size_t> verify_sizes_;
+  std::vector<uint8_t> verify_ok_;
 
   std::vector<uint64_t> nonces_;
   std::vector<uint32_t> values_;
@@ -130,7 +155,10 @@ class ReportArena {
 // A view of selected arena rows (in the given order) handed to
 // FoSketch::AddReports. The ingest edge builds one per shard from the rows
 // that survived duplicate rejection and the in_range check, so sketches
-// fold every listed row unconditionally.
+// fold every listed row unconditionally. indices == nullptr with count > 0
+// means the contiguous identity slice — row i of the slice is arena row i —
+// which is the common clean-stream shape (single shard, nothing rejected)
+// and lets folds stream the columns without an indirection.
 struct ArenaSlice {
   const ReportArena* arena = nullptr;
   const uint32_t* indices = nullptr;

@@ -1,14 +1,20 @@
 #include "fo/wire.h"
 
 #include <algorithm>
+#include <bit>
 #include <cctype>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "fo/wire_internal.h"
 #include "util/rng.h"
+#include "util/simd/avx512.h"
+#include "util/simd/mix64.h"
+#include "util/simd/simd.h"
 
 namespace ldpids {
 
@@ -96,26 +102,57 @@ WireError BitVectorPayloadFromBytes(const uint8_t* payload, std::size_t size,
 
 }  // namespace
 
-WireError ViewWireEnvelope(const uint8_t* data, std::size_t size,
-                           WireEnvelopeView* out) {
+namespace {
+
+// Structural half of envelope validation: everything before the checksum,
+// in the fixed classification order size -> magic -> version -> oracle ->
+// length. Shared by the lazy-checksum and prechecked-checksum views so the
+// two can never classify a packet differently.
+WireError ViewStructural(const uint8_t* data, std::size_t size,
+                         uint32_t* payload_len) {
   if (size < kHeaderSize + kChecksumSize) return WireError::kTooShort;
   if (data[0] != kMagic) return WireError::kBadMagic;
   if (data[1] != kVersion) return WireError::kBadVersion;
   const uint8_t oracle_raw = data[2];
   if (oracle_raw < 1 || oracle_raw > 5) return WireError::kUnknownOracle;
-  const uint32_t payload_len = GetU32Le(data + kLengthOffset);
-  if (size != kHeaderSize + payload_len + kChecksumSize) {
+  *payload_len = GetU32Le(data + kLengthOffset);
+  if (size != kHeaderSize + *payload_len + kChecksumSize) {
     return WireError::kLengthMismatch;
   }
-  const uint32_t stored = GetU32Le(data + size - kChecksumSize);
-  const uint32_t computed = WireChecksum(data, size - kChecksumSize);
-  if (stored != computed) return WireError::kChecksumMismatch;
+  return WireError::kOk;
+}
 
-  out->oracle = static_cast<OracleId>(oracle_raw);
+void FillView(const uint8_t* data, uint32_t payload_len,
+              WireEnvelopeView* out) {
+  out->oracle = static_cast<OracleId>(data[2]);
   out->timestamp = GetU32Le(data + 3);
   out->nonce = GetU64Le(data + kNonceOffset);
   out->payload = data + kHeaderSize;
   out->payload_size = payload_len;
+}
+
+}  // namespace
+
+WireError ViewWireEnvelope(const uint8_t* data, std::size_t size,
+                           WireEnvelopeView* out) {
+  uint32_t payload_len = 0;
+  const WireError err = ViewStructural(data, size, &payload_len);
+  if (err != WireError::kOk) return err;
+  const uint32_t stored = GetU32Le(data + size - kChecksumSize);
+  const uint32_t computed = WireChecksum(data, size - kChecksumSize);
+  if (stored != computed) return WireError::kChecksumMismatch;
+  FillView(data, payload_len, out);
+  return WireError::kOk;
+}
+
+WireError ViewWireEnvelopePrechecked(const uint8_t* data, std::size_t size,
+                                     bool checksum_ok,
+                                     WireEnvelopeView* out) {
+  uint32_t payload_len = 0;
+  const WireError err = ViewStructural(data, size, &payload_len);
+  if (err != WireError::kOk) return err;
+  if (!checksum_ok) return WireError::kChecksumMismatch;
+  FillView(data, payload_len, out);
   return WireError::kOk;
 }
 
@@ -197,13 +234,106 @@ const char* WireErrorName(WireError error) {
   return "?";
 }
 
+namespace {
+
+// Byte layout of the checksum input is defined little-endian so the value
+// is identical across hosts; packet bytes can sit at any alignment, so
+// words are assembled with memcpy, never by reinterpreting the pointer.
+inline uint64_t ChecksumLoadLe64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  v = __builtin_bswap64(v);
+#endif
+  return v;
+}
+
+inline simd::U64x ChecksumLoadBlock(const uint8_t* p) {
+  alignas(32) uint64_t w[simd::kLanes] = {
+      ChecksumLoadLe64(p), ChecksumLoadLe64(p + 8), ChecksumLoadLe64(p + 16),
+      ChecksumLoadLe64(p + 24)};
+  return simd::LoadU64(w);
+}
+
+// Distinct lane seeds (hex digits of pi) so lanes never collapse to the
+// same stream; lane 0 additionally folds in the input size. Shared with
+// the AVX-512 batch verifier (wire_internal.h) so the two constructions
+// can never drift apart.
+using wire_internal::kChecksumSeed0;
+using wire_internal::kChecksumSeed1;
+using wire_internal::kChecksumSeed2;
+using wire_internal::kChecksumSeed3;
+
+}  // namespace
+
 uint32_t WireChecksum(const uint8_t* data, std::size_t size) {
-  // Mix the bytes through SplitMix64 word-wise; take the low 32 bits.
-  uint64_t acc = 0x5DEECE66DULL ^ size;
-  for (std::size_t i = 0; i < size; ++i) {
-    acc = Mix64(acc ^ (static_cast<uint64_t>(data[i]) + i * 0x9E37ULL));
+  // Four SplitMix64 lanes, each absorbing one 64-bit word per 32-byte
+  // block: lane[j] = Mix64(lane[j] ^ word[j]). The per-block recurrence is
+  // serial but the four lanes run in parallel across the SIMD layer (AVX2
+  // or the generic scalar backend — bit-identical by construction, pinned
+  // by wire_fuzz_test's parity fuzz). A short tail is absorbed as one
+  // zero-padded block; the finalizer folds the lanes at distinct rotations
+  // plus the size, so truncation, extension and any single-bit flip all
+  // change the value.
+  alignas(32) uint64_t seed[simd::kLanes] = {
+      kChecksumSeed0 ^ static_cast<uint64_t>(size), kChecksumSeed1,
+      kChecksumSeed2, kChecksumSeed3};
+  simd::U64x lanes = simd::LoadU64(seed);
+  const std::size_t blocks = size / 32;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    lanes = simd::Mix64V(simd::XorU64(lanes, ChecksumLoadBlock(data + 32 * b)));
   }
-  return static_cast<uint32_t>(acc);
+  const std::size_t rem = size - 32 * blocks;
+  if (rem != 0) {
+    uint8_t tail[32] = {0};
+    std::memcpy(tail, data + 32 * blocks, rem);
+    lanes = simd::Mix64V(simd::XorU64(lanes, ChecksumLoadBlock(tail)));
+  }
+  alignas(32) uint64_t l[simd::kLanes];
+  simd::StoreU64(l, lanes);
+  return static_cast<uint32_t>(Mix64(static_cast<uint64_t>(size) ^ l[0] ^
+                                     std::rotl(l[1], 17) ^
+                                     std::rotl(l[2], 34) ^
+                                     std::rotl(l[3], 51)));
+}
+
+namespace {
+
+inline uint8_t VerifyOneChecksum(const uint8_t* data, std::size_t size) {
+  return size >= kChecksumSize &&
+                 GetU32Le(data + size - kChecksumSize) ==
+                     WireChecksum(data, size - kChecksumSize)
+             ? 1
+             : 0;
+}
+
+}  // namespace
+
+void VerifyChecksums(const uint8_t* const* datas, const std::size_t* sizes,
+                     std::size_t n, uint8_t* ok) {
+  std::size_t i = 0;
+  // Fast path: a run of 8 equal-size packets (one FO round is uniform by
+  // construction) verifies in one 8-wide AVX-512 pass. Ragged spots fall
+  // through one packet at a time; verdicts are identical either way.
+  if (simd::Avx512Available()) {
+    while (i + 8 <= n) {
+      const std::size_t size = sizes[i];
+      bool uniform = size >= kChecksumSize;
+      for (std::size_t j = 1; j < 8 && uniform; ++j) {
+        uniform = sizes[i + j] == size;
+      }
+      if (!uniform || !wire_internal::VerifyChecksums8Avx512(datas + i, size,
+                                                             ok + i)) {
+        ok[i] = VerifyOneChecksum(datas[i], sizes[i]);
+        ++i;
+        continue;
+      }
+      i += 8;
+    }
+  }
+  for (; i < n; ++i) {
+    ok[i] = VerifyOneChecksum(datas[i], sizes[i]);
+  }
 }
 
 std::vector<uint8_t> EncodeGrrReport(uint32_t value, std::size_t domain,

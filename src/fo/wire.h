@@ -122,9 +122,19 @@ struct DecodedReport {
   HrWireReport hr;
 };
 
-// Checksum used by the envelope (simple but robust 32-bit mix; stable
-// across platforms).
+// Checksum used by the envelope (and by the transport frame codec one
+// layer up): four SplitMix64 lanes over 32-byte blocks, run across the
+// SIMD layer (util/simd/) — AVX2 and the generic scalar backend produce
+// byte-identical values, stable across platforms.
 uint32_t WireChecksum(const uint8_t* data, std::size_t size);
+
+// Batched verification of whole packets (header + payload + trailing
+// 4-byte checksum): ok[i] = 1 iff packet i's stored checksum matches the
+// bytes before it. The entry point the ReportArena batch decoder and the
+// transport FrameDecoder funnel through, so the hottest shared loop is in
+// one place.
+void VerifyChecksums(const uint8_t* const* datas, const std::size_t* sizes,
+                     std::size_t n, uint8_t* ok);
 
 // Little-endian integer (de)serialization shared by the report envelope
 // and the frame codec one layer up (transport/frame.h).
@@ -169,6 +179,15 @@ struct WireEnvelopeView {
 // The view borrows `data`; it is valid only while the packet buffer lives.
 WireError ViewWireEnvelope(const uint8_t* data, std::size_t size,
                            WireEnvelopeView* out);
+
+// ViewWireEnvelope with the checksum comparison replaced by a caller-
+// provided verdict (from a batched VerifyChecksums pass). Classification
+// order is identical — the flag is only consulted at the position the lazy
+// path would compute the checksum — so ArenaDecodeStats breakdowns cannot
+// differ between the batched and per-packet decoders.
+WireError ViewWireEnvelopePrechecked(const uint8_t* data, std::size_t size,
+                                     bool checksum_ok,
+                                     WireEnvelopeView* out);
 
 // Payload decoders over raw bytes, shared by the envelope-based Try* API
 // and the batch staging path. Validation and outputs are identical to the

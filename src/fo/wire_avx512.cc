@@ -1,0 +1,115 @@
+// AVX-512 batch wire-checksum verification: eight packets per pass, lane p
+// of every vector carrying packet p. Compiled with the AVX-512 flags only
+// when CMake's probe succeeds (LDPIDS_AVX512_COMPILED); otherwise this TU
+// degrades to a return-false stub and VerifyChecksums stays on the
+// per-packet 4-lane path.
+//
+// The win over the per-packet checksum is lane utilization: a report packet
+// is one or two 32-byte blocks, so the 4-lane-within-a-packet scheme spends
+// most of its time in the scalar finalizer and the per-call setup. Across
+// packets the whole pipeline — lane seeding, block absorption, the rotate
+// fold and the final Mix64 — runs 8 packets wide with native 64-bit
+// multiplies (_mm512_mullo_epi64), and the per-packet recurrence is the
+// exact scalar sequence, so the verdicts are byte-identical (pinned by
+// wire_fuzz_test's parity fuzz, which runs the batched entry too).
+#include "fo/wire_internal.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "util/simd/avx512.h"
+
+namespace ldpids::wire_internal {
+
+#if defined(LDPIDS_AVX512_COMPILED) && defined(__AVX512F__) && \
+    defined(__AVX512DQ__)
+
+namespace {
+
+using simd::Broadcast8;
+using simd::Mix64V8;
+
+// vindex of the 8 staged tail rows (32 bytes apart) for word-j gathers.
+inline __m512i TailRowIndex() {
+  return _mm512_setr_epi64(0, 32, 64, 96, 128, 160, 192, 224);
+}
+
+// All-lane gather through the masked form: GCC's plain gather intrinsic
+// feeds an undefined source register, which -Werror=maybe-uninitialized
+// rejects; an explicit zero source with a full mask is the same operation.
+inline __m512i Gather8(__m512i vindex, const void* base) {
+  return _mm512_mask_i64gather_epi64(_mm512_setzero_si512(),
+                                     static_cast<__mmask8>(0xFF), vindex,
+                                     base, 1);
+}
+
+}  // namespace
+
+bool VerifyChecksums8Avx512(const uint8_t* const* datas, std::size_t size,
+                            uint8_t* ok) {
+  if (!simd::Avx512Available()) return false;
+  const std::size_t input = size - kWireChecksumSize;
+
+  // Lane p of addrs is packet p's base address; gathers with scale 1 pull
+  // word j of block b from all 8 packets at once. x86-64 only (the guard
+  // above), so the loads are little-endian by construction, matching
+  // ChecksumLoadLe64.
+  const __m512i addrs = _mm512_loadu_si512(datas);
+  __m512i l0 = Broadcast8(kChecksumSeed0 ^ static_cast<uint64_t>(input));
+  __m512i l1 = Broadcast8(kChecksumSeed1);
+  __m512i l2 = Broadcast8(kChecksumSeed2);
+  __m512i l3 = Broadcast8(kChecksumSeed3);
+
+  const std::size_t blocks = input / 32;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const __m512i at = _mm512_add_epi64(addrs, Broadcast8(32 * b));
+    l0 = Mix64V8(_mm512_xor_si512(l0, Gather8(at, nullptr)));
+    l1 = Mix64V8(_mm512_xor_si512(
+        l1, Gather8(_mm512_add_epi64(at, Broadcast8(8)), nullptr)));
+    l2 = Mix64V8(_mm512_xor_si512(
+        l2, Gather8(_mm512_add_epi64(at, Broadcast8(16)), nullptr)));
+    l3 = Mix64V8(_mm512_xor_si512(
+        l3, Gather8(_mm512_add_epi64(at, Broadcast8(24)), nullptr)));
+  }
+  const std::size_t rem = input - 32 * blocks;
+  if (rem != 0) {
+    // Zero-padded tail block, staged so the gathers never read past a
+    // packet's end (the scalar path pads identically).
+    alignas(64) uint8_t tail[8 * 32];
+    std::memset(tail, 0, sizeof(tail));
+    for (std::size_t p = 0; p < 8; ++p) {
+      std::memcpy(tail + 32 * p, datas[p] + 32 * blocks, rem);
+    }
+    const __m512i rows = TailRowIndex();
+    l0 = Mix64V8(_mm512_xor_si512(l0, Gather8(rows, tail)));
+    l1 = Mix64V8(_mm512_xor_si512(l1, Gather8(rows, tail + 8)));
+    l2 = Mix64V8(_mm512_xor_si512(l2, Gather8(rows, tail + 16)));
+    l3 = Mix64V8(_mm512_xor_si512(l3, Gather8(rows, tail + 24)));
+  }
+
+  const __m512i folded = _mm512_xor_si512(
+      _mm512_xor_si512(Broadcast8(static_cast<uint64_t>(input)), l0),
+      _mm512_xor_si512(_mm512_rol_epi64(l1, 17),
+                       _mm512_xor_si512(_mm512_rol_epi64(l2, 34),
+                                        _mm512_rol_epi64(l3, 51))));
+  alignas(64) uint64_t computed[8];
+  _mm512_store_si512(computed, Mix64V8(folded));
+
+  for (std::size_t p = 0; p < 8; ++p) {
+    uint32_t stored;
+    std::memcpy(&stored, datas[p] + input, sizeof(stored));
+    ok[p] = static_cast<uint32_t>(computed[p]) == stored ? 1 : 0;
+  }
+  return true;
+}
+
+#else  // !LDPIDS_AVX512_COMPILED
+
+bool VerifyChecksums8Avx512(const uint8_t* const*, std::size_t, uint8_t*) {
+  return false;
+}
+
+#endif
+
+}  // namespace ldpids::wire_internal

@@ -1,0 +1,35 @@
+// Internals shared between wire.cc and the optional AVX-512 checksum
+// translation unit (wire_avx512.cc). Not part of the public wire API.
+#ifndef LDPIDS_FO_WIRE_INTERNAL_H_
+#define LDPIDS_FO_WIRE_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ldpids::wire_internal {
+
+// Distinct lane seeds (hex digits of pi) so the four checksum lanes never
+// collapse to the same stream; lane 0 additionally folds in the input size
+// (see WireChecksum, wire.cc). The AVX-512 batch verifier replays exactly
+// this construction 8 packets at a time, so the seeds must be shared, not
+// duplicated.
+inline constexpr uint64_t kChecksumSeed0 = 0x243F6A8885A308D3ULL;
+inline constexpr uint64_t kChecksumSeed1 = 0x13198A2E03707344ULL;
+inline constexpr uint64_t kChecksumSeed2 = 0xA4093822299F31D0ULL;
+inline constexpr uint64_t kChecksumSeed3 = 0x082EFA98EC4E6C89ULL;
+
+inline constexpr std::size_t kWireChecksumSize = 4;
+
+// Verifies eight packets of identical total size `size` (>= 4) in one
+// AVX-512 pass: ok[p] = 1 iff packet p's trailing 4-byte checksum matches
+// WireChecksum over its first size-4 bytes. Lane p of every vector is
+// packet p, so the per-packet math is the exact scalar/4-lane sequence.
+// Returns false (having written nothing) when the AVX-512 kernels are not
+// compiled in or the CPU lacks them — the caller then takes the per-packet
+// path.
+bool VerifyChecksums8Avx512(const uint8_t* const* datas, std::size_t size,
+                            uint8_t* ok);
+
+}  // namespace ldpids::wire_internal
+
+#endif  // LDPIDS_FO_WIRE_INTERNAL_H_

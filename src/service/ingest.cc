@@ -96,25 +96,43 @@ void IngestShard::IngestSlice(const ReportArena& arena,
   }
   const uint64_t* nonces = arena.nonces();
   const uint8_t* in_range = arena.in_range();
+  // Clean-stream fast path: while every row is accepted, the accept list
+  // is just the input slice (or the identity when indices == nullptr), so
+  // nothing is materialized. The first rejected row backfills the accepted
+  // prefix into the scratch list and the loop continues in push mode.
+  bool rejected = false;
   accept_scratch_.clear();
   for (std::size_t i = 0; i < count; ++i) {
-    const uint32_t row = indices[i];
+    const uint32_t row =
+        indices != nullptr ? indices[i] : static_cast<uint32_t>(i);
     const uint64_t nonce = nonces[row];
     // Same outcome order as Ingest: a re-delivered nonce is a duplicate
     // even when its payload is out of range, and an out-of-range row does
     // not burn its nonce.
     if (seen_.Contains(nonce)) {
       ++stats_.duplicate;
-      continue;
-    }
-    if (in_range[row] == 0) {
+    } else if (in_range[row] == 0) {
       ++stats_.sketch_rejected;
+    } else {
+      seen_.Insert(nonce);
+      if (rejected) accept_scratch_.push_back(row);
       continue;
     }
-    seen_.Insert(nonce);
-    accept_scratch_.push_back(row);
+    if (!rejected) {
+      rejected = true;
+      accept_scratch_.reserve(count);
+      for (std::size_t j = 0; j < i; ++j) {
+        accept_scratch_.push_back(
+            indices != nullptr ? indices[j] : static_cast<uint32_t>(j));
+      }
+    }
   }
-  if (!accept_scratch_.empty()) {
+  if (!rejected) {
+    if (count != 0) {
+      sketch_->AddReports(ArenaSlice{&arena, indices, count});
+      stats_.accepted += count;
+    }
+  } else if (!accept_scratch_.empty()) {
     sketch_->AddReports(
         ArenaSlice{&arena, accept_scratch_.data(), accept_scratch_.size()});
     stats_.accepted += accept_scratch_.size();
@@ -151,24 +169,48 @@ IngestResult ReportRouter::Ingest(const std::vector<uint8_t>& packet) {
 void ReportRouter::IngestBatch(
     const std::vector<std::vector<uint8_t>>& packets,
     std::size_t num_threads) {
+  IngestBatchImpl(packets, num_threads);
+}
+
+void ReportRouter::IngestBatch(const std::vector<PayloadRef>& packets,
+                               std::size_t num_threads) {
+  IngestBatchImpl(packets, num_threads);
+}
+
+template <typename Packet>
+void ReportRouter::IngestBatchImpl(const std::vector<Packet>& packets,
+                                   std::size_t num_threads) {
   if (closed_) throw std::logic_error("router already closed");
-  const std::size_t k = shards_.size();
   const std::size_t n = packets.size();
   // Minimum packets per decode chunk: below this the pool hand-off costs
   // more than the decode itself.
   constexpr std::size_t kDecodeChunk = 4096;
+  // Serial-path staging block: small enough that a block's columns (plus
+  // the checksum staging arrays) are still cache-hot when the shard fold
+  // re-reads them. Block boundaries never change outcomes — rows keep
+  // packet order, duplicate state lives in the shards, and wire-level
+  // rejects accumulate across blocks.
+  constexpr std::size_t kIngestBlock = 2048;
+
+  if (num_threads <= 1) {
+    for (std::size_t b = 0; b < n; b += kIngestBlock) {
+      arena_.BeginRound(oracle_, timestamp_, params_);
+      arena_.AppendRange(packets, b, std::min(n, b + kIngestBlock));
+      decode_stats_ += arena_.stats();
+      IngestStaged(num_threads);
+    }
+    return;
+  }
 
   // Stage 1: decode and checksum every packet exactly once into the
   // columnar arena. Rows keep global packet order (Concat preserves chunk
   // order), so dedup outcomes do not depend on the chunking.
   arena_.BeginRound(oracle_, timestamp_, params_);
-  const std::size_t chunks =
-      (num_threads > 1 && n >= 2 * kDecodeChunk)
-          ? std::min(num_threads, (n + kDecodeChunk - 1) / kDecodeChunk)
-          : 1;
-  if (chunks <= 1) {
+  if (n < 2 * kDecodeChunk) {
     arena_.AppendBatch(packets);
   } else {
+    const std::size_t chunks =
+        std::min(num_threads, (n + kDecodeChunk - 1) / kDecodeChunk);
     decode_chunks_.resize(chunks);
     const std::size_t per = (n + chunks - 1) / chunks;
     ParallelFor(num_threads, chunks, [&](std::size_t c) {
@@ -179,23 +221,26 @@ void ReportRouter::IngestBatch(
     for (const ReportArena& chunk : decode_chunks_) arena_.Concat(chunk);
   }
   decode_stats_ += arena_.stats();
+  IngestStaged(num_threads);
+}
 
+void ReportRouter::IngestStaged(std::size_t num_threads) {
   // Stage 2: deterministic nonce partition straight off the staged nonce
-  // column — no second envelope peek.
+  // column — no second envelope peek. A single shard owns every row in
+  // arena order, which the contiguous (nullptr-indices) slice expresses
+  // without materializing an identity index array.
+  const std::size_t k = shards_.size();
+  const std::size_t rows = arena_.size();
+  if (k == 1) {
+    shards_[0].IngestSlice(arena_, nullptr, rows);
+    return;
+  }
   slices_.resize(k);
   for (std::vector<uint32_t>& s : slices_) s.clear();
   const uint64_t* nonces = arena_.nonces();
-  const std::size_t rows = arena_.size();
-  if (k == 1) {
-    slices_[0].reserve(rows);
-    for (std::size_t i = 0; i < rows; ++i) {
-      slices_[0].push_back(static_cast<uint32_t>(i));
-    }
-  } else {
-    for (std::size_t i = 0; i < rows; ++i) {
-      slices_[static_cast<std::size_t>(Mix64(nonces[i])) % k].push_back(
-          static_cast<uint32_t>(i));
-    }
+  for (std::size_t i = 0; i < rows; ++i) {
+    slices_[static_cast<std::size_t>(Mix64(nonces[i])) % k].push_back(
+        static_cast<uint32_t>(i));
   }
 
   // Stage 3: per-shard dedup + one vectorized fold per shard.

@@ -141,7 +141,12 @@ class ReportRouter {
   // shard count. Wire-level rejects (malformed / wrong oracle / wrong
   // timestamp) are accounted at the router and folded into Close()'s
   // stats; per-shard stats carry only row-level outcomes on this path.
+  // The PayloadRef overload is the zero-copy transport hand-off
+  // (RoundBuffer::TakeRound): the arena decodes the frame payloads in
+  // place, straight out of the socket decoders' pooled blocks.
   void IngestBatch(const std::vector<std::vector<uint8_t>>& packets,
+                   std::size_t num_threads);
+  void IngestBatch(const std::vector<PayloadRef>& packets,
                    std::size_t num_threads);
 
   // Merges all shards into one sketch and returns it, accumulating the
@@ -156,6 +161,13 @@ class ReportRouter {
   // Shard index for one packet: nonce-keyed so duplicates colocate.
   std::size_t ShardOf(const uint8_t* data, std::size_t size,
                       std::size_t fallback) const;
+  // Shared batch body over any packet container exposing data()/size().
+  template <typename Packet>
+  void IngestBatchImpl(const std::vector<Packet>& packets,
+                       std::size_t num_threads);
+  // Stages 2+3 over the currently staged arena_: nonce partition and the
+  // per-shard dedup + fold. Called once per staged block/batch.
+  void IngestStaged(std::size_t num_threads);
 
   std::vector<IngestShard> shards_;
   // Round configuration, kept so IngestBatch can stage arenas.

@@ -64,12 +64,14 @@ FrameStats ReplayFrameLog(const std::string& path,
     throw std::runtime_error("cannot open frame log for reading: " + path);
   }
   FrameDecoder decoder;
-  std::vector<uint8_t> chunk(chunk_bytes > 0 ? chunk_bytes : 1);
+  const std::size_t chunk = chunk_bytes > 0 ? chunk_bytes : 1;
   Frame frame;
   for (;;) {
-    const std::size_t n = std::fread(chunk.data(), 1, chunk.size(), file);
+    // Read straight into the decoder's pooled block (same zero-copy intake
+    // as the socket reader).
+    const std::size_t n = std::fread(decoder.Reserve(chunk), 1, chunk, file);
     if (n == 0) break;
-    decoder.Append(chunk.data(), n);
+    decoder.Commit(n);
     while (decoder.Next(&frame)) handler(std::move(frame));
   }
   std::fclose(file);

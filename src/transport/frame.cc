@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -43,7 +44,7 @@ std::size_t EncodedFrameSize(std::size_t payload_size) {
 }
 
 Frame MakeDataFrame(uint64_t session_id, uint64_t timestamp,
-                    std::vector<uint8_t> payload) {
+                    PayloadRef payload) {
   Frame frame;
   frame.session_id = session_id;
   frame.timestamp = timestamp;
@@ -58,7 +59,9 @@ Frame MakeEndRoundFrame(uint64_t session_id, uint64_t timestamp,
   frame.session_id = session_id;
   frame.timestamp = timestamp;
   frame.kind = FrameKind::kEndRound;
-  PutU64Le(&frame.payload, expected_data_frames);
+  std::vector<uint8_t> bytes;
+  PutU64Le(&bytes, expected_data_frames);
+  frame.payload = std::move(bytes);
   return frame;
 }
 
@@ -92,11 +95,17 @@ std::vector<uint8_t> EncodeFrame(const Frame& frame) {
   return out;
 }
 
-FrameError TryDecodeFrame(const uint8_t* data, std::size_t size, Frame* out,
-                          std::size_t* consumed) {
-  // Validate the fixed prefix field by field so corruption is detected at
-  // the earliest byte that can prove it — resync then costs one skip, not
-  // a wait for bytes that never arrive.
+namespace {
+
+// Validates the fixed prefix field by field so corruption is detected at
+// the earliest byte that can prove it — resync then costs one skip, not a
+// wait for bytes that never arrive. On kOk the frame is structurally
+// complete ([0, *total) buffered, prefix fields valid); the checksum and
+// the control-payload shape are NOT yet checked — they follow in exactly
+// that order, matching the classification of the original one-shot
+// decoder (a frame failing both counts as a checksum mismatch).
+FrameError ParseFrameShape(const uint8_t* data, std::size_t size,
+                           std::size_t* total) {
   if (size < 1) return FrameError::kIncomplete;
   if (data[0] != kMagic0) return FrameError::kBadMagic;
   if (size < 2) return FrameError::kIncomplete;
@@ -110,40 +119,150 @@ FrameError TryDecodeFrame(const uint8_t* data, std::size_t size, Frame* out,
   if (size < kHeaderSize) return FrameError::kIncomplete;
   const uint32_t payload_len = GetU32Le(data + kLengthOffset);
   if (payload_len > kMaxFramePayload) return FrameError::kOversize;
-  const std::size_t total = EncodedFrameSize(payload_len);
-  if (size < total) return FrameError::kIncomplete;
+  *total = EncodedFrameSize(payload_len);
+  if (size < *total) return FrameError::kIncomplete;
+  return FrameError::kOk;
+}
+
+void FillFrameHeader(const uint8_t* data, Frame* out) {
+  out->session_id = GetU64Le(data + 4);
+  out->timestamp = GetU64Le(data + 12);
+  out->kind = static_cast<FrameKind>(data[3]);
+}
+
+}  // namespace
+
+FrameError TryDecodeFrame(const uint8_t* data, std::size_t size, Frame* out,
+                          std::size_t* consumed) {
+  std::size_t total = 0;
+  const FrameError shape = ParseFrameShape(data, size, &total);
+  if (shape != FrameError::kOk) return shape;
   const uint32_t stored = GetU32Le(data + total - kChecksumSize);
   if (stored != WireChecksum(data, total - kChecksumSize)) {
     return FrameError::kChecksumMismatch;
   }
-  const FrameKind kind = static_cast<FrameKind>(data[3]);
-  if (kind == FrameKind::kEndRound && payload_len != 8) {
+  const std::size_t payload_len = total - kHeaderSize - kChecksumSize;
+  if (data[3] == static_cast<uint8_t>(FrameKind::kEndRound) &&
+      payload_len != 8) {
     return FrameError::kBadControl;
   }
-  out->session_id = GetU64Le(data + 4);
-  out->timestamp = GetU64Le(data + 12);
-  out->kind = kind;
-  out->payload.assign(data + kHeaderSize, data + kHeaderSize + payload_len);
+  FillFrameHeader(data, out);
+  // The standalone decoder borrows nothing: the caller's buffer may die
+  // right after this returns, so the payload is copied into an owning ref.
+  out->payload = std::vector<uint8_t>(data + kHeaderSize,
+                                      data + kHeaderSize + payload_len);
   *consumed = total;
   return FrameError::kOk;
 }
 
 void FrameDecoder::Append(const uint8_t* data, std::size_t size) {
-  // Compact the consumed prefix before it dominates the buffer.
-  if (pos_ > 0 && pos_ >= buffer_.size() / 2) {
-    buffer_.erase(buffer_.begin(),
-                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+  std::memcpy(Reserve(size), data, size);
+  Commit(size);
+}
+
+uint8_t* FrameDecoder::Reserve(std::size_t size) {
+  if (block_ == nullptr) {
+    block_ = pool_.Get(size);
+    pos_ = end_ = 0;
+  } else if (block_->size() - end_ < size) {
+    const std::size_t unparsed = end_ - pos_;
+    if (block_.use_count() == 1 && block_->size() >= unparsed + size) {
+      // No payload still references the block: compact in place.
+      std::memmove(block_->data(), block_->data() + pos_, unparsed);
+    } else {
+      // Outstanding payload refs pin the bytes (or the block is simply too
+      // small): move the unparsed tail to a fresh pooled block. The old
+      // block recycles when its last payload ref drops.
+      std::shared_ptr<std::vector<uint8_t>> fresh =
+          pool_.Get(unparsed + size);
+      std::memcpy(fresh->data(), block_->data() + pos_, unparsed);
+      block_ = std::move(fresh);
+    }
     pos_ = 0;
+    end_ = unparsed;
+    cache_valid_ = false;  // offsets moved
   }
-  buffer_.insert(buffer_.end(), data, data + size);
+  return block_->data() + end_;
+}
+
+void FrameDecoder::Commit(std::size_t size) {
+  end_ += size;
+  cache_valid_ = false;
+}
+
+void FrameDecoder::BuildVerifiedRun() {
+  verified_.clear();
+  verified_idx_ = 0;
+  cache_valid_ = true;
+  if (block_ == nullptr) return;
+  const uint8_t* base = block_->data();
+  std::size_t cursor = pos_;
+  while (cursor < end_) {
+    std::size_t total = 0;
+    if (ParseFrameShape(base + cursor, end_ - cursor, &total) !=
+        FrameError::kOk) {
+      break;  // incomplete tail or a corrupt byte: the step path takes over
+    }
+    verified_.push_back({cursor, total, false});
+    cursor += total;
+  }
+  if (verified_.empty()) return;
+  verify_datas_.clear();
+  verify_sizes_.clear();
+  for (const VerifiedFrame& v : verified_) {
+    verify_datas_.push_back(base + v.offset);
+    verify_sizes_.push_back(v.total);
+  }
+  verify_ok_.assign(verified_.size(), 0);
+  // One batched checksum pass over the whole run — the same VerifyChecksums
+  // entry the arena decoder uses (frame trailer layout matches the wire
+  // envelope's: 4 checksum bytes over everything before them).
+  VerifyChecksums(verify_datas_.data(), verify_sizes_.data(),
+                  verified_.size(), verify_ok_.data());
+  for (std::size_t i = 0; i < verified_.size(); ++i) {
+    verified_[i].ok = verify_ok_[i] != 0;
+  }
+}
+
+FrameError FrameDecoder::DecodeStep(bool have_verdict, bool checksum_ok,
+                                    Frame* out, std::size_t* consumed) {
+  const uint8_t* data = block_->data() + pos_;
+  std::size_t total = 0;
+  const FrameError shape = ParseFrameShape(data, end_ - pos_, &total);
+  if (shape != FrameError::kOk) return shape;
+  if (have_verdict ? !checksum_ok
+                   : GetU32Le(data + total - kChecksumSize) !=
+                         WireChecksum(data, total - kChecksumSize)) {
+    return FrameError::kChecksumMismatch;
+  }
+  const std::size_t payload_len = total - kHeaderSize - kChecksumSize;
+  if (data[3] == static_cast<uint8_t>(FrameKind::kEndRound) &&
+      payload_len != 8) {
+    return FrameError::kBadControl;
+  }
+  FillFrameHeader(data, out);
+  // Zero-copy hand-off: the payload aliases the pooled block and keeps it
+  // alive until consumed.
+  out->payload = PayloadRef(block_, data + kHeaderSize, payload_len);
+  *consumed = total;
+  return FrameError::kOk;
 }
 
 bool FrameDecoder::Next(Frame* out) {
-  while (pos_ < buffer_.size()) {
+  while (pos_ < end_) {
+    if (!cache_valid_) BuildVerifiedRun();
+    // Resyncs may have advanced the cursor past cached entries.
+    while (verified_idx_ < verified_.size() &&
+           verified_[verified_idx_].offset < pos_) {
+      ++verified_idx_;
+    }
+    const bool have_verdict = verified_idx_ < verified_.size() &&
+                              verified_[verified_idx_].offset == pos_;
+    const bool checksum_ok = have_verdict && verified_[verified_idx_].ok;
+    if (have_verdict) ++verified_idx_;
     std::size_t consumed = 0;
-    const FrameError err =
-        TryDecodeFrame(buffer_.data() + pos_, buffer_.size() - pos_, out,
-                       &consumed);
+    const FrameError err = DecodeStep(have_verdict, checksum_ok, out,
+                                      &consumed);
     if (err == FrameError::kOk) {
       pos_ += consumed;
       ++stats_.frames;

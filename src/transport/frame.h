@@ -24,14 +24,24 @@
 // `FrameError`, and `FrameDecoder` reassembles frames from arbitrary read
 // chunks (split and merged TCP reads), resynchronizing past corrupt bytes
 // instead of crashing or trusting an unchecksummed byte.
+//
+// Zero-copy: a decoded frame's payload is a PayloadRef aliasing the
+// decoder's pooled receive block (util/buffer_pool.h) — no per-frame
+// allocation or copy on the hot path. The block stays alive until the last
+// payload referencing it is consumed, then recycles through the decoder's
+// pool. Transports can skip the staging copy entirely by receiving straight
+// into the decoder via Reserve()/Commit().
 #ifndef LDPIDS_TRANSPORT_FRAME_H_
 #define LDPIDS_TRANSPORT_FRAME_H_
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "util/buffer_pool.h"
 
 namespace ldpids::transport {
 
@@ -44,7 +54,7 @@ struct Frame {
   uint64_t session_id = 0;
   uint64_t timestamp = 0;  // round index in the serving integration
   FrameKind kind = FrameKind::kData;
-  std::vector<uint8_t> payload;
+  PayloadRef payload;
 };
 
 // Precise decode outcome. kOk is 0 so results can be truth-tested;
@@ -72,7 +82,7 @@ std::size_t EncodedFrameSize(std::size_t payload_size);
 
 // Convenience constructors for the two kinds.
 Frame MakeDataFrame(uint64_t session_id, uint64_t timestamp,
-                    std::vector<uint8_t> payload);
+                    PayloadRef payload);
 Frame MakeEndRoundFrame(uint64_t session_id, uint64_t timestamp,
                         uint64_t expected_data_frames);
 
@@ -121,6 +131,16 @@ struct FrameStats {
 // and pull complete frames out. Corruption never throws: the decoder
 // counts the typed reason, skips one byte, and rescans for the next valid
 // frame, so one flipped byte costs at most the frame it hit.
+//
+// Internally the stream accumulates in pooled blocks (util/buffer_pool.h)
+// and emitted payloads alias the block they arrived in — zero copies after
+// the bytes enter the decoder (and zero before it, with Reserve/Commit).
+// After each intake the decoder scans the structurally complete frames
+// ahead and verifies their checksums in one batched VerifyChecksums pass
+// (fo/wire.h); Next() then serves the verified run without touching the
+// payload bytes again. Any frame that fails the batch — or any resync —
+// falls back to the exact per-frame path, so error classification and
+// stats are byte-for-byte those of the incremental decoder.
 class FrameDecoder {
  public:
   FrameDecoder() = default;
@@ -130,18 +150,55 @@ class FrameDecoder {
     Append(bytes.data(), bytes.size());
   }
 
+  // Zero-copy intake: Reserve(n) returns a scratch span of at least n
+  // bytes for the transport to read into (recv, fread); Commit(k) then
+  // publishes the k bytes actually written. Reserve without Commit is
+  // idempotent; a commit larger than the last reservation is undefined.
+  uint8_t* Reserve(std::size_t size);
+  void Commit(std::size_t size);
+
   // Extracts the next complete frame, advancing past any corrupt bytes in
   // front of it. Returns false when the buffer holds no complete frame
-  // (call Append and retry).
+  // (call Append and retry). The frame's payload aliases decoder-owned
+  // storage and remains valid for the payload's lifetime (it keeps the
+  // block alive), independent of further decoder use.
   bool Next(Frame* out);
 
   const FrameStats& stats() const { return stats_; }
   // Bytes buffered but not yet decoded (an in-flight partial frame).
-  std::size_t pending_bytes() const { return buffer_.size() - pos_; }
+  std::size_t pending_bytes() const { return end_ - pos_; }
+  // Pool accounting, for tests pinning the no-allocation steady state.
+  const BufferPool& pool() const { return pool_; }
 
  private:
-  std::vector<uint8_t> buffer_;
-  std::size_t pos_ = 0;  // consumed prefix, compacted lazily
+  // One structurally complete frame found ahead of the cursor, with its
+  // batched checksum verdict.
+  struct VerifiedFrame {
+    std::size_t offset = 0;  // into the current block
+    std::size_t total = 0;   // encoded size
+    bool ok = false;         // checksum matched in the batch pass
+  };
+
+  // Re-scan [pos_, end_) for structurally complete frames and batch-verify
+  // their checksums. Valid until the cursor leaves the run or bytes move.
+  void BuildVerifiedRun();
+  // One decode attempt at pos_ — TryDecodeFrame's exact logic, with the
+  // checksum comparison optionally replaced by the batched verdict and the
+  // payload emitted as a block-aliasing PayloadRef.
+  FrameError DecodeStep(bool have_verdict, bool checksum_ok, Frame* out,
+                        std::size_t* consumed);
+
+  BufferPool pool_;
+  std::shared_ptr<std::vector<uint8_t>> block_;
+  std::size_t pos_ = 0;  // consumed prefix within block_
+  std::size_t end_ = 0;  // valid bytes within block_
+  std::vector<VerifiedFrame> verified_;
+  std::size_t verified_idx_ = 0;
+  bool cache_valid_ = false;
+  // Scratch for the batched checksum pass; reused across intakes.
+  std::vector<const uint8_t*> verify_datas_;
+  std::vector<std::size_t> verify_sizes_;
+  std::vector<uint8_t> verify_ok_;
   FrameStats stats_;
 };
 

@@ -116,7 +116,7 @@ DeliverResult RoundBuffer::Deliver(Frame&& frame) {
   return DeliverResult::kBuffered;
 }
 
-std::vector<std::vector<uint8_t>> RoundBuffer::TakeRound(uint64_t round) {
+std::vector<PayloadRef> RoundBuffer::TakeRound(uint64_t round) {
   std::unique_lock<std::mutex> lock(mu_);
   if (round != next_round_) {
     throw std::logic_error("rounds must be taken strictly in order");
@@ -134,8 +134,7 @@ std::vector<std::vector<uint8_t>> RoundBuffer::TakeRound(uint64_t round) {
       ++stats_.masked_losses;
     }
   }
-  std::vector<std::vector<uint8_t>> packets =
-      std::move(pending_[round].packets);
+  std::vector<PayloadRef> packets = std::move(pending_[round].packets);
   pending_.erase(round);
   next_round_ = round + 1;
   ++stats_.rounds_drained;
@@ -216,14 +215,38 @@ service::SplitRoundTransport MakeBufferedSplitTransport(
 void SendRoundFrames(FrameSender& sender, uint64_t session_id,
                      uint64_t round,
                      const std::vector<std::vector<uint8_t>>& packets) {
+  SendRoundFrames(std::vector<FrameSender*>{&sender}, session_id, round,
+                  packets);
+}
+
+void SendRoundFrames(const std::vector<FrameSender*>& senders,
+                     uint64_t session_id, uint64_t round,
+                     const std::vector<std::vector<uint8_t>>& packets) {
+  if (senders.empty()) {
+    throw std::invalid_argument("SendRoundFrames needs at least one sender");
+  }
+  for (FrameSender* sender : senders) {
+    if (sender == nullptr) {
+      throw std::invalid_argument("SendRoundFrames got a null sender");
+    }
+  }
   std::unordered_set<uint64_t> identities;
   identities.reserve(packets.size());
-  for (const std::vector<uint8_t>& packet : packets) {
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const std::vector<uint8_t>& packet = packets[i];
     identities.insert(PacketIdentity(packet.data(), packet.size()));
-    sender.Send(MakeDataFrame(session_id, round, packet));
+    senders[i % senders.size()]->Send(
+        MakeDataFrame(session_id, round, packet));
   }
-  sender.Send(MakeEndRoundFrame(session_id, round, identities.size()));
-  sender.Flush();
+  // Every connection is flushed before the single whole-round marker goes
+  // out on senders[0]. The marker could legally race data still in flight
+  // on other connections — the RoundBuffer waits for the announced count
+  // regardless of arrival order — but flushing first keeps the common case
+  // "marker last", so deadline flushes only happen on real loss.
+  for (FrameSender* sender : senders) sender->Flush();
+  senders[0]->Send(
+      MakeEndRoundFrame(session_id, round, identities.size()));
+  senders[0]->Flush();
 }
 
 }  // namespace ldpids::transport

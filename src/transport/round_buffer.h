@@ -129,9 +129,11 @@ class RoundBuffer {
   // Session side. Blocks until round `round` is complete (marker seen and
   // its data-frame count arrived) or options.round_deadline elapses, then
   // drains and closes the round, returning its packets in arrival order.
+  // Packets are the frames' payload refs — still aliasing the transport
+  // decoders' pooled blocks, which recycle once the round is consumed.
   // Rounds must be taken strictly in order (throws std::logic_error
   // otherwise) — the session's round_index increments by one per round.
-  std::vector<std::vector<uint8_t>> TakeRound(uint64_t round);
+  std::vector<PayloadRef> TakeRound(uint64_t round);
 
   // Next round TakeRound will accept; all earlier rounds are closed.
   uint64_t next_round() const;
@@ -143,7 +145,7 @@ class RoundBuffer {
 
  private:
   struct PendingRound {
-    std::vector<std::vector<uint8_t>> packets;
+    std::vector<PayloadRef> packets;
     // Identities of the packets buffered so far; completion counts these,
     // not raw arrivals, so a duplicate cannot mask a loss.
     std::unordered_set<uint64_t> identities;
@@ -236,6 +238,19 @@ uint64_t PacketIdentity(const uint8_t* data, std::size_t size);
 // deliberate duplicates without wedging the receiver's completion count.
 void SendRoundFrames(FrameSender& sender, uint64_t session_id,
                      uint64_t round,
+                     const std::vector<std::vector<uint8_t>>& packets);
+
+// Multi-connection variant: stripes the round's data frames round-robin
+// across `senders` (packet i goes to sender i % K) and announces ONE
+// end-of-round marker — with the distinct count of the whole round — via
+// senders[0] after flushing every connection. The receiver's RoundBuffer
+// honors the first marker it sees and counts distinct arrivals across all
+// connections, so completion, dedup and the released estimates are
+// bit-identical to the single-connection send regardless of how the K
+// streams interleave. Throws std::invalid_argument when `senders` is empty
+// or holds a null pointer.
+void SendRoundFrames(const std::vector<FrameSender*>& senders,
+                     uint64_t session_id, uint64_t round,
                      const std::vector<std::vector<uint8_t>>& packets);
 
 }  // namespace ldpids::transport

@@ -94,12 +94,15 @@ void SocketListener::AcceptLoop() {
 void SocketListener::ReadLoop(int fd) {
   FrameDecoder decoder;
   Frame frame;
-  std::vector<uint8_t> chunk(64 * 1024);
+  constexpr std::size_t kChunk = 64 * 1024;
   for (;;) {
-    const ssize_t n = ::recv(fd, chunk.data(), chunk.size(), 0);
+    // Zero-copy intake: recv straight into the decoder's pooled block; the
+    // bytes are never staged in a side buffer, and decoded payloads alias
+    // them in place all the way into the round buffer.
+    const ssize_t n = ::recv(fd, decoder.Reserve(kChunk), kChunk, 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // EOF or shutdown
-    decoder.Append(chunk.data(), static_cast<std::size_t>(n));
+    decoder.Commit(static_cast<std::size_t>(n));
     while (decoder.Next(&frame)) handler_(std::move(frame));
   }
   {

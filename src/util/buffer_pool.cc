@@ -1,0 +1,66 @@
+#include "util/buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ldpids {
+
+bool operator==(const PayloadRef& a, const PayloadRef& b) {
+  return a.size() == b.size() &&
+         (a.size() == 0 || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+bool operator==(const PayloadRef& a, const std::vector<uint8_t>& b) {
+  return a.size() == b.size() &&
+         (a.size() == 0 || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+bool operator==(const std::vector<PayloadRef>& a,
+                const std::vector<std::vector<uint8_t>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+std::shared_ptr<std::vector<uint8_t>> BufferPool::Get(std::size_t min_bytes) {
+  const std::size_t want = std::max(min_bytes, default_block_bytes_);
+  std::lock_guard<std::mutex> lock(mu_);
+  // use_count() == 1 means the pool holds the only reference: every
+  // PayloadRef and decoder that aliased the block has dropped it. New
+  // references are only minted here, under the pool lock, so the check
+  // cannot race with a concurrent revival.
+  for (std::shared_ptr<std::vector<uint8_t>>& block : blocks_) {
+    if (block.use_count() == 1 && block->size() >= want) {
+      ++reused_;
+      return block;
+    }
+  }
+  // No reusable block: evict one idle-but-too-small block if the pool is
+  // full, then allocate.
+  if (blocks_.size() >= kMaxPooledBlocks) {
+    for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+      if (it->use_count() == 1) {
+        blocks_.erase(it);
+        break;
+      }
+    }
+  }
+  auto block = std::make_shared<std::vector<uint8_t>>(want);
+  ++allocated_;
+  if (blocks_.size() < kMaxPooledBlocks) blocks_.push_back(block);
+  return block;
+}
+
+uint64_t BufferPool::allocated_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return allocated_;
+}
+
+uint64_t BufferPool::reused_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reused_;
+}
+
+}  // namespace ldpids

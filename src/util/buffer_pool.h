@@ -1,0 +1,114 @@
+// Pooled byte buffers and shared-ownership payload spans — the allocation
+// discipline of the zero-copy data plane.
+//
+// The decode-bound ingest path used to copy every report three times: the
+// socket reader copied bytes into the FrameDecoder's buffer, the decoder
+// copied each frame's payload into a fresh std::vector, and the RoundBuffer
+// moved those vectors around until the arena decoded them. A `PayloadRef`
+// replaces the per-frame vector: it is a non-owning (data, size) span plus
+// a shared_ptr keeping the backing storage alive, so a decoder can hand a
+// frame's payload downstream *in place* — the bytes stay where the socket
+// wrote them, inside a pooled block, until the last reference drops.
+//
+// A `BufferPool` recycles those blocks. It hands out shared_ptr<vector>
+// blocks and reclaims one the moment no PayloadRef (or decoder) holds it —
+// detected by use_count() == 1 on the pool's own reference, so there is no
+// custom deleter and no back-pointer from payloads to the pool. Steady
+// state for a socket connection is a small ring of blocks reused round
+// after round: zero allocations per packet, zero per round.
+//
+// PayloadRef is deliberately copyable (a shared_ptr bump): transport tees,
+// recorders and round buffers pass frames around by value exactly as they
+// did when the payload was a vector.
+#ifndef LDPIDS_UTIL_BUFFER_POOL_H_
+#define LDPIDS_UTIL_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace ldpids {
+
+// A byte span with shared ownership of its backing storage. Default
+// constructed it is an empty span owning nothing.
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+
+  // Owning: adopts the vector's bytes. Implicit so the vector-based call
+  // sites (encoders, tests, fleets) keep reading naturally.
+  PayloadRef(std::vector<uint8_t> bytes) {  // NOLINT(google-explicit-*)
+    auto owned = std::make_shared<std::vector<uint8_t>>(std::move(bytes));
+    data_ = owned->data();
+    size_ = owned->size();
+    owner_ = std::move(owned);
+  }
+  PayloadRef(std::initializer_list<uint8_t> bytes)
+      : PayloadRef(std::vector<uint8_t>(bytes)) {}
+
+  // Viewing: [data, data + size) must stay valid while `owner` is held —
+  // the zero-copy hand-off from a decoder's pooled block.
+  PayloadRef(std::shared_ptr<const void> owner, const uint8_t* data,
+             std::size_t size)
+      : owner_(std::move(owner)), data_(data), size_(size) {}
+
+  const uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const uint8_t* begin() const { return data_; }
+  const uint8_t* end() const { return data_ + size_; }
+
+  std::vector<uint8_t> ToVector() const { return {data_, data_ + size_}; }
+
+ private:
+  std::shared_ptr<const void> owner_;
+  const uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+// Byte-wise comparison (identity of the bytes, not of the storage).
+bool operator==(const PayloadRef& a, const PayloadRef& b);
+bool operator==(const PayloadRef& a, const std::vector<uint8_t>& b);
+// Batch-to-batch comparison for tests that check a drained round against
+// the packets that were sent (found via ADL on PayloadRef).
+bool operator==(const std::vector<PayloadRef>& a,
+                const std::vector<std::vector<uint8_t>>& b);
+
+// A thread-safe recycler of byte blocks. Get() prefers a pooled block no
+// one references anymore; otherwise it allocates. Blocks are returned
+// implicitly: dropping the last outside shared_ptr (typically the last
+// PayloadRef aliasing the block) makes it reusable on the next Get().
+class BufferPool {
+ public:
+  // Default block size: comfortably many ~50 B report frames per block,
+  // small enough that a handful of in-flight blocks is cheap.
+  static constexpr std::size_t kDefaultBlockBytes = 256 * 1024;
+  // Free blocks beyond this are released instead of pooled, bounding the
+  // pool after a burst.
+  static constexpr std::size_t kMaxPooledBlocks = 16;
+
+  explicit BufferPool(std::size_t default_block_bytes = kDefaultBlockBytes)
+      : default_block_bytes_(default_block_bytes) {}
+
+  // A block with size() >= max(min_bytes, default); contents unspecified.
+  std::shared_ptr<std::vector<uint8_t>> Get(std::size_t min_bytes);
+
+  // Blocks ever allocated (not recycled) — the pool's effectiveness gauge.
+  uint64_t allocated_blocks() const;
+  // Get() calls served from the pool.
+  uint64_t reused_blocks() const;
+
+ private:
+  const std::size_t default_block_bytes_;
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<std::vector<uint8_t>>> blocks_;
+  uint64_t allocated_ = 0;
+  uint64_t reused_ = 0;
+};
+
+}  // namespace ldpids
+
+#endif  // LDPIDS_UTIL_BUFFER_POOL_H_

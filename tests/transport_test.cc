@@ -111,7 +111,7 @@ TEST(FrameCodecTest, EndRoundMarkerCarriesTheExpectedCount) {
 
 TEST(FrameCodecTest, OversizePayloadIsRejectedAtBothEnds) {
   Frame frame = MakeDataFrame(1, 1, {});
-  frame.payload.resize(transport::kMaxFramePayload + 1);
+  frame.payload = std::vector<uint8_t>(transport::kMaxFramePayload + 1);
   std::vector<uint8_t> out;
   EXPECT_THROW(transport::AppendEncodedFrame(frame, &out),
                std::invalid_argument);
@@ -627,6 +627,152 @@ INSTANTIATE_TEST_SUITE_P(AllOracles, TransportEquivalenceTest,
                          [](const auto& info) {
                            return std::string(OracleIdName(info.param));
                          });
+
+// --- multi-connection ingest ----------------------------------------------
+
+class MultiConnectionTest : public ::testing::TestWithParam<OracleId> {};
+
+// A round striped across four socket connections — with shuffling and
+// cross-connection duplicates, so one packet's copies can race each other
+// on different TCP streams — must release bit-identically to the
+// in-process (and therefore single-connection) run. Each connection gets
+// its own listener-side reader thread and FrameDecoder; the RoundBuffer is
+// the only merge point.
+TEST_P(MultiConnectionTest, FourStripedConnectionsMatchOneBitForBit) {
+  const std::string fo_name = OracleIdName(GetParam());
+  constexpr uint64_t kUsers = 300;
+  constexpr std::size_t kSteps = 4;
+  constexpr std::size_t kConnections = 4;
+
+  SessionOptions options;
+  options.num_shards = 2;
+  options.num_threads = 1;
+
+  std::vector<Histogram> expected;
+  {
+    const ClientFleet fleet(kUsers, TruthValue, 4242);
+    MechanismSession session(
+        CreateMechanism("LBA", SessionConfig(fo_name), kUsers), kDomain,
+        options, fleet.Transport(1));
+    for (std::size_t t = 0; t < kSteps; ++t) {
+      expected.push_back(session.Advance().release);
+    }
+  }
+
+  uint64_t dupes_sent = 0;
+  std::vector<Histogram> via_sockets;
+  {
+    const ClientFleet fleet(kUsers, TruthValue, 4242);
+    RoundBuffer buffer;
+    FrameDemux demux;
+    demux.Register(kSessionId, &buffer);
+    SocketListener listener(0, demux.Handler());
+    std::vector<std::unique_ptr<SocketClient>> clients;
+    std::vector<FrameSender*> senders;
+    for (std::size_t c = 0; c < kConnections; ++c) {
+      // Tiny flush threshold: the four streams interleave at a granularity
+      // of a few frames instead of whole rounds.
+      clients.push_back(
+          std::make_unique<SocketClient>(listener.port(), /*flush_bytes=*/256));
+      senders.push_back(clients.back().get());
+    }
+
+    auto announce = [&](const RoundRequest& request) {
+      auto packets = fleet.ProduceRound(request, 1);
+      Rng rng(HashCounter(777, request.round_index, 0));
+      for (std::size_t i = packets.size(); i > 1; --i) {
+        std::swap(packets[i - 1], packets[rng.UniformInt(i)]);
+      }
+      // Duplicate every fifth packet at the end of the list: round-robin
+      // striping then lands most copies on a different connection than
+      // their original, so dedup must hold across streams.
+      const std::size_t originals = packets.size();
+      for (std::size_t i = 0; i < originals; i += 5) {
+        packets.push_back(packets[i]);
+        ++dupes_sent;
+      }
+      SendRoundFrames(senders, kSessionId, request.round_index, packets);
+    };
+
+    MechanismSession session(
+        CreateMechanism("LBA", SessionConfig(fo_name), kUsers), kDomain,
+        options, MakeBufferedTransport(buffer, announce, 1));
+    for (std::size_t t = 0; t < kSteps; ++t) {
+      via_sockets.push_back(session.Advance().release);
+    }
+
+    // Drain the connections before reading any counters: with the copies
+    // striped onto different connections than their originals, a round can
+    // complete (every distinct frame arrived) and be drained while a
+    // redundant copy is still in flight on another stream.
+    for (auto& client : clients) client->Close();
+    listener.Stop();
+    // A straggler arriving after its round drained lands as a closed-round
+    // drop. Only duplicates can straggle — completion requires all distinct
+    // frames — so the drop and duplicate counters must account for every
+    // copy between them, and no other drop reason may fire.
+    const transport::RoundBufferStats bstats = buffer.stats();
+    const uint64_t stragglers = bstats.closed_round_drops;
+    EXPECT_EQ(session.stats().duplicate + stragglers, dupes_sent) << fo_name;
+    EXPECT_EQ(session.stats().malformed, 0u);
+    EXPECT_EQ(bstats.duplicate_frames + stragglers, dupes_sent) << fo_name;
+    EXPECT_EQ(bstats.deadline_flushes, 0u);
+    EXPECT_EQ(bstats.masked_losses, 0u);
+    EXPECT_EQ(bstats.dropped(), stragglers);
+    EXPECT_EQ(listener.connections(), kConnections);
+    EXPECT_EQ(listener.stats().errors(), 0u);
+  }
+  EXPECT_EQ(via_sockets, expected) << fo_name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOracles, MultiConnectionTest,
+                         ::testing::ValuesIn(AllOracleIds()),
+                         [](const auto& info) {
+                           return std::string(OracleIdName(info.param));
+                         });
+
+// --- pooled decoder buffers -----------------------------------------------
+
+// Frames decoded zero-copy alias the decoder's pooled block: the payload
+// bytes must stay valid while the ref lives (even across further decoder
+// traffic), and blocks must recycle — not accumulate — once payloads drop.
+TEST(FrameDecoderPoolTest, PayloadsPinBlocksAndBlocksRecycle) {
+  FrameDecoder decoder;
+  Frame frame;
+  std::vector<uint8_t> stream;
+  std::vector<PayloadRef> held;
+  // Push ~40 MiB of frames through the decoder while holding only one
+  // round's payloads at a time. With in-flight refs the decoder must hop
+  // blocks instead of compacting under them; with refs dropped it must
+  // reuse, keeping the footprint a handful of blocks.
+  for (int round = 0; round < 80; ++round) {
+    stream.clear();
+    std::vector<std::vector<uint8_t>> sent;
+    for (uint64_t i = 0; i < 900; ++i) {
+      std::vector<uint8_t> payload(600, static_cast<uint8_t>(i ^ round));
+      transport::AppendEncodedFrame(
+          MakeDataFrame(1, static_cast<uint64_t>(round), payload), &stream);
+      sent.push_back(std::move(payload));
+    }
+    held.clear();  // previous round's refs drop -> blocks become reusable
+    std::size_t fed = 0;
+    while (fed < stream.size()) {
+      const std::size_t n = std::min<std::size_t>(64 * 1024,
+                                                  stream.size() - fed);
+      decoder.Append(stream.data() + fed, n);
+      fed += n;
+      while (decoder.Next(&frame)) held.push_back(std::move(frame.payload));
+    }
+    ASSERT_EQ(held.size(), sent.size());
+    for (std::size_t i = 0; i < held.size(); ++i) {
+      ASSERT_EQ(held[i], sent[i]) << "round " << round << " frame " << i;
+    }
+  }
+  EXPECT_EQ(decoder.stats().errors(), 0u);
+  // Steady state is a small ring of recycled blocks, not one per chunk.
+  EXPECT_LE(decoder.pool().allocated_blocks(), 8u);
+  EXPECT_GT(decoder.pool().reused_blocks(), 0u);
+}
 
 }  // namespace
 }  // namespace ldpids

@@ -122,6 +122,168 @@ TEST(WireFuzzTest, RandomGarbageNeverDecodes) {
   }
 }
 
+// --- checksum parity (fo/wire.cc WireChecksum) ----------------------------
+// The checksum runs over the SIMD layer, so its value must be identical on
+// every backend. This reference reimplements the algorithm with plain
+// scalar arithmetic and no shared code: four SplitMix64 lanes absorbing
+// little-endian words of 32-byte blocks, a zero-padded tail block, and a
+// size+rotation lane fold. Both backends are fuzzed against it (the CI
+// force-scalar job runs this file on generic), and golden values pin the
+// on-the-wire function across platforms and future refactors.
+
+uint64_t ReferenceMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint32_t ReferenceChecksum(const uint8_t* data, std::size_t size) {
+  uint64_t lane[4] = {0x243F6A8885A308D3ULL ^ static_cast<uint64_t>(size),
+                      0x13198A2E03707344ULL, 0xA4093822299F31D0ULL,
+                      0x082EFA98EC4E6C89ULL};
+  const auto absorb = [&lane](const uint8_t* block) {
+    for (int j = 0; j < 4; ++j) {
+      uint64_t w = 0;
+      for (int b = 7; b >= 0; --b) {
+        w = (w << 8) | block[8 * j + b];  // little-endian word assembly
+      }
+      lane[j] = ReferenceMix64(lane[j] ^ w);
+    }
+  };
+  std::size_t i = 0;
+  for (; i + 32 <= size; i += 32) absorb(data + i);
+  if (i < size) {
+    uint8_t tail[32] = {0};
+    std::copy(data + i, data + size, tail);
+    absorb(tail);
+  }
+  const auto rotl = [](uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  };
+  return static_cast<uint32_t>(ReferenceMix64(
+      static_cast<uint64_t>(size) ^ lane[0] ^ rotl(lane[1], 17) ^
+      rotl(lane[2], 34) ^ rotl(lane[3], 51)));
+}
+
+TEST(ChecksumParityTest, BackendMatchesScalarReferenceOnFuzzedInputs) {
+  // Random lengths 0..4KiB at every misalignment 0..7: the packet decoder
+  // checksums byte ranges at arbitrary offsets inside socket buffers, so
+  // alignment must never change the value (or crash a vector load).
+  Rng rng(0xC45);
+  std::vector<uint8_t> buffer(4096 + 8);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t len = rng.UniformInt(4097);
+    const std::size_t offset = rng.UniformInt(8);
+    for (std::size_t i = 0; i < len + offset; ++i) {
+      buffer[i] = static_cast<uint8_t>(rng.NextU64());
+    }
+    const uint8_t* p = buffer.data() + offset;
+    EXPECT_EQ(WireChecksum(p, len), ReferenceChecksum(p, len))
+        << "len " << len << " offset " << offset;
+  }
+  // Every length through a few blocks, so block/tail boundaries (0, 31,
+  // 32, 33, 64, ...) are all hit exactly.
+  for (std::size_t len = 0; len <= 100; ++len) {
+    EXPECT_EQ(WireChecksum(buffer.data() + 1, len),
+              ReferenceChecksum(buffer.data() + 1, len))
+        << "len " << len;
+  }
+}
+
+TEST(ChecksumParityTest, GoldenValuesArePinned) {
+  // Frozen values of the wire checksum function. These must never change:
+  // recorded frame logs and cross-version client/server pairs depend on
+  // the function being stable across platforms, backends and refactors.
+  const struct {
+    std::size_t len;
+    uint32_t checksum;
+  } kGolden[] = {
+      {0u, 0x03516A10u},   {1u, 0x80E28689u},   {7u, 0x1978346Fu},
+      {8u, 0xB4F1CA74u},   {31u, 0x19A6BDF8u},  {32u, 0xB1B63B56u},
+      {33u, 0x5AD9F3F8u},  {64u, 0xA823BFC7u},  {255u, 0x74F17A7Au},
+      {4096u, 0x4E7D3DF6u},
+  };
+  for (const auto& g : kGolden) {
+    std::vector<uint8_t> buf(g.len);
+    Rng rng(0xC0FFEE ^ static_cast<uint64_t>(g.len));
+    for (auto& b : buf) b = static_cast<uint8_t>(rng.NextU64());
+    EXPECT_EQ(WireChecksum(buf.data(), buf.size()), g.checksum)
+        << "len " << g.len;
+  }
+}
+
+TEST(ChecksumParityTest, VerifyChecksumsMatchesPerPacketVerdicts) {
+  // The batched entry point must agree with recomputing each packet's
+  // trailing checksum individually — including undersized spans.
+  Rng rng(0xBA7C4);
+  std::vector<std::vector<uint8_t>> spans;
+  for (const auto& packet : SamplePackets()) {
+    spans.push_back(packet);
+    auto corrupted = packet;
+    corrupted[rng.UniformInt(corrupted.size())] ^=
+        static_cast<uint8_t>(1 + rng.UniformInt(255));
+    spans.push_back(std::move(corrupted));
+  }
+  for (std::size_t n : {0u, 1u, 2u, 3u}) {
+    std::vector<uint8_t> tiny(n);
+    for (auto& b : tiny) b = static_cast<uint8_t>(rng.NextU64());
+    spans.push_back(std::move(tiny));
+  }
+  std::vector<const uint8_t*> datas;
+  std::vector<std::size_t> sizes;
+  for (const auto& s : spans) {
+    datas.push_back(s.data());
+    sizes.push_back(s.size());
+  }
+  std::vector<uint8_t> ok(spans.size(), 0xCC);
+  VerifyChecksums(datas.data(), sizes.data(), spans.size(), ok.data());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const auto& s = spans[i];
+    const bool want =
+        s.size() >= 4 &&
+        GetU32Le(s.data() + s.size() - 4) ==
+            WireChecksum(s.data(), s.size() - 4);
+    EXPECT_EQ(ok[i], want ? 1 : 0) << "span " << i;
+  }
+}
+
+TEST(ChecksumParityTest, UniformSizeRunsMatchPerPacketVerdicts) {
+  // A run of >= 8 equal-size spans takes the 8-wide batched kernel when
+  // the build and CPU have AVX-512; its verdicts must match the per-span
+  // recompute bit for bit across size classes (sub-block, exact-block and
+  // multi-block inputs, valid and corrupted).
+  Rng rng(0x8A7E5);
+  for (const std::size_t len :
+       {5u, 24u, 27u, 35u, 36u, 64u, 151u, 513u}) {
+    std::vector<std::vector<uint8_t>> spans;
+    for (int i = 0; i < 21; ++i) {
+      std::vector<uint8_t> s(len);
+      for (auto& b : s) b = static_cast<uint8_t>(rng.NextU64());
+      PutU32Le(&s, WireChecksum(s.data(), s.size()));
+      if (i % 5 == 2) {
+        s[rng.UniformInt(s.size())] ^=
+            static_cast<uint8_t>(1 + rng.UniformInt(255));
+      }
+      spans.push_back(std::move(s));
+    }
+    std::vector<const uint8_t*> datas;
+    std::vector<std::size_t> sizes;
+    for (const auto& s : spans) {
+      datas.push_back(s.data());
+      sizes.push_back(s.size());
+    }
+    std::vector<uint8_t> ok(spans.size(), 0xCC);
+    VerifyChecksums(datas.data(), sizes.data(), spans.size(), ok.data());
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      const auto& s = spans[i];
+      const bool want = GetU32Le(s.data() + s.size() - 4) ==
+                        WireChecksum(s.data(), s.size() - 4);
+      EXPECT_EQ(ok[i], want ? 1 : 0) << "len " << len << " span " << i;
+    }
+  }
+}
+
 TEST(WireFuzzTest, ValidEnvelopeWrongDomainIsRejectedNotCrashed) {
   // A packet that is pristine on the wire but sized for a different domain
   // must be a typed rejection (payload size or value range), never a crash
