@@ -11,7 +11,11 @@
 // oracle (the acceptance configuration for BENCH_ingest_columnar.json).
 //
 // Flags: --scale, --reps (best rep is reported), --threads (batch-path
-// lanes; the per-report path is inherently serial), --csv, --help.
+// lanes; the per-report path is inherently serial), --csv, --metrics
+// (run with a live obs::MetricsRegistry: router stage timing enabled and
+// every rep's IngestStats + stage nanos published — the acceptance gate
+// pins the d=1024 columnar rate within 5% of the registry-off baseline),
+// --help.
 #include <algorithm>
 #include <cctype>
 #include <chrono>
@@ -26,6 +30,9 @@
 #include "fo/fo_kernels.h"
 #include "fo/frequency_oracle.h"
 #include "fo/wire.h"
+#include "obs/metrics.h"
+#include "obs/stage_trace.h"
+#include "obs/stats_feed.h"
 #include "service/client_fleet.h"
 #include "service/ingest.h"
 #include "service/session.h"
@@ -77,17 +84,36 @@ struct Cell {
 // validation + fold work.
 template <typename RunFn>
 double BestRate(const FrequencyOracle& fo, OracleId oracle,
-                std::size_t num_reports, int reps, const RunFn& run) {
+                std::size_t num_reports, int reps,
+                obs::MetricsRegistry* metrics, const RunFn& run) {
   double best = 0.0;
   Histogram estimate;
+  // Feeds and stage set register once, outside the timed window; with
+  // --metrics the window itself pays the router's stage clock reads plus
+  // the per-rep counter publication — the instrumented serving cost.
+  std::unique_ptr<obs::StageSet> stages;
+  std::unique_ptr<obs::IngestStatsFeed> feed;
+  if (metrics != nullptr) {
+    stages = std::make_unique<obs::StageSet>(metrics, OracleIdName(oracle));
+    feed = std::make_unique<obs::IngestStatsFeed>(
+        metrics, obs::Labels{{"session", OracleIdName(oracle)}});
+  }
   for (int rep = 0; rep < std::max(1, reps); ++rep) {
     ReportRouter router(fo, {kEpsilon, g_domain}, oracle, 0,
                         /*num_shards=*/1);
+    if (metrics != nullptr) router.EnableStageTiming();
     const auto start = std::chrono::steady_clock::now();
     run(router);
     IngestStats stats;
     auto sketch = router.Close(&stats);
     sketch->EstimateInto(&estimate);
+    if (stages != nullptr) {
+      stages->Record(obs::Stage::kArenaDecode,
+                     router.stage_nanos().arena_decode);
+      stages->Record(obs::Stage::kShardFold, router.stage_nanos().shard_fold);
+      stages->Record(obs::Stage::kMerge, router.stage_nanos().merge);
+      feed->Add(stats);
+    }
     const double wall = Seconds(start);
     if (stats.accepted != num_reports || stats.total() != num_reports) {
       std::fprintf(stderr, "ingest dropped packets: %s\n",
@@ -102,7 +128,7 @@ double BestRate(const FrequencyOracle& fo, OracleId oracle,
 }
 
 Cell BenchOracle(OracleId oracle, std::size_t num_reports, int reps,
-                 std::size_t threads) {
+                 std::size_t threads, obs::MetricsRegistry* metrics) {
   const FrequencyOracle& fo = GetFrequencyOracle(OracleIdName(oracle));
 
   const ClientFleet fleet(num_reports, TruthValue, 53);
@@ -117,12 +143,12 @@ Cell BenchOracle(OracleId oracle, std::size_t num_reports, int reps,
   cell.oracle = OracleIdName(oracle);
   cell.domain = g_domain;
   cell.reports = num_reports;
-  cell.per_report_rps =
-      BestRate(fo, oracle, num_reports, reps, [&](ReportRouter& router) {
+  cell.per_report_rps = BestRate(
+      fo, oracle, num_reports, reps, metrics, [&](ReportRouter& router) {
         for (const auto& packet : packets) router.Ingest(packet);
       });
-  cell.columnar_rps =
-      BestRate(fo, oracle, num_reports, reps, [&](ReportRouter& router) {
+  cell.columnar_rps = BestRate(
+      fo, oracle, num_reports, reps, metrics, [&](ReportRouter& router) {
         router.IngestBatch(packets, threads);
       });
   return cell;
@@ -141,10 +167,14 @@ int main(int argc, char** argv) {
   const std::size_t threads = BenchThreads(flags);
   const int reps = RepsFlag(flags, 3);
   const std::string csv_path = flags.GetString("csv", "");
+  const bool metrics_on = flags.GetBool("metrics", false);
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics = metrics_on ? &registry : nullptr;
 
   PrintHeader("Columnar ingest speedup (reports/sec, per-report vs arena)",
               scale);
-  std::printf("kernel backend: %s\n\n", fokernels::BackendName());
+  std::printf("kernel backend: %s   metrics registry: %s\n\n",
+              fokernels::BackendName(), metrics_on ? "on" : "off");
   std::printf(
       "oracle   domain     reports   per-report/s     columnar/s  speedup\n");
 
@@ -161,7 +191,8 @@ int main(int argc, char** argv) {
     const std::size_t num_reports = std::max<std::size_t>(
         2000, static_cast<std::size_t>(ScaledUsers(scale, 12000000)) / domain);
     for (OracleId oracle : oracles) {
-      const Cell cell = BenchOracle(oracle, num_reports, reps, threads);
+      const Cell cell =
+          BenchOracle(oracle, num_reports, reps, threads, metrics);
       std::printf("%-8s %6zu  %10llu  %13.0f  %13.0f  %6.2fx\n",
                   cell.oracle.c_str(), cell.domain,
                   static_cast<unsigned long long>(cell.reports),
@@ -186,7 +217,8 @@ int main(int argc, char** argv) {
   // across oracles at that domain (the "columnar ingest is >= 2x" claim).
   double min_speedup = 0.0;
   std::string line = "[throughput] threads=" + std::to_string(threads) +
-                     " domain=1024 backend=" + fokernels::BackendName();
+                     " domain=1024 backend=" + fokernels::BackendName() +
+                     " metrics=" + (metrics_on ? "1" : "0");
   char buf[128];
   for (const Cell& cell : cells) {
     if (cell.domain != 1024) continue;

@@ -16,6 +16,8 @@
 #include "fo/report_arena.h"
 #include "fo/wire.h"
 #include "fo/wire_internal.h"
+#include "obs/metrics.h"
+#include "obs/stage_trace.h"
 #include "transport/frame.h"
 #include "util/distributions.h"
 #include "util/rng.h"
@@ -467,6 +469,62 @@ void BM_MechanismStep(benchmark::State& state) {
   state.SetLabel(name);
 }
 BENCHMARK(BM_MechanismStep)->DenseRange(0, 6);
+
+// --- src/obs/ hot-path overhead -------------------------------------------
+// These pin the cost of the metrics primitives the serving layer pays per
+// event: one relaxed fetch_add per counter hit, three per histogram
+// observation, plus one steady_clock read per StageTimer endpoint. A
+// regression here is a regression on every instrumented hot path.
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.GetCounter("bm_total");
+  for (auto _ : state) {
+    counter.Add(1);
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& hist = registry.GetHistogram("bm_ns");
+  uint64_t v = 1;
+  for (auto _ : state) {
+    hist.Observe(v);
+    v = (v * 2862933555777941757ULL + 3037000493ULL) >> 16;  // vary buckets
+  }
+  benchmark::DoNotOptimize(hist.count());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsStageTimer(benchmark::State& state) {
+  // Full RAII cycle: two NowNs clock reads plus the bucketed Observe —
+  // what one instrumented pipeline stage costs per round.
+  obs::MetricsRegistry registry;
+  obs::StageSet stages(&registry, "bm");
+  for (auto _ : state) {
+    obs::StageTimer timer(&stages, obs::Stage::kMerge);
+    benchmark::DoNotOptimize(&timer);
+  }
+}
+BENCHMARK(BM_ObsStageTimer);
+
+void BM_ObsRegistrySnapshot(benchmark::State& state) {
+  // Scrape cost at a realistic registry size (the live_service socket run
+  // registers ~60 series): what a Prometheus poll pays, off the hot path.
+  obs::MetricsRegistry registry;
+  for (int i = 0; i < 48; ++i) {
+    registry.GetCounter("bm_c_total", {{"i", std::to_string(i)}}).Add(i);
+  }
+  for (int i = 0; i < 16; ++i) {
+    registry.GetHistogram("bm_h_ns", {{"i", std::to_string(i)}}).Observe(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.Snapshot());
+  }
+}
+BENCHMARK(BM_ObsRegistrySnapshot);
 
 }  // namespace
 

@@ -184,6 +184,22 @@ SocketCell BenchSocketLoopback(std::size_t num_frames, int reps,
                    delivered.size(), num_frames);
       std::exit(1);
     }
+    // Cross-check the striping: the per-connection decoder stats must sum
+    // (FrameStats::operator+=) to exactly the listener's aggregate, with
+    // every frame accounted for and no decode errors on any connection.
+    transport::FrameStats summed;
+    for (const transport::FrameStats& conn : listener.connection_stats()) {
+      summed += conn;
+    }
+    const transport::FrameStats aggregate = listener.stats();
+    if (summed.total() != aggregate.total() ||
+        summed.data_frames != num_frames || summed.errors() != 0) {
+      std::fprintf(stderr,
+                   "socket bench per-connection stats mismatch:\n"
+                   "  summed:    %s\n  aggregate: %s\n",
+                   summed.ToString().c_str(), aggregate.ToString().c_str());
+      std::exit(1);
+    }
     if (wall > 0.0) {
       cell.frames_per_s = std::max(
           cell.frames_per_s, static_cast<double>(num_frames) / wall);

@@ -26,6 +26,15 @@
 // only: stripe each round's frames across K loopback TCP connections;
 // the RoundBuffer reassembles by distinct-packet count, so the releases
 // are bit-identical at every K).
+//
+// Observability flags (src/obs/): --metrics-dump {json|text|both} prints
+// an end-of-run snapshot of every registered metric (frame, round-buffer,
+// arena, ingest counters plus per-stage latency histograms) — to stdout,
+// or to --metrics-out PATH for machine consumption (CI validates the JSON
+// with python3 -m json.tool). --metrics-every N prints a one-line stderr
+// summary every N timestamps while the stream runs. Metrics never change
+// the releases: instrumentation is write-only, pinned by the file-mode
+// replay identity check running fully instrumented.
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -37,6 +46,10 @@
 
 #include "core/factory.h"
 #include "core/mechanism.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/stage_trace.h"
+#include "obs/stats_feed.h"
 #include "service/client_fleet.h"
 #include "service/session.h"
 #include "transport/batch_file.h"
@@ -85,20 +98,96 @@ MechanismConfig DemoConfig() {
   return config;
 }
 
+// One-line live summary of the registry: rounds, accepted reports, and
+// the p50 of the two most deployment-relevant stages. Sums across label
+// sets so it works for any session/connection labeling.
+void PrintObsSummary(const obs::MetricsRegistry& registry, std::size_t t) {
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  uint64_t rounds = 0;
+  uint64_t accepted = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == "ldpids_session_rounds_total") rounds += c.value;
+    if (c.name == "ldpids_ingest_reports_total") {
+      for (const auto& [key, value] : c.labels) {
+        if (key == "result" && value == "accepted") accepted += c.value;
+      }
+    }
+  }
+  uint64_t rtt_p50 = 0;
+  uint64_t estimate_p50 = 0;
+  for (const auto& h : snap.histograms) {
+    if (h.name != obs::kStageDurationMetric) continue;
+    for (const auto& [key, value] : h.labels) {
+      if (key != "stage") continue;
+      if (value == "transport_rtt") rtt_p50 = h.Quantile(0.5);
+      if (value == "estimate") estimate_p50 = h.Quantile(0.5);
+    }
+  }
+  std::fprintf(stderr,
+               "[obs] t=%zu rounds=%llu accepted=%llu "
+               "transport_rtt_p50=%.1fus estimate_p50=%.1fus\n",
+               t, static_cast<unsigned long long>(rounds),
+               static_cast<unsigned long long>(accepted),
+               static_cast<double>(rtt_p50) / 1e3,
+               static_cast<double>(estimate_p50) / 1e3);
+}
+
+// Optional observability for a demo run: a registry to summarize every
+// `every` timestamps (0 = never).
+struct ObsOptions {
+  const obs::MetricsRegistry* registry = nullptr;
+  std::size_t every = 0;
+};
+
 // Drives one full session and collects its releases. `Transport` is
 // either a service::RoundTransport or a service::SplitRoundTransport.
 template <typename Transport>
 DemoRun RunSession(uint64_t users, std::size_t timestamps,
-                   SessionOptions options, Transport t) {
+                   SessionOptions options, Transport t,
+                   const ObsOptions& obs_opts = {}) {
   MechanismSession session(CreateMechanism("LBA", DemoConfig(), users),
                            kDomain, options, std::move(t));
   DemoRun result;
   for (std::size_t step = 0; step < timestamps; ++step) {
     result.steps.push_back(session.Advance());
+    if (obs_opts.registry != nullptr && obs_opts.every != 0 &&
+        (step + 1) % obs_opts.every == 0) {
+      PrintObsSummary(*obs_opts.registry, step + 1);
+    }
   }
   result.ingest = session.stats();
   result.rounds = session.rounds();
   return result;
+}
+
+// End-of-run metrics dump: `mode` is json, text or both; written to
+// `out_path` when non-empty (pure JSON stays machine-parseable there),
+// stdout otherwise.
+int DumpMetrics(const obs::MetricsRegistry& registry, const std::string& mode,
+                const std::string& out_path) {
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  std::string rendered;
+  if (mode == "json") {
+    rendered = obs::RenderJson(snap) + "\n";
+  } else if (mode == "text") {
+    rendered = obs::RenderPrometheus(snap);
+  } else {  // both
+    rendered = obs::RenderJson(snap) + "\n" + obs::RenderPrometheus(snap);
+  }
+  if (out_path.empty()) {
+    std::printf("\n--- metrics (%s) ---\n%s", mode.c_str(), rendered.c_str());
+    return 0;
+  }
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write --metrics-out %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(rendered.data(), 1, rendered.size(), f);
+  std::fclose(f);
+  std::printf("\nmetrics (%s) written to %s\n", mode.c_str(),
+              out_path.c_str());
+  return 0;
 }
 
 void PrintReleases(const DemoRun& result) {
@@ -136,6 +225,17 @@ int main(int argc, char** argv) {
       flags.GetString("log", "live_service_frames.log");
   const int64_t pipeline = flags.GetInt("pipeline", 1);
   const int64_t connections = flags.GetInt("connections", 1);
+  const std::string metrics_dump = flags.GetString("metrics-dump", "");
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  const std::size_t metrics_every =
+      static_cast<std::size_t>(flags.GetInt("metrics-every", 0));
+  if (!metrics_dump.empty() && metrics_dump != "json" &&
+      metrics_dump != "text" && metrics_dump != "both") {
+    std::fprintf(stderr,
+                 "unknown --metrics-dump '%s' (want json, text or both)\n",
+                 metrics_dump.c_str());
+    return 2;
+  }
   if (mode != "inproc" && mode != "socket" && mode != "file") {
     std::fprintf(stderr,
                  "unknown --transport '%s' (want inproc, socket or file)\n",
@@ -179,6 +279,14 @@ int main(int argc, char** argv) {
   options.num_threads = 1;
   options.pipeline_depth = static_cast<std::size_t>(pipeline);
 
+  // The demo always runs instrumented — releases are bit-identical either
+  // way (the file-mode replay identity check runs fully instrumented), and
+  // the --metrics-* flags only control what gets printed.
+  obs::MetricsRegistry registry;
+  options.metrics = &registry;
+  options.metrics_label = "live";
+  const ObsOptions obs_opts{&registry, metrics_every};
+
   std::printf(
       "online LDP-IDS serving: %llu clients, d=%zu, %zu shards%s, "
       "LBA + OUE, w=%zu, transport=%s, pipeline_depth=%lld\n\n",
@@ -193,11 +301,15 @@ int main(int argc, char** argv) {
                                      uint64_t) {
           mangle(packet);
           return true;
-        }));
+        }),
+        obs_opts);
     PrintReleases(result);
     std::printf("(the mode handoff 2 -> 5 at t=%zu shows up in the "
                 "releases while every report stayed eps-LDP on the wire)\n",
                 half);
+    if (!metrics_dump.empty()) {
+      return DumpMetrics(registry, metrics_dump, metrics_out);
+    }
     return 0;
   }
 
@@ -226,9 +338,11 @@ int main(int argc, char** argv) {
 
   if (mode == "socket") {
     RoundBuffer buffer;
+    buffer.AttachMetrics(&registry, "live");
     FrameDemux demux;
     demux.Register(kSessionId, &buffer);
     SocketListener listener(0, demux.Handler());
+    listener.AttachMetrics(&registry, "live");
     std::vector<std::unique_ptr<SocketClient>> clients;
     std::vector<transport::FrameSender*> senders;
     for (int64_t c = 0; c < connections; ++c) {
@@ -247,15 +361,29 @@ int main(int argc, char** argv) {
         transport::MakeBufferedSplitTransport(
             buffer,
             [&](const RoundRequest& request) { send_round(senders, request); },
-            options.num_threads));
+            options.num_threads),
+        obs_opts);
     for (auto& client : clients) client->Close();
     listener.Stop();
     PrintReleases(result);
     std::printf("frames duplicated in flight: %llu (rejected by nonce "
                 "dedup; corrupted copies by checksum)\n",
                 static_cast<unsigned long long>(frames_duplicated));
-    std::printf("listener: %s\n", listener.stats().ToString().c_str());
+    // Per-connection decode accounting: stats() is the operator+= sum of
+    // the per-connection entries, and the demo checks that here.
+    const std::vector<transport::FrameStats> per_conn =
+        listener.connection_stats();
+    transport::FrameStats summed;
+    for (std::size_t c = 0; c < per_conn.size(); ++c) {
+      std::printf("  conn %zu: %s\n", c, per_conn[c].ToString().c_str());
+      summed += per_conn[c];
+    }
+    std::printf("listener (%zu connections summed): %s\n", per_conn.size(),
+                summed.ToString().c_str());
     std::printf("round buffer: %s\n", buffer.stats().ToString().c_str());
+    if (!metrics_dump.empty()) {
+      return DumpMetrics(registry, metrics_dump, metrics_out);
+    }
     return 0;
   }
 
@@ -281,6 +409,7 @@ int main(int argc, char** argv) {
   DemoRun live;
   {
     RoundBuffer buffer;
+    buffer.AttachMetrics(&registry, "live");
     FrameLogWriter recorder(log_path);
     RecordAndDeliver tee(recorder, buffer);
     live = RunSession(
@@ -288,7 +417,8 @@ int main(int argc, char** argv) {
         MakeBufferedTransport(
             buffer,
             [&](const RoundRequest& request) { send_round({&tee}, request); },
-            options.num_threads));
+            options.num_threads),
+        obs_opts);
     recorder.Close();
     std::printf("recorded %llu frames (%llu bytes) -> %s\n\n",
                 static_cast<unsigned long long>(recorder.frames_written()),
@@ -303,13 +433,22 @@ int main(int argc, char** argv) {
   replay_options.max_lateness = ~uint64_t{0} / 2;
   replay_options.max_buffered_rounds = ~uint64_t{0} / 2;
   RoundBuffer replay_buffer(replay_options);
+  replay_buffer.AttachMetrics(&registry, "replay");
   const transport::FrameStats replay_stats = transport::ReplayFrameLog(
       log_path,
       [&](Frame&& frame) { replay_buffer.Deliver(std::move(frame)); });
+  // The log replayer owns its decoder, so its stats reach the canonical
+  // frame metrics through a feed the demo owns.
+  obs::FrameStatsFeed replay_feed(&registry,
+                                  obs::Labels{{"session", "replay"}});
+  replay_feed.Add(replay_stats);
+  SessionOptions replay_session_options = options;
+  replay_session_options.metrics_label = "replay";
   const DemoRun replayed =
-      RunSession(users, timestamps, options,
+      RunSession(users, timestamps, replay_session_options,
                  MakeBufferedTransport(replay_buffer, nullptr,
-                                       options.num_threads));
+                                       options.num_threads),
+                 obs_opts);
   std::printf("\nreplay: %s\n", replay_stats.ToString().c_str());
   if (!SameReleases(live, replayed)) {
     std::printf("replayed releases DIVERGED from the live run\n");
@@ -324,5 +463,8 @@ int main(int argc, char** argv) {
   std::printf("combined ingest over both runs: %s (%llu packets)\n",
               combined.ToString().c_str(),
               static_cast<unsigned long long>(combined.total()));
+  if (!metrics_dump.empty()) {
+    return DumpMetrics(registry, metrics_dump, metrics_out);
+  }
   return 0;
 }

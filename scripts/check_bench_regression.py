@@ -1,26 +1,52 @@
 #!/usr/bin/env python3
-"""Fail if any curated BENCH_*.json records a min_speedup below 1.0.
+"""Fail on regressions recorded in the curated BENCH_*.json files.
 
 The curated BENCH files committed at the repo root are the performance
-trajectory: bench_ingest_columnar's [throughput] line carries a
-`min_speedup` field (the worst columnar-vs-per-report ratio over the
-d=1024 oracle cells), and the batch path regressing below the serial
-path anywhere is a regression this gate refuses. Any other bench that
-grows a min_speedup field is picked up automatically.
+trajectory. Three gates:
+
+  * min_speedup >= 1.0 — bench_ingest_columnar's [throughput] line
+    carries the worst columnar-vs-per-report ratio over the d=1024
+    oracle cells; the batch path regressing below the serial path
+    anywhere is a regression this gate refuses. Any other bench that
+    grows a min_speedup field is picked up automatically.
+  * metrics_ratio >= 0.95 — bench_obs_stages records the serving
+    throughput with the metrics registry attached over detached; the
+    observability layer may cost at most 5%.
+  * stage p50s present and nonzero — bench_obs_stages' [throughput]
+    line must carry stage_<name>_p50_ns for all 8 pipeline stages, and
+    every stage except transport_rtt must be nonzero (transport_rtt is
+    wall-minus-busy and may legitimately clamp to 0 on loopback).
 
 Usage:
     scripts/check_bench_regression.py [FILE_OR_DIR ...]
 
 With no arguments, checks every BENCH_*.json next to the repo root
 (the directory above this script). A directory argument is scanned for
-BENCH_*.json files. Exits non-zero on any min_speedup < 1.0, on a
-bench recorded with a failing exit code, or when nothing was checked.
+BENCH_*.json files. Exits non-zero on any gate failure, on a bench
+recorded with a failing exit code, or when nothing was checked.
 """
 
 import glob
 import json
 import os
 import sys
+
+STAGES = (
+    "announce",
+    "transport_rtt",
+    "frame_decode",
+    "arena_decode",
+    "shard_fold",
+    "merge",
+    "estimate",
+    "post_process",
+)
+
+# Wall-minus-busy; may clamp to 0 when the loopback answers faster than
+# the router's own accounting granularity.
+ZERO_OK_STAGES = {"transport_rtt"}
+
+MIN_METRICS_RATIO = 0.95
 
 
 def collect(args):
@@ -34,6 +60,33 @@ def collect(args):
         else:
             files.append(arg)
     return files
+
+
+def check_obs_stages(name, path, throughput):
+    """Returns (checked, failures) for the observability gates."""
+    failures = 0
+    ratio = throughput.get("metrics_ratio")
+    if ratio is None:
+        print(f"FAIL {name}: missing metrics_ratio ({path})")
+        failures += 1
+    elif float(ratio) < MIN_METRICS_RATIO:
+        print(f"FAIL {name}: metrics_ratio={ratio} < "
+              f"{MIN_METRICS_RATIO} ({path})")
+        failures += 1
+    else:
+        print(f"ok   {name}: metrics_ratio={ratio}")
+    for stage in STAGES:
+        key = f"stage_{stage}_p50_ns"
+        p50 = throughput.get(key)
+        if p50 is None:
+            print(f"FAIL {name}: missing {key} ({path})")
+            failures += 1
+        elif float(p50) <= 0 and stage not in ZERO_OK_STAGES:
+            print(f"FAIL {name}: {key}={p50} is not > 0 ({path})")
+            failures += 1
+    if failures == 0:
+        print(f"ok   {name}: all {len(STAGES)} stage p50s recorded")
+    return failures
 
 
 def main(argv):
@@ -53,17 +106,23 @@ def main(argv):
                   f"{record['exit_code']} ({path})")
             failures += 1
             continue
-        min_speedup = record.get("throughput", {}).get("min_speedup")
-        if min_speedup is None:
-            continue
-        checked += 1
-        if float(min_speedup) < 1.0:
-            print(f"FAIL {name}: min_speedup={min_speedup} < 1.0 ({path})")
-            failures += 1
-        else:
-            print(f"ok   {name}: min_speedup={min_speedup}")
+        throughput = record.get("throughput", {})
+        min_speedup = throughput.get("min_speedup")
+        if min_speedup is not None:
+            checked += 1
+            if float(min_speedup) < 1.0:
+                print(f"FAIL {name}: min_speedup={min_speedup} < 1.0 "
+                      f"({path})")
+                failures += 1
+            else:
+                print(f"ok   {name}: min_speedup={min_speedup}")
+        # Observability gates (bench_obs_stages, or anything recording a
+        # metrics_ratio + stage latency sweep).
+        if "metrics_ratio" in throughput or name == "bench_obs_stages":
+            checked += 1
+            failures += check_obs_stages(name, path, throughput)
     if checked == 0 and failures == 0:
-        print("check_bench_regression: no min_speedup fields found",
+        print("check_bench_regression: no gated fields found",
               file=sys.stderr)
         return 2
     return 1 if failures else 0

@@ -1,0 +1,184 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+namespace ldpids::obs {
+
+namespace {
+
+Labels SortedLabels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+// Registry map key: name and rendered labels separated by a unit
+// separator that cannot appear in a metric name.
+std::string EntryKey(const std::string& name, const Labels& sorted) {
+  return name + '\x1f' + RenderLabels(sorted);
+}
+
+}  // namespace
+
+std::string RenderLabels(const Labels& labels) {
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += "=\"";
+    for (char c : value) {
+      // Prometheus label-value escaping.
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+  }
+  return out;
+}
+
+uint64_t HistogramSample::Quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based; ceil so p100 is the max
+  // bucket and p0 the min.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * count));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (std::size_t k = 0; k < Histogram::kNumBuckets; ++k) {
+    if (buckets[k] == 0) continue;
+    if (seen + buckets[k] < rank) {
+      seen += buckets[k];
+      continue;
+    }
+    if (k == 0) return 0;
+    // Interpolate linearly inside [2^(k-1), 2^k) by the rank's position
+    // within this bucket's observations.
+    double lo = static_cast<double>(uint64_t{1} << (k - 1));
+    double hi = static_cast<double>(Histogram::BucketUpperBound(k));
+    double frac =
+        static_cast<double>(rank - seen) / static_cast<double>(buckets[k]);
+    return static_cast<uint64_t>(lo + frac * (hi - lo));
+  }
+  return 0;
+}
+
+namespace {
+
+template <typename Sample>
+const Sample* FindSample(const std::vector<Sample>& samples,
+                         const std::string& name, const Labels& labels) {
+  Labels sorted = SortedLabels(labels);
+  for (const auto& s : samples) {
+    if (s.name == name && s.labels == sorted) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const CounterSample* MetricsSnapshot::FindCounter(const std::string& name,
+                                                  const Labels& labels) const {
+  return FindSample(counters, name, labels);
+}
+
+const HistogramSample* MetricsSnapshot::FindHistogram(
+    const std::string& name, const Labels& labels) const {
+  return FindSample(histograms, name, labels);
+}
+
+MetricsRegistry::Entry& MetricsRegistry::GetEntry(const std::string& name,
+                                                  const Labels& labels,
+                                                  Kind kind) {
+  Labels sorted = SortedLabels(labels);
+  std::string key = EntryKey(name, sorted);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.name = name;
+    entry.labels = std::move(sorted);
+    entry.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = entries_.emplace(std::move(key), std::move(entry)).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("metric '" + name +
+                           "' registered with conflicting types");
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels) {
+  return *GetEntry(name, labels, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const Labels& labels) {
+  return *GetEntry(name, labels, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Labels& labels) {
+  return *GetEntry(name, labels, Kind::kHistogram).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, entry] : entries_) {
+    (void)key;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snap.counters.push_back(
+            {entry.name, entry.labels, entry.counter->value()});
+        break;
+      case Kind::kGauge:
+        snap.gauges.push_back({entry.name, entry.labels, entry.gauge->value()});
+        break;
+      case Kind::kHistogram: {
+        HistogramSample s;
+        s.name = entry.name;
+        s.labels = entry.labels;
+        s.count = entry.histogram->count();
+        s.sum = entry.histogram->sum();
+        for (std::size_t k = 0; k < Histogram::kNumBuckets; ++k) {
+          s.buckets[k] = entry.histogram->bucket(k);
+        }
+        snap.histograms.push_back(std::move(s));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace ldpids::obs

@@ -1,0 +1,37 @@
+#include "obs/stage_trace.h"
+
+namespace ldpids::obs {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kAnnounce:
+      return "announce";
+    case Stage::kTransportRtt:
+      return "transport_rtt";
+    case Stage::kFrameDecode:
+      return "frame_decode";
+    case Stage::kArenaDecode:
+      return "arena_decode";
+    case Stage::kShardFold:
+      return "shard_fold";
+    case Stage::kMerge:
+      return "merge";
+    case Stage::kEstimate:
+      return "estimate";
+    case Stage::kPostProcess:
+      return "post_process";
+  }
+  return "unknown";
+}
+
+StageSet::StageSet(MetricsRegistry* registry,
+                   const std::string& session_label) {
+  if (registry == nullptr) return;
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    Labels labels{{"stage", StageName(static_cast<Stage>(i))}};
+    if (!session_label.empty()) labels.emplace_back("session", session_label);
+    histograms_[i] = &registry->GetHistogram(kStageDurationMetric, labels);
+  }
+}
+
+}  // namespace ldpids::obs

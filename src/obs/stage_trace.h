@@ -1,0 +1,82 @@
+// Per-round pipeline stage tracing.
+//
+// The serving data plane processes each round through a fixed sequence
+// of stages; under pipelining (pipeline_depth >= 2) round t+1's
+// transport overlaps round t's estimation, so per-stage durations are
+// the only way to see where a deployment's time actually goes. Each
+// stage gets one `ldpids_stage_duration_ns` histogram instance labeled
+// {stage=..., session=...}; a StageSet caches the eight histogram
+// pointers so recording a duration is a single Observe.
+#ifndef LDPIDS_OBS_STAGE_TRACE_H_
+#define LDPIDS_OBS_STAGE_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ldpids::obs {
+
+// One pipeline stage of a round's life, in data-plane order.
+enum class Stage : uint8_t {
+  kAnnounce = 0,      // mechanism announces the round to clients
+  kTransportRtt,      // client round-trip outside aggregator compute
+  kFrameDecode,       // wire frames -> packets (socket recv drains)
+  kArenaDecode,       // packets -> columnar ReportArena rows
+  kShardFold,         // arena slices folded into per-shard sketches
+  kMerge,             // shard sketches merged into the round sketch
+  kEstimate,          // sketch -> frequency estimate vector
+  kPostProcess,       // mechanism post-processing + release publication
+};
+inline constexpr std::size_t kNumStages = 8;
+
+// Canonical label value for a stage ("announce", "transport_rtt", ...).
+const char* StageName(Stage stage);
+
+// The metric family every stage duration lands in.
+inline constexpr char kStageDurationMetric[] = "ldpids_stage_duration_ns";
+
+// Caches the per-stage histogram handles for one session label so the
+// hot path never touches the registry mutex. Null-registry constructed
+// sets are inert: Record() is a no-op, so call sites don't branch.
+class StageSet {
+ public:
+  StageSet() = default;
+  // Registers all kNumStages histograms labeled {session=session_label,
+  // stage=<name>} (session label omitted when empty).
+  StageSet(MetricsRegistry* registry, const std::string& session_label);
+
+  void Record(Stage stage, uint64_t duration_ns) {
+    Histogram* h = histograms_[static_cast<std::size_t>(stage)];
+    if (h != nullptr) h->Observe(duration_ns);
+  }
+
+  bool enabled() const { return histograms_[0] != nullptr; }
+
+ private:
+  Histogram* histograms_[kNumStages] = {};
+};
+
+// RAII wall-clock timer recording into one stage on destruction.
+class StageTimer {
+ public:
+  StageTimer(StageSet* set, Stage stage)
+      : set_(set), stage_(stage), start_ns_(NowNs()) {}
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  ~StageTimer() {
+    if (set_ != nullptr) set_->Record(stage_, NowNs() - start_ns_);
+  }
+
+  uint64_t elapsed_ns() const { return NowNs() - start_ns_; }
+
+ private:
+  StageSet* set_;
+  Stage stage_;
+  uint64_t start_ns_;
+};
+
+}  // namespace ldpids::obs
+
+#endif  // LDPIDS_OBS_STAGE_TRACE_H_

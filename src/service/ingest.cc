@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -192,12 +193,26 @@ void ReportRouter::IngestBatchImpl(const std::vector<Packet>& packets,
   // rejects accumulate across blocks.
   constexpr std::size_t kIngestBlock = 2048;
 
+  // Per-stage wall clock (EnableStageTiming): reads the clock only at the
+  // existing decode/fold boundaries, so timing never reorders work.
+  uint64_t t0 = timing_ ? obs::NowNs() : 0;
+
   if (num_threads <= 1) {
     for (std::size_t b = 0; b < n; b += kIngestBlock) {
       arena_.BeginRound(oracle_, timestamp_, params_);
       arena_.AppendRange(packets, b, std::min(n, b + kIngestBlock));
       decode_stats_ += arena_.stats();
+      if (timing_) {
+        const uint64_t t1 = obs::NowNs();
+        stage_nanos_.arena_decode += t1 - t0;
+        t0 = t1;
+      }
       IngestStaged(num_threads);
+      if (timing_) {
+        const uint64_t t1 = obs::NowNs();
+        stage_nanos_.shard_fold += t1 - t0;
+        t0 = t1;
+      }
     }
     return;
   }
@@ -221,7 +236,13 @@ void ReportRouter::IngestBatchImpl(const std::vector<Packet>& packets,
     for (const ReportArena& chunk : decode_chunks_) arena_.Concat(chunk);
   }
   decode_stats_ += arena_.stats();
+  if (timing_) {
+    const uint64_t t1 = obs::NowNs();
+    stage_nanos_.arena_decode += t1 - t0;
+    t0 = t1;
+  }
   IngestStaged(num_threads);
+  if (timing_) stage_nanos_.shard_fold += obs::NowNs() - t0;
 }
 
 void ReportRouter::IngestStaged(std::size_t num_threads) {
@@ -253,6 +274,7 @@ void ReportRouter::IngestStaged(std::size_t num_threads) {
 std::unique_ptr<FoSketch> ReportRouter::Close(IngestStats* stats) {
   if (closed_) throw std::logic_error("router already closed");
   closed_ = true;
+  const uint64_t t0 = timing_ ? obs::NowNs() : 0;
   std::unique_ptr<FoSketch> merged = shards_[0].TakeSketch();
   if (stats != nullptr) *stats += shards_[0].stats();
   for (std::size_t i = 1; i < shards_.size(); ++i) {
@@ -267,6 +289,7 @@ std::unique_ptr<FoSketch> ReportRouter::Close(IngestStats* stats) {
     stats->wrong_oracle += decode_stats_.wrong_oracle;
     stats->wrong_timestamp += decode_stats_.wrong_timestamp;
   }
+  if (timing_) stage_nanos_.merge += obs::NowNs() - t0;
   return merged;
 }
 

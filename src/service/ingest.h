@@ -120,6 +120,19 @@ class IngestShard {
   std::vector<uint32_t> accept_scratch_;
 };
 
+// Wall-clock nanoseconds the router's batch path spent in each internal
+// stage, accumulated across one round's IngestBatch calls (and the merge
+// at Close). Only filled after EnableStageTiming(): an unobserved router
+// pays zero clock reads. The session layer turns these into the
+// `ldpids_stage_duration_ns{stage=arena_decode|shard_fold|merge}`
+// histograms (obs/stage_trace.h) — plain integers here keep this header
+// free of obs dependencies.
+struct RouterStageNanos {
+  uint64_t arena_decode = 0;  // packets -> columnar rows (incl. checksums)
+  uint64_t shard_fold = 0;    // nonce partition + per-shard dedup/fold
+  uint64_t merge = 0;         // shard sketch reduce at Close
+};
+
 // Routes one round's packets across K shards and shard-reduces at close.
 class ReportRouter {
  public:
@@ -157,6 +170,14 @@ class ReportRouter {
   std::size_t num_shards() const { return shards_.size(); }
   const IngestShard& shard(std::size_t i) const { return shards_[i]; }
 
+  // Opt into per-stage wall-clock accounting on the batch path (default
+  // off). Timing never changes what is ingested — it only reads the clock
+  // around existing stage boundaries.
+  void EnableStageTiming() { timing_ = true; }
+  const RouterStageNanos& stage_nanos() const { return stage_nanos_; }
+  // Wire-level reject accounting summed over this round's batches.
+  const ArenaDecodeStats& decode_stats() const { return decode_stats_; }
+
  private:
   // Shard index for one packet: nonce-keyed so duplicates colocate.
   std::size_t ShardOf(const uint8_t* data, std::size_t size,
@@ -182,6 +203,9 @@ class ReportRouter {
   std::vector<std::vector<uint32_t>> slices_;
   // Wire-level rejects summed over this round's batches.
   ArenaDecodeStats decode_stats_;
+  // Optional per-stage wall-clock accounting (EnableStageTiming).
+  bool timing_ = false;
+  RouterStageNanos stage_nanos_;
 };
 
 }  // namespace ldpids::service

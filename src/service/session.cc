@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "core/collector.h"
+#include "obs/stage_trace.h"
+#include "obs/stats_feed.h"
 #include "util/histogram.h"
 
 namespace ldpids::service {
@@ -94,11 +96,45 @@ class MechanismSession::WireCollector final : public CollectorContext {
     }
     if (job->error) std::rethrow_exception(job->error);
     session_.stats_ += job->stats;  // claim order == round order
+    obs::StageSet* stages = session_.stages_.get();
+    if (stages != nullptr) {
+      // One observation per stage per consumed round, recorded here on
+      // the session thread. Transport RTT is the transport-call wall time
+      // minus the router's own busy time inside it — the portion spent
+      // waiting on clients and the network, valid for inproc and buffered
+      // socket transports alike.
+      const uint64_t busy =
+          job->router_ns.arena_decode + job->router_ns.shard_fold;
+      stages->Record(obs::Stage::kTransportRtt,
+                     job->transport_ns > busy ? job->transport_ns - busy : 0);
+      stages->Record(obs::Stage::kArenaDecode, job->router_ns.arena_decode);
+      stages->Record(obs::Stage::kShardFold, job->router_ns.shard_fold);
+      stages->Record(obs::Stage::kMerge, job->router_ns.merge);
+      if (session_.ingest_feed_) session_.ingest_feed_->Add(job->stats);
+      if (session_.arena_feed_) session_.arena_feed_->Add(job->decode_stats);
+    }
     if (job->sketch->num_users() == 0) {
       throw std::runtime_error("collection round accepted zero reports");
     }
     if (n_out != nullptr) *n_out = job->sketch->num_users();
-    job->sketch->EstimateInto(out);
+    if (stages != nullptr) {
+      const uint64_t t0 = obs::NowNs();
+      job->sketch->EstimateInto(out);
+      const uint64_t t1 = obs::NowNs();
+      stages->Record(obs::Stage::kEstimate, t1 - t0);
+      step_estimate_end_ns_ = t1;
+    } else {
+      job->sketch->EstimateInto(out);
+    }
+  }
+
+  // End of the latest EstimateInto in the current step, 0 when no round
+  // has been consumed since the last call. Advance() uses it to time the
+  // post-process stage (mechanism logic after its last estimate).
+  uint64_t TakeStepEstimateEnd() {
+    const uint64_t t = step_estimate_end_ns_;
+    step_estimate_end_ns_ = 0;
+    return t;
   }
 
   void PlanNextCollect(std::size_t t, double epsilon) override {
@@ -134,6 +170,13 @@ class MechanismSession::WireCollector final : public CollectorContext {
     IngestStats stats;
     std::exception_ptr error;
     bool done = false;
+    // Observability payload, filled by RunJob (possibly on the ingest
+    // worker) and read by the session thread strictly after the `done`
+    // handshake — the mutex hand-off orders these plain fields, so all
+    // histogram recording stays on the session thread.
+    uint64_t transport_ns = 0;       // wall time inside the transport call
+    RouterStageNanos router_ns;      // arena decode / shard fold / merge
+    ArenaDecodeStats decode_stats;   // wire-level reject accounting
   };
   using JobPtr = std::shared_ptr<RoundJob>;
 
@@ -152,7 +195,13 @@ class MechanismSession::WireCollector final : public CollectorContext {
     job->request.oracle = oracle_;
     job->request.cohort = cohort;
     job->request.round_index = session_.rounds_++;
-    if (session_.announce_) session_.announce_(job->request);
+    if (session_.rounds_counter_ != nullptr) session_.rounds_counter_->Add(1);
+    if (session_.stages_ != nullptr) {
+      obs::StageTimer timer(session_.stages_.get(), obs::Stage::kAnnounce);
+      if (session_.announce_) session_.announce_(job->request);
+    } else if (session_.announce_) {
+      session_.announce_(job->request);
+    }
     if (pipelined_) {
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -173,8 +222,19 @@ class MechanismSession::WireCollector final : public CollectorContext {
       ReportRouter router(fo_, params, oracle_,
                           static_cast<uint32_t>(job.request.timestamp),
                           session_.options_.num_shards);
+      const bool timed = session_.stages_ != nullptr;
+      uint64_t t0 = 0;
+      if (timed) {
+        router.EnableStageTiming();
+        t0 = obs::NowNs();
+      }
       session_.ingest_(job.request, router);
+      if (timed) job.transport_ns = obs::NowNs() - t0;
       job.sketch = router.Close(&job.stats);
+      if (timed) {
+        job.router_ns = router.stage_nanos();
+        job.decode_stats = router.decode_stats();
+      }
     } catch (...) {
       job.error = std::current_exception();
     }
@@ -208,6 +268,7 @@ class MechanismSession::WireCollector final : public CollectorContext {
 
   // Session-thread state: the mechanism's recorded-but-unannounced plan
   // and the announced-but-unclaimed rounds, in round order.
+  uint64_t step_estimate_end_ns_ = 0;  // see TakeStepEstimateEnd
   bool has_plan_ = false;
   std::size_t plan_t_ = 0;
   double plan_epsilon_ = 0.0;
@@ -250,6 +311,20 @@ MechanismSession::MechanismSession(
   if (!ingest_) {
     throw std::invalid_argument("session needs a transport");
   }
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.metrics;
+    obs::Labels labels;
+    if (!options_.metrics_label.empty()) {
+      labels.emplace_back("session", options_.metrics_label);
+    }
+    stages_ =
+        std::make_unique<obs::StageSet>(&reg, options_.metrics_label);
+    ingest_feed_ = std::make_unique<obs::IngestStatsFeed>(&reg, labels);
+    arena_feed_ = std::make_unique<obs::ArenaDecodeStatsFeed>(&reg, labels);
+    rounds_counter_ = &reg.GetCounter("ldpids_session_rounds_total", labels);
+    advances_counter_ =
+        &reg.GetCounter("ldpids_session_advances_total", labels);
+  }
   collector_ = std::make_unique<WireCollector>(
       *this, GetFrequencyOracle(mechanism_->config().fo),
       OracleIdFromName(mechanism_->config().fo), domain,
@@ -273,6 +348,16 @@ StepResult MechanismSession::Advance() {
   }
   try {
     StepResult result = mechanism_->Step(*collector_, next_t_);
+    if (stages_ != nullptr) {
+      // Post-process: mechanism work after its last estimate of the step
+      // (smoothing, budget bookkeeping, release assembly).
+      const uint64_t estimate_end = collector_->TakeStepEstimateEnd();
+      if (estimate_end != 0) {
+        stages_->Record(obs::Stage::kPostProcess,
+                        obs::NowNs() - estimate_end);
+      }
+    }
+    if (advances_counter_ != nullptr) advances_counter_->Add(1);
     // A step that ends without a publication records its plan after its
     // last Collect returned; announce it now so the next timestamp's round
     // is in flight before Advance returns.

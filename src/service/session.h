@@ -29,12 +29,21 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/mechanism.h"
 #include "fo/frequency_oracle.h"
 #include "fo/wire.h"
 #include "service/ingest.h"
+
+namespace ldpids::obs {
+class MetricsRegistry;
+class Counter;
+class StageSet;
+class IngestStatsFeed;
+class ArenaDecodeStatsFeed;
+}  // namespace ldpids::obs
 
 namespace ldpids::service {
 
@@ -100,6 +109,14 @@ struct SessionOptions {
   // one round ahead is ever plannable (the next publication is decided
   // mid-step from noisy state), so depths beyond 2 behave like 2.
   std::size_t pipeline_depth = 1;
+  // Observability (optional). When non-null the session registers its
+  // per-stage latency histograms (obs/stage_trace.h), round/advance
+  // counters, and the canonical ingest/arena stats metrics here, labeled
+  // {session=metrics_label} (unlabeled when the label is empty).
+  // Instrumentation is write-only — it never changes what the session
+  // ingests or releases, so results stay bit-identical with metrics on.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_label;
 };
 
 // Owns one mechanism and advances it timestamp by timestamp over wire
@@ -179,6 +196,16 @@ class MechanismSession {
   uint64_t rounds_ = 0;
   bool failed_ = false;
   IngestStats stats_;
+
+  // Observability (all null when SessionOptions::metrics is). Stage
+  // recording and feed publication happen on the session thread only (the
+  // ingest worker hands timing back through the RoundJob done-handshake),
+  // so per-session instrumentation needs no locking of its own.
+  std::unique_ptr<obs::StageSet> stages_;
+  std::unique_ptr<obs::IngestStatsFeed> ingest_feed_;
+  std::unique_ptr<obs::ArenaDecodeStatsFeed> arena_feed_;
+  obs::Counter* rounds_counter_ = nullptr;
+  obs::Counter* advances_counter_ = nullptr;
 };
 
 }  // namespace ldpids::service

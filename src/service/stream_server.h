@@ -29,12 +29,31 @@
 #include "core/mechanism.h"
 #include "service/session.h"
 
+namespace ldpids::obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+class Histogram;
+class IngestStatsFeed;
+}  // namespace ldpids::obs
+
 namespace ldpids::service {
 
 class StreamServer {
  public:
   // `num_threads` pool lanes are used to advance sessions concurrently.
   explicit StreamServer(std::size_t num_threads);
+  ~StreamServer();
+
+  // Observability (optional): fleet-wide rollup on top of whatever the
+  // individual sessions register (give them per-session metrics_labels in
+  // SessionOptions). Exposes the ldpids_server_sessions gauge, the
+  // ldpids_server_advances_total counter, a wall-clock histogram per
+  // AdvanceAll sweep, and the fleet's summed ingest stats under
+  // ldpids_ingest_reports_total{scope="fleet"} — a separate instance from
+  // the per-session series, so nothing double-counts. Registry must
+  // outlive the server.
+  void AttachMetrics(obs::MetricsRegistry* registry);
 
   // Registers a session under `name`; returns its index. Sessions cannot
   // be removed (a stream, once public, keeps its release history).
@@ -60,6 +79,13 @@ class StreamServer {
   std::size_t num_threads_;
   std::vector<std::string> names_;
   std::vector<std::unique_ptr<MechanismSession>> sessions_;
+  // Observability (all null until AttachMetrics). Updated on the caller's
+  // thread only — sessions advance on pool lanes, the rollup happens
+  // after the completion barrier.
+  obs::Gauge* sessions_gauge_ = nullptr;
+  obs::Counter* advances_counter_ = nullptr;
+  obs::Histogram* advance_hist_ = nullptr;
+  std::unique_ptr<obs::IngestStatsFeed> fleet_feed_;
 };
 
 }  // namespace ldpids::service

@@ -122,6 +122,9 @@ struct FrameStats {
     return bad_magic + bad_version + bad_kind + oversize +
            checksum_mismatch + bad_control;
   }
+  // Every decode outcome: delivered frames plus resync skips by reason
+  // (aggregation parity with the service-side stats structs).
+  uint64_t total() const { return frames + errors(); }
   FrameStats& operator+=(const FrameStats& other);
   std::string ToString() const;
 };

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "fo/wire.h"
+#include "obs/stats_feed.h"
 #include "service/ingest.h"
 
 namespace ldpids::transport {
@@ -25,6 +26,20 @@ const char* DeliverResultName(DeliverResult result) {
     case DeliverResult::kTooEarly: return "too early";
   }
   return "?";
+}
+
+RoundBufferStats& RoundBufferStats::operator+=(const RoundBufferStats& other) {
+  buffered += other.buffered;
+  end_markers += other.end_markers;
+  closed_round_drops += other.closed_round_drops;
+  too_late_drops += other.too_late_drops;
+  too_early_drops += other.too_early_drops;
+  rounds_drained += other.rounds_drained;
+  packets_drained += other.packets_drained;
+  deadline_flushes += other.deadline_flushes;
+  duplicate_frames += other.duplicate_frames;
+  masked_losses += other.masked_losses;
+  return *this;
 }
 
 std::string RoundBufferStats::ToString() const {
@@ -67,6 +82,17 @@ uint64_t PacketIdentity(const uint8_t* data, std::size_t size) {
 }
 
 RoundBuffer::RoundBuffer(RoundBufferOptions options) : options_(options) {}
+
+RoundBuffer::~RoundBuffer() = default;
+
+void RoundBuffer::AttachMetrics(obs::MetricsRegistry* registry,
+                                const std::string& label) {
+  obs::Labels labels;
+  if (!label.empty()) labels.emplace_back("session", label);
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_feed_ =
+      std::make_unique<obs::RoundBufferStatsFeed>(registry, labels);
+}
 
 DeliverResult RoundBuffer::Deliver(Frame&& frame) {
   const uint64_t round = frame.timestamp;
@@ -139,6 +165,12 @@ std::vector<PayloadRef> RoundBuffer::TakeRound(uint64_t round) {
   next_round_ = round + 1;
   ++stats_.rounds_drained;
   stats_.packets_drained += packets.size();
+  if (metrics_feed_ != nullptr) {
+    // Once per drained round, still under mu_: per-frame delivery stays
+    // untouched and only the draining side pays the publication.
+    metrics_feed_->Publish(stats_);
+    metrics_feed_->SetPending(pending_.size());
+  }
   return packets;
 }
 

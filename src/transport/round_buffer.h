@@ -64,6 +64,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_set>
@@ -71,6 +72,11 @@
 
 #include "service/session.h"
 #include "transport/frame.h"
+
+namespace ldpids::obs {
+class MetricsRegistry;
+class RoundBufferStatsFeed;
+}  // namespace ldpids::obs
 
 namespace ldpids::transport {
 
@@ -114,12 +120,27 @@ struct RoundBufferStats {
   uint64_t dropped() const {
     return closed_round_drops + too_late_drops + too_early_drops;
   }
+  // Every admission outcome: each delivered frame lands in exactly one of
+  // buffered / end_markers / dropped() (duplicate_frames is a subset of
+  // buffered, masked_losses of deadline_flushes — neither adds here).
+  uint64_t total() const { return buffered + end_markers + dropped(); }
+  RoundBufferStats& operator+=(const RoundBufferStats& other);
   std::string ToString() const;
 };
 
 class RoundBuffer {
  public:
   explicit RoundBuffer(RoundBufferOptions options = {});
+  ~RoundBuffer();
+
+  // Observability (optional): publishes this buffer's cumulative stats to
+  // the canonical ldpids_roundbuf_* metrics — labeled {session=label}
+  // when `label` is non-empty — once per drained round (at the end of
+  // TakeRound), plus the pending-rounds gauge. Registry must outlive the
+  // buffer. Publication is write-only: admission and draining behave
+  // identically with or without it.
+  void AttachMetrics(obs::MetricsRegistry* registry,
+                     const std::string& label = {});
 
   // Transport side (thread-safe). Data frames queue under their round;
   // end-of-round markers arm the round's completion count. The frame's
@@ -163,6 +184,8 @@ class RoundBuffer {
   uint64_t next_round_ = 0;     // lowest undrained round
   uint64_t newest_round_ = 0;   // highest round ever seen (admission clock)
   RoundBufferStats stats_;
+  // Written under mu_ from the draining (session) side only.
+  std::unique_ptr<obs::RoundBufferStatsFeed> metrics_feed_;
 };
 
 // Routes frames to per-session RoundBuffers by Frame::session_id: one

@@ -17,6 +17,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/stage_trace.h"
+#include "obs/stats_feed.h"
+
 namespace ldpids::transport {
 
 namespace {
@@ -73,6 +76,21 @@ SocketListener::SocketListener(uint16_t port, FrameHandler handler)
 
 SocketListener::~SocketListener() { Stop(); }
 
+void SocketListener::AttachMetrics(obs::MetricsRegistry* registry,
+                                   const std::string& label) {
+  obs::Labels labels{{"stage", obs::StageName(obs::Stage::kFrameDecode)}};
+  obs::Labels feed_labels;
+  if (!label.empty()) {
+    labels.emplace_back("session", label);
+    feed_labels.emplace_back("session", label);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  decode_hist_ =
+      &registry->GetHistogram(obs::kStageDurationMetric, labels);
+  metrics_feed_ =
+      std::make_unique<obs::FrameStatsFeed>(registry, feed_labels);
+}
+
 void SocketListener::AcceptLoop() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -95,6 +113,13 @@ void SocketListener::ReadLoop(int fd) {
   FrameDecoder decoder;
   Frame frame;
   constexpr std::size_t kChunk = 64 * 1024;
+  // Latch the stage histogram once: the reader was minted under mu_, so an
+  // AttachMetrics that happened-before this connection is visible here.
+  obs::Histogram* decode_hist;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    decode_hist = decode_hist_;
+  }
   for (;;) {
     // Zero-copy intake: recv straight into the decoder's pooled block; the
     // bytes are never staged in a side buffer, and decoded payloads alias
@@ -103,13 +128,23 @@ void SocketListener::ReadLoop(int fd) {
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // EOF or shutdown
     decoder.Commit(static_cast<std::size_t>(n));
-    while (decoder.Next(&frame)) handler_(std::move(frame));
+    if (decode_hist != nullptr) {
+      // One observation per recv drain: frame reassembly plus handler
+      // delivery, the time the bytes spend on this reader thread.
+      const uint64_t t0 = obs::NowNs();
+      while (decoder.Next(&frame)) handler_(std::move(frame));
+      decode_hist->Observe(obs::NowNs() - t0);
+    } else {
+      while (decoder.Next(&frame)) handler_(std::move(frame));
+    }
   }
   {
     // Deregister before closing: once the fd is closed the kernel may
     // recycle its number, and Stop() must never shutdown() a stale entry.
     std::lock_guard<std::mutex> lock(mu_);
     stats_ += decoder.stats();
+    connection_stats_.push_back(decoder.stats());
+    if (metrics_feed_ != nullptr) metrics_feed_->Add(decoder.stats());
     for (int& reader_fd : reader_fds_) {
       if (reader_fd == fd) {
         reader_fd = -1;
@@ -152,6 +187,11 @@ void SocketListener::Stop() {
 FrameStats SocketListener::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+std::vector<FrameStats> SocketListener::connection_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connection_stats_;
 }
 
 uint64_t SocketListener::connections() const {

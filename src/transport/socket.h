@@ -20,12 +20,19 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "transport/frame.h"
+
+namespace ldpids::obs {
+class MetricsRegistry;
+class Histogram;
+class FrameStatsFeed;
+}  // namespace ldpids::obs
 
 namespace ldpids::transport {
 
@@ -39,6 +46,15 @@ class SocketListener {
   SocketListener(const SocketListener&) = delete;
   SocketListener& operator=(const SocketListener&) = delete;
 
+  // Observability (optional): publishes closed connections' decoder stats
+  // to the canonical ldpids_frame_* metrics and records each recv drain's
+  // decode+deliver time into the frame_decode stage histogram, labeled
+  // {session=label} when `label` is non-empty. Attach before clients
+  // connect — a reader started earlier keeps running uninstrumented.
+  // Registry must outlive the listener.
+  void AttachMetrics(obs::MetricsRegistry* registry,
+                     const std::string& label = {});
+
   // Stops accepting, closes every connection and joins all threads.
   // Frames already buffered in a connection's decoder are delivered first.
   void Stop();
@@ -48,6 +64,9 @@ class SocketListener {
   // connection's decoder folds in when it closes); call after Stop() for
   // the full picture.
   FrameStats stats() const;
+  // Per-connection decode accounting, one entry per closed connection in
+  // close order; stats() is their FrameStats::operator+= sum.
+  std::vector<FrameStats> connection_stats() const;
   uint64_t connections() const;
 
  private:
@@ -64,7 +83,13 @@ class SocketListener {
   std::vector<std::thread> readers_;
   std::vector<int> reader_fds_;
   FrameStats stats_;
+  std::vector<FrameStats> connection_stats_;
   uint64_t connections_ = 0;
+  // Observability (null until AttachMetrics). The histogram is recorded
+  // from reader threads (Observe is lock-free); the feed is only touched
+  // at connection close, under mu_.
+  obs::Histogram* decode_hist_ = nullptr;
+  std::unique_ptr<obs::FrameStatsFeed> metrics_feed_;
 };
 
 class SocketClient : public FrameSender {

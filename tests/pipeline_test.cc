@@ -25,6 +25,8 @@
 #include "core/factory.h"
 #include "core/mechanism.h"
 #include "fo/wire.h"
+#include "obs/metrics.h"
+#include "obs/stage_trace.h"
 #include "service/client_fleet.h"
 #include "service/ingest.h"
 #include "service/session.h"
@@ -138,6 +140,83 @@ TEST_P(PipelineEquivalenceTest, PipelinedMatchesSerialAtEveryDepth) {
 INSTANTIATE_TEST_SUITE_P(AllMechanisms, PipelineEquivalenceTest,
                          ::testing::ValuesIn(AllMechanismNames()),
                          [](const auto& info) { return info.param; });
+
+// Observability regression: with a metrics registry attached, every
+// mechanism's stage-trace round counts must agree with its IngestStats
+// totals at pipeline depths 1 and 2 — and the releases must stay
+// bit-identical to the uninstrumented run (metrics are write-only).
+TEST(PipelineStageTraceTest, StageRoundCountsMatchIngestTotals) {
+  for (const std::string& mechanism : AllMechanismNames()) {
+    for (const std::size_t depth : {std::size_t{1}, std::size_t{2}}) {
+      const std::string label =
+          mechanism + "/depth=" + std::to_string(depth);
+      const SessionRun expected = RunInproc(mechanism, "GRR", depth);
+
+      obs::MetricsRegistry registry;
+      const ClientFleet fleet(kUsers, TruthValue, 4242);
+      SessionOptions options = PipeOptions(depth);
+      options.metrics = &registry;
+      options.metrics_label = mechanism;
+      MechanismSession session(
+          CreateMechanism(mechanism, PipeConfig("GRR"), kUsers), kDomain,
+          options, fleet.Transport(1));
+      SessionRun run;
+      for (std::size_t t = 0; t < kSteps; ++t) {
+        run.steps.push_back(session.Advance());
+      }
+      run.ingest_stats = session.stats().ToString();
+      ExpectSameRun(expected, run, label + "/instrumented");
+
+      const obs::MetricsSnapshot snap = registry.Snapshot();
+      const obs::Labels session_labels{{"session", mechanism}};
+      auto stage_count = [&](obs::Stage stage) -> uint64_t {
+        const auto* h = snap.FindHistogram(
+            obs::kStageDurationMetric,
+            {{"session", mechanism}, {"stage", obs::StageName(stage)}});
+        return h == nullptr ? 0 : h->count;
+      };
+
+      // Announced rounds: one announce-stage observation per round, and
+      // the rounds counter agrees with the session's own accounting.
+      const uint64_t rounds = session.rounds();
+      const auto* rounds_counter =
+          snap.FindCounter("ldpids_session_rounds_total", session_labels);
+      ASSERT_NE(rounds_counter, nullptr) << label;
+      EXPECT_EQ(rounds_counter->value, rounds) << label;
+      EXPECT_EQ(stage_count(obs::Stage::kAnnounce), rounds) << label;
+      const auto* advances =
+          snap.FindCounter("ldpids_session_advances_total", session_labels);
+      ASSERT_NE(advances, nullptr) << label;
+      EXPECT_EQ(advances->value, kSteps) << label;
+
+      // Claimed rounds: the ingest-side stages all record exactly once
+      // per consumed round; at depth 2 at most one announced round is
+      // still prefetched (unclaimed) when the run stops.
+      const uint64_t claimed = stage_count(obs::Stage::kEstimate);
+      EXPECT_EQ(stage_count(obs::Stage::kTransportRtt), claimed) << label;
+      EXPECT_EQ(stage_count(obs::Stage::kArenaDecode), claimed) << label;
+      EXPECT_EQ(stage_count(obs::Stage::kShardFold), claimed) << label;
+      EXPECT_EQ(stage_count(obs::Stage::kMerge), claimed) << label;
+      EXPECT_LE(claimed, rounds) << label;
+      EXPECT_LT(rounds - claimed, depth) << label;
+      EXPECT_LE(stage_count(obs::Stage::kPostProcess), kSteps) << label;
+
+      // The canonical ingest counters must reproduce IngestStats exactly:
+      // accepted matches, and the result-labeled series sum to total().
+      const service::IngestStats stats = session.stats();
+      const auto* accepted = snap.FindCounter(
+          "ldpids_ingest_reports_total",
+          {{"session", mechanism}, {"result", "accepted"}});
+      ASSERT_NE(accepted, nullptr) << label;
+      EXPECT_EQ(accepted->value, stats.accepted) << label;
+      uint64_t result_sum = 0;
+      for (const auto& c : snap.counters) {
+        if (c.name == "ldpids_ingest_reports_total") result_sum += c.value;
+      }
+      EXPECT_EQ(result_sum, stats.total()) << label;
+    }
+  }
+}
 
 // Socket path: the announce half fires on the session thread (producing
 // the round's frames into a loopback TCP connection with shuffled +
