@@ -2,20 +2,24 @@
 // throughput cost of running the serving path with a live metrics
 // registry.
 //
-// Two sections:
+// Three sections:
 //   1. Metrics overhead — the end-to-end in-process serving path (LBU over
 //      the fleet transport, adaptive shards) timed back to back with the
 //      registry detached and attached. The acceptance gate is the on/off
 //      ratio: scripts/check_bench_regression.py requires >= 0.95 (metrics
 //      cost at most 5% of serving throughput).
-//   2. Stage latencies — a fully instrumented networked run (loopback
+//   2. Flight-recorder overhead — the same path with the metrics registry
+//      AND the round-event flight recorder attached (7 ring events per
+//      round). Gate: recorder_ratio (recorder-on vs metrics-only) >= 0.95.
+//   3. Stage latencies — a fully instrumented networked run (loopback
 //      socket, pipeline_depth=2 split transport, so stage overlap matches
 //      a real deployment) reporting p50/p99 for all 8 pipeline stages from
 //      the ldpids_stage_duration_ns histograms.
 //
 // The "[throughput]" line records rps_metrics_off / rps_metrics_on /
-// metrics_ratio plus stage_<name>_p50_ns / _p99_ns for every stage, which
-// run_benches.sh parses into BENCH_obs_stages.json.
+// metrics_ratio / rps_recorder_on / recorder_ratio plus
+// stage_<name>_p50_ns / _p99_ns for every stage, which run_benches.sh
+// parses into BENCH_obs_stages.json.
 //
 // Flags: --scale, --reps (best rep reported), --threads, --csv, --help.
 #include <algorithm>
@@ -31,6 +35,7 @@
 #include "core/factory.h"
 #include "core/mechanism.h"
 #include "fo/wire.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/stage_trace.h"
 #include "service/client_fleet.h"
@@ -83,7 +88,8 @@ MechanismConfig ServeConfig() {
 // instrumentation is write-only — so the ratio isolates the metrics cost.
 double BestServingRate(uint64_t users, std::size_t timestamps,
                        std::size_t threads, int reps,
-                       obs::MetricsRegistry* registry) {
+                       obs::MetricsRegistry* registry,
+                       obs::FlightRecorder* recorder = nullptr) {
   const ClientFleet fleet(users, TruthValue, 77);
   double best = 0.0;
   for (int rep = 0; rep < std::max(1, reps); ++rep) {
@@ -94,6 +100,7 @@ double BestServingRate(uint64_t users, std::size_t timestamps,
       options.metrics = registry;
       options.metrics_label = "inproc";
     }
+    options.recorder = recorder;
     MechanismSession session(CreateMechanism("LBU", ServeConfig(), users),
                              kDomain, options, fleet.Transport(threads));
     const auto start = std::chrono::steady_clock::now();
@@ -178,12 +185,21 @@ int main(int argc, char** argv) {
   const double rps_on =
       BestServingRate(users, timestamps, threads, reps, &overhead_registry);
   const double ratio = rps_off > 0.0 ? rps_on / rps_off : 0.0;
+  // Recorder on top of metrics: isolates the flight-recorder ring cost
+  // (vs the metrics-on rate, not the bare rate — the recorder is always
+  // deployed alongside the registry).
+  obs::MetricsRegistry recorder_registry;
+  obs::FlightRecorder flight_recorder;
+  const double rps_recorder = BestServingRate(
+      users, timestamps, threads, reps, &recorder_registry, &flight_recorder);
+  const double recorder_ratio = rps_on > 0.0 ? rps_recorder / rps_on : 0.0;
   std::printf(
       "serving throughput (LBU x %zu timestamps, %llu users/round):\n"
-      "  metrics off: %12.0f reports/s\n"
-      "  metrics on:  %12.0f reports/s   (ratio %.3f)\n",
+      "  metrics off:          %12.0f reports/s\n"
+      "  metrics on:           %12.0f reports/s   (ratio %.3f)\n"
+      "  metrics + recorder:   %12.0f reports/s   (recorder ratio %.3f)\n",
       timestamps, static_cast<unsigned long long>(users), rps_off, rps_on,
-      ratio);
+      ratio, rps_recorder, recorder_ratio);
 
   // --- section 2: stage latency distribution, networked + pipelined ---
   obs::MetricsRegistry registry;
@@ -221,12 +237,13 @@ int main(int argc, char** argv) {
   }
 
   std::string line;
-  char buf[160];
+  char buf[240];
   std::snprintf(buf, sizeof(buf),
                 "[throughput] threads=%zu users=%llu timestamps=%zu "
-                "rps_metrics_off=%.0f rps_metrics_on=%.0f metrics_ratio=%.3f",
+                "rps_metrics_off=%.0f rps_metrics_on=%.0f metrics_ratio=%.3f "
+                "rps_recorder_on=%.0f recorder_ratio=%.3f",
                 threads, static_cast<unsigned long long>(users), timestamps,
-                rps_off, rps_on, ratio);
+                rps_off, rps_on, ratio, rps_recorder, recorder_ratio);
   line += buf;
   for (const StageRow& row : rows) {
     std::snprintf(buf, sizeof(buf),

@@ -35,6 +35,16 @@
 // summary every N timestamps while the stream runs. Metrics never change
 // the releases: instrumentation is write-only, pinned by the file-mode
 // replay identity check running fully instrumented.
+//
+// Live scrape plane: --http-port N binds the embedded observability
+// endpoint (obs/scrape_endpoint.h) on 127.0.0.1:N (0 = ephemeral; the
+// bound port is printed as `[obs] http endpoint on 127.0.0.1:PORT`),
+// serving /metrics, /metrics.json, /healthz, /statusz and /trace while
+// the stream runs. --linger-ms M keeps the process (and the endpoint)
+// alive M milliseconds after the run so external scrapers can collect the
+// final state — CI's scrape smoke job curls every endpoint in that
+// window. --trace-out PATH writes the flight recorder's ring as Chrome
+// trace-event JSON at exit (open in chrome://tracing or ui.perfetto.dev).
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -44,10 +54,16 @@
 #include <utility>
 #include <vector>
 
+#include <chrono>
+#include <thread>
+
 #include "core/factory.h"
 #include "core/mechanism.h"
+#include "obs/build_info.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/scrape_endpoint.h"
 #include "obs/stage_trace.h"
 #include "obs/stats_feed.h"
 #include "service/client_fleet.h"
@@ -163,8 +179,9 @@ DemoRun RunSession(uint64_t users, std::size_t timestamps,
 // End-of-run metrics dump: `mode` is json, text or both; written to
 // `out_path` when non-empty (pure JSON stays machine-parseable there),
 // stdout otherwise.
-int DumpMetrics(const obs::MetricsRegistry& registry, const std::string& mode,
+int DumpMetrics(obs::MetricsRegistry& registry, const std::string& mode,
                 const std::string& out_path) {
+  obs::TouchProcessMetrics(&registry);  // fresh uptime on the final dump
   const obs::MetricsSnapshot snap = registry.Snapshot();
   std::string rendered;
   if (mode == "json") {
@@ -229,6 +246,14 @@ int main(int argc, char** argv) {
   const std::string metrics_out = flags.GetString("metrics-out", "");
   const std::size_t metrics_every =
       static_cast<std::size_t>(flags.GetInt("metrics-every", 0));
+  const int64_t http_port = flags.GetInt("http-port", -1);
+  const int64_t linger_ms = flags.GetInt("linger-ms", 0);
+  const std::string trace_out = flags.GetString("trace-out", "");
+  if (http_port > 65535) {
+    std::fprintf(stderr, "--http-port must be <= 65535, got %lld\n",
+                 static_cast<long long>(http_port));
+    return 2;
+  }
   if (!metrics_dump.empty() && metrics_dump != "json" &&
       metrics_dump != "text" && metrics_dump != "both") {
     std::fprintf(stderr,
@@ -287,6 +312,52 @@ int main(int argc, char** argv) {
   options.metrics_label = "live";
   const ObsOptions obs_opts{&registry, metrics_every};
 
+  // The flight recorder rides along unconditionally, like the registry:
+  // recording is write-only and lock-free, and the releases stay
+  // bit-identical with it attached.
+  obs::FlightRecorder recorder;
+  options.recorder = &recorder;
+  obs::TouchProcessMetrics(&registry);
+  std::unique_ptr<obs::ScrapeEndpoint> endpoint;
+  if (http_port >= 0) {
+    obs::ScrapeEndpointOptions endpoint_options;
+    endpoint_options.port = static_cast<uint16_t>(http_port);
+    endpoint = std::make_unique<obs::ScrapeEndpoint>(&registry, &recorder,
+                                                     endpoint_options);
+    std::printf("[obs] http endpoint on 127.0.0.1:%u\n", endpoint->port());
+    std::fflush(stdout);
+  }
+
+  // Common exit path: trace export, metrics dump, then the linger window
+  // (the scrape endpoint stays up through it for external collectors).
+  auto finish = [&](int rc) -> int {
+    if (!trace_out.empty()) {
+      const obs::FlightRecorderSnapshot trace_snap = recorder.Snapshot();
+      const std::string trace = obs::RenderChromeTrace(trace_snap);
+      std::FILE* f = std::fopen(trace_out.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write --trace-out %s\n",
+                     trace_out.c_str());
+        if (rc == 0) rc = 1;
+      } else {
+        std::fwrite(trace.data(), 1, trace.size(), f);
+        std::fclose(f);
+        std::printf("chrome trace (%zu events) written to %s\n",
+                    trace_snap.events.size(), trace_out.c_str());
+      }
+    }
+    if (!metrics_dump.empty()) {
+      const int dump_rc = DumpMetrics(registry, metrics_dump, metrics_out);
+      if (rc == 0) rc = dump_rc;
+    }
+    if (linger_ms > 0 && endpoint != nullptr) {
+      std::fprintf(stderr, "[obs] lingering %lld ms for scrapers\n",
+                   static_cast<long long>(linger_ms));
+      std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+    }
+    return rc;
+  };
+
   std::printf(
       "online LDP-IDS serving: %llu clients, d=%zu, %zu shards%s, "
       "LBA + OUE, w=%zu, transport=%s, pipeline_depth=%lld\n\n",
@@ -307,10 +378,7 @@ int main(int argc, char** argv) {
     std::printf("(the mode handoff 2 -> 5 at t=%zu shows up in the "
                 "releases while every report stayed eps-LDP on the wire)\n",
                 half);
-    if (!metrics_dump.empty()) {
-      return DumpMetrics(registry, metrics_dump, metrics_out);
-    }
-    return 0;
+    return finish(0);
   }
 
   // Framed transports: the round's packets leave the fleet as frames, get
@@ -381,10 +449,7 @@ int main(int argc, char** argv) {
     std::printf("listener (%zu connections summed): %s\n", per_conn.size(),
                 summed.ToString().c_str());
     std::printf("round buffer: %s\n", buffer.stats().ToString().c_str());
-    if (!metrics_dump.empty()) {
-      return DumpMetrics(registry, metrics_dump, metrics_out);
-    }
-    return 0;
+    return finish(0);
   }
 
   // --transport=file: record the framed traffic while serving live, then
@@ -452,7 +517,7 @@ int main(int argc, char** argv) {
   std::printf("\nreplay: %s\n", replay_stats.ToString().c_str());
   if (!SameReleases(live, replayed)) {
     std::printf("replayed releases DIVERGED from the live run\n");
-    return 1;
+    return finish(1);
   }
   std::printf("replayed releases are bit-identical to the live run "
               "(%zu timestamps, %llu rounds)\n",
@@ -463,8 +528,5 @@ int main(int argc, char** argv) {
   std::printf("combined ingest over both runs: %s (%llu packets)\n",
               combined.ToString().c_str(),
               static_cast<unsigned long long>(combined.total()));
-  if (!metrics_dump.empty()) {
-    return DumpMetrics(registry, metrics_dump, metrics_out);
-  }
-  return 0;
+  return finish(0);
 }

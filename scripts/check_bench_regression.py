@@ -12,6 +12,9 @@ trajectory. Three gates:
   * metrics_ratio >= 0.95 — bench_obs_stages records the serving
     throughput with the metrics registry attached over detached; the
     observability layer may cost at most 5%.
+  * recorder_ratio >= 0.95 — the same path with the round-event flight
+    recorder attached on top of metrics; the lock-free ring may cost at
+    most a further 5%.
   * stage p50s present and nonzero — bench_obs_stages' [throughput]
     line must carry stage_<name>_p50_ns for all 8 pipeline stages, and
     every stage except transport_rtt must be nonzero (transport_rtt is
@@ -47,6 +50,7 @@ STAGES = (
 ZERO_OK_STAGES = {"transport_rtt"}
 
 MIN_METRICS_RATIO = 0.95
+MIN_RECORDER_RATIO = 0.95
 
 
 def collect(args):
@@ -75,6 +79,16 @@ def check_obs_stages(name, path, throughput):
         failures += 1
     else:
         print(f"ok   {name}: metrics_ratio={ratio}")
+    recorder_ratio = throughput.get("recorder_ratio")
+    if recorder_ratio is None:
+        print(f"FAIL {name}: missing recorder_ratio ({path})")
+        failures += 1
+    elif float(recorder_ratio) < MIN_RECORDER_RATIO:
+        print(f"FAIL {name}: recorder_ratio={recorder_ratio} < "
+              f"{MIN_RECORDER_RATIO} ({path})")
+        failures += 1
+    else:
+        print(f"ok   {name}: recorder_ratio={recorder_ratio}")
     for stage in STAGES:
         key = f"stage_{stage}_p50_ns"
         p50 = throughput.get(key)

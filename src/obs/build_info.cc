@@ -1,0 +1,59 @@
+#include "obs/build_info.h"
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "util/simd/avx512.h"
+
+namespace ldpids::obs {
+
+const char* SimdBackendName() {
+#if defined(LDPIDS_SIMD_FORCE_GENERIC) || !defined(__AVX2__)
+  return "generic";
+#else
+  // The 4-lane backend is AVX2; the dispatched AVX-512 kernels upgrade
+  // the hot paths when both the build and the CPU have the ISA.
+  return simd::Avx512Available() ? "avx512" : "avx2";
+#endif
+}
+
+const char* SanitizerName() {
+#if defined(__SANITIZE_ADDRESS__)
+  return "address";
+#elif defined(__SANITIZE_THREAD__)
+  return "thread";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  return "address";
+#elif __has_feature(thread_sanitizer)
+  return "thread";
+#else
+  return "none";
+#endif
+#else
+  return "none";
+#endif
+}
+
+const char* BuildVersion() { return "dev"; }
+
+uint64_t ProcessStartNs() {
+  // Latched on the first call; every later caller (any thread) sees the
+  // same base. Static-local init is thread-safe in C++.
+  static const uint64_t start_ns = NowNs();
+  return start_ns;
+}
+
+void TouchProcessMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  const uint64_t start = ProcessStartNs();  // latch before reading now
+  registry
+      ->GetGauge("ldpids_build_info", {{"version", BuildVersion()},
+                                       {"simd", SimdBackendName()},
+                                       {"sanitizer", SanitizerName()}})
+      .Set(1);
+  registry->GetGauge("ldpids_process_uptime_seconds")
+      .Set(static_cast<int64_t>((NowNs() - start) / 1000000000ull));
+}
+
+}  // namespace ldpids::obs

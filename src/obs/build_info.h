@@ -1,0 +1,47 @@
+// Standard process-level metrics every export path should carry:
+//
+//   ldpids_build_info{version=...,simd=...,sanitizer=...} 1
+//   ldpids_process_uptime_seconds                         <gauge>
+//
+// `simd` reports the kernel backend actually in effect at runtime
+// (avx512 when the AVX-512 TUs are compiled in AND the CPU has them,
+// avx2, or generic), so a scrape of a production box answers "which code
+// paths is this binary really running" without a shell. `version` is a
+// placeholder until a release stamping step exists (git SHA injection is
+// a build-system concern, not a runtime one).
+//
+// TouchProcessMetrics is idempotent and cheap: call it once at startup
+// for registration and again immediately before every Snapshot()/render
+// so the uptime gauge is fresh on that export. Process start time is
+// latched on the first call in the process (shared across registries).
+#ifndef LDPIDS_OBS_BUILD_INFO_H_
+#define LDPIDS_OBS_BUILD_INFO_H_
+
+#include <cstdint>
+
+namespace ldpids::obs {
+
+class MetricsRegistry;
+
+// "avx512", "avx2" or "generic" — compile-time backend refined by the
+// runtime CPUID check for the AVX-512 dispatched kernels.
+const char* SimdBackendName();
+
+// "address", "thread", or "none" (UBSan has no reliable detection macro
+// and piggybacks on the address build in CI).
+const char* SanitizerName();
+
+// Version placeholder ("dev") until release stamping exists.
+const char* BuildVersion();
+
+// Steady-clock nanoseconds latched at this process's first call into the
+// obs layer; the uptime base.
+uint64_t ProcessStartNs();
+
+// Registers (first call) and refreshes (every call) the build-info gauge
+// and the uptime gauge in `registry`. Safe from any thread.
+void TouchProcessMetrics(MetricsRegistry* registry);
+
+}  // namespace ldpids::obs
+
+#endif  // LDPIDS_OBS_BUILD_INFO_H_

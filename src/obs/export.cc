@@ -138,7 +138,14 @@ std::string RenderPrometheus(const MetricsSnapshot& snap) {
 }
 
 std::string RenderJson(const MetricsSnapshot& snap) {
-  std::string out = "{\"counters\":[";
+  // ts_unix_ms + seq lead the document so scraped snapshots can be
+  // ordered (and counter deltas rated) offline without trusting the
+  // scraper's clock or delivery order.
+  std::string out = "{\"ts_unix_ms\":";
+  AppendU64(&out, snap.ts_unix_ms);
+  out += ",\"seq\":";
+  AppendU64(&out, snap.seq);
+  out += ",\"counters\":[";
   bool first = true;
   for (const auto& c : snap.counters) {
     if (!first) out += ',';

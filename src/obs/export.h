@@ -20,7 +20,8 @@ namespace ldpids::obs {
 std::string RenderPrometheus(const MetricsSnapshot& snap);
 
 // Structured JSON snapshot:
-//   {"counters": [{"name": ..., "labels": {...}, "value": N}, ...],
+//   {"ts_unix_ms": N, "seq": N,
+//    "counters": [{"name": ..., "labels": {...}, "value": N}, ...],
 //    "gauges": [...],
 //    "histograms": [{"name": ..., "labels": {...}, "count": N,
 //                    "sum_ns": N, "p50_ns": N, "p99_ns": N,

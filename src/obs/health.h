@@ -1,0 +1,139 @@
+// Stall-detecting health model over the flight recorder.
+//
+// "Healthy" for a streaming LDP aggregator is not "the process responds"
+// — a wedged ingest worker leaves the process perfectly responsive while
+// releases silently stop. The model instead watches the flight
+// recorder's event stream and declares a session unhealthy when it stops
+// *progressing*:
+//
+//   * in-flight stall — a stage was begun (BeginStage) and has now been
+//     running longer than max(min_stall, multiplier * rolling-p99 of
+//     that track+stage's completed durations);
+//   * silence stall — an open track's newest completed round is older
+//     than the same threshold derived from its recent round cadence.
+//
+// Thresholds are relative to each session's own recent behavior, so a
+// slow-cadence session (60 s rounds) is not flagged by a fast session's
+// standards, and a fast session's wedge is caught in seconds instead of
+// after a fixed generic timeout. Closed tracks (session destroyed or
+// failed) are exempt; the floor `min_stall_ns` keeps startup jitter and
+// tiny-sample p99s from causing flaps.
+//
+// HealthModel::Update() is called by the Watchdog thread (or a test, or
+// a /healthz handler) — never by the data plane. Results surface as:
+//   * gauges: ldpids_health_stalled_sessions, ldpids_health_up
+//   * the HealthReport consumed by the /healthz endpoint (200/503).
+//
+// The clock is injectable so tests can stage a stall without sleeping.
+#ifndef LDPIDS_OBS_HEALTH_H_
+#define LDPIDS_OBS_HEALTH_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace ldpids::obs {
+
+struct HealthOptions {
+  // A stage/round is stalled when its age exceeds
+  // max(min_stall_ns, stall_multiplier * rolling_p99).
+  double stall_multiplier = 8.0;
+  uint64_t min_stall_ns = 2ull * 1000 * 1000 * 1000;  // 2 s floor
+  // Completed durations retained per (track, stage) for the p99.
+  std::size_t duration_window = 64;
+  // Rounds a track must complete before silence stalls apply (in-flight
+  // stalls apply immediately — a begun stage carries its own evidence).
+  std::size_t min_rounds_for_silence = 3;
+  // Injectable steady clock; defaults to NowNs.
+  std::function<uint64_t()> now;
+};
+
+struct StallFinding {
+  std::string session;
+  std::string stage;      // stage name, or "round_gap" for silence stalls
+  uint64_t round_index = 0;
+  uint64_t age_ns = 0;        // how long it has been stuck
+  uint64_t threshold_ns = 0;  // the limit it blew through
+};
+
+struct HealthReport {
+  bool live = true;      // process-level: always true once constructed
+  bool ready = true;     // no session stalled
+  uint64_t checked_at_ns = 0;
+  std::size_t open_sessions = 0;
+  std::vector<StallFinding> stalls;
+
+  // {"live":true,"ready":false,"open_sessions":N,"stalls":[...]}
+  std::string ToJson() const;
+};
+
+class HealthModel {
+ public:
+  // `registry` may be null (no gauges published); `recorder` must
+  // outlive the model.
+  HealthModel(MetricsRegistry* registry, const FlightRecorder* recorder,
+              HealthOptions opts = {});
+
+  // Pulls events recorded since the last call into the rolling windows,
+  // evaluates every open track, publishes gauges, and returns the
+  // report. Thread-safe (serialized internally) but designed for one
+  // poller — the Watchdog or a test.
+  HealthReport Update();
+
+  // Most recent report without re-evaluating (for cheap /healthz reads
+  // between watchdog ticks). Falls back to Update() before first run.
+  HealthReport LastReport();
+
+ private:
+  struct TrackModel {
+    DurationWindow stage_durations[kNumStages];
+    DurationWindow round_gaps;       // t_end deltas of completed rounds
+    uint64_t newest_end_ns = 0;      // newest completed event end
+    uint64_t newest_round = 0;
+    std::size_t rounds_seen = 0;
+  };
+
+  uint64_t StallThreshold(const DurationWindow& window) const;
+
+  MetricsRegistry* registry_;
+  const FlightRecorder* recorder_;
+  HealthOptions opts_;
+
+  std::mutex mu_;
+  uint64_t consumed_events_ = 0;  // recorder tickets already folded in
+  std::map<uint32_t, TrackModel> tracks_;
+  HealthReport last_;
+  bool has_report_ = false;
+};
+
+// Background poller: calls model->Update() every `period_ms` until
+// destroyed. Owns nothing else; destruction joins promptly.
+class Watchdog {
+ public:
+  Watchdog(HealthModel* model, uint64_t period_ms = 500);
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+ private:
+  HealthModel* model_;
+  uint64_t period_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace ldpids::obs
+
+#endif  // LDPIDS_OBS_HEALTH_H_

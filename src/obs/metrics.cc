@@ -141,6 +141,8 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
+  snap.ts_unix_ms = UnixMillis();
+  snap.seq = snapshot_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [key, entry] : entries_) {
     (void)key;
@@ -178,6 +180,13 @@ uint64_t NowNs() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t UnixMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
           .count());
 }
 

@@ -139,6 +139,15 @@ struct HistogramSample {
 
 // Consistent copy of a registry, ordered by (name, rendered labels).
 struct MetricsSnapshot {
+  // Scrape ordering metadata, stamped by MetricsRegistry::Snapshot():
+  // wall-clock milliseconds at snapshot time and a per-registry monotonic
+  // sequence number (first snapshot = 1). A series of scraped snapshots
+  // can be ordered and rated offline even when the scraper's own clock or
+  // delivery order is unreliable. Both render at the top level of
+  // RenderJson.
+  uint64_t ts_unix_ms = 0;
+  uint64_t seq = 0;
+
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
@@ -186,10 +195,15 @@ class MetricsRegistry {
   // Keyed by name + "\x1f" + rendered labels: deterministic iteration
   // order, so snapshots and expositions are stable across runs.
   std::map<std::string, Entry> entries_;
+  // Snapshot sequence (see MetricsSnapshot::seq).
+  mutable std::atomic<uint64_t> snapshot_seq_{0};
 };
 
 // Steady-clock nanoseconds, the time base for every stage histogram.
 uint64_t NowNs();
+
+// Wall-clock milliseconds since the Unix epoch (snapshot timestamps).
+uint64_t UnixMillis();
 
 }  // namespace ldpids::obs
 

@@ -1,0 +1,79 @@
+// The live observability plane's front door: one ScrapeEndpoint owns an
+// embedded HttpServer and answers every diagnostic surface of a running
+// aggregator process:
+//
+//   GET /metrics        Prometheus text exposition (RenderPrometheus)
+//   GET /metrics.json   structured JSON snapshot (RenderJson)
+//   GET /healthz        liveness + readiness; 503 when a session stalls
+//   GET /statusz        human-oriented status table (text/plain)
+//   GET /trace          flight-recorder ring as Chrome trace-event JSON
+//   GET /               endpoint catalog
+//
+// Every handler renders from snapshots (MetricsRegistry::Snapshot,
+// FlightRecorder::Snapshot), so scrapes never block the data plane and
+// arbitrarily many concurrent scrapers observe a serving process without
+// perturbing its releases. The endpoint also owns the HealthModel and —
+// unless disabled — the Watchdog thread that keeps /healthz fresh.
+#ifndef LDPIDS_OBS_SCRAPE_ENDPOINT_H_
+#define LDPIDS_OBS_SCRAPE_ENDPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
+#include "obs/http_server.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace ldpids::obs {
+
+struct ScrapeEndpointOptions {
+  uint16_t port = 0;  // 0 = ephemeral (read the bound port from port())
+  HealthOptions health;
+  // Watchdog period; 0 disables the background poller, leaving /healthz
+  // to evaluate on demand (each request then runs HealthModel::Update).
+  uint64_t watchdog_period_ms = 500;
+};
+
+class ScrapeEndpoint {
+ public:
+  // `registry` must be non-null and outlive the endpoint. `recorder` may
+  // be null: /trace then serves an empty trace and /healthz only the
+  // process-liveness half.
+  ScrapeEndpoint(MetricsRegistry* registry, FlightRecorder* recorder,
+                 ScrapeEndpointOptions opts = {});
+  ~ScrapeEndpoint();
+
+  ScrapeEndpoint(const ScrapeEndpoint&) = delete;
+  ScrapeEndpoint& operator=(const ScrapeEndpoint&) = delete;
+
+  uint16_t port() const { return server_->port(); }
+
+  // The routing logic, exposed so tests can exercise every endpoint
+  // without a socket.
+  HttpResponse Handle(const HttpRequest& req);
+
+  HealthModel* health() { return health_.get(); }
+
+ private:
+  HttpResponse ServeStatusz();
+
+  MetricsRegistry* registry_;
+  FlightRecorder* recorder_;
+  std::unique_ptr<HealthModel> health_;
+  std::unique_ptr<Watchdog> watchdog_;
+
+  // /statusz derives rates from successive snapshots; the tracker is not
+  // thread-safe and concurrent scrapes share it.
+  std::mutex rates_mu_;
+  TimeseriesTracker rates_;
+
+  std::unique_ptr<HttpServer> server_;  // last: dies first, stops traffic
+};
+
+}  // namespace ldpids::obs
+
+#endif  // LDPIDS_OBS_SCRAPE_ENDPOINT_H_

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/collector.h"
+#include "obs/flight_recorder.h"
 #include "obs/stage_trace.h"
 #include "obs/stats_feed.h"
 #include "util/histogram.h"
@@ -113,15 +114,51 @@ class MechanismSession::WireCollector final : public CollectorContext {
       if (session_.ingest_feed_) session_.ingest_feed_->Add(job->stats);
       if (session_.arena_feed_) session_.arena_feed_->Add(job->decode_stats);
     }
+    obs::FlightRecorder* recorder = session_.recorder_;
+    if (recorder != nullptr) {
+      const uint64_t round = job->request.round_index;
+      const uint32_t track = session_.track_;
+      recorder->Record(track, obs::Stage::kAnnounce, round,
+                       job->announce_start_ns, job->announce_end_ns);
+      // The full transport-call wall window (waiting on clients + the
+      // router's own folding inside it); clears the in-flight mark.
+      recorder->Record(track, obs::Stage::kTransportRtt, round,
+                       job->ingest_start_ns, job->ingest_end_ns,
+                       job->stats.accepted, job->stats.rejected());
+      // Arena decode and shard folding run interleaved inside the
+      // transport window (per IngestBatch call), so they have no single
+      // wall window of their own; anchor them as tail slices of the
+      // ingest window so the trace shows their share without inventing
+      // an ordering. Saturate: summed-across-shards fold time can exceed
+      // the wall window on multi-thread routers.
+      const uint64_t end = job->ingest_end_ns;
+      const uint64_t fold = job->router_ns.shard_fold;
+      const uint64_t arena = job->router_ns.arena_decode;
+      const uint64_t fold_start = end > fold ? end - fold : 0;
+      const uint64_t arena_start =
+          fold_start > arena ? fold_start - arena : 0;
+      recorder->Record(track, obs::Stage::kArenaDecode, round, arena_start,
+                       fold_start, job->stats.accepted,
+                       job->stats.rejected());
+      recorder->Record(track, obs::Stage::kShardFold, round, fold_start, end,
+                       job->stats.accepted, job->stats.rejected());
+      recorder->Record(track, obs::Stage::kMerge, round, job->merge_start_ns,
+                       job->merge_end_ns, job->stats.accepted);
+      last_round_index_ = round;
+    }
     if (job->sketch->num_users() == 0) {
       throw std::runtime_error("collection round accepted zero reports");
     }
     if (n_out != nullptr) *n_out = job->sketch->num_users();
-    if (stages != nullptr) {
+    if (stages != nullptr || recorder != nullptr) {
       const uint64_t t0 = obs::NowNs();
       job->sketch->EstimateInto(out);
       const uint64_t t1 = obs::NowNs();
-      stages->Record(obs::Stage::kEstimate, t1 - t0);
+      if (stages != nullptr) stages->Record(obs::Stage::kEstimate, t1 - t0);
+      if (recorder != nullptr) {
+        recorder->Record(session_.track_, obs::Stage::kEstimate,
+                         job->request.round_index, t0, t1);
+      }
       step_estimate_end_ns_ = t1;
     } else {
       job->sketch->EstimateInto(out);
@@ -136,6 +173,10 @@ class MechanismSession::WireCollector final : public CollectorContext {
     step_estimate_end_ns_ = 0;
     return t;
   }
+
+  // Round index of the newest consumed round (only meaningful when a
+  // recorder is attached; Advance tags the post-process event with it).
+  uint64_t last_round_index() const { return last_round_index_; }
 
   void PlanNextCollect(std::size_t t, double epsilon) override {
     if (!pipelined_) return;  // serial collectors ignore the hint
@@ -177,6 +218,15 @@ class MechanismSession::WireCollector final : public CollectorContext {
     uint64_t transport_ns = 0;       // wall time inside the transport call
     RouterStageNanos router_ns;      // arena decode / shard fold / merge
     ArenaDecodeStats decode_stats;   // wire-level reject accounting
+    // Absolute steady-clock windows for the flight recorder (0 when no
+    // recorder is attached). Announce is stamped on the session thread in
+    // EnqueueRound; ingest/merge by RunJob.
+    uint64_t announce_start_ns = 0;
+    uint64_t announce_end_ns = 0;
+    uint64_t ingest_start_ns = 0;    // transport call wall window
+    uint64_t ingest_end_ns = 0;
+    uint64_t merge_start_ns = 0;     // router Close (shard merge) window
+    uint64_t merge_end_ns = 0;
   };
   using JobPtr = std::shared_ptr<RoundJob>;
 
@@ -196,9 +246,15 @@ class MechanismSession::WireCollector final : public CollectorContext {
     job->request.cohort = cohort;
     job->request.round_index = session_.rounds_++;
     if (session_.rounds_counter_ != nullptr) session_.rounds_counter_->Add(1);
-    if (session_.stages_ != nullptr) {
-      obs::StageTimer timer(session_.stages_.get(), obs::Stage::kAnnounce);
+    if (session_.stages_ != nullptr || session_.recorder_ != nullptr) {
+      const uint64_t t0 = obs::NowNs();
       if (session_.announce_) session_.announce_(job->request);
+      const uint64_t t1 = obs::NowNs();
+      if (session_.stages_ != nullptr) {
+        session_.stages_->Record(obs::Stage::kAnnounce, t1 - t0);
+      }
+      job->announce_start_ns = t0;
+      job->announce_end_ns = t1;
     } else if (session_.announce_) {
       session_.announce_(job->request);
     }
@@ -217,26 +273,43 @@ class MechanismSession::WireCollector final : public CollectorContext {
 
   // The ingest stage of one round: transport -> sharded fold -> merge.
   void RunJob(RoundJob& job) {
+    obs::FlightRecorder* recorder = session_.recorder_;
+    if (recorder != nullptr) {
+      // In-flight mark: the health model sees this round's ingest as begun
+      // until the matching Record on the session thread (or the EndStage
+      // below on the error path) clears it.
+      recorder->BeginStage(session_.track_, obs::Stage::kTransportRtt,
+                           job.request.round_index, obs::NowNs());
+    }
     try {
       const FoParams params{job.request.epsilon, domain_};
       ReportRouter router(fo_, params, oracle_,
                           static_cast<uint32_t>(job.request.timestamp),
                           session_.options_.num_shards);
-      const bool timed = session_.stages_ != nullptr;
+      const bool timed = session_.stages_ != nullptr || recorder != nullptr;
       uint64_t t0 = 0;
       if (timed) {
         router.EnableStageTiming();
         t0 = obs::NowNs();
       }
       session_.ingest_(job.request, router);
-      if (timed) job.transport_ns = obs::NowNs() - t0;
+      if (timed) {
+        job.ingest_start_ns = t0;
+        job.ingest_end_ns = obs::NowNs();
+        job.transport_ns = job.ingest_end_ns - t0;
+      }
       job.sketch = router.Close(&job.stats);
       if (timed) {
+        job.merge_start_ns = job.ingest_end_ns;
+        job.merge_end_ns = obs::NowNs();
         job.router_ns = router.stage_nanos();
         job.decode_stats = router.decode_stats();
       }
     } catch (...) {
       job.error = std::current_exception();
+      if (recorder != nullptr) {
+        recorder->EndStage(session_.track_, obs::Stage::kTransportRtt);
+      }
     }
   }
 
@@ -269,6 +342,7 @@ class MechanismSession::WireCollector final : public CollectorContext {
   // Session-thread state: the mechanism's recorded-but-unannounced plan
   // and the announced-but-unclaimed rounds, in round order.
   uint64_t step_estimate_end_ns_ = 0;  // see TakeStepEstimateEnd
+  uint64_t last_round_index_ = 0;      // newest consumed round (recorder)
   bool has_plan_ = false;
   std::size_t plan_t_ = 0;
   double plan_epsilon_ = 0.0;
@@ -324,6 +398,19 @@ MechanismSession::MechanismSession(
     rounds_counter_ = &reg.GetCounter("ldpids_session_rounds_total", labels);
     advances_counter_ =
         &reg.GetCounter("ldpids_session_advances_total", labels);
+    // Static descriptors for /statusz: which mechanism/oracle/topology
+    // this session label maps to.
+    obs::Labels info = labels;
+    info.emplace_back("mechanism", mechanism_->name());
+    info.emplace_back("fo", mechanism_->config().fo);
+    info.emplace_back("pipeline", std::to_string(options_.pipeline_depth));
+    info.emplace_back("shards", std::to_string(options_.num_shards));
+    reg.GetGauge("ldpids_session_info", info).Set(1);
+  }
+  if (options_.recorder != nullptr) {
+    recorder_ = options_.recorder;
+    track_ = recorder_->RegisterTrack(
+        options_.metrics_label.empty() ? "session" : options_.metrics_label);
   }
   collector_ = std::make_unique<WireCollector>(
       *this, GetFrequencyOracle(mechanism_->config().fo),
@@ -336,6 +423,9 @@ MechanismSession::~MechanismSession() {
   // may still be running against announce_/ingest_ (and the mechanism's
   // oracle), which are destroyed after collector_ in member order.
   collector_.reset();
+  // Worker joined: nothing will touch the track again. Close it so the
+  // health model reads this session's silence as "finished", not stalled.
+  if (recorder_ != nullptr) recorder_->CloseTrack(track_);
 }
 
 std::size_t MechanismSession::domain() const { return collector_->domain(); }
@@ -348,13 +438,20 @@ StepResult MechanismSession::Advance() {
   }
   try {
     StepResult result = mechanism_->Step(*collector_, next_t_);
-    if (stages_ != nullptr) {
+    if (stages_ != nullptr || recorder_ != nullptr) {
       // Post-process: mechanism work after its last estimate of the step
       // (smoothing, budget bookkeeping, release assembly).
       const uint64_t estimate_end = collector_->TakeStepEstimateEnd();
       if (estimate_end != 0) {
-        stages_->Record(obs::Stage::kPostProcess,
-                        obs::NowNs() - estimate_end);
+        const uint64_t now = obs::NowNs();
+        if (stages_ != nullptr) {
+          stages_->Record(obs::Stage::kPostProcess, now - estimate_end);
+        }
+        if (recorder_ != nullptr) {
+          recorder_->Record(track_, obs::Stage::kPostProcess,
+                            collector_->last_round_index(), estimate_end,
+                            now);
+        }
       }
     }
     if (advances_counter_ != nullptr) advances_counter_->Add(1);
@@ -366,6 +463,10 @@ StepResult MechanismSession::Advance() {
     return result;
   } catch (...) {
     failed_ = true;
+    // A failed session will never progress again by contract; close its
+    // track immediately so the watchdog reports the failure as "session
+    // gone", not as a permanently-stalled round.
+    if (recorder_ != nullptr) recorder_->CloseTrack(track_);
     throw;
   }
 }

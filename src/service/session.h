@@ -43,6 +43,7 @@ class Counter;
 class StageSet;
 class IngestStatsFeed;
 class ArenaDecodeStatsFeed;
+class FlightRecorder;
 }  // namespace ldpids::obs
 
 namespace ldpids::service {
@@ -117,6 +118,13 @@ struct SessionOptions {
   // ingests or releases, so results stay bit-identical with metrics on.
   obs::MetricsRegistry* metrics = nullptr;
   std::string metrics_label;
+  // Flight recorder (optional, independent of `metrics`). When non-null
+  // the session registers one track named `metrics_label` (or "session")
+  // and records a structured event per pipeline stage per round —
+  // absolute wall windows, so a pipelined session's round overlap is
+  // visible in the Chrome-trace export. Same write-only contract as
+  // `metrics`: releases stay bit-identical with the recorder attached.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 // Owns one mechanism and advances it timestamp by timestamp over wire
@@ -206,6 +214,12 @@ class MechanismSession {
   std::unique_ptr<obs::ArenaDecodeStatsFeed> arena_feed_;
   obs::Counter* rounds_counter_ = nullptr;
   obs::Counter* advances_counter_ = nullptr;
+  // Flight-recorder attachment (null when SessionOptions::recorder is).
+  // Event recording happens on the session thread after the done
+  // handshake; only the in-flight begin/end marks are touched from the
+  // ingest worker (the recorder is lock-free and thread-safe).
+  obs::FlightRecorder* recorder_ = nullptr;
+  uint32_t track_ = 0;
 };
 
 }  // namespace ldpids::service

@@ -19,58 +19,16 @@
 
 #include "obs/stage_trace.h"
 #include "obs/stats_feed.h"
+#include "transport/socket_util.h"
 
 namespace ldpids::transport {
-
-namespace {
-
-[[noreturn]] void ThrowErrno(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
-}
-
-void SendAll(int fd, const uint8_t* data, std::size_t size) {
-  std::size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ThrowErrno("socket send");
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-}
-
-}  // namespace
 
 SocketListener::SocketListener(uint16_t port, FrameHandler handler)
     : handler_(std::move(handler)) {
   if (!handler_) {
     throw std::invalid_argument("listener needs a frame handler");
   }
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) ThrowErrno("socket");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) < 0) {
-    ::close(listen_fd_);
-    ThrowErrno("bind 127.0.0.1");
-  }
-  if (::listen(listen_fd_, 64) < 0) {
-    ::close(listen_fd_);
-    ThrowErrno("listen");
-  }
-  socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
-      0) {
-    ::close(listen_fd_);
-    ThrowErrno("getsockname");
-  }
-  port_ = ntohs(addr.sin_port);
+  listen_fd_ = BindLoopbackListener(port, &port_);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
 }
 

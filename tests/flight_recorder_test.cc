@@ -1,0 +1,281 @@
+// Flight recorder tests: ring semantics (ordering, wraparound, drop
+// accounting), in-flight marks and track closing, concurrent writers
+// against a concurrent snapshotter (the seqlock must never surface a torn
+// event — the TSan job runs this test), Chrome-trace rendering, and the
+// session integration: recording changes nothing about the releases.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "obs/flight_recorder.h"
+#include "obs/stage_trace.h"
+#include "service/client_fleet.h"
+#include "service/session.h"
+
+namespace ldpids {
+namespace {
+
+using obs::FlightRecorder;
+using obs::FlightRecorderSnapshot;
+using obs::RenderChromeTrace;
+using obs::RoundEvent;
+using obs::Stage;
+
+TEST(FlightRecorderTest, RecordsEventsInOrder) {
+  FlightRecorder recorder(64);
+  const uint32_t track = recorder.RegisterTrack("s0");
+  recorder.Record(track, Stage::kAnnounce, 0, 100, 200);
+  recorder.Record(track, Stage::kTransportRtt, 0, 200, 900, 50, 2);
+  recorder.Record(track, Stage::kEstimate, 0, 900, 1000);
+
+  const FlightRecorderSnapshot snap = recorder.Snapshot();
+  ASSERT_EQ(snap.tracks.size(), 1u);
+  EXPECT_EQ(snap.tracks[0], "s0");
+  EXPECT_FALSE(snap.closed[0]);
+  ASSERT_EQ(snap.events.size(), 3u);
+  EXPECT_EQ(snap.events[0].stage, Stage::kAnnounce);
+  EXPECT_EQ(snap.events[1].stage, Stage::kTransportRtt);
+  EXPECT_EQ(snap.events[1].reports, 50u);
+  EXPECT_EQ(snap.events[1].drops, 2u);
+  EXPECT_EQ(snap.events[2].t_end_ns, 1000u);
+  EXPECT_EQ(snap.dropped, 0u);
+  EXPECT_EQ(snap.total_recorded, 3u);
+}
+
+TEST(FlightRecorderTest, CapacityRoundsUpToPowerOfTwo) {
+  FlightRecorder recorder(100);
+  EXPECT_EQ(recorder.capacity(), 128u);
+}
+
+TEST(FlightRecorderTest, WraparoundKeepsNewestAndCountsDropped) {
+  FlightRecorder recorder(16);
+  const uint32_t track = recorder.RegisterTrack("s");
+  for (uint64_t i = 0; i < 40; ++i) {
+    recorder.Record(track, Stage::kMerge, i, i * 10, i * 10 + 5);
+  }
+  const FlightRecorderSnapshot snap = recorder.Snapshot();
+  EXPECT_EQ(snap.total_recorded, 40u);
+  EXPECT_EQ(snap.dropped, 40u - recorder.capacity());
+  ASSERT_EQ(snap.events.size(), recorder.capacity());
+  // The survivors are exactly the newest ring-capacity events, in order.
+  EXPECT_EQ(snap.events.front().round_index, 40u - recorder.capacity());
+  EXPECT_EQ(snap.events.back().round_index, 39u);
+  for (std::size_t i = 1; i < snap.events.size(); ++i) {
+    EXPECT_EQ(snap.events[i].round_index,
+              snap.events[i - 1].round_index + 1);
+  }
+}
+
+TEST(FlightRecorderTest, InFlightMarksAppearAndClear) {
+  FlightRecorder recorder;
+  const uint32_t track = recorder.RegisterTrack("s");
+  recorder.BeginStage(track, Stage::kTransportRtt, 7, 12345);
+  FlightRecorderSnapshot snap = recorder.Snapshot();
+  ASSERT_EQ(snap.in_flight.size(), 1u);
+  EXPECT_EQ(snap.in_flight[0].stage, Stage::kTransportRtt);
+  EXPECT_EQ(snap.in_flight[0].round_index, 7u);
+  EXPECT_EQ(snap.in_flight[0].t_start_ns, 12345u);
+
+  // Record of the same (track, stage) clears the mark.
+  recorder.Record(track, Stage::kTransportRtt, 7, 12345, 20000);
+  snap = recorder.Snapshot();
+  EXPECT_TRUE(snap.in_flight.empty());
+
+  // Distinct stages hold independent marks (pipelined overlap).
+  recorder.BeginStage(track, Stage::kAnnounce, 8, 100);
+  recorder.BeginStage(track, Stage::kEstimate, 7, 200);
+  snap = recorder.Snapshot();
+  EXPECT_EQ(snap.in_flight.size(), 2u);
+}
+
+TEST(FlightRecorderTest, CloseTrackClearsMarksAndFlagsClosed) {
+  FlightRecorder recorder;
+  const uint32_t track = recorder.RegisterTrack("s");
+  recorder.BeginStage(track, Stage::kShardFold, 3, 999);
+  recorder.CloseTrack(track);
+  const FlightRecorderSnapshot snap = recorder.Snapshot();
+  EXPECT_TRUE(snap.closed[0]);
+  EXPECT_TRUE(snap.in_flight.empty());
+  // Idempotent, and out-of-range tracks are ignored.
+  recorder.CloseTrack(track);
+  recorder.CloseTrack(10'000);
+}
+
+// Hammer the ring from several writer threads while a reader snapshots
+// continuously: every surfaced event must be internally consistent
+// (writer id encoded in every field), proving the seqlock never tears.
+TEST(FlightRecorderTest, ConcurrentWritersNeverTearEvents) {
+  FlightRecorder recorder(256);
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 20000;
+  std::vector<uint32_t> tracks;
+  for (int w = 0; w < kWriters; ++w) {
+    std::string name = "w";
+    name += std::to_string(w);
+    tracks.push_back(recorder.RegisterTrack(name));
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const FlightRecorderSnapshot snap = recorder.Snapshot();
+      for (const RoundEvent& ev : snap.events) {
+        // All fields of one event must agree on the writer.
+        const uint64_t w = ev.track;
+        ASSERT_LT(w, static_cast<uint64_t>(kWriters));
+        ASSERT_EQ(ev.t_start_ns % kWriters, w);
+        ASSERT_EQ(ev.t_end_ns % kWriters, w);
+        ASSERT_EQ(ev.reports % kWriters, w);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      const uint64_t base = static_cast<uint64_t>(w);
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        recorder.Record(tracks[static_cast<std::size_t>(w)], Stage::kMerge,
+                        i, base + i * kWriters, base + (i + 1) * kWriters,
+                        base + i * kWriters);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(recorder.total_recorded(), kWriters * kPerWriter);
+}
+
+TEST(ChromeTraceTest, RendersRebaseAndMetadata) {
+  FlightRecorder recorder;
+  const uint32_t track = recorder.RegisterTrack("session \"a\"");
+  recorder.Record(track, Stage::kAnnounce, 0, 5'000'000, 6'000'000);
+  recorder.Record(track, Stage::kEstimate, 0, 6'000'000, 9'500'000, 42, 1);
+  const std::string trace = RenderChromeTrace(recorder.Snapshot());
+
+  // Top-level schema keys.
+  EXPECT_EQ(trace.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(trace.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Thread metadata with the (escaped) track name.
+  EXPECT_NE(trace.find("\"name\":\"thread_name\",\"ph\":\"M\""),
+            std::string::npos);
+  EXPECT_NE(trace.find("session \\\"a\\\""), std::string::npos);
+  // Duration events, microseconds, rebased to the oldest start.
+  EXPECT_NE(trace.find("\"name\":\"announce\",\"cat\":\"round\",\"ph\":\"X\","
+                       "\"ts\":0,\"dur\":1000"),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"estimate\",\"cat\":\"round\",\"ph\":\"X\","
+                       "\"ts\":1000,\"dur\":3500"),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"args\":{\"round\":0,\"reports\":42,\"drops\":1}"),
+            std::string::npos);
+}
+
+TEST(ChromeTraceTest, EmptyRecorderRendersValidEmptyTrace) {
+  FlightRecorder recorder;
+  EXPECT_EQ(RenderChromeTrace(recorder.Snapshot()),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+}
+
+// --- session integration --------------------------------------------------
+
+constexpr std::size_t kDomain = 10;
+constexpr uint64_t kUsers = 300;
+constexpr std::size_t kSteps = 5;
+
+uint32_t TruthValue(uint64_t user, std::size_t t) {
+  return static_cast<uint32_t>((user + 3 * t) % kDomain);
+}
+
+MechanismConfig RecorderConfig() {
+  MechanismConfig c;
+  c.epsilon = 1.0;
+  c.window = 4;
+  c.fo = "GRR";
+  c.seed = 91;
+  return c;
+}
+
+std::vector<StepResult> RunWithRecorder(FlightRecorder* recorder,
+                                        std::size_t depth) {
+  const service::ClientFleet fleet(kUsers, TruthValue, 4242);
+  service::SessionOptions options;
+  options.num_shards = 2;
+  options.pipeline_depth = depth;
+  options.recorder = recorder;
+  if (recorder != nullptr) options.metrics_label = "rec";
+  service::MechanismSession session(
+      CreateMechanism("LBA", RecorderConfig(), kUsers), kDomain, options,
+      fleet.Transport(1));
+  std::vector<StepResult> steps;
+  for (std::size_t t = 0; t < kSteps; ++t) steps.push_back(session.Advance());
+  return steps;
+}
+
+TEST(FlightRecorderSessionTest, RecorderDoesNotChangeReleases) {
+  for (const std::size_t depth : {std::size_t{1}, std::size_t{2}}) {
+    FlightRecorder recorder;
+    const std::vector<StepResult> bare = RunWithRecorder(nullptr, depth);
+    const std::vector<StepResult> recorded =
+        RunWithRecorder(&recorder, depth);
+    ASSERT_EQ(bare.size(), recorded.size());
+    for (std::size_t t = 0; t < bare.size(); ++t) {
+      EXPECT_EQ(bare[t].published, recorded[t].published) << t;
+      EXPECT_EQ(bare[t].release, recorded[t].release) << t;
+    }
+  }
+}
+
+TEST(FlightRecorderSessionTest, SessionEmitsEventsPerStageAndClosesTrack) {
+  FlightRecorder recorder;
+  RunWithRecorder(&recorder, 2);
+  const FlightRecorderSnapshot snap = recorder.Snapshot();
+  ASSERT_EQ(snap.tracks.size(), 1u);
+  EXPECT_EQ(snap.tracks[0], "rec");
+  EXPECT_TRUE(snap.closed[0]) << "destroyed session must close its track";
+  EXPECT_TRUE(snap.in_flight.empty());
+  ASSERT_FALSE(snap.events.empty());
+
+  // Every consumed round carries the full announce..estimate event chain,
+  // and at least one post-process event exists per step.
+  std::size_t per_stage[obs::kNumStages] = {};
+  uint64_t max_round = 0;
+  for (const RoundEvent& ev : snap.events) {
+    ++per_stage[static_cast<std::size_t>(ev.stage)];
+    EXPECT_LE(ev.t_start_ns, ev.t_end_ns);
+    max_round = std::max(max_round, ev.round_index);
+  }
+  const std::size_t rounds = per_stage[static_cast<std::size_t>(
+      Stage::kAnnounce)];
+  EXPECT_GE(rounds, kSteps);
+  EXPECT_EQ(max_round + 1, rounds);
+  for (const Stage s :
+       {Stage::kTransportRtt, Stage::kArenaDecode, Stage::kShardFold,
+        Stage::kMerge, Stage::kEstimate}) {
+    EXPECT_EQ(per_stage[static_cast<std::size_t>(s)], rounds)
+        << obs::StageName(s);
+  }
+  EXPECT_GE(per_stage[static_cast<std::size_t>(Stage::kPostProcess)],
+            kSteps);
+
+  // The transport-RTT events carry the round's acceptance accounting.
+  const RoundEvent* rtt = nullptr;
+  for (const RoundEvent& ev : snap.events) {
+    if (ev.stage == Stage::kTransportRtt) rtt = &ev;
+  }
+  ASSERT_NE(rtt, nullptr);
+  EXPECT_GT(rtt->reports, 0u);
+
+  // And the whole thing renders as a loadable Chrome trace.
+  const std::string trace = RenderChromeTrace(snap);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"transport_rtt\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ldpids

@@ -205,9 +205,15 @@ TEST(ExportTest, JsonGoldenOutput) {
   h.Observe(1);
   h.Observe(5);
   h.Observe(1000);
+  // Pin the scrape-ordering metadata so the golden stays deterministic
+  // (live values are tested separately below).
+  MetricsSnapshot snap = registry.Snapshot();
+  snap.ts_unix_ms = 1754000000000;
+  snap.seq = 7;
   // p50 rank 2 lands in [1,2) at its upper edge; p99 rank 4 in [512,1024).
   const std::string expected =
-      "{\"counters\":["
+      "{\"ts_unix_ms\":1754000000000,\"seq\":7,"
+      "\"counters\":["
       "{\"name\":\"demo_requests_total\",\"labels\":{\"code\":\"200\"},"
       "\"value\":3}"
       "],\"gauges\":["
@@ -218,7 +224,22 @@ TEST(ExportTest, JsonGoldenOutput) {
       "{\"le_ns\":0,\"count\":1},{\"le_ns\":2,\"count\":1},"
       "{\"le_ns\":8,\"count\":1},{\"le_ns\":1024,\"count\":1}]}"
       "]}";
-  EXPECT_EQ(RenderJson(registry.Snapshot()), expected);
+  EXPECT_EQ(RenderJson(snap), expected);
+}
+
+TEST(ExportTest, SnapshotsCarryOrderableTimestampAndSequence) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total").Add(1);
+  const MetricsSnapshot a = registry.Snapshot();
+  const MetricsSnapshot b = registry.Snapshot();
+  EXPECT_EQ(a.seq, 1u);
+  EXPECT_EQ(b.seq, 2u);
+  EXPECT_GT(a.ts_unix_ms, 0u);
+  EXPECT_LE(a.ts_unix_ms, b.ts_unix_ms);
+  // The rendered document leads with the ordering metadata.
+  const std::string json = RenderJson(a);
+  EXPECT_EQ(json.rfind("{\"ts_unix_ms\":", 0), 0u);
+  EXPECT_NE(json.find(",\"seq\":1,"), std::string::npos);
 }
 
 TEST(StageTraceTest, NullStageSetIsInertAndTimerRecords) {
