@@ -15,7 +15,10 @@
 // Flags: --scale (population multiplier), --reps (best rep reported),
 // --threads, --connections (highest K of the {1,2,4} socket-connection
 // sweep; the round's frames are striped across K loopback connections and
-// reassembled by the RoundBuffer's distinct-packet accounting), --csv,
+// reassembled by the RoundBuffer's distinct-packet accounting), --depth
+// (highest pipeline depth of the serving matrix: section 3 sweeps
+// connections x depth in {1,2}, recording serve_reports_per_s_cK_dD per
+// cell — on a 1-core host this measures overhead, not scaling), --csv,
 // --help. The "[throughput]" line records frames/sec (codec decode),
 // socket frames/sec at each swept connection count and end-to-end
 // reports/sec for BENCH_transport.json (scripts/run_benches.sh).
@@ -217,15 +220,24 @@ struct ServeCell {
   double wall_s = 0.0;
 };
 
-// A full networked serving run: LBU session over the socket transport.
+// A full networked serving run: LBU session over the socket transport,
+// the round's frames striped across `connections` loopback connections
+// and the session pipelined at `depth` (1 = serial; >= 2 overlaps round
+// t+1's transport with round t's estimation via the split transport).
 ServeCell BenchServeOverSocket(uint64_t users, std::size_t timestamps,
-                               std::size_t shards, std::size_t threads) {
+                               std::size_t shards, std::size_t threads,
+                               std::size_t connections, std::size_t depth) {
   const ClientFleet fleet(users, TruthValue, 99);
   RoundBuffer buffer;
   FrameDemux demux;
   demux.Register(kSessionId, &buffer);
   SocketListener listener(0, demux.Handler());
-  SocketClient client(listener.port());
+  std::vector<std::unique_ptr<SocketClient>> clients;
+  std::vector<transport::FrameSender*> senders;
+  for (std::size_t c = 0; c < connections; ++c) {
+    clients.push_back(std::make_unique<SocketClient>(listener.port()));
+    senders.push_back(clients.back().get());
+  }
 
   MechanismConfig config;
   config.epsilon = kEpsilon;
@@ -235,14 +247,17 @@ ServeCell BenchServeOverSocket(uint64_t users, std::size_t timestamps,
   SessionOptions options;
   options.num_shards = shards;
   options.num_threads = threads;
+  options.pipeline_depth = depth;
 
   auto announce = [&](const RoundRequest& request) {
-    SendRoundFrames(client, kSessionId, request.round_index,
+    SendRoundFrames(senders, kSessionId, request.round_index,
                     fleet.ProduceRound(request, threads));
   };
+  // The split transport gives pipeline_depth >= 2 its real overlap; at
+  // depth 1 it degrades to the plain buffered transport's behavior.
   MechanismSession session(
       CreateMechanism("LBU", config, users), kDomain, options,
-      MakeBufferedTransport(buffer, announce, threads));
+      transport::MakeBufferedSplitTransport(buffer, announce, threads));
 
   ServeCell cell;
   const auto start = std::chrono::steady_clock::now();
@@ -252,7 +267,7 @@ ServeCell BenchServeOverSocket(uint64_t users, std::size_t timestamps,
   if (cell.wall_s > 0.0) {
     cell.reports_per_s = static_cast<double>(cell.reports) / cell.wall_s;
   }
-  client.Close();
+  for (auto& client : clients) client->Close();
   listener.Stop();
   return cell;
 }
@@ -279,6 +294,13 @@ int main(int argc, char** argv) {
   }
   const std::size_t max_connections =
       static_cast<std::size_t>(connections_flag);
+  const int64_t depth_flag = flags.GetInt("depth", 2);
+  if (depth_flag < 1) {
+    std::fprintf(stderr, "error: --depth must be >= 1, got %lld\n",
+                 static_cast<long long>(depth_flag));
+    return 2;
+  }
+  const std::size_t max_depth = static_cast<std::size_t>(depth_flag);
 
   PrintHeader("Transport throughput", scale);
 
@@ -316,18 +338,40 @@ int main(int argc, char** argv) {
   }
   const SocketCell& socket_cell = socket_cells.front();
 
-  // --- section 3: end-to-end networked serving ---
+  // --- section 3: end-to-end networked serving, connections x depth ---
+  // The full K x pipeline-depth sizing matrix (ROADMAP multi-connection
+  // scaling item). Caveat: on a 1-core host every cell shares that core,
+  // so the matrix measures striping/pipelining *overhead*, not scaling —
+  // per-connection readers and depth-2 overlap only pay off with cores
+  // to run on. Re-record on a multi-core host for the sizing answer.
   const uint64_t users = std::max<uint64_t>(400, ScaledUsers(scale, 50000));
   const std::size_t timestamps =
       std::max<std::size_t>(8, ScaledLength(scale, 64));
-  const ServeCell serve =
-      BenchServeOverSocket(users, timestamps, /*shards=*/0, threads);
+  std::vector<std::size_t> depth_sweep;
+  for (const std::size_t d : {std::size_t{1}, std::size_t{2}}) {
+    if (d <= max_depth) depth_sweep.push_back(d);
+  }
   std::printf(
       "\nend-to-end over socket: LBU x %zu timestamps, %llu users/round, "
       "adaptive shards\n"
-      "  ingested: %llu reports (%12.0f reports/s)\n",
-      timestamps, static_cast<unsigned long long>(users),
-      static_cast<unsigned long long>(serve.reports), serve.reports_per_s);
+      "(1-core caveat: cells below measure striping/pipelining overhead, "
+      "not multi-core scaling)\n",
+      timestamps, static_cast<unsigned long long>(users));
+  std::vector<std::vector<ServeCell>> serve_cells;  // [conn][depth]
+  for (const std::size_t k : sweep) {
+    serve_cells.emplace_back();
+    for (const std::size_t d : depth_sweep) {
+      serve_cells.back().push_back(
+          BenchServeOverSocket(users, timestamps, /*shards=*/0, threads, k,
+                               d));
+      std::printf("  %zu conn, depth %zu: %llu reports (%12.0f reports/s)\n",
+                  k, d,
+                  static_cast<unsigned long long>(
+                      serve_cells.back().back().reports),
+                  serve_cells.back().back().reports_per_s);
+    }
+  }
+  const ServeCell& serve = serve_cells.front().front();
 
   if (!csv_path.empty()) {
     CsvWriter csv(csv_path, {"section", "items", "items_per_s"});
@@ -344,6 +388,14 @@ int main(int argc, char** argv) {
     }
     csv.WriteRow("serve_reports",
                  {static_cast<double>(serve.reports), serve.reports_per_s});
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      for (std::size_t j = 0; j < depth_sweep.size(); ++j) {
+        csv.WriteRow("serve_reports_c" + std::to_string(sweep[i]) + "_d" +
+                         std::to_string(depth_sweep[j]),
+                     {static_cast<double>(serve_cells[i][j].reports),
+                      serve_cells[i][j].reports_per_s});
+      }
+    }
   }
 
   std::string per_connection;
@@ -353,13 +405,25 @@ int main(int argc, char** argv) {
                   sweep[i], socket_cells[i].frames_per_s);
     per_connection += key;
   }
+  // The serving matrix: one key per (connections, depth) cell.
+  std::string per_cell;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    for (std::size_t j = 0; j < depth_sweep.size(); ++j) {
+      char key[64];
+      std::snprintf(key, sizeof(key), " serve_reports_per_s_c%zu_d%zu=%.0f",
+                    sweep[i], depth_sweep[j],
+                    serve_cells[i][j].reports_per_s);
+      per_cell += key;
+    }
+  }
   std::printf(
-      "\n[throughput] threads=%zu connections=%zu frames=%llu "
-      "frames_per_s=%.0f socket_frames_per_s=%.0f%s reports_per_s=%.0f "
+      "\n[throughput] threads=%zu connections=%zu depth=%zu frames=%llu "
+      "frames_per_s=%.0f socket_frames_per_s=%.0f%s reports_per_s=%.0f%s "
       "wall_s=%.3f\n",
-      threads, max_connections,
+      threads, max_connections, max_depth,
       static_cast<unsigned long long>(codec.frames),
       codec.decode_frames_per_s, socket_cell.frames_per_s,
-      per_connection.c_str(), serve.reports_per_s, serve.wall_s);
+      per_connection.c_str(), serve.reports_per_s, per_cell.c_str(),
+      serve.wall_s);
   return 0;
 }

@@ -1,0 +1,323 @@
+// Multi-process distributed aggregation demo: a root process fork/execs
+// N aggregator processes, announces each collection round to them over
+// per-child stdin pipes, and the children ship their round partials back
+// as kPartialSketch frames over loopback TCP. The root's RoundBuffer
+// reassembles (dedup by emitting node id, synthetic end-of-round marker
+// carrying the fan-in), RootSession folds the partials, and the mechanism
+// releases — bit-identical to a single process ingesting the whole fleet,
+// which this binary verifies by running the in-process reference first
+// and diffing every release.
+//
+// Topology (N = --aggregators):
+//
+//   child 0 (fork/exec) ── partial sketches ──┐
+//   child 1 (fork/exec) ── over loopback TCP ─┼─> SocketListener
+//   ...                                       │      └> FrameDemux
+//   round descriptors over stdin pipes <──────┘           └> RoundBuffer
+//                                                               └> RootSession
+//
+// Each child simulates its UserAssignment range slice of the client
+// fleet: the union of the slices is exactly the population, and sketch
+// state is additive integer counts, so *where* the folding happens (one
+// process or N+1) never changes *what* is folded. Flags: --aggregators,
+// --users, --timestamps, --fo. Exits non-zero if any release differs —
+// CI runs this as the multi-process merge smoke.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "core/mechanism.h"
+#include "fo/wire.h"
+#include "service/aggregator.h"
+#include "service/client_fleet.h"
+#include "service/session.h"
+#include "transport/frame.h"
+#include "transport/round_buffer.h"
+#include "transport/socket.h"
+#include "util/flags.h"
+#include "util/histogram.h"
+
+namespace {
+
+using namespace ldpids;
+using service::AggregatorNode;
+using service::AggregatorOptions;
+using service::AssignMode;
+using service::ClientFleet;
+using service::MechanismSession;
+using service::RootSession;
+using service::RoundRequest;
+using service::SessionOptions;
+using service::UserAssignment;
+using transport::FrameDemux;
+using transport::RoundBuffer;
+using transport::SocketClient;
+using transport::SocketListener;
+
+constexpr std::size_t kDomain = 12;
+constexpr uint64_t kSessionId = 0xD157;
+constexpr uint64_t kFleetSeed = 7;
+
+uint32_t TruthValue(uint64_t user, std::size_t t) {
+  return static_cast<uint32_t>((user + 5 * t) % kDomain);
+}
+
+MechanismConfig DemoConfig(const std::string& fo) {
+  MechanismConfig config;
+  config.epsilon = 1.0;
+  config.window = 4;
+  config.fo = fo;
+  config.seed = 29;
+  return config;
+}
+
+// One round announcement, root -> child, as a fixed 32-byte stdin record.
+// EOF on the pipe is the shutdown signal.
+struct RoundDescriptor {
+  uint64_t round_index;
+  uint64_t timestamp;
+  uint64_t epsilon_bits;
+  uint64_t domain;
+};
+static_assert(sizeof(RoundDescriptor) == 32, "descriptor is the pipe ABI");
+
+bool ReadExact(int fd, void* buf, std::size_t len) {
+  auto* p = static_cast<uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = read(fd, p + got, len - got);
+    if (n == 0) return false;  // EOF: clean shutdown
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::perror("merge_tree child: read");
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void WriteExact(int fd, const void* buf, std::size_t len) {
+  const auto* p = static_cast<const uint8_t*>(buf);
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = write(fd, p + sent, len - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::perror("merge_tree root: write");
+      std::exit(1);
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+// --- child process --------------------------------------------------------
+// One aggregator: connect upstream, loop round descriptors from stdin,
+// ingest this node's slice of the fleet, ship the partial.
+int RunChild(const Flags& flags) {
+  const auto node = static_cast<std::size_t>(flags.GetInt("child-node", 0));
+  const auto nodes = static_cast<std::size_t>(flags.GetInt("child-nodes", 1));
+  const auto port =
+      static_cast<uint16_t>(flags.GetInt("child-port", 0));
+  const auto users =
+      static_cast<uint64_t>(flags.GetInt("users", 0));
+  const std::string fo_name = flags.GetString("fo", "OUE");
+
+  const ClientFleet fleet(users, TruthValue, kFleetSeed);
+  const UserAssignment assign(nodes, users, AssignMode::kRange);
+  const std::vector<uint32_t> slice = assign.PartitionAll()[node];
+
+  AggregatorOptions options;
+  options.node_id = 1 + node;  // distinct per child within the tree
+  AggregatorNode aggregator(GetFrequencyOracle(fo_name),
+                            OracleIdFromName(fo_name), kDomain, options);
+  SocketClient upstream(port);
+
+  RoundDescriptor desc;
+  while (ReadExact(STDIN_FILENO, &desc, sizeof(desc))) {
+    RoundRequest request;
+    request.round_index = desc.round_index;
+    request.timestamp = static_cast<std::size_t>(desc.timestamp);
+    request.epsilon = EpsilonFromBits(desc.epsilon_bits);
+    request.domain = static_cast<std::size_t>(desc.domain);
+    request.oracle = aggregator.oracle();
+    request.cohort = &slice;
+    aggregator.RunRoundUpstream(
+        request,
+        [&fleet](const RoundRequest& req, service::ReportRouter& router) {
+          router.IngestBatch(fleet.ProduceRound(req, 1), 1);
+        },
+        upstream, kSessionId);
+  }
+  upstream.Close();
+  std::fprintf(stderr,
+               "[child %zu] done: %llu rounds, %llu reports accepted\n",
+               node, static_cast<unsigned long long>(aggregator.rounds()),
+               static_cast<unsigned long long>(aggregator.stats().accepted));
+  return 0;
+}
+
+// --- root process ---------------------------------------------------------
+
+struct Child {
+  pid_t pid = -1;
+  int round_fd = -1;  // write end of the child's stdin pipe
+};
+
+Child SpawnChild(std::size_t node, std::size_t nodes, uint16_t port,
+                 uint64_t users, const std::string& fo_name) {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    std::perror("merge_tree: pipe");
+    std::exit(1);
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("merge_tree: fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    // Child: stdin <- pipe read end, then re-exec ourselves in child mode.
+    dup2(fds[0], STDIN_FILENO);
+    close(fds[0]);
+    close(fds[1]);
+    const std::string node_arg = "--child-node=" + std::to_string(node);
+    const std::string nodes_arg = "--child-nodes=" + std::to_string(nodes);
+    const std::string port_arg = "--child-port=" + std::to_string(port);
+    const std::string users_arg = "--users=" + std::to_string(users);
+    const std::string fo_arg = "--fo=" + fo_name;
+    char* argv[] = {const_cast<char*>("merge_tree"),
+                    const_cast<char*>("--role=aggregator"),
+                    const_cast<char*>(node_arg.c_str()),
+                    const_cast<char*>(nodes_arg.c_str()),
+                    const_cast<char*>(port_arg.c_str()),
+                    const_cast<char*>(users_arg.c_str()),
+                    const_cast<char*>(fo_arg.c_str()),
+                    nullptr};
+    execv("/proc/self/exe", argv);
+    std::perror("merge_tree: execv");
+    _exit(127);
+  }
+  close(fds[0]);
+  return Child{pid, fds[1]};
+}
+
+int RunRoot(const Flags& flags) {
+  const auto aggregators =
+      static_cast<std::size_t>(flags.GetInt("aggregators", 2));
+  const auto users = static_cast<uint64_t>(flags.GetInt("users", 600));
+  const auto steps =
+      static_cast<std::size_t>(flags.GetInt("timestamps", 8));
+  const std::string fo_name = flags.GetString("fo", "OUE");
+  if (aggregators == 0 || users == 0 || steps == 0) {
+    std::fprintf(stderr, "need --aggregators, --users, --timestamps > 0\n");
+    return 2;
+  }
+
+  std::printf("merge tree: %zu aggregator processes, %llu users, "
+              "%zu timestamps, FO=%s\n",
+              aggregators, static_cast<unsigned long long>(users), steps,
+              fo_name.c_str());
+
+  // In-process reference first: the whole fleet through one session.
+  std::vector<Histogram> expected;
+  {
+    const ClientFleet fleet(users, TruthValue, kFleetSeed);
+    MechanismSession session(CreateMechanism("LBA", DemoConfig(fo_name),
+                                             users),
+                             kDomain, SessionOptions{}, fleet.Transport(1));
+    for (std::size_t t = 0; t < steps; ++t) {
+      expected.push_back(session.Advance().release);
+    }
+  }
+
+  // The root's receive plane, up before any child connects.
+  RoundBuffer buffer;
+  FrameDemux demux;
+  demux.Register(kSessionId, &buffer);
+  SocketListener listener(0, demux.Handler());
+  std::printf("root listening on 127.0.0.1:%u\n", listener.port());
+
+  std::vector<Child> children;
+  for (std::size_t k = 0; k < aggregators; ++k) {
+    children.push_back(
+        SpawnChild(k, aggregators, listener.port(), users, fo_name));
+  }
+
+  // Announce = push the round descriptor down every child's pipe. The
+  // RootSession then injects its own end-of-round marker (expected = N)
+  // and blocks in the RoundBuffer until every partial arrived.
+  auto announce = [&children](const RoundRequest& request) {
+    RoundDescriptor desc;
+    desc.round_index = request.round_index;
+    desc.timestamp = static_cast<uint64_t>(request.timestamp);
+    desc.epsilon_bits = EpsilonBits(request.epsilon);
+    desc.domain = static_cast<uint64_t>(request.domain);
+    for (const Child& child : children) {
+      WriteExact(child.round_fd, &desc, sizeof(desc));
+    }
+  };
+
+  std::vector<Histogram> releases;
+  {
+    RootSession root(CreateMechanism("LBA", DemoConfig(fo_name), users),
+                     kDomain, SessionOptions{}, aggregators, kSessionId,
+                     buffer, announce);
+    for (std::size_t t = 0; t < steps; ++t) {
+      releases.push_back(root.Advance().release);
+    }
+    const SketchMergeStats& merges = root.merge_stats();
+    std::printf("root merge: %s\n", merges.ToString().c_str());
+    std::printf("round buffer: %s\n", buffer.stats().ToString().c_str());
+  }
+
+  // EOF the pipes so the children exit, then reap them.
+  for (const Child& child : children) close(child.round_fd);
+  int failures = 0;
+  for (const Child& child : children) {
+    int status = 0;
+    if (waitpid(child.pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "child %d exited abnormally\n",
+                   static_cast<int>(child.pid));
+      ++failures;
+    }
+  }
+  listener.Stop();
+  // After Stop(): per-connection decoder stats have folded into the
+  // aggregate (printing earlier would show 0 while children are live).
+  std::printf("listener: %s\n", listener.stats().ToString().c_str());
+
+  const bool identical = releases == expected;
+  std::printf("releases identical to single process: %s (%zu steps)\n",
+              identical ? "yes" : "NO", releases.size());
+  if (!identical) {
+    for (std::size_t t = 0; t < releases.size(); ++t) {
+      if (releases[t] != expected[t]) {
+        std::printf("  first divergence at t=%zu\n", t);
+        break;
+      }
+    }
+  }
+  return identical && failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.GetString("role", "root") == "aggregator") {
+    return RunChild(flags);
+  }
+  return RunRoot(flags);
+}

@@ -15,10 +15,17 @@ trajectory. Three gates:
   * recorder_ratio >= 0.95 — the same path with the round-event flight
     recorder attached on top of metrics; the lock-free ring may cost at
     most a further 5%.
+  * root_merge_ratio >= 0.95 — bench_distributed records the
+    single-aggregator merge tree against the monolith; the sketch-wire
+    hop plus root merge may cost at most 5% at recorded scale. Any
+    other bench that grows a root_merge_ratio field is picked up
+    automatically.
   * stage p50s present and nonzero — bench_obs_stages' [throughput]
-    line must carry stage_<name>_p50_ns for all 8 pipeline stages, and
-    every stage except transport_rtt must be nonzero (transport_rtt is
-    wall-minus-busy and may legitimately clamp to 0 on loopback).
+    line must carry stage_<name>_p50_ns for all 9 pipeline stages, and
+    every stage except transport_rtt and sketch_merge must be nonzero
+    (transport_rtt is wall-minus-busy and may legitimately clamp to 0
+    on loopback; sketch_merge only runs in merge-tree sessions, which
+    bench_obs_stages' monolith session is not).
 
 Usage:
     scripts/check_bench_regression.py [FILE_OR_DIR ...]
@@ -41,16 +48,20 @@ STAGES = (
     "arena_decode",
     "shard_fold",
     "merge",
+    "sketch_merge",
     "estimate",
     "post_process",
 )
 
-# Wall-minus-busy; may clamp to 0 when the loopback answers faster than
-# the router's own accounting granularity.
-ZERO_OK_STAGES = {"transport_rtt"}
+# transport_rtt is wall-minus-busy and may clamp to 0 when the loopback
+# answers faster than the router's own accounting granularity;
+# sketch_merge only accumulates in merge-tree (RootSession) runs and is
+# legitimately 0 for a monolith session.
+ZERO_OK_STAGES = {"transport_rtt", "sketch_merge"}
 
 MIN_METRICS_RATIO = 0.95
 MIN_RECORDER_RATIO = 0.95
+MIN_ROOT_MERGE_RATIO = 0.95
 
 
 def collect(args):
@@ -130,6 +141,15 @@ def main(argv):
                 failures += 1
             else:
                 print(f"ok   {name}: min_speedup={min_speedup}")
+        root_merge_ratio = throughput.get("root_merge_ratio")
+        if root_merge_ratio is not None:
+            checked += 1
+            if float(root_merge_ratio) < MIN_ROOT_MERGE_RATIO:
+                print(f"FAIL {name}: root_merge_ratio={root_merge_ratio} "
+                      f"< {MIN_ROOT_MERGE_RATIO} ({path})")
+                failures += 1
+            else:
+                print(f"ok   {name}: root_merge_ratio={root_merge_ratio}")
         # Observability gates (bench_obs_stages, or anything recording a
         # metrics_ratio + stage latency sweep).
         if "metrics_ratio" in throughput or name == "bench_obs_stages":

@@ -5,7 +5,7 @@
 # Usage:
 #   scripts/run_benches.sh [--build-dir DIR] [--out-dir DIR]
 #                          [--scale S] [--reps R] [--threads K]
-#                          [--connections C]
+#                          [--connections C] [--depth D]
 #
 # Defaults run a fast smoke sweep (scale 0.05, 1 rep, all hardware threads).
 # Pass --scale 1 for the full paper-sized experiments. Each JSON records the
@@ -23,7 +23,12 @@
 # --connections caps the multi-connection socket sweep of bench_transport
 # and bench_pipeline (their [throughput] lines carry a connections=K field
 # plus per-K socket_frames_per_s_cK / pipelined_rps_cK keys, all parsed
-# into the JSON); other benches do not take the flag.
+# into the JSON); other benches do not take the flag. --depth caps
+# bench_transport's end-to-end connections x pipeline-depth serving
+# matrix (per-cell serve_reports_per_s_cK_dD keys; on a 1-core host the
+# matrix measures overhead, not scaling). bench_distributed records the
+# merge-tree sweep (reports_per_s_single, reports_per_s_kK and the gated
+# root_merge_ratio) into BENCH_distributed.json with the common flags.
 set -u
 
 BUILD_DIR=build
@@ -32,6 +37,7 @@ SCALE=0.05
 REPS=1
 THREADS=$(nproc 2>/dev/null || echo 1)
 CONNECTIONS=4
+DEPTH=2
 
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -41,8 +47,9 @@ while [ $# -gt 0 ]; do
     --reps)        REPS=$2;        shift 2 ;;
     --threads)     THREADS=$2;     shift 2 ;;
     --connections) CONNECTIONS=$2; shift 2 ;;
+    --depth)       DEPTH=$2;       shift 2 ;;
     -h|--help)
-      sed -n '2,14p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,31p' "$0" | sed 's/^# \{0,1\}//'
       exit 0 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
@@ -66,6 +73,15 @@ case "$CONNECTIONS" in
 esac
 if [ "$CONNECTIONS" -lt 1 ]; then
   echo "error: --connections expects a positive integer, got '$CONNECTIONS'" >&2
+  exit 2
+fi
+case "$DEPTH" in
+  ''|*[!0-9]*)
+    echo "error: --depth expects a positive integer, got '$DEPTH'" >&2
+    exit 2 ;;
+esac
+if [ "$DEPTH" -lt 1 ]; then
+  echo "error: --depth expects a positive integer, got '$DEPTH'" >&2
   exit 2
 fi
 
@@ -95,12 +111,14 @@ for bench in "$BUILD_DIR"/bench_*; do
   csv="$OUT_DIR/${name}.csv"
   txt="$OUT_DIR/${name}.txt"
   rm -f "$csv"
-  # Only the socket-capable benches take the multi-connection sweep cap.
+  # Only the socket-capable benches take the multi-connection sweep cap;
+  # bench_transport additionally takes the pipeline-depth matrix cap.
   conn_args=""
   case "$name" in
-    bench_transport|bench_pipeline) conn_args="--connections=$CONNECTIONS" ;;
+    bench_transport) conn_args="--connections=$CONNECTIONS --depth=$DEPTH" ;;
+    bench_pipeline)  conn_args="--connections=$CONNECTIONS" ;;
   esac
-  echo "== $name (scale=$SCALE reps=$REPS threads=$THREADS${conn_args:+ connections=$CONNECTIONS}) -> $json"
+  echo "== $name (scale=$SCALE reps=$REPS threads=$THREADS${conn_args:+ $conn_args}) -> $json"
   start=$(date +%s.%N)
   # shellcheck disable=SC2086  # conn_args is one optional flag
   "$bench" --scale="$SCALE" --reps="$REPS" --threads="$THREADS" \

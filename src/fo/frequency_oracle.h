@@ -91,6 +91,25 @@ class FoSketch {
   // `other` is a different oracle or was created with different FoParams.
   virtual void MergeFrom(const FoSketch& other) = 0;
 
+  // Assigns this sketch's *resolved* additive count vector to `*out`,
+  // forcing resolution of any deferred per-report state first (OLH's
+  // pending support scan, HR's pending FWHT batch) — the same resolution
+  // MergeFrom performs on both sides. Together with num_users() this is
+  // the sketch's complete merge state: it is the serialization boundary
+  // of the distributed merge tree (fo/sketch_wire.h). Every shipped
+  // oracle's resolved vector has exactly domain() elements.
+  virtual void ExportResolvedCounts(Counts* out) const = 0;
+
+  // Exact inverse of ExportResolvedCounts for merging: adds `counts`
+  // (`count` elements) and `num_users` into this sketch. Absorbing a
+  // peer sketch's exported counts is bit-identical to MergeFrom(peer) —
+  // all state is additive integers, so resolution order cannot matter.
+  // Returns false without mutating the sketch when `count` does not match
+  // this sketch's resolved vector length (the serving edge counts such
+  // rejects instead of throwing, like AddReport).
+  virtual bool AbsorbCounts(const uint64_t* counts, std::size_t count,
+                            uint64_t num_users) = 0;
+
   // Writes the unbiased frequency estimates for all d values into `*out`
   // (resized to domain()), reusing the caller's buffer across rounds.
   // Requires at least one user; throws std::logic_error otherwise.

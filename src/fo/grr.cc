@@ -100,6 +100,18 @@ class GrrSketch final : public FoSketch {
     num_users_ += peer->num_users_;
   }
 
+  void ExportResolvedCounts(Counts* out) const override {
+    *out = report_counts_;
+  }
+
+  bool AbsorbCounts(const uint64_t* counts, std::size_t count,
+                    uint64_t num_users) override {
+    if (count != d_) return false;
+    for (std::size_t k = 0; k < d_; ++k) report_counts_[k] += counts[k];
+    num_users_ += num_users;
+    return true;
+  }
+
   void EstimateInto(Histogram* out) const override {
     if (num_users_ == 0) throw std::logic_error("GRR sketch has no users");
     out->resize(d_);

@@ -104,6 +104,21 @@ class HrSketch final : public FoSketch {
     num_users_ += peer->num_users_;
   }
 
+  void ExportResolvedCounts(Counts* out) const override {
+    ResolvePending();
+    *out = support_counts_;
+  }
+
+  bool AbsorbCounts(const uint64_t* counts, std::size_t count,
+                    uint64_t num_users) override {
+    if (count != d_) return false;
+    // The pending FWHT batch resolves into support_counts_ additively, so
+    // absorb order relative to resolution cannot change the result.
+    for (std::size_t v = 0; v < d_; ++v) support_counts_[v] += counts[v];
+    num_users_ += num_users;
+    return true;
+  }
+
   void EstimateInto(Histogram* out) const override {
     if (num_users_ == 0) throw std::logic_error("HR sketch has no users");
     ResolvePending();

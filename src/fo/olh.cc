@@ -110,6 +110,21 @@ class OlhSketch final : public FoSketch {
     num_users_ += peer->num_users_;
   }
 
+  void ExportResolvedCounts(Counts* out) const override {
+    ResolvePending();
+    *out = support_counts_;
+  }
+
+  bool AbsorbCounts(const uint64_t* counts, std::size_t count,
+                    uint64_t num_users) override {
+    if (count != d_) return false;
+    // Pending reports resolve into support_counts_ by pure integer adds,
+    // so absorbing before or after resolution is bit-identical.
+    for (std::size_t k = 0; k < d_; ++k) support_counts_[k] += counts[k];
+    num_users_ += num_users;
+    return true;
+  }
+
   void EstimateInto(Histogram* out) const override {
     if (num_users_ == 0) throw std::logic_error("OLH sketch has no users");
     ResolvePending();

@@ -16,6 +16,8 @@ const char* StageName(Stage stage) {
       return "shard_fold";
     case Stage::kMerge:
       return "merge";
+    case Stage::kSketchMerge:
+      return "sketch_merge";
     case Stage::kEstimate:
       return "estimate";
     case Stage::kPostProcess:

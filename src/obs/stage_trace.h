@@ -26,10 +26,11 @@ enum class Stage : uint8_t {
   kArenaDecode,       // packets -> columnar ReportArena rows
   kShardFold,         // arena slices folded into per-shard sketches
   kMerge,             // shard sketches merged into the round sketch
+  kSketchMerge,       // children's partial sketches folded at a tree root
   kEstimate,          // sketch -> frequency estimate vector
   kPostProcess,       // mechanism post-processing + release publication
 };
-inline constexpr std::size_t kNumStages = 8;
+inline constexpr std::size_t kNumStages = 9;
 
 // Canonical label value for a stage ("announce", "transport_rtt", ...).
 const char* StageName(Stage stage);

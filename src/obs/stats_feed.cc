@@ -24,6 +24,8 @@ FrameStatsFeed::FrameStatsFeed(MetricsRegistry* registry, const Labels& labels)
           &registry->GetCounter("ldpids_frame_data_frames_total", labels)),
       end_round_frames_(&registry->GetCounter(
           "ldpids_frame_end_round_frames_total", labels)),
+      partial_sketch_frames_(&registry->GetCounter(
+          "ldpids_frame_partial_sketch_frames_total", labels)),
       bytes_(&registry->GetCounter("ldpids_frame_bytes_total", labels)),
       skipped_bytes_(
           &registry->GetCounter("ldpids_frame_skipped_bytes_total", labels)),
@@ -45,6 +47,7 @@ void FrameStatsFeed::Add(const transport::FrameStats& delta) {
   frames_->Add(delta.frames);
   data_frames_->Add(delta.data_frames);
   end_round_frames_->Add(delta.end_round_frames);
+  partial_sketch_frames_->Add(delta.partial_sketch_frames);
   bytes_->Add(delta.bytes);
   skipped_bytes_->Add(delta.skipped_bytes);
   bad_magic_->Add(delta.bad_magic);
@@ -60,6 +63,7 @@ void FrameStatsFeed::Publish(const transport::FrameStats& current) {
   delta.frames -= last_.frames;
   delta.data_frames -= last_.data_frames;
   delta.end_round_frames -= last_.end_round_frames;
+  delta.partial_sketch_frames -= last_.partial_sketch_frames;
   delta.bytes -= last_.bytes;
   delta.skipped_bytes -= last_.skipped_bytes;
   delta.bad_magic -= last_.bad_magic;
@@ -171,6 +175,55 @@ void ArenaDecodeStatsFeed::Publish(const ArenaDecodeStats& current) {
   for (std::size_t e = 0; e < kWireErrorCount; ++e) {
     delta.wire_errors[e] -= last_.wire_errors[e];
   }
+  Add(delta);
+  last_ = current;
+}
+
+// --- SketchMergeStatsFeed -------------------------------------------------
+
+SketchMergeStatsFeed::SketchMergeStatsFeed(MetricsRegistry* registry,
+                                           const Labels& labels)
+    : merged_(&registry->GetCounter("ldpids_sketch_merge_partials_total",
+                                    WithResult(labels, "merged"))),
+      users_merged_(&registry->GetCounter("ldpids_sketch_merge_users_total",
+                                          labels)),
+      malformed_(&registry->GetCounter("ldpids_sketch_merge_partials_total",
+                                       WithResult(labels, "malformed"))),
+      wrong_oracle_(
+          &registry->GetCounter("ldpids_sketch_merge_partials_total",
+                                WithResult(labels, "wrong_oracle"))),
+      wrong_round_(&registry->GetCounter("ldpids_sketch_merge_partials_total",
+                                         WithResult(labels, "wrong_round"))),
+      params_mismatch_(
+          &registry->GetCounter("ldpids_sketch_merge_partials_total",
+                                WithResult(labels, "params_mismatch"))),
+      duplicate_node_(
+          &registry->GetCounter("ldpids_sketch_merge_partials_total",
+                                WithResult(labels, "duplicate_node"))),
+      missing_(&registry->GetCounter("ldpids_sketch_merge_partials_total",
+                                     WithResult(labels, "missing"))) {}
+
+void SketchMergeStatsFeed::Add(const SketchMergeStats& delta) {
+  merged_->Add(delta.merged);
+  users_merged_->Add(delta.users_merged);
+  malformed_->Add(delta.malformed);
+  wrong_oracle_->Add(delta.wrong_oracle);
+  wrong_round_->Add(delta.wrong_round);
+  params_mismatch_->Add(delta.params_mismatch);
+  duplicate_node_->Add(delta.duplicate_node);
+  missing_->Add(delta.missing);
+}
+
+void SketchMergeStatsFeed::Publish(const SketchMergeStats& current) {
+  SketchMergeStats delta = current;
+  delta.merged -= last_.merged;
+  delta.users_merged -= last_.users_merged;
+  delta.malformed -= last_.malformed;
+  delta.wrong_oracle -= last_.wrong_oracle;
+  delta.wrong_round -= last_.wrong_round;
+  delta.params_mismatch -= last_.params_mismatch;
+  delta.duplicate_node -= last_.duplicate_node;
+  delta.missing -= last_.missing;
   Add(delta);
   last_ = current;
 }

@@ -31,6 +31,7 @@
 #define LDPIDS_OBS_STATS_FEED_H_
 
 #include "fo/report_arena.h"
+#include "fo/sketch_wire.h"
 #include "obs/metrics.h"
 #include "service/ingest.h"
 #include "transport/frame.h"
@@ -38,8 +39,9 @@
 
 namespace ldpids::obs {
 
-// FrameStats -> ldpids_frame_{frames,data_frames,end_round_frames,bytes,
-// skipped_bytes}_total and ldpids_frame_errors_total{reason=...}.
+// FrameStats -> ldpids_frame_{frames,data_frames,end_round_frames,
+// partial_sketch_frames,bytes,skipped_bytes}_total and
+// ldpids_frame_errors_total{reason=...}.
 class FrameStatsFeed {
  public:
   FrameStatsFeed(MetricsRegistry* registry, const Labels& labels = {});
@@ -51,6 +53,7 @@ class FrameStatsFeed {
   Counter* frames_;
   Counter* data_frames_;
   Counter* end_round_frames_;
+  Counter* partial_sketch_frames_;
   Counter* bytes_;
   Counter* skipped_bytes_;
   Counter* bad_magic_;
@@ -107,6 +110,28 @@ class ArenaDecodeStatsFeed {
   // Index 0 (kOk) stays null — a decoded packet is not a wire error.
   Counter* wire_errors_[kWireErrorCount] = {};
   ArenaDecodeStats last_;
+};
+
+// SketchMergeStats -> ldpids_sketch_merge_partials_total{result=...} and
+// ldpids_sketch_merge_users_total (the root side of the merge tree; the
+// per-aggregator emit side publishes ldpids_aggregator_* directly).
+class SketchMergeStatsFeed {
+ public:
+  SketchMergeStatsFeed(MetricsRegistry* registry, const Labels& labels = {});
+
+  void Add(const SketchMergeStats& delta);
+  void Publish(const SketchMergeStats& current);
+
+ private:
+  Counter* merged_;
+  Counter* users_merged_;
+  Counter* malformed_;
+  Counter* wrong_oracle_;
+  Counter* wrong_round_;
+  Counter* params_mismatch_;
+  Counter* duplicate_node_;
+  Counter* missing_;
+  SketchMergeStats last_;
 };
 
 // IngestStats -> ldpids_ingest_reports_total{result=<IngestResultName>}.

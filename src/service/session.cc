@@ -14,6 +14,7 @@
 
 #include "core/collector.h"
 #include "obs/flight_recorder.h"
+#include "service/aggregator.h"
 #include "obs/stage_trace.h"
 #include "obs/stats_feed.h"
 #include "util/histogram.h"
@@ -39,10 +40,9 @@ namespace ldpids::service {
 // results and accounting are bit-identical to the serial path.
 class MechanismSession::WireCollector final : public CollectorContext {
  public:
-  WireCollector(MechanismSession& session, const FrequencyOracle& fo,
-                OracleId oracle, std::size_t domain, uint64_t num_users)
+  WireCollector(MechanismSession& session, OracleId oracle,
+                std::size_t domain, uint64_t num_users)
       : session_(session),
-        fo_(fo),
         oracle_(oracle),
         domain_(domain),
         num_users_(num_users),
@@ -96,7 +96,11 @@ class MechanismSession::WireCollector final : public CollectorContext {
       done_cv_.wait(lock, [&] { return job->done; });
     }
     if (job->error) std::rethrow_exception(job->error);
-    session_.stats_ += job->stats;  // claim order == round order
+    RoundOutcome& outcome = job->outcome;
+    session_.stats_ += outcome.stats;  // claim order == round order
+    if (session_.merge_source_) {
+      session_.sketch_merges_ += outcome.sketch_merges;
+    }
     obs::StageSet* stages = session_.stages_.get();
     if (stages != nullptr) {
       // One observation per stage per consumed round, recorded here on
@@ -105,14 +109,24 @@ class MechanismSession::WireCollector final : public CollectorContext {
       // waiting on clients and the network, valid for inproc and buffered
       // socket transports alike.
       const uint64_t busy =
-          job->router_ns.arena_decode + job->router_ns.shard_fold;
+          outcome.router_ns.arena_decode + outcome.router_ns.shard_fold;
       stages->Record(obs::Stage::kTransportRtt,
-                     job->transport_ns > busy ? job->transport_ns - busy : 0);
-      stages->Record(obs::Stage::kArenaDecode, job->router_ns.arena_decode);
-      stages->Record(obs::Stage::kShardFold, job->router_ns.shard_fold);
-      stages->Record(obs::Stage::kMerge, job->router_ns.merge);
-      if (session_.ingest_feed_) session_.ingest_feed_->Add(job->stats);
-      if (session_.arena_feed_) session_.arena_feed_->Add(job->decode_stats);
+                     outcome.transport_ns > busy
+                         ? outcome.transport_ns - busy
+                         : 0);
+      stages->Record(obs::Stage::kArenaDecode, outcome.router_ns.arena_decode);
+      stages->Record(obs::Stage::kShardFold, outcome.router_ns.shard_fold);
+      stages->Record(obs::Stage::kMerge, outcome.router_ns.merge);
+      if (session_.merge_source_) {
+        stages->Record(obs::Stage::kSketchMerge, outcome.sketch_merge_ns);
+      }
+      if (session_.ingest_feed_) session_.ingest_feed_->Add(outcome.stats);
+      if (session_.arena_feed_) {
+        session_.arena_feed_->Add(outcome.decode_stats);
+      }
+      if (session_.sketch_merge_feed_) {
+        session_.sketch_merge_feed_->Add(outcome.sketch_merges);
+      }
     }
     obs::FlightRecorder* recorder = session_.recorder_;
     if (recorder != nullptr) {
@@ -123,36 +137,44 @@ class MechanismSession::WireCollector final : public CollectorContext {
       // The full transport-call wall window (waiting on clients + the
       // router's own folding inside it); clears the in-flight mark.
       recorder->Record(track, obs::Stage::kTransportRtt, round,
-                       job->ingest_start_ns, job->ingest_end_ns,
-                       job->stats.accepted, job->stats.rejected());
+                       outcome.ingest_start_ns, outcome.ingest_end_ns,
+                       outcome.stats.accepted, outcome.stats.rejected());
       // Arena decode and shard folding run interleaved inside the
       // transport window (per IngestBatch call), so they have no single
       // wall window of their own; anchor them as tail slices of the
       // ingest window so the trace shows their share without inventing
       // an ordering. Saturate: summed-across-shards fold time can exceed
       // the wall window on multi-thread routers.
-      const uint64_t end = job->ingest_end_ns;
-      const uint64_t fold = job->router_ns.shard_fold;
-      const uint64_t arena = job->router_ns.arena_decode;
+      const uint64_t end = outcome.ingest_end_ns;
+      const uint64_t fold = outcome.router_ns.shard_fold;
+      const uint64_t arena = outcome.router_ns.arena_decode;
       const uint64_t fold_start = end > fold ? end - fold : 0;
       const uint64_t arena_start =
           fold_start > arena ? fold_start - arena : 0;
       recorder->Record(track, obs::Stage::kArenaDecode, round, arena_start,
-                       fold_start, job->stats.accepted,
-                       job->stats.rejected());
+                       fold_start, outcome.stats.accepted,
+                       outcome.stats.rejected());
       recorder->Record(track, obs::Stage::kShardFold, round, fold_start, end,
-                       job->stats.accepted, job->stats.rejected());
-      recorder->Record(track, obs::Stage::kMerge, round, job->merge_start_ns,
-                       job->merge_end_ns, job->stats.accepted);
+                       outcome.stats.accepted, outcome.stats.rejected());
+      recorder->Record(track, obs::Stage::kMerge, round,
+                       outcome.merge_start_ns, outcome.merge_end_ns,
+                       outcome.stats.accepted);
+      if (session_.merge_source_) {
+        recorder->Record(track, obs::Stage::kSketchMerge, round,
+                         outcome.sketch_merge_start_ns,
+                         outcome.sketch_merge_end_ns,
+                         outcome.sketch_merges.merged,
+                         outcome.sketch_merges.rejected());
+      }
       last_round_index_ = round;
     }
-    if (job->sketch->num_users() == 0) {
+    if (outcome.sketch->num_users() == 0) {
       throw std::runtime_error("collection round accepted zero reports");
     }
-    if (n_out != nullptr) *n_out = job->sketch->num_users();
+    if (n_out != nullptr) *n_out = outcome.sketch->num_users();
     if (stages != nullptr || recorder != nullptr) {
       const uint64_t t0 = obs::NowNs();
-      job->sketch->EstimateInto(out);
+      outcome.sketch->EstimateInto(out);
       const uint64_t t1 = obs::NowNs();
       if (stages != nullptr) stages->Record(obs::Stage::kEstimate, t1 - t0);
       if (recorder != nullptr) {
@@ -161,7 +183,7 @@ class MechanismSession::WireCollector final : public CollectorContext {
       }
       step_estimate_end_ns_ = t1;
     } else {
-      job->sketch->EstimateInto(out);
+      outcome.sketch->EstimateInto(out);
     }
   }
 
@@ -207,26 +229,18 @@ class MechanismSession::WireCollector final : public CollectorContext {
   // always whole-population.
   struct RoundJob {
     RoundRequest request;
-    std::unique_ptr<FoSketch> sketch;
-    IngestStats stats;
+    // Sketch + accounting + timing, filled by RunJob (possibly on the
+    // ingest worker) through the session's RoundSource and read by the
+    // session thread strictly after the `done` handshake — the mutex
+    // hand-off orders these plain fields, so all histogram recording
+    // stays on the session thread.
+    RoundOutcome outcome;
     std::exception_ptr error;
     bool done = false;
-    // Observability payload, filled by RunJob (possibly on the ingest
-    // worker) and read by the session thread strictly after the `done`
-    // handshake — the mutex hand-off orders these plain fields, so all
-    // histogram recording stays on the session thread.
-    uint64_t transport_ns = 0;       // wall time inside the transport call
-    RouterStageNanos router_ns;      // arena decode / shard fold / merge
-    ArenaDecodeStats decode_stats;   // wire-level reject accounting
-    // Absolute steady-clock windows for the flight recorder (0 when no
-    // recorder is attached). Announce is stamped on the session thread in
-    // EnqueueRound; ingest/merge by RunJob.
+    // Announce wall window, stamped on the session thread in EnqueueRound
+    // (0 when no recorder is attached).
     uint64_t announce_start_ns = 0;
     uint64_t announce_end_ns = 0;
-    uint64_t ingest_start_ns = 0;    // transport call wall window
-    uint64_t ingest_end_ns = 0;
-    uint64_t merge_start_ns = 0;     // router Close (shard merge) window
-    uint64_t merge_end_ns = 0;
   };
   using JobPtr = std::shared_ptr<RoundJob>;
 
@@ -271,7 +285,9 @@ class MechanismSession::WireCollector final : public CollectorContext {
     return job;
   }
 
-  // The ingest stage of one round: transport -> sharded fold -> merge.
+  // The ingest stage of one round, delegated to the session's RoundSource
+  // (local sharded ingestion via an AggregatorNode, or a root's
+  // partial-sketch merge).
   void RunJob(RoundJob& job) {
     obs::FlightRecorder* recorder = session_.recorder_;
     if (recorder != nullptr) {
@@ -282,29 +298,8 @@ class MechanismSession::WireCollector final : public CollectorContext {
                            job.request.round_index, obs::NowNs());
     }
     try {
-      const FoParams params{job.request.epsilon, domain_};
-      ReportRouter router(fo_, params, oracle_,
-                          static_cast<uint32_t>(job.request.timestamp),
-                          session_.options_.num_shards);
       const bool timed = session_.stages_ != nullptr || recorder != nullptr;
-      uint64_t t0 = 0;
-      if (timed) {
-        router.EnableStageTiming();
-        t0 = obs::NowNs();
-      }
-      session_.ingest_(job.request, router);
-      if (timed) {
-        job.ingest_start_ns = t0;
-        job.ingest_end_ns = obs::NowNs();
-        job.transport_ns = job.ingest_end_ns - t0;
-      }
-      job.sketch = router.Close(&job.stats);
-      if (timed) {
-        job.merge_start_ns = job.ingest_end_ns;
-        job.merge_end_ns = obs::NowNs();
-        job.router_ns = router.stage_nanos();
-        job.decode_stats = router.decode_stats();
-      }
+      session_.source_(job.request, timed, &job.outcome);
     } catch (...) {
       job.error = std::current_exception();
       if (recorder != nullptr) {
@@ -333,7 +328,6 @@ class MechanismSession::WireCollector final : public CollectorContext {
   }
 
   MechanismSession& session_;
-  const FrequencyOracle& fo_;
   const OracleId oracle_;
   const std::size_t domain_;
   const uint64_t num_users_;
@@ -366,9 +360,41 @@ MechanismSession::MechanismSession(
 MechanismSession::MechanismSession(
     std::unique_ptr<StreamMechanism> mechanism, std::size_t domain,
     SessionOptions options, SplitRoundTransport transport)
+    : MechanismSession(std::move(mechanism), domain, options,
+                       std::move(transport.announce),
+                       /*merge_source=*/false) {
+  if (!transport.ingest) {
+    throw std::invalid_argument("session needs a transport");
+  }
+  AggregatorOptions agg;
+  agg.num_shards = options_.num_shards;
+  aggregator_ = std::make_unique<AggregatorNode>(
+      GetFrequencyOracle(mechanism_->config().fo),
+      OracleIdFromName(mechanism_->config().fo), domain, agg);
+  source_ = [this, ingest = std::move(transport.ingest)](
+                const RoundRequest& request, bool timed,
+                RoundOutcome* out) {
+    aggregator_->ExecuteRound(request, ingest, timed, out);
+  };
+}
+
+MechanismSession::MechanismSession(
+    std::unique_ptr<StreamMechanism> mechanism, std::size_t domain,
+    SessionOptions options, RoundAnnounce announce, RoundSource source)
+    : MechanismSession(std::move(mechanism), domain, options,
+                       std::move(announce), /*merge_source=*/true) {
+  if (!source) {
+    throw std::invalid_argument("session needs a round source");
+  }
+  source_ = std::move(source);
+}
+
+MechanismSession::MechanismSession(
+    std::unique_ptr<StreamMechanism> mechanism, std::size_t domain,
+    SessionOptions options, RoundAnnounce announce, bool merge_source)
     : mechanism_(std::move(mechanism)),
-      announce_(std::move(transport.announce)),
-      ingest_(std::move(transport.ingest)),
+      announce_(std::move(announce)),
+      merge_source_(merge_source),
       options_(options) {
   if (mechanism_ == nullptr) {
     throw std::invalid_argument("session needs a mechanism");
@@ -382,9 +408,6 @@ MechanismSession::MechanismSession(
   if (options_.pipeline_depth == 0) {
     throw std::invalid_argument("session pipeline depth must be >= 1");
   }
-  if (!ingest_) {
-    throw std::invalid_argument("session needs a transport");
-  }
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry& reg = *options_.metrics;
     obs::Labels labels;
@@ -395,6 +418,10 @@ MechanismSession::MechanismSession(
         std::make_unique<obs::StageSet>(&reg, options_.metrics_label);
     ingest_feed_ = std::make_unique<obs::IngestStatsFeed>(&reg, labels);
     arena_feed_ = std::make_unique<obs::ArenaDecodeStatsFeed>(&reg, labels);
+    if (merge_source_) {
+      sketch_merge_feed_ =
+          std::make_unique<obs::SketchMergeStatsFeed>(&reg, labels);
+    }
     rounds_counter_ = &reg.GetCounter("ldpids_session_rounds_total", labels);
     advances_counter_ =
         &reg.GetCounter("ldpids_session_advances_total", labels);
@@ -413,14 +440,13 @@ MechanismSession::MechanismSession(
         options_.metrics_label.empty() ? "session" : options_.metrics_label);
   }
   collector_ = std::make_unique<WireCollector>(
-      *this, GetFrequencyOracle(mechanism_->config().fo),
-      OracleIdFromName(mechanism_->config().fo), domain,
+      *this, OracleIdFromName(mechanism_->config().fo), domain,
       mechanism_->num_users());
 }
 
 MechanismSession::~MechanismSession() {
   // Join the ingest worker before anything else dies: a prefetched round
-  // may still be running against announce_/ingest_ (and the mechanism's
+  // may still be running against source_/aggregator_ (and the mechanism's
   // oracle), which are destroyed after collector_ in member order.
   collector_.reset();
   // Worker joined: nothing will touch the track again. Close it so the

@@ -34,6 +34,7 @@
 
 #include "core/mechanism.h"
 #include "fo/frequency_oracle.h"
+#include "fo/sketch_wire.h"
 #include "fo/wire.h"
 #include "service/ingest.h"
 
@@ -43,10 +44,13 @@ class Counter;
 class StageSet;
 class IngestStatsFeed;
 class ArenaDecodeStatsFeed;
+class SketchMergeStatsFeed;
 class FlightRecorder;
 }  // namespace ldpids::obs
 
 namespace ldpids::service {
+
+class AggregatorNode;  // service/aggregator.h
 
 // One FO collection round the mechanism asked for. Handed to the
 // transport, which must deliver the cohort's reports into the router.
@@ -91,6 +95,42 @@ struct SplitRoundTransport {
   RoundAnnounce announce;
   RoundTransport ingest;
 };
+
+// Everything the ingest/estimate seam hands across for one round: the
+// round's resolved sketch plus acceptance accounting and stage timing.
+// Produced by a RoundSource — an AggregatorNode's local sharded ingestion,
+// or a RootSession's partial-sketch merge — and consumed strictly on the
+// session thread (stats accumulation, stage recording, EstimateInto).
+struct RoundOutcome {
+  std::unique_ptr<FoSketch> sketch;
+  IngestStats stats;
+  ArenaDecodeStats decode_stats;   // wire-level reject accounting
+  // Root-merge sessions only: this round's partial-sketch merge verdicts
+  // (merged/malformed/params_mismatch/duplicate_node/missing, see
+  // fo/sketch_wire.h). Zero-valued for local-ingest sources.
+  SketchMergeStats sketch_merges;
+  RouterStageNanos router_ns;      // arena decode / shard fold / merge
+  uint64_t transport_ns = 0;       // wall time waiting on the transport
+  uint64_t sketch_merge_ns = 0;    // root partial-merge wall time
+  // Absolute steady-clock windows for the flight recorder (0 when the
+  // round was not timed).
+  uint64_t ingest_start_ns = 0;    // transport call wall window
+  uint64_t ingest_end_ns = 0;
+  uint64_t merge_start_ns = 0;     // router Close (shard merge) window
+  uint64_t merge_end_ns = 0;
+  uint64_t sketch_merge_start_ns = 0;  // root partial-merge window
+  uint64_t sketch_merge_end_ns = 0;
+};
+
+// The generalized ingest half of one round: fills `*out` with the round's
+// sketch and accounting (never leaving *out partially filled on throw —
+// the session discards it wholesale). `timed` requests stage timing; the
+// source may skip all *_ns fields when it is false. Runs inside Advance()
+// — or, when the session is pipelined, on the session's ingest worker
+// thread, so a source must not share unsynchronized mutable state with
+// the announce half of other rounds.
+using RoundSource =
+    std::function<void(const RoundRequest&, bool timed, RoundOutcome*)>;
 
 struct SessionOptions {
   // Ingestion shards per round; 0 = adaptive (one per hardware thread,
@@ -147,6 +187,16 @@ class MechanismSession {
                    std::size_t domain, SessionOptions options,
                    SplitRoundTransport transport);
 
+  // Source form: the round's sketch comes from an arbitrary RoundSource
+  // instead of local sharded ingestion — this is how a RootSession swaps
+  // the ingest half for a partial-sketch merge while the estimate /
+  // post-process / mechanism side runs untouched. The session assumes the
+  // source merges partial sketches and records the kSketchMerge stage and
+  // sketch_merge_stats() from the outcomes it returns.
+  MechanismSession(std::unique_ptr<StreamMechanism> mechanism,
+                   std::size_t domain, SessionOptions options,
+                   RoundAnnounce announce, RoundSource source);
+
   // Joins the ingest worker first: every round announced by this session
   // — including a prefetched round the mechanism never consumed — is
   // ingested (and, if unconsumed, discarded) before destruction returns,
@@ -191,19 +241,39 @@ class MechanismSession {
   // Acceptance accounting accumulated over every round the mechanism has
   // consumed, in round order (a prefetched round counts once claimed).
   const IngestStats& stats() const { return stats_; }
+  // Partial-sketch merge accounting, accumulated like stats(). All-zero
+  // unless this session was built on a merge RoundSource.
+  const SketchMergeStats& sketch_merge_stats() const {
+    return sketch_merges_;
+  }
 
  private:
-  class WireCollector;  // CollectorContext over sharded ingestion
+  class WireCollector;  // CollectorContext over a RoundSource
+
+  // Common init: validates, wires observability, builds the collector.
+  // The public ctors delegate here and then install source_ (and, for
+  // transport-built sessions, aggregator_) — no round can be in flight
+  // before the first Advance(), so the late install is unobservable.
+  MechanismSession(std::unique_ptr<StreamMechanism> mechanism,
+                   std::size_t domain, SessionOptions options,
+                   RoundAnnounce announce, bool merge_source);
 
   std::unique_ptr<StreamMechanism> mechanism_;
   std::unique_ptr<WireCollector> collector_;
+  // Transport-built sessions own the node that runs their local sharded
+  // ingestion; source-built sessions have none.
+  std::unique_ptr<AggregatorNode> aggregator_;
   RoundAnnounce announce_;  // may be null (opaque-transport sessions)
-  RoundTransport ingest_;
+  RoundSource source_;
+  // True when source_ merges partial sketches (the RoundSource ctor):
+  // enables kSketchMerge stage recording and sketch_merges_ accounting.
+  bool merge_source_ = false;
   SessionOptions options_;
   std::size_t next_t_ = 0;
   uint64_t rounds_ = 0;
   bool failed_ = false;
   IngestStats stats_;
+  SketchMergeStats sketch_merges_;
 
   // Observability (all null when SessionOptions::metrics is). Stage
   // recording and feed publication happen on the session thread only (the
@@ -212,6 +282,7 @@ class MechanismSession {
   std::unique_ptr<obs::StageSet> stages_;
   std::unique_ptr<obs::IngestStatsFeed> ingest_feed_;
   std::unique_ptr<obs::ArenaDecodeStatsFeed> arena_feed_;
+  std::unique_ptr<obs::SketchMergeStatsFeed> sketch_merge_feed_;
   obs::Counter* rounds_counter_ = nullptr;
   obs::Counter* advances_counter_ = nullptr;
   // Flight-recorder attachment (null when SessionOptions::recorder is).

@@ -65,6 +65,16 @@ Frame MakeEndRoundFrame(uint64_t session_id, uint64_t timestamp,
   return frame;
 }
 
+Frame MakePartialSketchFrame(uint64_t session_id, uint64_t timestamp,
+                             PayloadRef payload) {
+  Frame frame;
+  frame.session_id = session_id;
+  frame.timestamp = timestamp;
+  frame.kind = FrameKind::kPartialSketch;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
 uint64_t EndRoundExpected(const Frame& frame) {
   if (frame.kind != FrameKind::kEndRound || frame.payload.size() != 8) {
     throw std::invalid_argument("not an end-of-round frame");
@@ -113,7 +123,7 @@ FrameError ParseFrameShape(const uint8_t* data, std::size_t size,
   if (size < 3) return FrameError::kIncomplete;
   if (data[2] != kVersion) return FrameError::kBadVersion;
   if (size < 4) return FrameError::kIncomplete;
-  if (data[3] > static_cast<uint8_t>(FrameKind::kEndRound)) {
+  if (data[3] > static_cast<uint8_t>(FrameKind::kPartialSketch)) {
     return FrameError::kBadKind;
   }
   if (size < kHeaderSize) return FrameError::kIncomplete;
@@ -267,10 +277,12 @@ bool FrameDecoder::Next(Frame* out) {
       pos_ += consumed;
       ++stats_.frames;
       stats_.bytes += consumed;
-      if (out->kind == FrameKind::kData) {
-        ++stats_.data_frames;
-      } else {
-        ++stats_.end_round_frames;
+      switch (out->kind) {
+        case FrameKind::kData: ++stats_.data_frames; break;
+        case FrameKind::kEndRound: ++stats_.end_round_frames; break;
+        case FrameKind::kPartialSketch:
+          ++stats_.partial_sketch_frames;
+          break;
       }
       return true;
     }
@@ -296,6 +308,7 @@ FrameStats& FrameStats::operator+=(const FrameStats& other) {
   frames += other.frames;
   data_frames += other.data_frames;
   end_round_frames += other.end_round_frames;
+  partial_sketch_frames += other.partial_sketch_frames;
   bytes += other.bytes;
   bad_magic += other.bad_magic;
   bad_version += other.bad_version;
@@ -311,12 +324,14 @@ std::string FrameStats::ToString() const {
   char buf[240];
   std::snprintf(
       buf, sizeof(buf),
-      "frames=%llu (data=%llu end_round=%llu) bytes=%llu errors=%llu "
+      "frames=%llu (data=%llu end_round=%llu partial_sketch=%llu) "
+      "bytes=%llu errors=%llu "
       "(magic=%llu version=%llu kind=%llu oversize=%llu checksum=%llu "
       "control=%llu) skipped_bytes=%llu",
       static_cast<unsigned long long>(frames),
       static_cast<unsigned long long>(data_frames),
       static_cast<unsigned long long>(end_round_frames),
+      static_cast<unsigned long long>(partial_sketch_frames),
       static_cast<unsigned long long>(bytes),
       static_cast<unsigned long long>(errors()),
       static_cast<unsigned long long>(bad_magic),

@@ -48,6 +48,13 @@ namespace ldpids::transport {
 enum class FrameKind : uint8_t {
   kData = 0,      // payload is one encoded wire report
   kEndRound = 1,  // payload is the round's transmitted data-frame count
+  // Payload is one encoded partial sketch (fo/sketch_wire.h): an
+  // aggregator node's resolved round aggregate, shipped up the merge
+  // tree. The frame codec and RoundBuffer treat it exactly like data —
+  // buffered under its round, deduplicated by PacketIdentity (the
+  // emitting node id), late/early/duplicate handling unchanged — only
+  // the consumer differs (the root merges instead of ingesting).
+  kPartialSketch = 2,
 };
 
 struct Frame {
@@ -80,11 +87,13 @@ constexpr std::size_t kMaxFramePayload = std::size_t{1} << 20;
 // Encoded size of a frame carrying `payload_size` payload bytes.
 std::size_t EncodedFrameSize(std::size_t payload_size);
 
-// Convenience constructors for the two kinds.
+// Convenience constructors for the frame kinds.
 Frame MakeDataFrame(uint64_t session_id, uint64_t timestamp,
                     PayloadRef payload);
 Frame MakeEndRoundFrame(uint64_t session_id, uint64_t timestamp,
                         uint64_t expected_data_frames);
+Frame MakePartialSketchFrame(uint64_t session_id, uint64_t timestamp,
+                             PayloadRef payload);
 
 // Data-frame count carried by an end-of-round marker. Throws
 // std::invalid_argument on a non-marker frame (a decoded marker is always
@@ -109,6 +118,7 @@ struct FrameStats {
   uint64_t frames = 0;           // well-formed frames delivered
   uint64_t data_frames = 0;
   uint64_t end_round_frames = 0;
+  uint64_t partial_sketch_frames = 0;
   uint64_t bytes = 0;            // bytes consumed by well-formed frames
   uint64_t bad_magic = 0;        // resync skips by first bad byte's reason
   uint64_t bad_version = 0;

@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "fo/sketch_wire.h"
 #include "fo/wire.h"
 #include "obs/stats_feed.h"
 #include "service/ingest.h"
@@ -71,6 +72,18 @@ uint64_t PacketIdentity(const uint8_t* data, std::size_t size) {
     // corrupted in one copy).
     return nonce;
   }
+  uint64_t node_id = 0;
+  if (PeekPartialSketchNodeId(data, size, &node_id)) {
+    // Partial-sketch payload: the emitting aggregator is the identity, so
+    // a node's re-sent partial counts once toward completion while two
+    // nodes' byte-identical partials (e.g. zero-report rounds) stay
+    // distinct. SplitMix-step the id so small node indexes cannot collide
+    // with small user nonces in a buffer that sees both kinds.
+    uint64_t z = node_id + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
   // Too mangled to carry a nonce: fall back to the raw bytes (FNV-1a).
   // Byte-identical re-deliveries still collapse; distinct corrupted
   // packets stay distinct.
@@ -100,7 +113,7 @@ DeliverResult RoundBuffer::Deliver(Frame&& frame) {
   // lock so concurrent transport readers don't serialize on an O(payload)
   // scan (a wasted hash on the rare dropped frame is the cheaper side).
   const uint64_t identity =
-      frame.kind == FrameKind::kData
+      frame.kind != FrameKind::kEndRound
           ? PacketIdentity(frame.payload.data(), frame.payload.size())
           : 0;
   std::lock_guard<std::mutex> lock(mu_);
@@ -279,6 +292,12 @@ void SendRoundFrames(const std::vector<FrameSender*>& senders,
   senders[0]->Send(
       MakeEndRoundFrame(session_id, round, identities.size()));
   senders[0]->Flush();
+}
+
+void SendPartialSketch(FrameSender& sender, uint64_t session_id,
+                       uint64_t round, std::vector<uint8_t> payload) {
+  sender.Send(MakePartialSketchFrame(session_id, round, std::move(payload)));
+  sender.Flush();
 }
 
 }  // namespace ldpids::transport

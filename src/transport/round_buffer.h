@@ -276,6 +276,17 @@ void SendRoundFrames(const std::vector<FrameSender*>& senders,
                      uint64_t session_id, uint64_t round,
                      const std::vector<std::vector<uint8_t>>& packets);
 
+// Aggregator-side helper of the merge tree: transmits one round's partial
+// sketch (fo/sketch_wire.h payload) as a kPartialSketch frame, then
+// flushes. Deliberately no end-of-round marker — a child knows only its
+// own contribution; the *root* announces the expected child count into
+// its own buffer (service::RootSession), since only it knows the tree's
+// fan-in. Completion, dedup (by emitting node id via PacketIdentity) and
+// late/duplicate absorption then ride the existing RoundBuffer machinery
+// unchanged.
+void SendPartialSketch(FrameSender& sender, uint64_t session_id,
+                       uint64_t round, std::vector<uint8_t> payload);
+
 }  // namespace ldpids::transport
 
 #endif  // LDPIDS_TRANSPORT_ROUND_BUFFER_H_

@@ -15,7 +15,9 @@
 #include <gtest/gtest.h>
 
 #include "fo/client.h"
+#include "fo/frequency_oracle.h"
 #include "fo/report_arena.h"
+#include "fo/sketch_wire.h"
 #include "fo/wire.h"
 #include "transport/frame.h"
 #include "util/rng.h"
@@ -554,6 +556,175 @@ TEST(ArenaFuzzTest, RandomGarbageBatchesNeverProduceRows) {
   EXPECT_EQ(arena.size(), 0u);
   EXPECT_EQ(arena.stats().total(), garbage.size());
   EXPECT_EQ(arena.stats().malformed, garbage.size());
+}
+
+// --- partial-sketch codec (fo/sketch_wire.h) ------------------------------
+// The merge tree's serialization boundary gets the same net as the report
+// wire one layer down: arbitrary corruption of a partial-sketch payload
+// must never crash TryViewPartialSketch, must never half-decode (the view
+// is written only on kOk), and a corrupt or mismatched partial handed to
+// MergePartialSketch must land in exactly one typed rejection bucket
+// without touching the destination sketch.
+
+std::vector<std::vector<uint8_t>> SamplePartials() {
+  std::vector<std::vector<uint8_t>> partials;
+  Rng rng(0x5EED);
+  for (OracleId oracle : AllOracleIds()) {
+    const FrequencyOracle& fo = GetFrequencyOracle(OracleIdName(oracle));
+    for (const uint64_t users : {0u, 1u, 33u}) {
+      auto sketch = fo.CreateSketch({kEpsilon, kDomain});
+      for (uint64_t u = 0; u < users; ++u) {
+        sketch->AddUser(static_cast<uint32_t>(u % kDomain), rng);
+      }
+      partials.push_back(EncodePartialSketch(
+          *sketch, oracle, /*node_id=*/users + 1, /*round_index=*/4,
+          /*timestamp=*/9, kEpsilon));
+    }
+  }
+  return partials;
+}
+
+TEST(SketchWireFuzzTest, SingleByteCorruptionNeverDecodes) {
+  for (const auto& original : SamplePartials()) {
+    Rng rng(911);
+    for (std::size_t pos = 0; pos < original.size(); ++pos) {
+      for (int trial = 0; trial < 4; ++trial) {
+        auto corrupted = original;
+        corrupted[pos] ^= static_cast<uint8_t>(1 + rng.UniformInt(255));
+        PartialSketchView view;
+        view.node_id = 0xD1D1;  // sentinel: must survive a rejection
+        SketchWireError err = SketchWireError::kOk;
+        ASSERT_NO_THROW(
+            err = TryViewPartialSketch(corrupted, &view));
+        EXPECT_NE(err, SketchWireError::kOk)
+            << "byte " << pos << " of " << original.size();
+        // No partial decode: the view is untouched on every rejection.
+        EXPECT_EQ(view.node_id, 0xD1D1u);
+      }
+    }
+  }
+}
+
+TEST(SketchWireFuzzTest, TruncationsAndExtensionsNeverDecode) {
+  for (const auto& original : SamplePartials()) {
+    for (std::size_t len = 0; len < original.size(); ++len) {
+      PartialSketchView view;
+      SketchWireError err = SketchWireError::kOk;
+      ASSERT_NO_THROW(
+          err = TryViewPartialSketch(original.data(), len, &view));
+      EXPECT_NE(err, SketchWireError::kOk) << "length " << len;
+    }
+    auto extended = original;
+    extended.push_back(0x00);
+    PartialSketchView view;
+    EXPECT_NE(TryViewPartialSketch(extended, &view), SketchWireError::kOk);
+  }
+}
+
+TEST(SketchWireFuzzTest, RandomGarbageNeverDecodes) {
+  Rng rng(0xFA22);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> garbage(rng.UniformInt(kSketchWireHeaderSize * 3));
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng.NextU64());
+    PartialSketchView view;
+    SketchWireError err = SketchWireError::kOk;
+    ASSERT_NO_THROW(err = TryViewPartialSketch(garbage, &view));
+    EXPECT_NE(err, SketchWireError::kOk) << "trial " << trial;
+  }
+}
+
+TEST(SketchWireFuzzTest, MergeNeverCrashesAndNeverSilentlyFolds) {
+  // Heavy mutation against the merge edge itself: every payload — valid,
+  // flipped, truncated, extended, garbage — lands in exactly one
+  // SketchMergeStats bucket, and only bit-exact valid partials change the
+  // destination sketch.
+  Rng rng(0xF01D);
+  for (OracleId oracle : AllOracleIds()) {
+    const FrequencyOracle& fo = GetFrequencyOracle(OracleIdName(oracle));
+    auto peer = fo.CreateSketch({kEpsilon, kDomain});
+    for (uint32_t u = 0; u < 25; ++u) peer->AddUser(u % kDomain, rng);
+
+    std::vector<std::vector<uint8_t>> payloads;
+    uint64_t node = 1;
+    for (int i = 0; i < 30; ++i) {
+      payloads.push_back(EncodePartialSketch(*peer, oracle, node++, 4, 9,
+                                             kEpsilon));
+    }
+    const std::size_t valid_count = payloads.size();
+    for (std::size_t i = 0; i < valid_count; ++i) {
+      auto mutated = payloads[i];
+      switch (rng.UniformInt(4)) {
+        case 0:
+          mutated[rng.UniformInt(mutated.size())] ^=
+              static_cast<uint8_t>(1 + rng.UniformInt(255));
+          break;
+        case 1:
+          mutated.resize(rng.UniformInt(mutated.size()));
+          break;
+        case 2:
+          mutated.push_back(static_cast<uint8_t>(rng.NextU64()));
+          break;
+        default:
+          mutated.assign(rng.UniformInt(2 * kSketchWireHeaderSize),
+                         static_cast<uint8_t>(rng.NextU64()));
+          break;
+      }
+      payloads.push_back(std::move(mutated));
+    }
+
+    auto root = fo.CreateSketch({kEpsilon, kDomain});
+    std::vector<uint64_t> seen;
+    SketchMergeStats stats;
+    std::size_t folded = 0;
+    for (const auto& p : payloads) {
+      bool ok = false;
+      ASSERT_NO_THROW(ok = MergePartialSketch(
+                          p.data(), p.size(), oracle, 4, kEpsilon, kDomain,
+                          root.get(), &seen, &stats));
+      if (ok) ++folded;
+    }
+    // Every payload classified exactly once; every valid one folded
+    // (distinct node ids, so no dedup hits among the valid set), and the
+    // user mass is exactly the folded partials' — a corrupt payload can
+    // strip a partial, never fold one.
+    EXPECT_EQ(stats.total(), payloads.size()) << OracleIdName(oracle);
+    EXPECT_EQ(stats.merged, folded);
+    EXPECT_GE(folded, valid_count);
+    EXPECT_EQ(root->num_users(), folded * peer->num_users());
+  }
+}
+
+TEST(SketchWireFuzzTest, MismatchedParamsAreTypedRejections) {
+  // A pristine partial whose round coordinates disagree with the root's
+  // expectations is a typed rejection — params mismatches across a merge
+  // tree must never fold and never throw.
+  const FrequencyOracle& fo = GetFrequencyOracle("OLH");
+  auto peer = fo.CreateSketch({kEpsilon, kDomain});
+  Rng rng(21);
+  for (uint32_t u = 0; u < 10; ++u) peer->AddUser(u % kDomain, rng);
+  const auto payload =
+      EncodePartialSketch(*peer, OracleId::kOlh, 6, 4, 9, kEpsilon);
+
+  auto root = fo.CreateSketch({kEpsilon, kDomain});
+  std::vector<uint64_t> seen;
+  SketchMergeStats stats;
+  EXPECT_FALSE(MergePartialSketch(payload.data(), payload.size(),
+                                  OracleId::kHr, 4, kEpsilon, kDomain,
+                                  root.get(), &seen, &stats));
+  EXPECT_FALSE(MergePartialSketch(payload.data(), payload.size(),
+                                  OracleId::kOlh, 5, kEpsilon, kDomain,
+                                  root.get(), &seen, &stats));
+  EXPECT_FALSE(MergePartialSketch(payload.data(), payload.size(),
+                                  OracleId::kOlh, 4, kEpsilon / 2, kDomain,
+                                  root.get(), &seen, &stats));
+  EXPECT_FALSE(MergePartialSketch(payload.data(), payload.size(),
+                                  OracleId::kOlh, 4, kEpsilon, kDomain + 1,
+                                  root.get(), &seen, &stats));
+  EXPECT_EQ(stats.wrong_oracle, 1u);
+  EXPECT_EQ(stats.wrong_round, 1u);
+  EXPECT_EQ(stats.params_mismatch, 2u);
+  EXPECT_EQ(stats.merged, 0u);
+  EXPECT_EQ(root->num_users(), 0u);
 }
 
 TEST(WireFuzzTest, ThrowingDecodersCarryTypedReasons) {
